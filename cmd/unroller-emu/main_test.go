@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+// TestRunAllTopologiesAndPolicies smoke-tests the emulator CLI's core
+// path across its whole flag matrix.
+func TestRunAllTopologiesAndPolicies(t *testing.T) {
+	for _, topo := range []string{"fattree4", "torus", "geant"} {
+		for _, policy := range []string{"drop", "reroute", "collect"} {
+			if err := run(topo, 3, policy, 2); err != nil {
+				t.Errorf("run(%s, %s): %v", topo, policy, err)
+			}
+		}
+	}
+}
+
+// TestRunRejectsBadInputs.
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("nonexistent", 1, "drop", 1); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := run("torus", 1, "explode", 1); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunWritesTrace smoke-tests the offline pipeline end to end,
+// including the trace file output.
+func TestRunWritesTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.utrc")
+	if err := run("torus", 4, 5, path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() < 5 {
+		t.Fatalf("trace file only %d bytes", info.Size())
+	}
+}
+
+// TestRunFatTreeNoFile covers the in-memory path and second topology.
+func TestRunFatTreeNoFile(t *testing.T) {
+	if err := run("fattree4", 2, 3, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("bogus", 1, 1, ""); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleZoo = `<?xml version="1.0" encoding="utf-8"?>
+<graphml><graph edgedefault="undirected">
+  <node id="a"/><node id="b"/><node id="c"/><node id="d"/><node id="e"/>
+  <edge source="a" target="b"/><edge source="b" target="c"/>
+  <edge source="c" target="d"/><edge source="d" target="a"/>
+  <edge source="b" target="e"/><edge source="e" target="c"/>
+</graph></graphml>`
+
+// TestRunGraphML smoke-tests the external-topology path of the CLI on a
+// small loop-rich graph: detection-time measurement and both zero-FP
+// searches must complete.
+func TestRunGraphML(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "MiniZoo.graphml")
+	if err := os.WriteFile(path, []byte(sampleZoo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runGraphML(path, 200, 150, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := runGraphML(filepath.Join(dir, "missing.graphml"), 10, 10, 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package unroller_test
+
+import (
+	"fmt"
+
+	unroller "github.com/unroller/unroller"
+)
+
+// Example demonstrates the whole quick-start flow: configure, simulate
+// a packet into a loop, and read the report.
+func Example() {
+	det := unroller.MustNew(unroller.DefaultConfig())
+	walk := unroller.RandomWalk(5, 12, 42) // B=5 pre-loop hops, L=12 loop switches
+	out := unroller.Simulate(det, walk, 1000)
+	fmt.Printf("detected=%v within bound=%v header=%d bits\n",
+		out.Detected,
+		out.Hops <= unroller.WorstCaseBound(4, 5, 12),
+		det.BitOverhead(0))
+	// Output:
+	// detected=true within bound=true header=40 bits
+}
+
+// ExampleConfig_HeaderBits shows the §3.3 compression arithmetic: the
+// paper's z=7, Th=4 example needs just 17 bits of header.
+func ExampleConfig_HeaderBits() {
+	cfg := unroller.DefaultConfig()
+	fmt.Println("default:", cfg.HeaderBits())
+	cfg.ZBits, cfg.Threshold, cfg.HashIDs = 7, 4, true
+	fmt.Println("z=7,Th=4:", cfg.HeaderBits())
+	cfg.TTLHopCount = true
+	fmt.Println("with TTL-derived counter:", cfg.HeaderBits())
+	// Output:
+	// default: 40
+	// z=7,Th=4: 17
+	// with TTL-derived counter: 9
+}
+
+// ExampleMonteCarlo reproduces one data point of the paper's Figure 2:
+// the average detection time at b=4, B=5, L=20 sits near 2×X.
+func ExampleMonteCarlo() {
+	det := unroller.MustNew(unroller.DefaultConfig())
+	res := unroller.MonteCarlo(det, 5, 20, unroller.MCConfig{Runs: 50000, Seed: 1})
+	fmt.Printf("mean in (1.8, 2.3): %v; misses: %d\n",
+		res.Time.Mean() > 1.8 && res.Time.Mean() < 2.3, res.Timeouts)
+	// Output:
+	// mean in (1.8, 2.3): true; misses: 0
+}
+
+// ExampleNewNetwork walks the emulator path: build a fat tree, break
+// its forwarding, and watch a switch report the loop on a live packet.
+func ExampleNewNetwork() {
+	g, _ := unroller.FatTree(4)
+	assign := unroller.NewAssignment(g, 7)
+	net, _ := unroller.NewNetwork(g, assign, unroller.DefaultConfig())
+	net.SetLoopPolicy(unroller.ActionDrop)
+
+	dst := 19
+	_ = net.InstallShortestPaths(dst)
+	// Two aggregation switches point at each other through an edge
+	// switch: a 2-loop via FIB misconfiguration.
+	_ = net.InjectLoop(dst, unroller.Cycle{0, 8})
+
+	tr, _ := net.Send(0, dst, 1, 255, true)
+	fmt.Printf("outcome=%v reported=%v rerouted=%v\n",
+		tr.Final, tr.Report != nil, tr.Rerouted)
+	// Output:
+	// outcome=drop-loop reported=true rerouted=false
+}

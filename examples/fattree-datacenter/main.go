@@ -1,0 +1,88 @@
+// FatTree data center: the head-to-head the paper runs in Table 5.
+// On a k=4 fat-tree fabric (20 switches), compare the three real-time
+// in-band detectors — Unroller, PathDump, and a packet-carried Bloom
+// filter — on the same injected loops: per-packet header cost versus
+// detection speed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	unroller "github.com/unroller/unroller"
+	"github.com/unroller/unroller/internal/baseline"
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/sim"
+	"github.com/unroller/unroller/internal/topology"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+func main() {
+	g, err := unroller.FatTree(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fabric: %s, %d switches, %d links, diameter %d\n\n", g.Name, g.N(), g.M(), g.Diameter())
+
+	rng := xrand.New(99)
+
+	// The three contenders. PathDump needs the fabric's layer map; the
+	// Bloom filter is sized at the paper's Table 5 value for FatTree4.
+	unr := unroller.MustNew(unroller.DefaultConfig())
+	bloom, err := baseline.NewBloom(414, baseline.OptimalK(414, 8), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const runs = 2000
+	type row struct {
+		name    string
+		bits    int
+		avgTime float64
+		missed  int
+	}
+	var rows []row
+
+	// Sample loop scenarios once and drive every detector over the
+	// identical walks, so the comparison is paired.
+	scenarios := make([]*sim.Scenario, 0, runs)
+	for len(scenarios) < runs {
+		sc, err := sim.SampleScenario(g, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scenarios = append(scenarios, sc)
+	}
+
+	measure := func(name string, mk func(sc *sim.Scenario) detect.Detector, bits int) {
+		var total float64
+		missed := 0
+		for _, sc := range scenarios {
+			w := sc.Walk()
+			det := mk(sc)
+			out := sim.Run(det, w, 40*w.X()+64)
+			if !out.Detected {
+				missed++
+				continue
+			}
+			total += float64(out.Hops) / float64(w.X())
+		}
+		rows = append(rows, row{name: name, bits: bits, avgTime: total / float64(runs-missed), missed: missed})
+	}
+
+	measure("unroller b=4", func(*sim.Scenario) detect.Detector { return unr }, unr.BitOverhead(0))
+	measure("bloom 414b", func(*sim.Scenario) detect.Detector { return bloom }, bloom.BitOverhead(0))
+	measure("pathdump", func(sc *sim.Scenario) detect.Detector {
+		// PathDump's layer map is keyed by the scenario's identifier
+		// assignment.
+		return baseline.NewPathDump(topology.FatTreeLayers(4, sc.Assign))
+	}, baseline.PathDumpOverheadBits)
+
+	fmt.Printf("%-14s  %12s  %16s  %s\n", "detector", "header bits", "avg time (×X)", "missed loops")
+	for _, r := range rows {
+		fmt.Printf("%-14s  %12d  %16.2f  %d\n", r.name, r.bits, r.avgTime, r.missed)
+	}
+	fmt.Println("\nreading: Unroller matches the fixed-cost schemes with 6-16x fewer header")
+	fmt.Println("bits, paying one to two extra loop traversals of detection delay;")
+	fmt.Println("PathDump is cheap here but only works on layered fabrics like this one.")
+}

@@ -1,0 +1,103 @@
+// Loop collateral damage: the paper's introduction, measured. A victim
+// flow gets trapped in a forwarding loop that shares one link with an
+// innocent background flow. Without detection, every trapped packet
+// circulates until TTL death, saturating the shared link — the
+// background flow's latency and jitter explode and packets drop
+// (exactly the effect Hengartner et al. measured in real traces, the
+// paper's motivation [14]). With Unroller, trapped packets die within a
+// few hops and the background flow never notices.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/dataplane"
+	"github.com/unroller/unroller/internal/netsim"
+	"github.com/unroller/unroller/internal/topology"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// Topology:
+//
+//	0 — 1 — 2 — 3 — 5       background flow: 0 → 3
+//	     \ /                victim flow:     0 → 5
+//	      4                 loop: {1, 2, 4} misconfigured for dst 5
+func build(telemetry bool) (*netsim.Sim, error) {
+	g := topology.NewGraph("collateral", 6)
+	for i := 0; i < 6; i++ {
+		g.AddNode("")
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {1, 4}, {2, 4}, {3, 5}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	net, err := dataplane.NewNetwork(g, topology.NewAssignment(g, xrand.New(7)), core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	for _, dst := range []int{3, 5} {
+		if err := net.InstallShortestPaths(dst); err != nil {
+			return nil, err
+		}
+	}
+	net.SetLoopPolicy(dataplane.ActionDrop)
+	if err := net.InjectLoop(5, topology.Cycle{1, 2, 4}); err != nil {
+		return nil, err
+	}
+
+	params := netsim.DefaultLinkParams()
+	params.BandwidthBps = 100e6 // 100 Mb/s links
+	params.QueuePackets = 32
+	sim, err := netsim.New(net, params)
+	if err != nil {
+		return nil, err
+	}
+	const horizon = 0.5
+	// Background: 1 kB every 1 ms = 8 Mb/s across the spine.
+	if err := sim.AddFlow(netsim.Flow{
+		ID: 1, Src: 0, Dst: 3, PacketBytes: 984, Interval: 1e-3, Telemetry: telemetry,
+	}, horizon); err != nil {
+		return nil, err
+	}
+	// Victim: 1 kB every 2 ms towards dst 5 — hijacked into the loop.
+	if err := sim.AddFlow(netsim.Flow{
+		ID: 2, Src: 0, Dst: 5, PacketBytes: 984, Interval: 2e-3, Telemetry: telemetry,
+	}, horizon); err != nil {
+		return nil, err
+	}
+	return sim, nil
+}
+
+func main() {
+	fmt.Printf("%-22s  %12s  %12s  %8s  %s\n",
+		"scenario", "bg latency", "bg jitter", "bg loss", "victim packet fate")
+	for _, mode := range []struct {
+		name      string
+		telemetry bool
+	}{
+		{"loop, no detection", false},
+		{"loop + Unroller", true},
+	} {
+		sim, err := build(mode.telemetry)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim.Run(0.5)
+		bg, _ := sim.FlowStats(1)
+		victim, _ := sim.FlowStats(2)
+		fate := fmt.Sprintf("%d ttl-deaths, %d queue-drops", victim.TTLDrops, victim.QueueDrops)
+		if victim.LoopDrops > 0 {
+			fate = fmt.Sprintf("%d killed in-band after ≤3 laps", victim.LoopDrops)
+		}
+		fmt.Printf("%-22s  %9.3f ms  %9.3f ms  %7.1f%%  %s\n",
+			mode.name,
+			bg.Latency.Mean()*1e3, bg.Jitter*1e3, bg.Loss()*100, fate)
+	}
+	fmt.Println("\nreading: the undetected loop saturates the shared 1—2 link; the")
+	fmt.Println("innocent flow pays in latency, jitter, and loss. In-band detection")
+	fmt.Println("kills trapped packets within a few hops and the damage vanishes —")
+	fmt.Println("the paper's motivating scenario, reproduced end to end.")
+}

@@ -1,0 +1,81 @@
+// Transient loops: the most realistic loop source — routing protocol
+// convergence. A distance-vector network (RIP-style) suffers a link
+// failure; while the bad news propagates, nodes near the failure forward
+// destination-bound traffic at each other (count-to-infinity). This
+// example snapshots the FIBs after every protocol round, installs them
+// into the data-plane emulator, sends probe packets, and shows Unroller
+// catching each transient loop the instant it exists — and going quiet
+// the moment the network reconverges.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	unroller "github.com/unroller/unroller"
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/dataplane"
+	"github.com/unroller/unroller/internal/routing"
+	"github.com/unroller/unroller/internal/topology"
+)
+
+func main() {
+	// An 8-router ring: the textbook count-to-infinity victim.
+	g, err := topology.Ring(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proto, err := routing.New(g, routing.DefaultInfinity, false /* no split horizon */)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rounds, _ := proto.Converge(100)
+	fmt.Printf("ring of %d routers converged in %d rounds\n", g.N(), rounds)
+
+	dst := 7
+	if err := proto.FailLink(0, 7); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n*** link 0—7 fails; watching destination %d during reconvergence ***\n\n", dst)
+
+	assign := unroller.NewAssignment(g, 3)
+	for round := 0; ; round++ {
+		loops := proto.ForwardingLoops(dst)
+
+		// Fresh network per snapshot: FIBs exactly as the protocol
+		// believes them this round.
+		net, err := dataplane.NewNetwork(g, assign, core.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		net.SetLoopPolicy(dataplane.ActionDrop)
+		if err := proto.InstallInto(net, dst); err != nil {
+			log.Fatal(err)
+		}
+		// Probe from node 1 (adjacent to the failure).
+		tr, err := net.Send(1, dst, uint32(round), 255, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		status := fmt.Sprintf("probe %-12s", tr.Final)
+		if tr.Report != nil {
+			status = fmt.Sprintf("LOOP caught by %v at hop %d", tr.Report.Reporter, tr.Report.Hops)
+		}
+		fmt.Printf("round %2d: metric(1→%d)=%2d, control-plane loops=%d, %s\n",
+			round, dst, proto.Metric(1, dst), len(loops), status)
+
+		if !proto.Step() {
+			fmt.Printf("\nreconverged after %d rounds; final probe: %s in %d hops\n",
+				round, tr.Final, len(tr.Hops))
+			break
+		}
+		if round > 5*routing.DefaultInfinity {
+			log.Fatal("no reconvergence (bug)")
+		}
+	}
+
+	fmt.Println("\nreading: every round where the control plane had a loop, the data")
+	fmt.Println("plane caught it on a live packet in a handful of hops — no mirror")
+	fmt.Println("infrastructure, no per-flow switch state, 40 bits of header.")
+}

@@ -1,0 +1,92 @@
+// WAN loop hunt: the scenario from the paper's introduction. A
+// GEANT-sized WAN suffers a forwarding loop after a misconfigured FIB
+// update; Unroller-equipped switches detect it in-band within a few
+// hops, while the same packets without telemetry burn their entire TTL
+// (the loss that inflates tail latency and triggers spurious congestion
+// control).
+//
+// This example uses the data-plane emulator: real packet bytes, per-hop
+// parse/deparse, FIB lookups, and controller reports.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	unroller "github.com/unroller/unroller"
+	"github.com/unroller/unroller/internal/topology"
+)
+
+func main() {
+	// A 40-node WAN with the same size and diameter as GEANT (the
+	// paper's Table 5 entry). Swap in unroller.LoadGraphML("Geant.graphml")
+	// to run on the real Topology Zoo file.
+	g, err := topology.Synthetic("GEANT", 40, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	assign := unroller.NewAssignment(g, 7)
+	net, err := unroller.NewNetwork(g, assign, unroller.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Normal operation: shortest-path routes towards a peering point.
+	dst := 0
+	if err := net.InstallShortestPaths(dst); err != nil {
+		log.Fatal(err)
+	}
+	for node := 0; node < g.N(); node++ {
+		net.Switch(node).ClearBackups() // base design: drop and report
+	}
+	tr, err := net.Send(g.N()-1, dst, 1, 64, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("healthy network: packet delivered in %d hops, %d loop reports\n",
+		len(tr.Hops), net.Controller.Count())
+
+	// An operator fat-fingers a maintenance change: three core routers
+	// now point at each other for dst-bound traffic.
+	// Node 11 is an access router dual-homed to backbone nodes 2 and 3,
+	// so {2, 11, 3} is a physical triangle.
+	loop := unroller.Cycle{2, 11, 3}
+	if err := loop.Validate(g); err != nil {
+		// The synthetic backbone guarantees extras adjacent to
+		// consecutive backbone nodes; fall back to a sampled cycle
+		// if this particular triangle is absent.
+		log.Fatalf("cycle invalid: %v", err)
+	}
+	if err := net.InjectLoop(dst, loop); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFIB misconfiguration: nodes %v now loop dst-bound traffic\n", loop)
+
+	// Traffic from several ingress points.
+	detected, ttlDeaths := 0, 0
+	var detectionHops []int
+	for src := 20; src < 30; src++ {
+		trLoop, err := net.Send(src, dst, uint32(src), 255, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if trLoop.Report != nil {
+			detected++
+			detectionHops = append(detectionHops, trLoop.Report.Hops)
+		}
+		trBlind, err := net.Send(src, dst, uint32(src), 255, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if trBlind.Final.String() == "drop-ttl" {
+			ttlDeaths++
+		}
+	}
+	fmt.Printf("with Unroller:    %d/10 packets reported the loop in-band (hops: %v)\n", detected, detectionHops)
+	fmt.Printf("without Unroller: %d/10 packets died by TTL after 255 hops each\n", ttlDeaths)
+	fmt.Printf("controller heard %d reports; loop lives at:", net.Controller.Count())
+	for _, id := range net.Controller.TopReporters() {
+		fmt.Printf(" %v", id)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,3 @@
+module github.com/unroller/unroller
+
+go 1.22

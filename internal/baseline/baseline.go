@@ -1,0 +1,55 @@
+// Package baseline implements the loop-detection approaches Unroller is
+// compared against in the paper (Table 1 and §5): full path encoding on
+// packets (INT/TPP-style), a packet-carried Bloom filter of visited
+// switches, PathDump's two-VLAN-tag scheme, an on-switch per-flow state
+// table (FlowRadar-class), and a NetSight-style header-mirroring cost
+// model. All are real executable detectors behind the same
+// detect.Detector contract, so the simulation engine and the data-plane
+// emulator can run them interchangeably with Unroller.
+package baseline
+
+import "github.com/unroller/unroller/internal/detect"
+
+// intHeaderBits is the INT metadata header cost: the specification's
+// per-packet header is 8 bytes, and each hop appends a 4-byte switch ID
+// (§1 of the paper: "8 Byte INT header and 4 Byte switch ID for each
+// hop").
+const (
+	intHeaderBits = 64
+	intPerHopBits = 32
+)
+
+// INT is the full-path-encoding detector: every switch appends its ID to
+// the packet, and a switch that finds its own ID already present reports
+// a loop. Detection is optimal (exactly X hops) but the header grows
+// linearly with the path.
+type INT struct{}
+
+// Name implements detect.Detector.
+func (INT) Name() string { return "int-full-path" }
+
+// BitOverhead implements detect.Detector: 64 header bits plus 32 bits per
+// traversed hop.
+func (INT) BitOverhead(maxHops int) int { return intHeaderBits + intPerHopBits*maxHops }
+
+// NewState implements detect.Detector.
+func (INT) NewState() detect.State { return &intState{seen: make(map[detect.SwitchID]struct{}, 16)} }
+
+type intState struct {
+	seen map[detect.SwitchID]struct{}
+	path []detect.SwitchID
+}
+
+func (s *intState) Visit(id detect.SwitchID) detect.Verdict {
+	if _, ok := s.seen[id]; ok {
+		return detect.Loop
+	}
+	s.seen[id] = struct{}{}
+	s.path = append(s.path, id)
+	return detect.Continue
+}
+
+// Path returns the identifiers recorded on the packet so far, in hop
+// order. This is what makes INT attractive despite its overhead: the full
+// loop membership is available at detection time.
+func (s *intState) Path() []detect.SwitchID { return append([]detect.SwitchID(nil), s.path...) }

@@ -1,0 +1,254 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// driveLoop runs det over a prefix+loop walk; returns detection hop or 0.
+func driveLoop(det detect.Detector, prefix, loop []detect.SwitchID, maxHops int) int {
+	st := det.NewState()
+	for h := 1; h <= maxHops; h++ {
+		var id detect.SwitchID
+		if h-1 < len(prefix) {
+			id = prefix[h-1]
+		} else {
+			id = loop[(h-1-len(prefix))%len(loop)]
+		}
+		if st.Visit(id) == detect.Loop {
+			return h
+		}
+	}
+	return 0
+}
+
+func ids(vals ...uint32) []detect.SwitchID {
+	out := make([]detect.SwitchID, len(vals))
+	for i, v := range vals {
+		out[i] = detect.SwitchID(v)
+	}
+	return out
+}
+
+// TestINTOptimalDetection: INT detects at exactly X = B+L, the
+// information-theoretic floor — that is what Unroller's detection times
+// are normalised against.
+func TestINTOptimalDetection(t *testing.T) {
+	det := INT{}
+	for _, tc := range []struct{ B, L int }{{0, 1}, {0, 5}, {3, 2}, {10, 7}} {
+		rng := xrand.New(uint64(tc.B*100 + tc.L))
+		all := rng.DistinctUint32(tc.B + tc.L)
+		prefix := make([]detect.SwitchID, tc.B)
+		loop := make([]detect.SwitchID, tc.L)
+		for i := range prefix {
+			prefix[i] = detect.SwitchID(all[i])
+		}
+		for i := range loop {
+			loop[i] = detect.SwitchID(all[tc.B+i])
+		}
+		got := driveLoop(det, prefix, loop, 1000)
+		if got != tc.B+tc.L+1 {
+			t.Errorf("B=%d L=%d: INT detected at %d, want X+1=%d", tc.B, tc.L, got, tc.B+tc.L+1)
+		}
+	}
+}
+
+// TestINTOverheadGrowsLinearly: the flaw Unroller fixes.
+func TestINTOverheadGrowsLinearly(t *testing.T) {
+	det := INT{}
+	if det.BitOverhead(6) != 64+6*32 {
+		t.Errorf("6-hop overhead %d, want 256 (the paper's 32-byte example)", det.BitOverhead(6))
+	}
+	if det.BitOverhead(20) <= det.BitOverhead(6) {
+		t.Error("INT overhead must grow with hops")
+	}
+}
+
+// TestINTPathRecording: the recorded path names the loop members.
+func TestINTPathRecording(t *testing.T) {
+	st := INT{}.NewState().(*intState)
+	for _, id := range ids(5, 6, 7) {
+		st.Visit(id)
+	}
+	p := st.Path()
+	if len(p) != 3 || p[0] != 5 || p[2] != 7 {
+		t.Fatalf("path %v", p)
+	}
+}
+
+// TestBloomDetectsLoops: no false negatives ever (Bloom filters have no
+// false negatives), detection at X+1 when no collision occurred.
+func TestBloomDetectsLoops(t *testing.T) {
+	det, err := NewBloom(512, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(2)
+	for trial := 0; trial < 100; trial++ {
+		all := rng.DistinctUint32(15)
+		prefix, loop := ids(all[:5]...), ids(all[5:]...)
+		got := driveLoop(det, prefix, loop, 100)
+		if got == 0 {
+			t.Fatal("bloom missed a loop")
+		}
+		if got > 16 {
+			t.Fatalf("bloom late: hop %d", got)
+		}
+	}
+}
+
+// TestBloomFalsePositiveRateScales: small filters collide on loop-free
+// paths; big filters do not. This is the Table 5 trade-off.
+func TestBloomFalsePositiveRateScales(t *testing.T) {
+	rate := func(m int) float64 {
+		det, err := NewBloom(m, OptimalK(m, 20), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := xrand.New(4)
+		fp := 0
+		const runs = 2000
+		for i := 0; i < runs; i++ {
+			path := ids(rng.DistinctUint32(20)...)
+			if driveLoop(det, path, nil, 20) != 0 {
+				fp++
+			}
+		}
+		return float64(fp) / runs
+	}
+	small, large := rate(48), rate(1024)
+	if small <= large {
+		t.Errorf("FP rate should fall with filter size: m=48 %.4f, m=1024 %.4f", small, large)
+	}
+	if large > 0.01 {
+		t.Errorf("1024-bit filter on 20-hop paths should be nearly exact, got %.4f", large)
+	}
+}
+
+// TestBloomValidation.
+func TestBloomValidation(t *testing.T) {
+	if _, err := NewBloom(0, 1, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := NewBloom(8, 0, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if OptimalK(100, 0) != 1 || OptimalK(1000, 100) < 1 {
+		t.Error("OptimalK floor")
+	}
+	if OptimalK(1440, 100) != 9 { // (m/n)·ln2 ≈ 9.98 → 9
+		t.Errorf("OptimalK(1440,100) = %d", OptimalK(1440, 100))
+	}
+	det, _ := NewBloom(128, 3, 0)
+	if det.BitOverhead(999) != 128 {
+		t.Error("bloom overhead is the filter size")
+	}
+	if det.Name() == "" {
+		t.Error("name")
+	}
+}
+
+// fatTreeLayerFixture builds a tiny 2-tier layer map for PathDump tests:
+// edges e0,e1; aggs a0,a1; core c0.
+func fatTreeLayerFixture() map[detect.SwitchID]int {
+	return map[detect.SwitchID]int{
+		1: 0, 2: 0, // edges
+		10: 1, 11: 1, // aggs
+		20: 2, // core
+	}
+}
+
+// TestPathDumpCleanPath: a normal up-down path never reports.
+func TestPathDumpCleanPath(t *testing.T) {
+	det := NewPathDump(fatTreeLayerFixture())
+	// e0 → a0 → c0 → a1 → e1: two segments, fine.
+	if got := driveLoop(det, ids(1, 10, 20, 11, 2), nil, 5); got != 0 {
+		t.Fatalf("clean fat-tree path reported a loop at hop %d", got)
+	}
+}
+
+// TestPathDumpLoopDetected: a packet that bounces back upward needs a
+// third segment → loop.
+func TestPathDumpLoopDetected(t *testing.T) {
+	det := NewPathDump(fatTreeLayerFixture())
+	// e0 → a0 → e1 → a1 → e1 → a1 … (down then up again).
+	loop := ids(11, 2)
+	got := driveLoop(det, ids(1, 10, 2), loop, 50)
+	if got == 0 {
+		t.Fatal("pathdump missed an up-down-up loop")
+	}
+}
+
+// TestPathDumpApplicability: unknown switches make it inapplicable — the
+// "×" cells of Table 5.
+func TestPathDumpApplicability(t *testing.T) {
+	det := NewPathDump(fatTreeLayerFixture())
+	if !det.Applicable(ids(1, 10, 20)) {
+		t.Error("known switches should be applicable")
+	}
+	if det.Applicable(ids(1, 99)) {
+		t.Error("unknown switch should break applicability")
+	}
+	if det.BitOverhead(100) != 64 {
+		t.Error("pathdump is 64 bits flat")
+	}
+}
+
+// TestFlowStateDetectsWithEpochDelay: detection lands at the epoch
+// boundary following the repeat visit.
+func TestFlowStateDetectsWithEpochDelay(t *testing.T) {
+	for _, epoch := range []int{1, 4, 10} {
+		det, err := NewFlowState(epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefix, loop := ids(1, 2, 3), ids(4, 5)
+		got := driveLoop(det, prefix, loop, 100)
+		if got == 0 {
+			t.Fatalf("epoch=%d: missed", epoch)
+		}
+		repeat := 6 // X+1: first revisit of switch 4
+		wantAt := ((repeat + epoch - 1) / epoch) * epoch
+		if got != wantAt {
+			t.Errorf("epoch=%d: detected at %d, want %d", epoch, got, wantAt)
+		}
+	}
+	if _, err := NewFlowState(0); err == nil {
+		t.Error("epoch 0 accepted")
+	}
+}
+
+// TestFlowStateCosts: zero packet bits, per-switch memory.
+func TestFlowStateCosts(t *testing.T) {
+	det, _ := NewFlowState(1)
+	if det.BitOverhead(50) != 0 {
+		t.Error("on-switch state adds no packet bits")
+	}
+	if det.SwitchStateBits(100) != 6400 {
+		t.Errorf("switch state bits %d", det.SwitchStateBits(100))
+	}
+}
+
+// TestMirrorDetectsWithBatchDelay.
+func TestMirrorDetectsWithBatchDelay(t *testing.T) {
+	det, err := NewMirror(512, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix, loop := ids(1, 2), ids(3, 4, 5)
+	got := driveLoop(det, prefix, loop, 100)
+	if got != 8 { // repeat at hop 6, batch boundary at 8
+		t.Errorf("mirror detected at %d, want 8", got)
+	}
+	if det.NetworkOverheadBits(10) != 5120 {
+		t.Error("mirror network overhead")
+	}
+	if det.BitOverhead(10) != 0 {
+		t.Error("mirror adds no packet bits")
+	}
+	if _, err := NewMirror(0, 1); err == nil {
+		t.Error("invalid mirror accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package baseline
+
+import (
+	"fmt"
+
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/xhash"
+)
+
+// Bloom is the packet-carried Bloom filter baseline from §3 and §5 of the
+// paper: each switch tests its own identifier against a Bloom filter
+// stored in the packet header and reports a loop on a positive, then
+// inserts itself. Detection is optimal (X hops) but false positives occur
+// once the filter saturates relative to the path length, so the required
+// filter size grows with the network diameter — the effect Table 5
+// quantifies against Unroller's constant-size header.
+type Bloom struct {
+	// MBits is the filter size in bits (> 0).
+	MBits int
+	// KHash is the number of hash functions (> 0).
+	KHash int
+	// Seed selects the hash family.
+	Seed uint64
+
+	family xhash.Family
+}
+
+// NewBloom returns a Bloom detector with an m-bit filter and k hash
+// functions.
+func NewBloom(mBits, kHash int, seed uint64) (*Bloom, error) {
+	if mBits <= 0 || kHash <= 0 {
+		return nil, fmt.Errorf("baseline: bloom needs positive m and k, got m=%d k=%d", mBits, kHash)
+	}
+	return &Bloom{MBits: mBits, KHash: kHash, Seed: seed, family: xhash.NewFamily(seed, kHash)}, nil
+}
+
+// OptimalK returns the false-positive-minimising hash count for an m-bit
+// filter expected to hold n entries: k = (m/n)·ln 2, at least 1.
+func OptimalK(mBits, n int) int {
+	if n <= 0 {
+		return 1
+	}
+	k := int(float64(mBits) / float64(n) * 0.6931471805599453)
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Name implements detect.Detector.
+func (b *Bloom) Name() string { return fmt.Sprintf("bloom(m=%d,k=%d)", b.MBits, b.KHash) }
+
+// BitOverhead implements detect.Detector: the filter size, independent of
+// path length.
+func (b *Bloom) BitOverhead(int) int { return b.MBits }
+
+// NewState implements detect.Detector.
+func (b *Bloom) NewState() detect.State {
+	return &bloomState{det: b, bits: make([]uint64, (b.MBits+63)/64)}
+}
+
+type bloomState struct {
+	det  *Bloom
+	bits []uint64
+}
+
+func (s *bloomState) Visit(id detect.SwitchID) detect.Verdict {
+	d := s.det
+	// Test-then-insert: a switch whose k positions are all set concludes
+	// it has (probably) been visited before.
+	all := true
+	for i := 0; i < d.KHash; i++ {
+		pos := d.family[i].Hash64(uint32(id)) % uint64(d.MBits)
+		if s.bits[pos/64]&(1<<(pos%64)) == 0 {
+			all = false
+			break
+		}
+	}
+	if all {
+		return detect.Loop
+	}
+	for i := 0; i < d.KHash; i++ {
+		pos := d.family[i].Hash64(uint32(id)) % uint64(d.MBits)
+		s.bits[pos/64] |= 1 << (pos % 64)
+	}
+	return detect.Continue
+}
+
+var _ detect.Detector = (*Bloom)(nil)

@@ -1,0 +1,88 @@
+package baseline
+
+import (
+	"sort"
+
+	"github.com/unroller/unroller/internal/detect"
+)
+
+// SharedFlowTable models the switch-resident per-flow state of the
+// on-switch family (FlowRadar-class): one table per switch, shared by
+// every packet of every flow, recording which flows each switch has
+// forwarded. It exists to quantify the memory axis of Table 1 — the
+// scarce SRAM the paper argues should be left to ACLs and forwarding —
+// against traffic with realistic flow counts.
+type SharedFlowTable struct {
+	// EntryBits is the per-entry memory cost (flow key + counters; a
+	// FlowRadar encoded-flowset entry is ≈ 64 bits).
+	EntryBits int
+
+	seen map[detect.SwitchID]map[uint32]struct{}
+}
+
+// NewSharedFlowTable returns an empty table set.
+func NewSharedFlowTable(entryBits int) *SharedFlowTable {
+	if entryBits <= 0 {
+		entryBits = 64
+	}
+	return &SharedFlowTable{
+		EntryBits: entryBits,
+		seen:      make(map[detect.SwitchID]map[uint32]struct{}),
+	}
+}
+
+// Record notes that switch sw forwarded flow f and reports whether this
+// switch had already seen this flow — a repeat visit, the loop signal
+// the collector scans for.
+func (t *SharedFlowTable) Record(sw detect.SwitchID, flow uint32) (repeat bool) {
+	flows, ok := t.seen[sw]
+	if !ok {
+		flows = make(map[uint32]struct{})
+		t.seen[sw] = flows
+	}
+	if _, dup := flows[flow]; dup {
+		return true
+	}
+	flows[flow] = struct{}{}
+	return false
+}
+
+// Entries returns the total number of (switch, flow) entries held.
+func (t *SharedFlowTable) Entries() int {
+	total := 0
+	for _, flows := range t.seen {
+		total += len(flows)
+	}
+	return total
+}
+
+// TotalBits returns the aggregate switch memory consumed.
+func (t *SharedFlowTable) TotalBits() int { return t.Entries() * t.EntryBits }
+
+// PerSwitchBits returns the memory of the most loaded switch — the
+// constraint that binds first on real hardware.
+func (t *SharedFlowTable) PerSwitchBits() int {
+	max := 0
+	for _, flows := range t.seen {
+		if len(flows) > max {
+			max = len(flows)
+		}
+	}
+	return max * t.EntryBits
+}
+
+// Switches returns the switches holding state, sorted for deterministic
+// iteration.
+func (t *SharedFlowTable) Switches() []detect.SwitchID {
+	out := make([]detect.SwitchID, 0, len(t.seen))
+	for sw := range t.seen {
+		out = append(out, sw)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Reset clears all tables (a collection epoch boundary).
+func (t *SharedFlowTable) Reset() {
+	t.seen = make(map[detect.SwitchID]map[uint32]struct{})
+}

@@ -1,0 +1,65 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/unroller/unroller/internal/detect"
+)
+
+// TestSharedFlowTable covers recording, repeat detection, and the memory
+// accounting that backs the Table 1 switch-overhead comparison.
+func TestSharedFlowTable(t *testing.T) {
+	tab := NewSharedFlowTable(0) // default 64-bit entries
+	if tab.EntryBits != 64 {
+		t.Fatalf("default entry bits %d", tab.EntryBits)
+	}
+	sw1, sw2 := detect.SwitchID(1), detect.SwitchID(2)
+
+	if tab.Record(sw1, 100) {
+		t.Fatal("first visit flagged as repeat")
+	}
+	if tab.Record(sw2, 100) {
+		t.Fatal("different switch flagged as repeat")
+	}
+	if tab.Record(sw1, 200) {
+		t.Fatal("different flow flagged as repeat")
+	}
+	if !tab.Record(sw1, 100) {
+		t.Fatal("repeat visit not flagged — that is the loop signal")
+	}
+	if tab.Entries() != 3 {
+		t.Fatalf("entries %d, want 3", tab.Entries())
+	}
+	if tab.TotalBits() != 3*64 {
+		t.Fatalf("total bits %d", tab.TotalBits())
+	}
+	if tab.PerSwitchBits() != 2*64 {
+		t.Fatalf("per-switch bits %d (sw1 holds 2 flows)", tab.PerSwitchBits())
+	}
+	sws := tab.Switches()
+	if len(sws) != 2 || sws[0] != sw1 || sws[1] != sw2 {
+		t.Fatalf("switches %v", sws)
+	}
+	tab.Reset()
+	if tab.Entries() != 0 || tab.PerSwitchBits() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+// TestSharedFlowTableGrowth: memory grows linearly with flow count —
+// the scaling argument of §2 — while Unroller's header cost stays flat.
+func TestSharedFlowTableGrowth(t *testing.T) {
+	tab := NewSharedFlowTable(64)
+	const switches, flows = 10, 1000
+	for f := uint32(0); f < flows; f++ {
+		for s := 0; s < switches; s++ {
+			tab.Record(detect.SwitchID(s), f)
+		}
+	}
+	if tab.Entries() != switches*flows {
+		t.Fatalf("entries %d", tab.Entries())
+	}
+	if tab.PerSwitchBits() != flows*64 {
+		t.Fatalf("per-switch memory %d bits for %d flows", tab.PerSwitchBits(), flows)
+	}
+}

@@ -1,0 +1,137 @@
+package baseline
+
+import (
+	"fmt"
+
+	"github.com/unroller/unroller/internal/detect"
+)
+
+// FlowState models the "keep flow state at switches" family (FlowRadar,
+// hash-based IP traceback; rows 1–2 of Table 1). Every switch records the
+// flows it has forwarded; a collector periodically gathers the tables and
+// flags a flow appearing twice at one switch. Packet overhead is zero,
+// but the scheme (a) consumes per-flow switch memory and (b) is not real
+// time: detection lands at the end of the collection epoch in which the
+// repeated visit occurred.
+//
+// One FlowState value simulates one packet's flow against a fresh set of
+// switch tables, which is what the Monte Carlo engine needs. A
+// SharedFlowTable models the switch-resident tables shared by all
+// packets of all flows — the memory whose growth is this family's
+// scaling problem.
+type FlowState struct {
+	// EpochHops is the collection period measured in hops: a repeat
+	// visit at hop h is only reported at the next multiple of EpochHops.
+	// 1 simulates an idealised instant collector.
+	EpochHops int
+	// FlowEntryBits is the per-flow, per-switch memory cost used for the
+	// switch-overhead accounting (a FlowRadar-style encoded flowset
+	// entry: flow key + counters, ≈ 64 bits).
+	FlowEntryBits int
+}
+
+// NewFlowState returns an on-switch-state detector with the given
+// collection epoch (in hops, ≥ 1).
+func NewFlowState(epochHops int) (*FlowState, error) {
+	if epochHops < 1 {
+		return nil, fmt.Errorf("baseline: epoch must be ≥ 1 hop, got %d", epochHops)
+	}
+	return &FlowState{EpochHops: epochHops, FlowEntryBits: 64}, nil
+}
+
+// Name implements detect.Detector.
+func (f *FlowState) Name() string { return fmt.Sprintf("on-switch-state(epoch=%d)", f.EpochHops) }
+
+// BitOverhead implements detect.Detector: nothing is added to packets.
+func (f *FlowState) BitOverhead(int) int { return 0 }
+
+// SwitchStateBits returns the switch memory consumed after visiting
+// hops switches: one flow entry per distinct switch on the path.
+func (f *FlowState) SwitchStateBits(distinctSwitches int) int {
+	return f.FlowEntryBits * distinctSwitches
+}
+
+// NewState implements detect.Detector.
+func (f *FlowState) NewState() detect.State {
+	return &flowStateState{det: f, seen: make(map[detect.SwitchID]struct{}, 16)}
+}
+
+type flowStateState struct {
+	det      *FlowState
+	seen     map[detect.SwitchID]struct{}
+	hops     int
+	repeatAt int // hop at which a repeat visit occurred, 0 if none yet
+}
+
+// Visit implements detect.State: a repeat visit is latched immediately
+// but only surfaces at the next collection-epoch boundary.
+func (s *flowStateState) Visit(id detect.SwitchID) detect.Verdict {
+	s.hops++
+	if _, ok := s.seen[id]; ok && s.repeatAt == 0 {
+		s.repeatAt = s.hops
+	}
+	s.seen[id] = struct{}{}
+	if s.repeatAt != 0 && s.hops%s.det.EpochHops == 0 {
+		return detect.Loop
+	}
+	return detect.Continue
+}
+
+var _ detect.Detector = (*FlowState)(nil)
+
+// Mirror models the "mirror information at switches" family (NetSight,
+// Everflow, trajectory sampling; rows 3–5 of Table 1): every hop sends a
+// truncated header copy to a collector which reconstructs trajectories.
+// Per-packet in-band overhead is zero; the cost is mirrored traffic —
+// MirrorBits per hop per packet — and collector latency.
+type Mirror struct {
+	// MirrorBits is the size of each mirrored record (NetSight
+	// compresses to ~tens of bytes; 64 bytes = 512 bits is a
+	// representative postcard).
+	MirrorBits int
+	// BatchHops is the collector batching interval in hops.
+	BatchHops int
+}
+
+// NewMirror returns a mirroring detector with a batching collector.
+func NewMirror(mirrorBits, batchHops int) (*Mirror, error) {
+	if mirrorBits < 1 || batchHops < 1 {
+		return nil, fmt.Errorf("baseline: mirror needs positive record size and batch, got %d/%d", mirrorBits, batchHops)
+	}
+	return &Mirror{MirrorBits: mirrorBits, BatchHops: batchHops}, nil
+}
+
+// Name implements detect.Detector.
+func (m *Mirror) Name() string { return fmt.Sprintf("mirror(batch=%d)", m.BatchHops) }
+
+// BitOverhead implements detect.Detector: nothing rides on the packet.
+func (m *Mirror) BitOverhead(int) int { return 0 }
+
+// NetworkOverheadBits returns the mirrored-traffic cost after hops hops.
+func (m *Mirror) NetworkOverheadBits(hops int) int { return m.MirrorBits * hops }
+
+// NewState implements detect.Detector.
+func (m *Mirror) NewState() detect.State {
+	return &mirrorState{det: m, seen: make(map[detect.SwitchID]struct{}, 16)}
+}
+
+type mirrorState struct {
+	det      *Mirror
+	seen     map[detect.SwitchID]struct{}
+	hops     int
+	repeatAt int
+}
+
+func (s *mirrorState) Visit(id detect.SwitchID) detect.Verdict {
+	s.hops++
+	if _, ok := s.seen[id]; ok && s.repeatAt == 0 {
+		s.repeatAt = s.hops
+	}
+	s.seen[id] = struct{}{}
+	if s.repeatAt != 0 && s.hops%s.det.BatchHops == 0 {
+		return detect.Loop
+	}
+	return detect.Continue
+}
+
+var _ detect.Detector = (*Mirror)(nil)

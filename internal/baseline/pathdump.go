@@ -1,0 +1,108 @@
+package baseline
+
+import (
+	"fmt"
+
+	"github.com/unroller/unroller/internal/detect"
+)
+
+// PathDump is the two-VLAN-tag scheme of Tammana et al. (OSDI 2016) as
+// used for loop detection in §5 of the paper. Commodity switches can match
+// two VLAN tags in hardware; in multi-rooted data-center topologies
+// (FatTree, VL2) any loop-free shortest path decomposes into at most two
+// monotone segments — an "up" segment towards the core and a "down"
+// segment towards the destination edge — each representable by one tag.
+// The moment a third segment would be needed, a loop is implied and the
+// switch CPU is invoked.
+//
+// The detector therefore needs to know each switch's layer. It only
+// applies to layered topologies; Applicable reports whether a layer map
+// was provided. Its packet overhead is two 32-bit tags = 64 bits,
+// independent of path length (the number quoted in Table 5).
+type PathDump struct {
+	// Layer maps each switch to its tier: 0 = edge/ToR, 1 = aggregation,
+	// 2 = core/intermediate. Switches absent from the map make the
+	// detector inapplicable.
+	Layer map[detect.SwitchID]int
+}
+
+// PathDumpOverheadBits is the fixed per-packet cost: two VLAN tags.
+const PathDumpOverheadBits = 64
+
+// NewPathDump returns a PathDump detector for the given layer map.
+func NewPathDump(layer map[detect.SwitchID]int) *PathDump {
+	return &PathDump{Layer: layer}
+}
+
+// Applicable reports whether every switch in ids has a known layer; on
+// arbitrary WAN topologies PathDump cannot be deployed (the "×" entries
+// of Table 5).
+func (p *PathDump) Applicable(ids []detect.SwitchID) bool {
+	for _, id := range ids {
+		if _, ok := p.Layer[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Name implements detect.Detector.
+func (p *PathDump) Name() string { return "pathdump" }
+
+// BitOverhead implements detect.Detector.
+func (p *PathDump) BitOverhead(int) int { return PathDumpOverheadBits }
+
+// NewState implements detect.Detector.
+func (p *PathDump) NewState() detect.State { return &pathDumpState{det: p, prevLayer: -1} }
+
+type pathDumpState struct {
+	det       *PathDump
+	prevLayer int // layer of the previous hop, -1 before the first
+	dir       int // +1 ascending towards core, -1 descending, 0 unknown
+	segments  int // monotone segments consumed so far
+}
+
+// Visit implements detect.State. Each direction reversal opens a new
+// monotone segment; a third segment means the packet went back up after
+// descending, which cannot happen on a loop-free shortest path in a
+// layered fabric.
+func (s *pathDumpState) Visit(id detect.SwitchID) detect.Verdict {
+	layer, ok := s.det.Layer[id]
+	if !ok {
+		// Unknown switch: treat conservatively as a new segment
+		// boundary so misuse is loud in tests.
+		layer = s.prevLayer
+	}
+	if s.prevLayer == -1 {
+		s.prevLayer = layer
+		s.segments = 1
+		return detect.Continue
+	}
+	var dir int
+	switch {
+	case layer > s.prevLayer:
+		dir = +1
+	case layer < s.prevLayer:
+		dir = -1
+	default:
+		dir = s.dir // same-layer hop keeps the current direction
+	}
+	if s.dir != 0 && dir != 0 && dir != s.dir {
+		s.segments++
+	}
+	if dir != 0 {
+		s.dir = dir
+	}
+	s.prevLayer = layer
+	if s.segments > 2 {
+		return detect.Loop
+	}
+	return detect.Continue
+}
+
+var _ detect.Detector = (*PathDump)(nil)
+
+// String aids debugging of layer maps.
+func (s *pathDumpState) String() string {
+	return fmt.Sprintf("pathdump{layer=%d dir=%+d segs=%d}", s.prevLayer, s.dir, s.segments)
+}

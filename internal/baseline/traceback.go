@@ -1,0 +1,166 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/xhash"
+)
+
+// This file implements the hash-based IP traceback baseline (Snoeren et
+// al., SIGCOMM 2001 — the paper's [24], row 2 of Table 1): every switch
+// stores a digest of each packet it forwards in a local sketch; a
+// collector later queries the sketches to reconstruct a packet's path.
+// A routing loop shows up as a switch whose sketch counted the same
+// packet digest more than once. The scheme adds nothing to packets but
+// consumes per-switch memory proportional to traffic and only answers
+// at collection time — the trade-off Unroller's Table 1 row contrasts.
+
+// CountingBloom is a small counting Bloom filter (4-bit saturating
+// counters packed two per byte), the digest store SPIE-style traceback
+// uses per switch.
+type CountingBloom struct {
+	counters []byte // two 4-bit counters per byte
+	m        int    // counter count
+	k        int
+	family   xhash.Family
+}
+
+// NewCountingBloom returns a filter with m counters and k hash
+// functions.
+func NewCountingBloom(m, k int, seed uint64) (*CountingBloom, error) {
+	if m < 2 || k < 1 {
+		return nil, fmt.Errorf("baseline: counting bloom needs m ≥ 2, k ≥ 1; got %d/%d", m, k)
+	}
+	return &CountingBloom{
+		counters: make([]byte, (m+1)/2),
+		m:        m,
+		k:        k,
+		family:   xhash.NewFamily(seed, k),
+	}, nil
+}
+
+// counter returns the value of counter i.
+func (c *CountingBloom) counter(i int) byte {
+	b := c.counters[i/2]
+	if i%2 == 0 {
+		return b & 0x0F
+	}
+	return b >> 4
+}
+
+// bump increments counter i, saturating at 15.
+func (c *CountingBloom) bump(i int) {
+	v := c.counter(i)
+	if v == 15 {
+		return
+	}
+	v++
+	if i%2 == 0 {
+		c.counters[i/2] = c.counters[i/2]&0xF0 | v
+	} else {
+		c.counters[i/2] = c.counters[i/2]&0x0F | v<<4
+	}
+}
+
+// Add records one occurrence of digest.
+func (c *CountingBloom) Add(digest uint64) {
+	for i := 0; i < c.k; i++ {
+		c.bump(int(c.family[i].Hash64(uint32(digest)^uint32(digest>>32)) % uint64(c.m)))
+	}
+}
+
+// Count lower-bounds how many times digest was added (the minimum over
+// its counters; collisions can only inflate it).
+func (c *CountingBloom) Count(digest uint64) int {
+	min := 15
+	for i := 0; i < c.k; i++ {
+		v := int(c.counter(int(c.family[i].Hash64(uint32(digest)^uint32(digest>>32)) % uint64(c.m))))
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Bits returns the sketch's memory footprint.
+func (c *CountingBloom) Bits() int { return c.m * 4 }
+
+// Traceback is the collector-side system: one digest sketch per switch.
+type Traceback struct {
+	mBits int
+	k     int
+	seed  uint64
+	store map[detect.SwitchID]*CountingBloom
+}
+
+// NewTraceback returns a traceback deployment whose per-switch sketches
+// use m counters and k hashes.
+func NewTraceback(m, k int, seed uint64) (*Traceback, error) {
+	if m < 2 || k < 1 {
+		return nil, fmt.Errorf("baseline: traceback needs m ≥ 2, k ≥ 1; got %d/%d", m, k)
+	}
+	return &Traceback{mBits: m, k: k, seed: seed, store: make(map[detect.SwitchID]*CountingBloom)}, nil
+}
+
+// PacketDigest derives the digest a switch stores for a packet — in a
+// real deployment a hash of the invariant header fields; here flow and
+// packet ids stand in for them.
+func PacketDigest(flow uint32, packet uint64) uint64 {
+	return xhash.Mix64(uint64(flow)<<32 ^ packet ^ 0x5b1e5)
+}
+
+// Record notes that switch sw forwarded the packet with the given
+// digest.
+func (tb *Traceback) Record(sw detect.SwitchID, digest uint64) error {
+	s, ok := tb.store[sw]
+	if !ok {
+		var err error
+		s, err = NewCountingBloom(tb.mBits, tb.k, tb.seed^uint64(sw))
+		if err != nil {
+			return err
+		}
+		tb.store[sw] = s
+	}
+	s.Add(digest)
+	return nil
+}
+
+// ReconstructPath returns the switches whose sketches claim to have seen
+// the digest, sorted — the SPIE path query. False positives are possible
+// (sketch collisions), false negatives are not.
+func (tb *Traceback) ReconstructPath(digest uint64) []detect.SwitchID {
+	var path []detect.SwitchID
+	for sw, s := range tb.store {
+		if s.Count(digest) > 0 {
+			path = append(path, sw)
+		}
+	}
+	sort.Slice(path, func(i, j int) bool { return path[i] < path[j] })
+	return path
+}
+
+// LoopSuspects returns the switches whose sketches counted the digest
+// at least twice — the traceback loop signal. Collisions can produce
+// spurious suspects; a genuinely looping packet always appears.
+func (tb *Traceback) LoopSuspects(digest uint64) []detect.SwitchID {
+	var out []detect.SwitchID
+	for sw, s := range tb.store {
+		if s.Count(digest) >= 2 {
+			out = append(out, sw)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SwitchMemoryBits returns the total sketch memory across switches —
+// the cost axis of Table 1.
+func (tb *Traceback) SwitchMemoryBits() int {
+	total := 0
+	for _, s := range tb.store {
+		total += s.Bits()
+	}
+	return total
+}

@@ -1,0 +1,118 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// TestCountingBloomBasics: counts are lower bounds with no false
+// negatives, and saturate at 15.
+func TestCountingBloomBasics(t *testing.T) {
+	cb, err := NewCountingBloom(1024, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := PacketDigest(1, 1), PacketDigest(2, 2)
+	if cb.Count(d1) != 0 {
+		t.Fatal("fresh sketch should count zero")
+	}
+	cb.Add(d1)
+	if cb.Count(d1) < 1 {
+		t.Fatal("no false negatives allowed")
+	}
+	cb.Add(d1)
+	if cb.Count(d1) < 2 {
+		t.Fatal("double add must count ≥ 2")
+	}
+	if cb.Count(d2) > 0 {
+		t.Fatal("unrelated digest counted in a near-empty sketch")
+	}
+	for i := 0; i < 40; i++ {
+		cb.Add(d1)
+	}
+	if cb.Count(d1) != 15 {
+		t.Fatalf("counter should saturate at 15, got %d", cb.Count(d1))
+	}
+	if cb.Bits() != 4096 {
+		t.Fatalf("bits %d", cb.Bits())
+	}
+	if _, err := NewCountingBloom(1, 1, 0); err == nil {
+		t.Fatal("m=1 accepted")
+	}
+	if _, err := NewCountingBloom(8, 0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// TestTracebackReconstructsPathAndLoop: record a looping packet's
+// journey across switch sketches; the collector must reconstruct its
+// path (superset semantics) and flag the revisited switches as loop
+// suspects.
+func TestTracebackReconstructsPathAndLoop(t *testing.T) {
+	tb, err := NewTraceback(4096, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := PacketDigest(9, 42)
+	// Journey: a → b → c → d → b → c → d (loop {b, c, d}).
+	journey := ids(1, 2, 3, 4, 2, 3, 4)
+	for _, sw := range journey {
+		if err := tb.Record(sw, digest); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unrelated traffic at other switches.
+	rng := xrand.New(3)
+	for i := 0; i < 50; i++ {
+		tb.Record(detect.SwitchID(100+i%5), PacketDigest(rng.Uint32(), uint64(i)))
+	}
+
+	path := tb.ReconstructPath(digest)
+	want := map[detect.SwitchID]bool{1: true, 2: true, 3: true, 4: true}
+	found := 0
+	for _, sw := range path {
+		if want[sw] {
+			found++
+		}
+	}
+	if found != 4 {
+		t.Fatalf("path reconstruction missed switches: %v", path)
+	}
+
+	suspects := tb.LoopSuspects(digest)
+	wantLoop := map[detect.SwitchID]bool{2: true, 3: true, 4: true}
+	foundLoop := 0
+	for _, sw := range suspects {
+		if wantLoop[sw] {
+			foundLoop++
+		}
+		if sw == 1 {
+			t.Fatal("switch visited once flagged as a loop suspect")
+		}
+	}
+	if foundLoop != 3 {
+		t.Fatalf("loop suspects %v, want {2,3,4}", suspects)
+	}
+
+	if tb.SwitchMemoryBits() == 0 {
+		t.Fatal("memory accounting broken")
+	}
+	if _, err := NewTraceback(0, 1, 0); err == nil {
+		t.Fatal("invalid traceback accepted")
+	}
+}
+
+// TestTracebackMemoryGrowsWithSwitches: the Table 1 cost axis — memory
+// scales with the number of participating switches, unlike Unroller's
+// constant header.
+func TestTracebackMemoryGrowsWithSwitches(t *testing.T) {
+	tb, _ := NewTraceback(1024, 2, 1)
+	for i := 0; i < 20; i++ {
+		tb.Record(detect.SwitchID(i), PacketDigest(1, uint64(i)))
+	}
+	if got, want := tb.SwitchMemoryBits(), 20*1024*4; got != want {
+		t.Fatalf("memory %d bits, want %d", got, want)
+	}
+}

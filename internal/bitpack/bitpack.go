@@ -1,0 +1,120 @@
+// Package bitpack implements bit-granular serialisation.
+//
+// The Unroller packet header (Table 3 of the paper) packs fields that are
+// not byte aligned: an 8-bit hop counter, c·H identifiers of z bits each
+// (z is typically 7–32), and a log2(Th)-bit threshold counter. Wire-format
+// encoding therefore needs a writer/reader that works at bit granularity.
+// Bits are written most-significant first within each byte, matching
+// network header conventions.
+package bitpack
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShortBuffer is returned by Reader when a read runs past the end of the
+// underlying buffer.
+var ErrShortBuffer = errors.New("bitpack: read past end of buffer")
+
+// Writer appends bit fields to a byte slice.
+// The zero value is an empty writer ready for use.
+type Writer struct {
+	buf  []byte
+	nbit uint // number of valid bits in buf
+}
+
+// WriteBits appends the low width bits of v, most significant bit first.
+// width must be in [0, 64]; width 0 is a no-op.
+func (w *Writer) WriteBits(v uint64, width uint) {
+	if width > 64 {
+		panic(fmt.Sprintf("bitpack: invalid width %d", width))
+	}
+	if width < 64 {
+		v &= (1 << width) - 1
+	}
+	for width > 0 {
+		if w.nbit%8 == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		free := 8 - w.nbit%8 // free bits in the last byte
+		take := free
+		if width < take {
+			take = width
+		}
+		chunk := byte(v >> (width - take))
+		w.buf[len(w.buf)-1] |= chunk << (free - take)
+		w.nbit += take
+		width -= take
+	}
+}
+
+// WriteBool appends a single bit.
+func (w *Writer) WriteBool(b bool) {
+	if b {
+		w.WriteBits(1, 1)
+	} else {
+		w.WriteBits(0, 1)
+	}
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() uint { return w.nbit }
+
+// Bytes returns the encoded buffer. The final byte is zero padded.
+// The returned slice aliases the writer's internal storage.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reset clears the writer for reuse, keeping its allocation.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
+// Reader consumes bit fields from a byte slice.
+type Reader struct {
+	buf []byte
+	pos uint // bit cursor
+}
+
+// NewReader returns a reader over buf. The reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBits reads the next width bits (most significant first) and returns
+// them in the low bits of the result. width must be in [0, 64].
+func (r *Reader) ReadBits(width uint) (uint64, error) {
+	if width > 64 {
+		panic(fmt.Sprintf("bitpack: invalid width %d", width))
+	}
+	if r.pos+width > uint(len(r.buf))*8 {
+		return 0, ErrShortBuffer
+	}
+	var v uint64
+	remaining := width
+	for remaining > 0 {
+		byteIdx := r.pos / 8
+		bitOff := r.pos % 8
+		avail := 8 - bitOff
+		take := avail
+		if remaining < take {
+			take = remaining
+		}
+		chunk := uint64(r.buf[byteIdx]>>(avail-take)) & ((1 << take) - 1)
+		v = v<<take | chunk
+		r.pos += take
+		remaining -= take
+	}
+	return v, nil
+}
+
+// ReadBool reads a single bit.
+func (r *Reader) ReadBool() (bool, error) {
+	v, err := r.ReadBits(1)
+	return v == 1, err
+}
+
+// Remaining returns how many unread bits are left.
+func (r *Reader) Remaining() uint { return uint(len(r.buf))*8 - r.pos }
+
+// Pos returns the current bit offset from the start of the buffer.
+func (r *Reader) Pos() uint { return r.pos }

@@ -1,0 +1,195 @@
+package bitpack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// TestKnownLayout pins the MSB-first wire layout with a hand-computed
+// example: 0b101 (3 bits) then 0b0110 (4 bits) then 0b1 (1 bit) must
+// yield the byte 0b1010_1101.
+func TestKnownLayout(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0b0110, 4)
+	w.WriteBits(0b1, 1)
+	if w.Len() != 8 {
+		t.Fatalf("len = %d bits", w.Len())
+	}
+	got := w.Bytes()
+	if len(got) != 1 || got[0] != 0b10101101 {
+		t.Fatalf("bytes = %08b, want 10101101", got[0])
+	}
+}
+
+// TestPaddingZeroed: the tail of a partly filled byte is zero.
+func TestPaddingZeroed(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b11, 2)
+	if got := w.Bytes()[0]; got != 0b11000000 {
+		t.Fatalf("partial byte = %08b", got)
+	}
+}
+
+// TestCrossByteField: a 12-bit field spans two bytes correctly.
+func TestCrossByteField(t *testing.T) {
+	var w Writer
+	w.WriteBits(0xABC, 12)
+	b := w.Bytes()
+	if len(b) != 2 || b[0] != 0xAB || b[1] != 0xC0 {
+		t.Fatalf("bytes = % x", b)
+	}
+}
+
+// TestRoundTripTable drives mixed-width sequences through write-then-read.
+func TestRoundTripTable(t *testing.T) {
+	type field struct {
+		v uint64
+		w uint
+	}
+	cases := [][]field{
+		{{1, 1}},
+		{{0xFF, 8}, {0, 8}},
+		{{5, 3}, {1000, 10}, {1, 1}, {0xFFFFFFFF, 32}},
+		{{0xDEADBEEFCAFEF00D, 64}},
+		{{0, 0}, {7, 3}}, // zero-width write is a no-op
+		{{1, 7}, {2, 9}, {3, 11}, {4, 13}, {5, 64}},
+	}
+	for ci, fields := range cases {
+		var w Writer
+		for _, f := range fields {
+			w.WriteBits(f.v, f.w)
+		}
+		r := NewReader(w.Bytes())
+		for fi, f := range fields {
+			got, err := r.ReadBits(f.w)
+			if err != nil {
+				t.Fatalf("case %d field %d: %v", ci, fi, err)
+			}
+			want := f.v
+			if f.w < 64 {
+				want &= (1 << f.w) - 1
+			}
+			if got != want {
+				t.Fatalf("case %d field %d: got %#x want %#x", ci, fi, got, want)
+			}
+		}
+	}
+}
+
+// TestRoundTripQuick fuzzes random field sequences.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := xrand.New(seed)
+		count := int(n%24) + 1
+		vals := make([]uint64, count)
+		widths := make([]uint, count)
+		var w Writer
+		for i := 0; i < count; i++ {
+			widths[i] = uint(rng.Intn(64)) + 1
+			vals[i] = rng.Uint64()
+			if widths[i] < 64 {
+				vals[i] &= (1 << widths[i]) - 1
+			}
+			w.WriteBits(vals[i], widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := 0; i < count; i++ {
+			got, err := r.ReadBits(widths[i])
+			if err != nil || got != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBools round-trips single bits.
+func TestBools(t *testing.T) {
+	var w Writer
+	pattern := []bool{true, false, true, true, false, false, false, true, true}
+	for _, b := range pattern {
+		w.WriteBool(b)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBool()
+		if err != nil || got != want {
+			t.Fatalf("bit %d: got %v err %v", i, got, err)
+		}
+	}
+}
+
+// TestShortRead: reading past the end returns ErrShortBuffer.
+func TestShortRead(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(9); err != ErrShortBuffer {
+		t.Fatalf("err = %v, want ErrShortBuffer", err)
+	}
+	// The failed read must not consume anything.
+	if got, err := r.ReadBits(8); err != nil || got != 0xFF {
+		t.Fatalf("after failed read: %x, %v", got, err)
+	}
+	if _, err := r.ReadBits(1); err != ErrShortBuffer {
+		t.Fatal("expected exhaustion")
+	}
+}
+
+// TestRemainingAndPos track the cursor.
+func TestRemainingAndPos(t *testing.T) {
+	r := NewReader([]byte{0, 0})
+	if r.Remaining() != 16 || r.Pos() != 0 {
+		t.Fatal("fresh reader cursor wrong")
+	}
+	r.ReadBits(5)
+	if r.Remaining() != 11 || r.Pos() != 5 {
+		t.Fatalf("cursor after 5 bits: rem %d pos %d", r.Remaining(), r.Pos())
+	}
+}
+
+// TestWriterReset reuses the allocation.
+func TestWriterReset(t *testing.T) {
+	var w Writer
+	w.WriteBits(0xFFFF, 16)
+	w.Reset()
+	if w.Len() != 0 || len(w.Bytes()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+	w.WriteBits(0b1, 1)
+	if w.Bytes()[0] != 0b10000000 {
+		t.Fatalf("stale bits after reset: %08b", w.Bytes()[0])
+	}
+}
+
+// TestWidthPanics: widths above 64 are misuse.
+func TestWidthPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"write": func() { var w Writer; w.WriteBits(0, 65) },
+		"read":  func() { NewReader(nil).ReadBits(65) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with width 65 should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestValueMasking: values wider than the field are truncated to the low
+// bits rather than corrupting neighbours.
+func TestValueMasking(t *testing.T) {
+	var w Writer
+	w.WriteBits(0xFFFF, 4) // only 0xF should land
+	w.WriteBits(0x0, 4)
+	if got := w.Bytes()[0]; got != 0xF0 {
+		t.Fatalf("masking failed: %02x", got)
+	}
+}

@@ -1,0 +1,67 @@
+package bitpack
+
+import (
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes and read widths into the reader: no
+// input may panic, reads past the end must fail cleanly, and successful
+// reads must consume exactly the requested bits.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{0xFF, 0x00, 0xAB}, uint8(3))
+	f.Add([]byte{}, uint8(64))
+	f.Add([]byte{0x01}, uint8(9))
+	f.Fuzz(func(t *testing.T, data []byte, width uint8) {
+		w := uint(width % 65)
+		r := NewReader(data)
+		for {
+			before := r.Pos()
+			v, err := r.ReadBits(w)
+			if err != nil {
+				if r.Pos() != before {
+					t.Fatal("failed read moved the cursor")
+				}
+				return
+			}
+			if w < 64 && v >= 1<<w {
+				t.Fatalf("value %d overflows %d bits", v, w)
+			}
+			if r.Pos() != before+w {
+				t.Fatalf("cursor advanced %d, want %d", r.Pos()-before, w)
+			}
+			if w == 0 {
+				return // zero-width reads never exhaust the buffer
+			}
+		}
+	})
+}
+
+// FuzzWriterRoundTrip writes fuzzer-chosen fields and reads them back.
+func FuzzWriterRoundTrip(f *testing.F) {
+	f.Add(uint64(0xDEADBEEF), uint8(32), uint64(7), uint8(3))
+	f.Add(uint64(0), uint8(1), uint64(1), uint8(64))
+	f.Fuzz(func(t *testing.T, v1 uint64, w1 uint8, v2 uint64, w2 uint8) {
+		width1, width2 := uint(w1%64)+1, uint(w2%64)+1
+		var w Writer
+		w.WriteBits(v1, width1)
+		w.WriteBits(v2, width2)
+		r := NewReader(w.Bytes())
+		got1, err := r.ReadBits(width1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got2, err := r.ReadBits(width2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := func(v uint64, width uint) uint64 {
+			if width == 64 {
+				return v
+			}
+			return v & ((1 << width) - 1)
+		}
+		if got1 != mask(v1, width1) || got2 != mask(v2, width2) {
+			t.Fatalf("round trip (%#x/%d, %#x/%d) → (%#x, %#x)", v1, width1, v2, width2, got1, got2)
+		}
+	})
+}

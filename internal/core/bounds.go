@@ -1,0 +1,165 @@
+package core
+
+import "math"
+
+// This file implements the paper's analytic results as executable
+// formulas so that tests and benchmarks can check measured detection
+// times against theory.
+
+// WorstCaseBound returns the Theorem 1 upper bound on detection time for
+// the single-identifier algorithm with base b on a walk with B pre-loop
+// hops and an L-switch loop:
+//
+//	(2L − 1) + max((2bL − 1)/(b − 1), bB + 1)
+//
+// The bound holds for any identifier assignment and for both phase
+// schedules with b = 2; for the hardware schedule with larger b use
+// WorstCaseBoundHardware. For b = 4 the bound is at most 4.67·X, X = B+L.
+func WorstCaseBound(b, B, L int) int {
+	if L < 1 {
+		return 0 // no loop, nothing to detect
+	}
+	grow := ceilDiv(2*b*L-1, b-1)
+	reach := b*B + 1
+	return (2*L - 1) + maxInt(grow, reach)
+}
+
+// WorstCaseBoundChunks returns the Appendix B upper bound when each phase
+// is partitioned into c chunks:
+//
+//	2L + max((2bL − 1)/(b − 1), B + (b − 1)B/c + 1)
+//
+// With c identifiers the reset penalty for pre-loop hops shrinks by a
+// factor of c; e.g. c = 2, b = 7 gives at most 4.33·X.
+func WorstCaseBoundChunks(b, c, B, L int) int {
+	if L < 1 {
+		return 0
+	}
+	grow := ceilDiv(2*b*L-1, b-1)
+	reach := B + ceilDiv((b-1)*B, c) + 1
+	return 2*L + maxInt(grow, reach)
+}
+
+// WorstCaseBoundHardware bounds detection under the hardware schedule,
+// where resets fall on powers of b and phase i spans [b^i, b^(i+1)).
+// Derivation mirrors Theorem 1: the first phase of length ≥ 2L−1 starts at
+// the smallest power of b that is ≥ (2L−1)/(b−1), hence within
+// b·(2L−1)/(b−1) hops; an on-loop identifier is stored within bB+1 hops
+// (the first reset after hop B is at a power of b ≤ bB); detection then
+// takes at most 2L−1 further hops. A subsequent early reset can void one
+// phase, adding one more geometric step, hence the extra factor b on the
+// growth term.
+func WorstCaseBoundHardware(b, B, L int) int {
+	if L < 1 {
+		return 0
+	}
+	grow := ceilDiv(b*b*(2*L-1), b-1)
+	reach := b*B + 1
+	return (2*L - 1) + maxInt(grow, reach)
+}
+
+// WorstCaseFactor returns the supremum of WorstCaseBound(b,B,L)/(B+L)
+// over B ≥ 0, L ≥ 1. The loop-dominated regime (B = 0, L → ∞) approaches
+// 2 + 2b/(b − 1); the prefix-dominated regime (L = 1, B → ∞) approaches
+// b. The worst case is their maximum, which b = 4 minimises at ≈ 4.67 —
+// the headline constant of the paper ("the inequality holds for b = 4").
+func WorstCaseFactor(b int) float64 {
+	grow := 2 + 2*float64(b)/float64(b-1)
+	reach := float64(b)
+	return math.Max(grow, reach)
+}
+
+// LowerBoundFactor is the Theorem 5 lower bound: any deterministic
+// algorithm storing a single identifier needs at least (2+√3)·X ≈ 3.73·X
+// hops in the worst case.
+func LowerBoundFactor() float64 { return 2 + math.Sqrt(3) }
+
+// OptimalWorstCaseBase returns the real-valued phase base minimising the
+// worst-case factor max(2 + 2b/(b−1), b): the two regimes intersect at
+// b = (5+√17)/2 ≈ 4.56, giving ≈ 4.56·X — strictly better than the
+// integer optimum b = 4's 4.67·X. This is the paper's §3 remark that
+// computing ⌊b^i⌋ for non-integer b "using a lookup table" can
+// "optimize the ratio further"; run it via FractionalPhaseTable and
+// ScheduleLookup.
+func OptimalWorstCaseBase() float64 { return (5 + math.Sqrt(17)) / 2 }
+
+// WorstCaseBoundFloat is WorstCaseBound for a real-valued base, used
+// with lookup-table schedules.
+func WorstCaseBoundFloat(b float64, B, L int) int {
+	if L < 1 {
+		return 0
+	}
+	grow := int(math.Ceil((2*b*float64(L) - 1) / (b - 1)))
+	reach := int(math.Ceil(b*float64(B))) + 1
+	return (2*L - 1) + maxInt(grow, reach)
+}
+
+// AverageCaseFactor returns the §3.2 bound on the expected detection time
+// under uniformly random identifiers, in multiples of X. The paper's
+// three-case analysis gives 3·X for the optimal base b = 3; for other
+// bases the dominating case yields max over the three case expressions.
+func AverageCaseFactor(b int) float64 {
+	fb := float64(b)
+	// Case 1 maximum over α ∈ [0,1] of (1+α)/(b−1) + 2.5 − α + α²(1−α)...
+	// evaluated numerically; cases 2 and 3 give b/(b−1) + 1.5 and 3.
+	c1 := 0.0
+	for a := 0.0; a <= 1.0; a += 1e-3 {
+		v := (1+a)/(fb-1) + 2.5 - a + a*a*(1-a)/2
+		if v > c1 {
+			c1 = v
+		}
+	}
+	c2 := fb/(fb-1) + 1.5
+	c3 := 3.0
+	return math.Max(c1, math.Max(c2, c3))
+}
+
+// DetectionLowerBound is the trivial information-theoretic floor: no
+// algorithm can report before some switch is visited twice, which takes
+// X = B + L hops.
+func DetectionLowerBound(B, L int) int {
+	if L < 1 {
+		return 0
+	}
+	return B + L
+}
+
+// FalsePositiveBound estimates an upper bound on the probability that a
+// loop-free path of n hops triggers a report, for z-bit hashed
+// identifiers, s = c·H slots and threshold Th (§3.3). Each hop matches a
+// stored fingerprint with probability at most s/2^z; a report needs Th
+// matching hops, and there are C(n, Th) ways to choose them.
+func FalsePositiveBound(n int, z uint, slots, th int) float64 {
+	if th < 1 || n < th {
+		return 0
+	}
+	p := float64(slots) / math.Pow(2, float64(z))
+	if p > 1 {
+		p = 1
+	}
+	return binom(n, th) * math.Pow(p, float64(th))
+}
+
+// binom returns C(n, k) as a float64.
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

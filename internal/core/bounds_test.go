@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWorstCaseFactorHeadline checks the paper's headline constants:
+// 4.67·X for b = 4 and the general 2 + 2b/(b−1) form.
+func TestWorstCaseFactorHeadline(t *testing.T) {
+	if f := WorstCaseFactor(4); math.Abs(f-14.0/3.0) > 1e-12 {
+		t.Errorf("b=4 factor %.4f, want 4.6667", f)
+	}
+	if f := WorstCaseFactor(2); f != 6 {
+		t.Errorf("b=2 factor %.4f, want 6", f)
+	}
+	if f := WorstCaseFactor(6); f != 6 {
+		t.Errorf("b=6 factor %.4f, want 6 (prefix-dominated)", f)
+	}
+	// b = 4 minimises the factor over integer bases — the reason the
+	// paper picks it for the worst case.
+	for b := 2; b <= 10; b++ {
+		if WorstCaseFactor(b) < WorstCaseFactor(4)-1e-9 {
+			t.Errorf("b=%d factor %.4f beats b=4", b, WorstCaseFactor(b))
+		}
+	}
+	// The closed-form bound must stay under factor·X + O(1) across a
+	// wide sweep.
+	for _, b := range []int{2, 3, 4, 6, 8} {
+		f := WorstCaseFactor(b)
+		for B := 0; B <= 50; B += 5 {
+			for L := 1; L <= 80; L += 7 {
+				bound := WorstCaseBound(b, B, L)
+				if float64(bound) > f*float64(B+L)+float64(b)+3 {
+					t.Fatalf("b=%d B=%d L=%d: bound %d exceeds %.2f·X+O(1)", b, B, L, bound, f)
+				}
+			}
+		}
+	}
+}
+
+// TestBoundMonotonicity: the bound grows in both B and L.
+func TestBoundMonotonicity(t *testing.T) {
+	for b := 2; b <= 6; b++ {
+		for B := 0; B < 20; B++ {
+			for L := 1; L < 20; L++ {
+				if WorstCaseBound(b, B+1, L) < WorstCaseBound(b, B, L) {
+					t.Fatalf("bound not monotone in B at b=%d B=%d L=%d", b, B, L)
+				}
+				if WorstCaseBound(b, B, L+1) < WorstCaseBound(b, B, L) {
+					t.Fatalf("bound not monotone in L at b=%d B=%d L=%d", b, B, L)
+				}
+			}
+		}
+	}
+}
+
+// TestChunksBeatSingle: the Appendix B bound with c chunks is never worse
+// than the single-slot bound in its B-dominated regime, and the paper's
+// c=2, b=7 example lands at ≈4.33·X.
+func TestChunksBeatSingle(t *testing.T) {
+	for B := 0; B <= 40; B += 4 {
+		for L := 1; L <= 40; L += 4 {
+			single := WorstCaseBound(7, B, L)
+			chunked := WorstCaseBoundChunks(7, 2, B, L)
+			if chunked > single+2 { // +2 absorbs the 2L vs 2L−1 constant
+				t.Fatalf("B=%d L=%d: chunked bound %d worse than single %d", B, L, chunked, single)
+			}
+		}
+	}
+	// Worst-case factor for c=2, b=7: grows towards max of the two terms
+	// over X; check at large L, B=0 and large B, L small.
+	L := 10000
+	f1 := float64(WorstCaseBoundChunks(7, 2, 0, L)) / float64(L)
+	if math.Abs(f1-(2+14.0/6.0)) > 0.01 { // 2L + 2bL/(b−1) over X=L
+		t.Errorf("c=2,b=7 L-dominated factor %.3f", f1)
+	}
+	B := 10000
+	f2 := float64(WorstCaseBoundChunks(7, 2, B, 1)) / float64(B+1)
+	if math.Abs(f2-4.0) > 0.01 { // B + 6B/2 = 4B over X≈B
+		t.Errorf("c=2,b=7 B-dominated factor %.3f, want 4", f2)
+	}
+	// The paper's stated 4.33·X worst case is the max of both regimes.
+	if f := math.Max(f1, f2); math.Abs(f-4.34) > 0.02 {
+		t.Errorf("c=2,b=7 overall factor %.3f, paper says ≈4.33", f)
+	}
+}
+
+// TestLowerBoundFactor pins 2+√3 ≈ 3.73 and its relation to the upper
+// bound: the algorithm is within 4.67/3.73 ≈ 1.25 of optimal.
+func TestLowerBoundFactor(t *testing.T) {
+	if f := LowerBoundFactor(); math.Abs(f-3.7320508) > 1e-6 {
+		t.Errorf("lower bound factor %.6f", f)
+	}
+	if WorstCaseFactor(4) < LowerBoundFactor() {
+		t.Error("upper bound cannot beat the lower bound")
+	}
+}
+
+// TestAverageCaseFactorFormula: b=3 yields 3, and 3 is optimal among
+// small bases — the reason the paper recommends b=3 for the average case.
+func TestAverageCaseFactorFormula(t *testing.T) {
+	if f := AverageCaseFactor(3); math.Abs(f-3.0) > 0.01 {
+		t.Errorf("b=3 average factor %.4f, want 3", f)
+	}
+	best := AverageCaseFactor(3)
+	for _, b := range []int{2, 4, 5, 6, 8} {
+		if AverageCaseFactor(b) < best-1e-9 {
+			t.Errorf("b=%d average factor %.4f beats b=3's %.4f", b, AverageCaseFactor(b), best)
+		}
+	}
+}
+
+// TestFalsePositiveBoundExample reproduces the §3.3 numeric example: a
+// 20-hop path with Th=4, z=7 has FP probability below 10⁻⁵.
+func TestFalsePositiveBoundExample(t *testing.T) {
+	// The union bound C(20,4)·(1/2⁷)⁴ ≈ 1.8·10⁻⁵ is slightly looser
+	// than the paper's stated 10⁻⁵ (which the empirical Figure 6b
+	// experiment confirms); require the same order of magnitude here
+	// and leave the sharp check to the simulation tests.
+	p := FalsePositiveBound(20, 7, 1, 4)
+	if p >= 2e-5 {
+		t.Errorf("paper example: FP bound %.2e, want ≈ 1e-5", p)
+	}
+	if p == 0 {
+		t.Error("bound should be positive")
+	}
+	// Sanity directions.
+	if FalsePositiveBound(20, 8, 1, 4) >= p {
+		t.Error("FP bound should shrink with z")
+	}
+	if FalsePositiveBound(20, 7, 1, 5) >= p {
+		t.Error("FP bound should shrink with Th")
+	}
+	if FalsePositiveBound(20, 7, 2, 4) <= p {
+		t.Error("FP bound should grow with slot count")
+	}
+	if FalsePositiveBound(3, 7, 1, 4) != 0 {
+		t.Error("paths shorter than Th cannot false-positive")
+	}
+}
+
+// TestDetectionLowerBound covers the trivial floor.
+func TestDetectionLowerBound(t *testing.T) {
+	if DetectionLowerBound(5, 20) != 25 {
+		t.Error("X = B+L")
+	}
+	if DetectionLowerBound(5, 0) != 0 {
+		t.Error("no loop, no detection")
+	}
+}
+
+// TestBinom spot-checks the helper.
+func TestBinom(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{{5, 2, 10}, {20, 4, 4845}, {10, 0, 1}, {10, 10, 1}, {4, 5, 0}, {4, -1, 0}}
+	for _, c := range cases {
+		if got := binom(c.n, c.k); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("binom(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"fmt"
+
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/detect"
+)
+
+// ExampleUnroller traces the algorithm's mechanics on a tiny walk: one
+// pre-loop switch, then a three-switch loop, with b = 2 so phases are
+// short. The loop is reported when the packet revisits the switch whose
+// identifier survived a whole phase as the minimum.
+func ExampleUnroller() {
+	cfg := core.DefaultConfig()
+	cfg.Base = 2
+	u := core.MustNew(cfg)
+	st := u.NewPacketState()
+
+	walk := []detect.SwitchID{50 /* pre-loop */, 30, 10, 20, 30, 10, 20, 30, 10, 20, 30, 10}
+	for i, sw := range walk {
+		if st.Visit(sw) == detect.Loop {
+			fmt.Printf("switch %d reports a loop at hop %d\n", sw, i+1)
+			return
+		}
+	}
+	// Output:
+	// switch 10 reports a loop at hop 12
+}
+
+// ExampleConfig_Validate shows the validation surface.
+func ExampleConfig_Validate() {
+	bad := core.Config{Base: 1, Chunks: 1, Hashes: 1, ZBits: 32, Threshold: 1}
+	fmt.Println(bad.Validate() != nil)
+	fmt.Println(core.DefaultConfig().Validate())
+	// Output:
+	// true
+	// <nil>
+}
+
+// ExampleWorstCaseBound evaluates the Theorem 1 guarantee for the
+// paper's running configuration.
+func ExampleWorstCaseBound() {
+	fmt.Println(core.WorstCaseBound(4, 5, 20)) // b=4, B=5, L=20
+	fmt.Printf("%.2f\n", core.WorstCaseFactor(4))
+	// Output:
+	// 92
+	// 4.67
+}
+
+// ExampleState_EncodeHeader round-trips packet state through the Table 3
+// wire format.
+func ExampleState_EncodeHeader() {
+	u := core.MustNew(core.DefaultConfig())
+	st := u.NewPacketState()
+	st.Visit(7)
+	st.Visit(3)
+
+	wire, _ := st.AppendHeader(nil)
+	dec, _ := u.DecodeHeader(wire)
+	fmt.Printf("%d bytes on the wire, Xcnt=%d, slot=%d\n", len(wire), dec.Hops(), dec.Slots()[0])
+	// Output:
+	// 5 bytes on the wire, Xcnt=2, slot=3
+}

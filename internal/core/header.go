@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/unroller/unroller/internal/bitpack"
+)
+
+// This file is the wire format of the Unroller packet header (Table 3 of
+// the paper): an 8-bit hop counter Xcnt, c·H identifier slots of z bits
+// each, and a ⌈log2 Th⌉-bit threshold counter Thcnt. Nothing else travels
+// on the wire — phase and chunk membership are pure functions of Xcnt, the
+// way the P4 implementation derives them with a lookup table.
+
+// ErrHeaderTooShort is returned when decoding runs out of bytes.
+var ErrHeaderTooShort = errors.New("core: unroller header too short")
+
+// errHopOverflow is returned by EncodeHeader when the hop counter no
+// longer fits its 8-bit wire field. In a real network the packet's TTL
+// would have expired long before; the simulator keeps wider counters.
+var errHopOverflow = errors.New("core: hop counter exceeds 8-bit wire field")
+
+// HeaderBytes returns the encoded header size in bytes for the
+// configuration (bit size rounded up to whole bytes, as a parser would
+// align it).
+func (c Config) HeaderBytes() int { return (c.HeaderBits() + 7) / 8 }
+
+// EncodeHeader serialises the packet state into w. Layout, MSB-first:
+//
+//	Xcnt   : 8 bits
+//	SWids  : H·c slots × z bits, row-major by hash function
+//	Thcnt  : ⌈log2 Th⌉ bits (absent for Th = 1)
+//
+// The per-chunk reset flags are not encoded: they are recomputed from
+// Xcnt on decode.
+func (s *State) EncodeHeader(w *bitpack.Writer) error {
+	cfg := &s.det.cfg
+	if !cfg.TTLHopCount {
+		if s.x > 255 {
+			return errHopOverflow
+		}
+		w.WriteBits(s.x, hopCounterBits)
+	}
+	for _, sv := range s.slots {
+		w.WriteBits(sv, cfg.ZBits)
+	}
+	if tb := thresholdBits(cfg.Threshold); tb > 0 {
+		w.WriteBits(uint64(s.thcnt), uint(tb))
+	}
+	return nil
+}
+
+// AppendHeader appends the encoded header to dst and returns the extended
+// slice, padding to a whole number of bytes.
+func (s *State) AppendHeader(dst []byte) ([]byte, error) {
+	var w bitpack.Writer
+	if err := s.EncodeHeader(&w); err != nil {
+		return dst, err
+	}
+	return append(dst, w.Bytes()...), nil
+}
+
+// DecodeHeader reconstructs per-packet state from the wire bytes produced
+// by EncodeHeader under the same configuration. The phase cache and chunk
+// reset flags are rebuilt from the hop counter.
+func (u *Unroller) DecodeHeader(buf []byte) (*State, error) {
+	if u.cfg.TTLHopCount {
+		return nil, fmt.Errorf("core: %s elides the hop counter; use DecodeHeaderAt with the TTL-derived hop count", u.cfg)
+	}
+	return u.decode(buf, 0, false)
+}
+
+// DecodeHeaderAt decodes a header whose hop counter is not carried on
+// the wire (Config.TTLHopCount): hops supplies the externally derived
+// count of hops the packet has already taken — e.g. initial TTL minus
+// current TTL (footnote 3 of the paper).
+func (u *Unroller) DecodeHeaderAt(buf []byte, hops uint64) (*State, error) {
+	if !u.cfg.TTLHopCount {
+		return nil, fmt.Errorf("core: %s carries its own hop counter; use DecodeHeader", u.cfg)
+	}
+	return u.decode(buf, hops, true)
+}
+
+func (u *Unroller) decode(buf []byte, hops uint64, external bool) (*State, error) {
+	cfg := &u.cfg
+	if len(buf) < cfg.HeaderBytes() {
+		return nil, fmt.Errorf("%w: need %d bytes, have %d", ErrHeaderTooShort, cfg.HeaderBytes(), len(buf))
+	}
+	r := bitpack.NewReader(buf)
+	s := u.NewPacketState()
+	if external {
+		s.x = hops
+	} else {
+		x, err := r.ReadBits(hopCounterBits)
+		if err != nil {
+			return nil, err
+		}
+		s.x = x
+	}
+	for i := range s.slots {
+		v, err := r.ReadBits(cfg.ZBits)
+		if err != nil {
+			return nil, err
+		}
+		s.slots[i] = v
+	}
+	if tb := thresholdBits(cfg.Threshold); tb > 0 {
+		th, err := r.ReadBits(uint(tb))
+		if err != nil {
+			return nil, err
+		}
+		s.thcnt = int(th)
+	}
+	s.rebuildPhase()
+	return s, nil
+}
+
+// rebuildPhase recomputes the cached phase and chunk-reset flags from the
+// hop counter, making decoded state bit-equivalent to the state that was
+// encoded.
+func (s *State) rebuildPhase() {
+	cfg := &s.det.cfg
+	if s.x == 0 {
+		return // pristine packet: first Visit initialises the phase
+	}
+	s.ph = phaseAt(s.x, cfg)
+	// A chunk has reset this phase iff its window's first hop is ≤ x.
+	for j := range s.reset {
+		s.reset[j] = false
+	}
+	for off := uint64(0); off <= s.x-s.ph.start; off++ {
+		if j, first := chunkIndex(off, s.ph.len, cfg.Chunks); first {
+			s.reset[j] = true
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/unroller/unroller/internal/bitpack"
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// configsUnderTest spans the wire-format parameter space.
+func configsUnderTest() []Config {
+	return []Config{
+		{Base: 4, Chunks: 1, Hashes: 1, ZBits: 32, Threshold: 1},
+		{Base: 2, Chunks: 1, Hashes: 1, ZBits: 32, Threshold: 1},
+		{Base: 4, Chunks: 2, Hashes: 2, ZBits: 16, Threshold: 1, HashIDs: true},
+		{Base: 4, Chunks: 4, Hashes: 4, ZBits: 7, Threshold: 4, HashIDs: true},
+		{Base: 4, Chunks: 1, Hashes: 1, ZBits: 9, Threshold: 2, HashIDs: true},
+		{Base: 6, Chunks: 3, Hashes: 1, ZBits: 12, Threshold: 1, HashIDs: true, Schedule: ScheduleHardware},
+	}
+}
+
+// TestHeaderRoundTrip encodes the packet state at every hop of a loopy
+// walk, decodes it, and requires the decoded state to behave identically
+// to the original for the remainder of the walk — the property a real
+// deployment needs, since every hop re-parses the header from wire bytes.
+func TestHeaderRoundTrip(t *testing.T) {
+	rng := xrand.New(2024)
+	for _, cfg := range configsUnderTest() {
+		u := MustNew(cfg)
+		ids := make([]detect.SwitchID, 0, 40)
+		seen := map[detect.SwitchID]bool{}
+		for len(ids) < 40 {
+			id := detect.SwitchID(rng.Uint32())
+			if id != 0xFFFFFFFF && !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		walkAt := func(h int) detect.SwitchID {
+			if h-1 < 10 {
+				return ids[h-1] // 10-hop prefix
+			}
+			return ids[10+(h-11)%15] // 15-switch loop
+		}
+
+		st := u.NewPacketState()
+		for h := 1; h <= 60; h++ {
+			// Serialise, re-parse, and check equivalence before
+			// each hop.
+			var w bitpack.Writer
+			if err := st.EncodeHeader(&w); err != nil {
+				t.Fatalf("%v hop %d: encode: %v", cfg, h, err)
+			}
+			if got, want := w.Len(), uint(cfg.HeaderBits()); got != want {
+				t.Fatalf("%v: encoded %d bits, config says %d", cfg, got, want)
+			}
+			dec, err := u.DecodeHeader(w.Bytes())
+			if err != nil {
+				t.Fatalf("%v hop %d: decode: %v", cfg, h, err)
+			}
+			if dec.Hops() != st.Hops() || dec.Matches() != st.Matches() {
+				t.Fatalf("%v hop %d: decoded counters differ: x %d/%d th %d/%d",
+					cfg, h, dec.Hops(), st.Hops(), dec.Matches(), st.Matches())
+			}
+			if !equalSlots(dec.Slots(), st.Slots()) {
+				t.Fatalf("%v hop %d: decoded slots %v != %v", cfg, h, dec.Slots(), st.Slots())
+			}
+
+			// Drive both; they must agree verdict-for-verdict.
+			id := walkAt(h)
+			v1, v2 := st.Visit(id), dec.Visit(id)
+			if v1 != v2 {
+				t.Fatalf("%v hop %d: original %v, decoded %v", cfg, h, v1, v2)
+			}
+			if v1 == detect.Loop {
+				break
+			}
+		}
+	}
+}
+
+func equalSlots(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestHeaderBytesAlignment checks byte-size rounding and AppendHeader.
+func TestHeaderBytesAlignment(t *testing.T) {
+	for _, cfg := range configsUnderTest() {
+		u := MustNew(cfg)
+		st := u.NewPacketState()
+		st.Visit(detect.SwitchID(3))
+		buf, err := st.AppendHeader([]byte{0xAA})
+		if err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		if buf[0] != 0xAA {
+			t.Fatal("AppendHeader must preserve the destination prefix")
+		}
+		if got, want := len(buf)-1, cfg.HeaderBytes(); got != want {
+			t.Errorf("%v: appended %d bytes, want %d", cfg, got, want)
+		}
+	}
+}
+
+// TestHeaderHopOverflow checks that the 8-bit wire counter rejects
+// packets that outlived a real TTL.
+func TestHeaderHopOverflow(t *testing.T) {
+	u := MustNew(DefaultConfig())
+	st := u.NewPacketState()
+	st.x = 256
+	var w bitpack.Writer
+	if err := st.EncodeHeader(&w); err == nil {
+		t.Fatal("expected overflow error at Xcnt=256")
+	}
+	st.x = 255
+	w.Reset()
+	if err := st.EncodeHeader(&w); err != nil {
+		t.Fatalf("Xcnt=255 must encode: %v", err)
+	}
+}
+
+// TestDecodeShortBuffer checks truncation errors.
+func TestDecodeShortBuffer(t *testing.T) {
+	u := MustNew(DefaultConfig())
+	if _, err := u.DecodeHeader([]byte{1, 2}); err == nil {
+		t.Fatal("expected short-buffer error")
+	}
+	if _, err := u.DecodeHeader(nil); err == nil {
+		t.Fatal("expected short-buffer error on nil")
+	}
+}
+
+// TestDecodePristine checks the zero-hop round trip (a packet that has
+// not yet visited any switch).
+func TestDecodePristine(t *testing.T) {
+	u := MustNew(DefaultConfig())
+	st := u.NewPacketState()
+	buf, err := st.AppendHeader(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := u.DecodeHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Hops() != 0 {
+		t.Fatalf("pristine decode has %d hops", dec.Hops())
+	}
+	if dec.Visit(detect.SwitchID(1)) != detect.Continue {
+		t.Fatal("pristine packet cannot report a loop on hop 1")
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import "github.com/unroller/unroller/internal/detect"
+
+// This file makes the Appendix A lower-bound argument executable. The
+// adversary of Lemmas 6–7 picks the walk shape (B, L) and the placement
+// of the minimal identifier as a function of the algorithm's reset
+// schedule; replaying those constructions against the real detector
+// yields an empirical worst-case curve that must sit between the
+// Theorem 5 floor (3.73·X) and the Theorem 1 ceiling (4.67·X for b=4).
+
+// AdversarialCase is one worst-case construction.
+type AdversarialCase struct {
+	// B and L are the walk shape.
+	B, L int
+	// MinAt places the globally minimal identifier: a 0-based hop
+	// index into the combined prefix+loop node sequence.
+	MinAt int
+	// Name describes which lemma's construction this is.
+	Name string
+}
+
+// AdversarialCases generates the Appendix A constructions for an
+// algorithm whose reset hops follow cfg's schedule, scaled by y (the
+// lemmas' free parameter; larger y probes longer horizons).
+func AdversarialCases(cfg Config, y int) []AdversarialCase {
+	if y < 2 {
+		y = 2
+	}
+	var cases []AdversarialCase
+	// Lemma 6: B = y+1, L = 2, minimal identifier on the last hop
+	// before the loop. The algorithm stores the pre-loop minimum and
+	// must burn a whole reset interval before it can see a loop ID.
+	cases = append(cases, AdversarialCase{
+		B: y + 1, L: 2, MinAt: y, Name: "lemma6-min-before-loop",
+	})
+	// Lemma 7, case β<1: B = 0, L = ⌊2y/3⌋+1, minimum at the end of
+	// the loop.
+	l := 2*y/3 + 1
+	cases = append(cases, AdversarialCase{
+		B: 0, L: l, MinAt: l - 1, Name: "lemma7-beta-small",
+	})
+	// Lemma 7, case 1≤β<2: B = 0, L = y+1, minimum at the loop end.
+	cases = append(cases, AdversarialCase{
+		B: 0, L: y + 1, MinAt: y, Name: "lemma7-beta-mid",
+	})
+	// Lemma 7, case β≥2: L = ⌈βy/2⌉+1 with the minimum at the y'th
+	// loop hop; for the geometric schedules β = b.
+	bl := (cfg.Base*y+1)/2 + 1
+	if y < bl {
+		cases = append(cases, AdversarialCase{
+			B: 0, L: bl, MinAt: y, Name: "lemma7-beta-large",
+		})
+	}
+	return cases
+}
+
+// PlayAdversarialCase builds the case's walk with the minimal identifier
+// at the designated hop and all other identifiers decreasing with
+// distance from it (so no accidental smaller minimum appears earlier),
+// runs the detector, and returns the detection hop and the ratio to
+// X = B+L. Detection is guaranteed (the inputs use raw identifiers), so
+// the budget is Theorem 1 plus slack.
+func PlayAdversarialCase(u *Unroller, c AdversarialCase) (hops int, ratio float64) {
+	n := c.B + c.L
+	ids := make([]detect.SwitchID, n)
+	// The hop at MinAt gets the global minimum (1); everyone else gets
+	// distinct larger values, increasing with index so that prefix
+	// minima never shadow the planted one.
+	next := detect.SwitchID(2)
+	for i := range ids {
+		if i == c.MinAt {
+			ids[i] = 1
+			continue
+		}
+		ids[i] = next
+		next += 3
+	}
+	st := u.NewPacketState()
+	budget := WorstCaseBound(u.cfg.Base, c.B, c.L) + 8
+	for h := 1; h <= budget; h++ {
+		var id detect.SwitchID
+		if h-1 < c.B {
+			id = ids[h-1]
+		} else {
+			id = ids[c.B+(h-1-c.B)%c.L]
+		}
+		if st.Visit(id) == detect.Loop {
+			return h, float64(h) / float64(n)
+		}
+	}
+	return 0, 0
+}
+
+// EmpiricalWorstCase replays every adversarial construction across a
+// range of scales and returns the worst detection ratio observed — the
+// executable form of "our approach is not far from optimal": the result
+// must exceed the Theorem 5 floor and respect the Theorem 1 ceiling.
+func EmpiricalWorstCase(cfg Config, maxScale int) (worst float64, at AdversarialCase) {
+	u := MustNew(cfg)
+	for y := 2; y <= maxScale; y++ {
+		for _, c := range AdversarialCases(cfg, y) {
+			if _, ratio := PlayAdversarialCase(u, c); ratio > worst {
+				worst = ratio
+				at = c
+			}
+		}
+	}
+	return worst, at
+}

@@ -1,0 +1,62 @@
+package core
+
+import "testing"
+
+// TestEmpiricalWorstCaseBrackets replays the Appendix A adversaries: the
+// worst observed detection ratio must land between the Theorem 5 lower
+// bound (any single-ID algorithm suffers ≥ 3.73·X somewhere) and the
+// Theorem 1 upper bound for the configured base.
+func TestEmpiricalWorstCaseBrackets(t *testing.T) {
+	for _, b := range []int{3, 4, 5} {
+		cfg := DefaultConfig()
+		cfg.Base = b
+		worst, at := EmpiricalWorstCase(cfg, 120)
+		ceiling := WorstCaseFactor(b) + 0.1
+		if worst > ceiling {
+			t.Fatalf("b=%d: adversary achieved %.3f·X (case %s B=%d L=%d), above the Theorem 1 factor %.3f",
+				b, worst, at.Name, at.B, at.L, WorstCaseFactor(b))
+		}
+		// The lower-bound floor is asymptotic (−O(1)); at finite
+		// scales the adversary should still get within ~15% of it.
+		if worst < LowerBoundFactor()*0.85 {
+			t.Fatalf("b=%d: adversary only reached %.3f·X; the Appendix A constructions should approach %.2f·X",
+				b, worst, LowerBoundFactor())
+		}
+	}
+}
+
+// TestAdversaryBeatsAverage: the adversarial placements must be
+// substantially worse than random placements — otherwise the
+// constructions are not doing their job.
+func TestAdversaryBeatsAverage(t *testing.T) {
+	cfg := DefaultConfig()
+	worst, _ := EmpiricalWorstCase(cfg, 100)
+	if worst < 3.5 {
+		t.Fatalf("b=4 adversary reached only %.3f·X; expected ≳ 4 (average case is ≈2)", worst)
+	}
+}
+
+// TestPlayAdversarialCaseDetects: every construction still detects (no
+// false negatives even under adversarial identifiers).
+func TestPlayAdversarialCaseDetects(t *testing.T) {
+	cfg := DefaultConfig()
+	u := MustNew(cfg)
+	for y := 2; y <= 60; y++ {
+		for _, c := range AdversarialCases(cfg, y) {
+			hops, ratio := PlayAdversarialCase(u, c)
+			if hops == 0 {
+				t.Fatalf("case %s (y=%d, B=%d, L=%d) not detected", c.Name, y, c.B, c.L)
+			}
+			if hops < c.B+c.L {
+				t.Fatalf("case %s: detection at %d before X=%d", c.Name, hops, c.B+c.L)
+			}
+			if ratio <= 0 {
+				t.Fatalf("case %s: ratio %v", c.Name, ratio)
+			}
+		}
+	}
+	// Degenerate scale is clamped.
+	if cases := AdversarialCases(cfg, 0); len(cases) == 0 {
+		t.Fatal("no cases at clamped scale")
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// TestQuickDetectionInvariants bundles the fundamental guarantees and
+// lets testing/quick drive the parameter space: for any seed, shape, and
+// base, the raw-ID single-slot detector (a) detects, (b) not before
+// X = B+L, (c) within Theorem 1, and (d) the reporter is a loop switch.
+func TestQuickDetectionInvariants(t *testing.T) {
+	prop := func(seed uint64, bRaw, lRaw uint16, baseRaw uint8) bool {
+		rng := xrand.New(seed)
+		B := int(bRaw % 30)
+		L := 1 + int(lRaw%30)
+		base := 2 + int(baseRaw%5) // 2..6
+		cfg := DefaultConfig()
+		cfg.Base = base
+		u := MustNew(cfg)
+		prefix, loop := randomWalkIDs(rng, B, L)
+		bound := WorstCaseBound(base, B, L)
+
+		st := u.NewPacketState()
+		at := func(h int) detect.SwitchID {
+			if h-1 < B {
+				return prefix[h-1]
+			}
+			return loop[(h-1-B)%L]
+		}
+		for h := 1; h <= bound; h++ {
+			id := at(h)
+			if st.Visit(id) == detect.Loop {
+				if h < B+L {
+					return false // impossible early report
+				}
+				for _, v := range loop {
+					if v == id {
+						return true // reporter on the loop
+					}
+				}
+				return false
+			}
+		}
+		return false // not detected within the bound
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRelabelingInvariance: the raw-ID detector only ever compares
+// identifiers by order (min and equality), so any strictly increasing
+// relabeling of the identifiers must not change the detection hop. This
+// is why the average-case analysis can assume a random permutation
+// (§3.2).
+func TestRelabelingInvariance(t *testing.T) {
+	rng := xrand.New(0xABCDE)
+	u := MustNew(DefaultConfig())
+	for trial := 0; trial < 200; trial++ {
+		B, L := rng.Intn(12), 1+rng.Intn(15)
+		prefix, loop := randomWalkIDs(rng, B, L)
+
+		// Build a strictly increasing relabeling of all identifiers:
+		// sort them and map the i'th smallest to a fresh increasing
+		// value with random gaps.
+		all := append(append([]detect.SwitchID(nil), prefix...), loop...)
+		sorted := append([]detect.SwitchID(nil), all...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		remap := make(map[detect.SwitchID]detect.SwitchID, len(sorted))
+		next := detect.SwitchID(1)
+		for _, id := range sorted {
+			next += detect.SwitchID(1 + rng.Intn(1000))
+			remap[id] = next
+		}
+		prefix2 := make([]detect.SwitchID, B)
+		loop2 := make([]detect.SwitchID, L)
+		for i, id := range prefix {
+			prefix2[i] = remap[id]
+		}
+		for i, id := range loop {
+			loop2[i] = remap[id]
+		}
+
+		bound := WorstCaseBound(4, B, L)
+		h1 := drive(t, u, prefix, loop, bound+1)
+		h2 := drive(t, u, prefix2, loop2, bound+1)
+		if h1 != h2 {
+			t.Fatalf("trial %d (B=%d L=%d): relabeling changed detection %d → %d", trial, B, L, h1, h2)
+		}
+	}
+}
+
+// TestLoopRotationAlwaysDetected: wherever the packet enters the loop,
+// detection holds within the bound (the bound is entry-point agnostic).
+func TestLoopRotationAlwaysDetected(t *testing.T) {
+	rng := xrand.New(0xEE)
+	u := MustNew(DefaultConfig())
+	B, L := 4, 11
+	prefix, loop := randomWalkIDs(rng, B, L)
+	bound := WorstCaseBound(4, B, L)
+	for rot := 0; rot < L; rot++ {
+		rotated := append(append([]detect.SwitchID(nil), loop[rot:]...), loop[:rot]...)
+		if got := drive(t, u, prefix, rotated, bound+1); got == 0 {
+			t.Fatalf("rotation %d: undetected within %d", rot, bound)
+		}
+	}
+}
+
+// TestVisitOrderDeterminism: two states fed the same sequence agree at
+// every step — no hidden global state.
+func TestVisitOrderDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		cfg := DefaultConfig()
+		cfg.Chunks, cfg.Hashes, cfg.ZBits, cfg.HashIDs = 2, 2, 12, true
+		u := MustNew(cfg)
+		a, b := u.NewPacketState(), u.NewPacketState()
+		for h := 0; h < 100; h++ {
+			id := detect.SwitchID(rng.Uint32() % 64) // force repeats
+			if a.Visit(id) != b.Visit(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStatelessSwitchProperty: the detector object carries no per-packet
+// state — interleaving two packets through one Unroller must equal
+// running them separately. This is the paper's "no per-flow state on
+// switches" claim at the API level.
+func TestStatelessSwitchProperty(t *testing.T) {
+	rng := xrand.New(0x51)
+	u := MustNew(DefaultConfig())
+	p1, l1 := randomWalkIDs(rng, 3, 9)
+	p2, l2 := randomWalkIDs(rng, 6, 5)
+
+	solo1 := drive(t, u, p1, l1, 1000)
+	solo2 := drive(t, u, p2, l2, 1000)
+
+	at := func(prefix, loop []detect.SwitchID, h int) detect.SwitchID {
+		if h-1 < len(prefix) {
+			return prefix[h-1]
+		}
+		return loop[(h-1-len(prefix))%len(loop)]
+	}
+	s1, s2 := u.NewPacketState(), u.NewPacketState()
+	got1, got2 := 0, 0
+	for h := 1; got1 == 0 || got2 == 0; h++ {
+		if got1 == 0 && s1.Visit(at(p1, l1, h)) == detect.Loop {
+			got1 = h
+		}
+		if got2 == 0 && s2.Visit(at(p2, l2, h)) == detect.Loop {
+			got2 = h
+		}
+		if h > 2000 {
+			t.Fatal("runaway")
+		}
+	}
+	if got1 != solo1 || got2 != solo2 {
+		t.Fatalf("interleaving changed outcomes: (%d,%d) vs (%d,%d)", got1, got2, solo1, solo2)
+	}
+}

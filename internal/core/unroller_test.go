@@ -1,0 +1,440 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// drive runs a fresh state over a prefix+loop walk and returns the
+// detection hop (1-based) or 0 if maxHops elapsed undetected.
+func drive(t *testing.T, u *Unroller, prefix, loop []detect.SwitchID, maxHops int) int {
+	t.Helper()
+	st := u.NewPacketState()
+	for h := 1; h <= maxHops; h++ {
+		var id detect.SwitchID
+		if h-1 < len(prefix) {
+			id = prefix[h-1]
+		} else {
+			if len(loop) == 0 {
+				return 0
+			}
+			id = loop[(h-1-len(prefix))%len(loop)]
+		}
+		if st.Visit(id) == detect.Loop {
+			return h
+		}
+	}
+	return 0
+}
+
+// TestWorkedExample traces the single-slot b=2 detector hop by hop over a
+// fixed walk (B=1, L=3) and checks every intermediate slot value against
+// a hand-computed trace — the Figure 1 mechanism made concrete.
+func TestWorkedExample(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Base = 2
+	u := MustNew(cfg)
+	st := u.NewPacketState()
+
+	prefix := []detect.SwitchID{50}
+	loop := []detect.SwitchID{30, 10, 20}
+	// hop: switch, expected slot after the hop, expected verdict
+	steps := []struct {
+		id   detect.SwitchID
+		slot uint64
+	}{
+		{50, 50}, // phase {1}: reset to 50
+		{30, 30}, // phase {2,3}: reset to 30
+		{10, 10}, // min
+		{20, 20}, // phase {4..7}: reset to 20
+		{30, 20}, // min keeps 20
+		{10, 10},
+		{20, 10},
+		{30, 30}, // phase {8..15}: reset
+		{10, 10},
+		{20, 10},
+		{30, 10},
+	}
+	for i, s := range steps {
+		if got := st.Visit(s.id); got != detect.Continue {
+			t.Fatalf("hop %d (switch %d): unexpected verdict %v", i+1, s.id, got)
+		}
+		if got := st.Slots()[0]; got != s.slot {
+			t.Fatalf("hop %d (switch %d): slot = %d, want %d", i+1, s.id, got, s.slot)
+		}
+	}
+	// Hop 12 revisits switch 10, whose ID is stored: loop reported.
+	if got := st.Visit(10); got != detect.Loop {
+		t.Fatalf("hop 12: verdict %v, want Loop", got)
+	}
+	if st.Hops() != 12 {
+		t.Fatalf("Xcnt = %d, want 12", st.Hops())
+	}
+	// Sanity: detection respects Theorem 1 for b=2, B=1, L=3.
+	if bound := WorstCaseBound(2, 1, 3); 12 > bound {
+		t.Fatalf("detection at hop 12 violates Theorem 1 bound %d", bound)
+	}
+	_ = prefix
+	_ = loop
+}
+
+// TestSelfLoop checks the degenerate L=1 loop (a switch forwarding to
+// itself): the second visit must report.
+func TestSelfLoop(t *testing.T) {
+	for _, b := range []int{2, 3, 4, 6} {
+		cfg := DefaultConfig()
+		cfg.Base = b
+		u := MustNew(cfg)
+		got := drive(t, u, nil, []detect.SwitchID{7}, 100)
+		if got != 2 {
+			t.Errorf("b=%d: self-loop detected at hop %d, want 2", b, got)
+		}
+	}
+}
+
+// TestPingPong checks the L=2 loop with and without a prefix.
+func TestPingPong(t *testing.T) {
+	u := MustNew(DefaultConfig())
+	if got := drive(t, u, nil, []detect.SwitchID{3, 9}, 100); got == 0 {
+		t.Fatal("ping-pong loop not detected")
+	}
+	got := drive(t, u, []detect.SwitchID{100, 101, 102}, []detect.SwitchID{3, 9}, 200)
+	if got == 0 {
+		t.Fatal("ping-pong after prefix not detected")
+	}
+	if bound := WorstCaseBound(4, 3, 2); got > bound {
+		t.Fatalf("detected at %d > Theorem 1 bound %d", got, bound)
+	}
+}
+
+// randomWalkIDs draws B+L distinct identifiers.
+func randomWalkIDs(rng *xrand.Rand, B, L int) (prefix, loop []detect.SwitchID) {
+	seen := map[uint32]bool{0xFFFFFFFF: true}
+	draw := func() detect.SwitchID {
+		for {
+			v := rng.Uint32()
+			if !seen[v] {
+				seen[v] = true
+				return detect.SwitchID(v)
+			}
+		}
+	}
+	for i := 0; i < B; i++ {
+		prefix = append(prefix, draw())
+	}
+	for i := 0; i < L; i++ {
+		loop = append(loop, draw())
+	}
+	return prefix, loop
+}
+
+// TestNoFalseNegativesAndTheorem1 sweeps B and L and random identifier
+// draws, asserting that the uncompressed single-slot detector (analysis
+// schedule) always detects, never before the X = B+L information floor,
+// and never after the Theorem 1 bound.
+func TestNoFalseNegativesAndTheorem1(t *testing.T) {
+	rng := xrand.New(0xC0FFEE)
+	for _, b := range []int{2, 3, 4, 6} {
+		cfg := DefaultConfig()
+		cfg.Base = b
+		u := MustNew(cfg)
+		for B := 0; B <= 24; B += 3 {
+			for L := 1; L <= 25; L += 2 {
+				bound := WorstCaseBound(b, B, L)
+				for rep := 0; rep < 8; rep++ {
+					prefix, loop := randomWalkIDs(rng, B, L)
+					got := drive(t, u, prefix, loop, bound+1)
+					if got == 0 {
+						t.Fatalf("b=%d B=%d L=%d: not detected within Theorem 1 bound %d", b, B, L, bound)
+					}
+					if got < B+L {
+						t.Fatalf("b=%d B=%d L=%d: detected at hop %d < X=%d (impossible without FP)", b, B, L, got, B+L)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAdversarialMinimumPlacement exercises the Lemma 6 adversary: the
+// globally minimal identifier sits on the last pre-loop hop, the worst
+// case for min-tracking. Theorem 1 must still hold.
+func TestAdversarialMinimumPlacement(t *testing.T) {
+	rng := xrand.New(0xBAD)
+	for _, b := range []int{2, 4} {
+		cfg := DefaultConfig()
+		cfg.Base = b
+		u := MustNew(cfg)
+		for B := 1; B <= 20; B += 4 {
+			for L := 1; L <= 20; L += 4 {
+				prefix, loop := randomWalkIDs(rng, B, L)
+				prefix[B-1] = 0 // global minimum right before the loop
+				bound := WorstCaseBound(b, B, L)
+				got := drive(t, u, prefix, loop, bound+1)
+				if got == 0 || got > bound {
+					t.Fatalf("b=%d B=%d L=%d adversarial: detected at %d, bound %d", b, B, L, got, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestHardwareSchedule checks the power-of-b reset variant: no false
+// negatives, detection within the hardware bound, and for b=2 exact
+// agreement with the analysis schedule (the two schedules coincide).
+func TestHardwareSchedule(t *testing.T) {
+	rng := xrand.New(42)
+	for _, b := range []int{2, 4, 6} {
+		hw := DefaultConfig()
+		hw.Base = b
+		hw.Schedule = ScheduleHardware
+		uhw := MustNew(hw)
+		an := hw
+		an.Schedule = ScheduleAnalysis
+		uan := MustNew(an)
+		for B := 0; B <= 15; B += 5 {
+			for L := 1; L <= 21; L += 4 {
+				bound := WorstCaseBoundHardware(b, B, L)
+				for rep := 0; rep < 6; rep++ {
+					prefix, loop := randomWalkIDs(rng, B, L)
+					got := drive(t, uhw, prefix, loop, bound+1)
+					if got == 0 || got > bound {
+						t.Fatalf("hw b=%d B=%d L=%d: detected at %d, bound %d", b, B, L, got, bound)
+					}
+					if b == 2 {
+						if gotAn := drive(t, uan, prefix, loop, bound+1); gotAn != got {
+							t.Fatalf("b=2 schedules disagree: hw=%d analysis=%d", got, gotAn)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestChunksBound checks the Appendix B multi-chunk variant against its
+// worst-case bound, and that more chunks never lose detections.
+func TestChunksBound(t *testing.T) {
+	rng := xrand.New(7)
+	for _, c := range []int{2, 4, 8} {
+		cfg := DefaultConfig()
+		cfg.Chunks = c
+		cfg.HashIDs = true // multi-slot requires hashed IDs in practice
+		u := MustNew(cfg)
+		for B := 0; B <= 15; B += 5 {
+			for L := 1; L <= 21; L += 5 {
+				bound := WorstCaseBoundChunks(cfg.Base, c, B, L)
+				for rep := 0; rep < 6; rep++ {
+					prefix, loop := randomWalkIDs(rng, B, L)
+					got := drive(t, u, prefix, loop, bound+1)
+					if got == 0 {
+						t.Fatalf("c=%d B=%d L=%d: not detected within Appendix B bound %d", c, B, L, bound)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMultiHashDetects checks H > 1: detection still guaranteed, and the
+// average detection time does not regress versus H = 1 on a fixed
+// workload batch.
+func TestMultiHashDetects(t *testing.T) {
+	mean := func(h int) float64 {
+		cfg := DefaultConfig()
+		cfg.Hashes = h
+		cfg.HashIDs = true
+		u := MustNew(cfg)
+		rng := xrand.New(99)
+		total := 0.0
+		const runs = 400
+		for i := 0; i < runs; i++ {
+			prefix, loop := randomWalkIDs(rng, 5, 20)
+			got := drive(t, u, prefix, loop, 4000)
+			if got == 0 {
+				t.Fatalf("H=%d: loop not detected", h)
+			}
+			total += float64(got) / 25.0
+		}
+		return total / runs
+	}
+	m1, m4 := mean(1), mean(4)
+	if m4 > m1*1.05 {
+		t.Errorf("H=4 mean %.3f worse than H=1 mean %.3f", m4, m1)
+	}
+}
+
+// TestAverageCaseFactor spot-checks the §3.2 claim: with b = 3 and random
+// identifiers the mean detection time is at most 3·X (allowing sampling
+// slack).
+func TestAverageCaseFactor(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Base = 3
+	u := MustNew(cfg)
+	rng := xrand.New(123)
+	for _, shape := range []struct{ B, L int }{{0, 10}, {5, 20}, {10, 5}, {3, 30}} {
+		var total float64
+		const runs = 3000
+		for i := 0; i < runs; i++ {
+			prefix, loop := randomWalkIDs(rng, shape.B, shape.L)
+			got := drive(t, u, prefix, loop, 100*(shape.B+shape.L))
+			if got == 0 {
+				t.Fatalf("B=%d L=%d: undetected", shape.B, shape.L)
+			}
+			total += float64(got) / float64(shape.B+shape.L)
+		}
+		mean := total / runs
+		if mean > 3.05 {
+			t.Errorf("B=%d L=%d: mean %.3f×X exceeds the 3×X average-case bound", shape.B, shape.L, mean)
+		}
+	}
+}
+
+// TestThresholdDelaysDetection checks §3.3: raising Th to k delays
+// detection by about (k−1)·L hops and never loses the loop.
+func TestThresholdDelaysDetection(t *testing.T) {
+	rng := xrand.New(5)
+	prefix, loop := randomWalkIDs(rng, 5, 12)
+	var at [3]int
+	for i, th := range []int{1, 2, 4} {
+		cfg := DefaultConfig()
+		cfg.Threshold = th
+		u := MustNew(cfg)
+		got := drive(t, u, prefix, loop, 10000)
+		if got == 0 {
+			t.Fatalf("Th=%d: undetected", th)
+		}
+		at[i] = got
+	}
+	if !(at[0] < at[1] && at[1] < at[2]) {
+		t.Fatalf("threshold should delay detection monotonically: %v", at)
+	}
+	// Each extra required match costs exactly one extra trip around the
+	// loop once the minimum is latched.
+	if at[1]-at[0] != 12 || at[2]-at[1] != 2*12 {
+		t.Errorf("threshold delays %d, %d; want 12 and 24 (one loop per extra match)", at[1]-at[0], at[2]-at[1])
+	}
+}
+
+// TestCompressedStillDetects checks that tiny z never causes a false
+// negative — compression can only fire early, not late.
+func TestCompressedStillDetects(t *testing.T) {
+	rng := xrand.New(17)
+	for _, z := range []uint{4, 8, 12} {
+		cfg := DefaultConfig()
+		cfg.ZBits = z
+		u := MustNew(cfg)
+		for rep := 0; rep < 50; rep++ {
+			prefix, loop := randomWalkIDs(rng, 5, 15)
+			bound := WorstCaseBound(4, 5, 15)
+			if got := drive(t, u, prefix, loop, bound+1); got == 0 {
+				t.Fatalf("z=%d: loop not detected within %d hops", z, bound)
+			}
+		}
+	}
+}
+
+// TestCompressedFalsePositiveRate checks the §3.3 trade-off directions on
+// a loop-free path: FP rate decreases in z and decreases in Th.
+func TestCompressedFalsePositiveRate(t *testing.T) {
+	rate := func(z uint, th int) float64 {
+		cfg := DefaultConfig()
+		cfg.ZBits = z
+		cfg.Threshold = th
+		u := MustNew(cfg)
+		rng := xrand.New(31)
+		fp := 0
+		const runs = 4000
+		for i := 0; i < runs; i++ {
+			prefix, _ := randomWalkIDs(rng, 20, 0)
+			st := u.NewPacketState()
+			for _, id := range prefix {
+				if st.Visit(id) == detect.Loop {
+					fp++
+					break
+				}
+			}
+		}
+		return float64(fp) / runs
+	}
+	r4, r8 := rate(4, 1), rate(8, 1)
+	if !(r4 > r8) {
+		t.Errorf("FP rate should fall with z: z=4 %.4f, z=8 %.4f", r4, r8)
+	}
+	r4t2 := rate(4, 2)
+	if !(r4t2 < r4) {
+		t.Errorf("threshold should cut FP rate: Th=1 %.4f, Th=2 %.4f", r4, r4t2)
+	}
+	if r8 > 0.25 {
+		t.Errorf("z=8 FP rate %.4f implausibly high on a 20-hop path", r8)
+	}
+}
+
+// TestConfigValidate covers the validation matrix.
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Base: 1, Chunks: 1, Hashes: 1, ZBits: 32, Threshold: 1},
+		{Base: 4, Chunks: 0, Hashes: 1, ZBits: 32, Threshold: 1},
+		{Base: 4, Chunks: 1, Hashes: 0, ZBits: 32, Threshold: 1},
+		{Base: 4, Chunks: 1, Hashes: 1, ZBits: 0, Threshold: 1},
+		{Base: 4, Chunks: 1, Hashes: 1, ZBits: 33, Threshold: 1},
+		{Base: 4, Chunks: 1, Hashes: 1, ZBits: 32, Threshold: 0},
+		{Base: 4, Chunks: 1, Hashes: 1, ZBits: 32, Threshold: 1, Schedule: 99},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should be invalid: %+v", i, cfg)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New should reject config %d", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+// TestHeaderBits checks the Table 3 cost model.
+func TestHeaderBits(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want int
+	}{
+		{Config{Base: 4, Chunks: 1, Hashes: 1, ZBits: 32, Threshold: 1}, 8 + 32},
+		{Config{Base: 4, Chunks: 2, Hashes: 2, ZBits: 16, Threshold: 1}, 8 + 4*16},
+		{Config{Base: 4, Chunks: 1, Hashes: 1, ZBits: 7, Threshold: 4}, 8 + 7 + 2},
+		{Config{Base: 4, Chunks: 1, Hashes: 1, ZBits: 7, Threshold: 2}, 8 + 7 + 1},
+	}
+	for _, c := range cases {
+		if got := c.cfg.HeaderBits(); got != c.want {
+			t.Errorf("%v HeaderBits = %d, want %d", c.cfg, got, c.want)
+		}
+	}
+	// The §3.3 worked example: z=7, Th=4 runs at 9 bits of ID+counter
+	// overhead, a 72% reduction versus a 32-bit identifier.
+	full := Config{Base: 4, Chunks: 1, Hashes: 1, ZBits: 32, Threshold: 1}
+	small := Config{Base: 4, Chunks: 1, Hashes: 1, ZBits: 7, Threshold: 4}
+	fullID := full.HeaderBits() - 8
+	smallID := small.HeaderBits() - 8
+	saving := 1 - float64(smallID)/float64(fullID)
+	if saving < 0.70 || saving > 0.74 {
+		t.Errorf("z=7,Th=4 saves %.0f%% of ID bits, want ≈72%%", saving*100)
+	}
+}
+
+// TestDetectorInterface ensures the facade types satisfy the contract.
+func TestDetectorInterface(t *testing.T) {
+	u := MustNew(DefaultConfig())
+	if u.Name() == "" {
+		t.Error("empty detector name")
+	}
+	if u.BitOverhead(100) != u.BitOverhead(1) {
+		t.Error("Unroller overhead must be path-length independent")
+	}
+	st := u.NewState()
+	if st.Visit(detect.SwitchID(1)) != detect.Continue {
+		t.Error("first hop cannot be a loop")
+	}
+}

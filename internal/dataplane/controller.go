@@ -1,0 +1,98 @@
+package dataplane
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/unroller/unroller/internal/detect"
+)
+
+// Controller is the control-plane sink for loop reports. Real deployments
+// would push these over a southbound channel; the emulator delivers them
+// synchronously but the sink is safe for concurrent use so parallel
+// benchmarks can share one.
+type Controller struct {
+	mu      sync.Mutex
+	reports []LoopEvent
+}
+
+// LoopEvent is a controller-side record of one report.
+type LoopEvent struct {
+	detect.Report
+	// Node is the topology node of the reporting switch.
+	Node int
+	// Members is the full loop membership when the report closed a
+	// §3.5 collection lap; nil for plain detection reports.
+	Members []detect.SwitchID
+}
+
+// NewController returns an empty controller.
+func NewController() *Controller { return &Controller{} }
+
+// Deliver records a plain detection report.
+func (c *Controller) Deliver(r detect.Report, node int) {
+	c.DeliverEvent(LoopEvent{Report: r, Node: node})
+}
+
+// DeliverEvent records a full event (e.g. with loop membership).
+func (c *Controller) DeliverEvent(ev LoopEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reports = append(c.reports, ev)
+}
+
+// Memberships returns every completed loop-membership report.
+func (c *Controller) Memberships() [][]detect.SwitchID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out [][]detect.SwitchID
+	for _, e := range c.reports {
+		if len(e.Members) > 0 {
+			out = append(out, append([]detect.SwitchID(nil), e.Members...))
+		}
+	}
+	return out
+}
+
+// Events returns a copy of all recorded reports.
+func (c *Controller) Events() []LoopEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]LoopEvent(nil), c.reports...)
+}
+
+// Count returns the number of reports received.
+func (c *Controller) Count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.reports)
+}
+
+// Reset clears the log.
+func (c *Controller) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reports = nil
+}
+
+// TopReporters returns reporting switches ranked by report count —
+// the operator's first view of where a loop lives.
+func (c *Controller) TopReporters() []detect.SwitchID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	counts := make(map[detect.SwitchID]int)
+	for _, e := range c.reports {
+		counts[e.Reporter]++
+	}
+	ids := make([]detect.SwitchID, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if counts[ids[i]] != counts[ids[j]] {
+			return counts[ids[i]] > counts[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}

@@ -1,0 +1,338 @@
+package dataplane
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/sim"
+	"github.com/unroller/unroller/internal/topology"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// TestPacketRoundTrip: marshal/unmarshal is the identity.
+func TestPacketRoundTrip(t *testing.T) {
+	p := &Packet{
+		TTL:       64,
+		Flow:      0xCAFE,
+		Src:       detect.SwitchID(0x1111),
+		Dst:       detect.SwitchID(0x2222),
+		Telemetry: []byte{1, 2, 3, 4, 5},
+		Payload:   []byte("hello"),
+	}
+	buf, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Packet
+	if err := q.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if q.TTL != p.TTL || q.Flow != p.Flow || q.Src != p.Src || q.Dst != p.Dst {
+		t.Fatalf("fixed fields: %v vs %v", &q, p)
+	}
+	if string(q.Telemetry) != string(p.Telemetry) || string(q.Payload) != string(p.Payload) {
+		t.Fatal("variable fields")
+	}
+	if !strings.Contains(q.String(), "flow=51966") {
+		t.Fatalf("String: %s", q.String())
+	}
+}
+
+// TestPacketMalformed: truncation, version, oversized telemetry.
+func TestPacketMalformed(t *testing.T) {
+	var q Packet
+	if err := q.Unmarshal(make([]byte, 5)); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	good, _ := (&Packet{TTL: 1}).Marshal()
+	good[0] = 9
+	if err := q.Unmarshal(good); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	good[0] = 1
+	good[15] = 200 // telemetry length beyond the buffer
+	if err := q.Unmarshal(good); err == nil {
+		t.Fatal("truncated telemetry accepted")
+	}
+	big := &Packet{Telemetry: make([]byte, 300)}
+	if _, err := big.Marshal(); err == nil {
+		t.Fatal("oversized telemetry accepted")
+	}
+}
+
+// buildNet wires a network over a graph with deterministic ids.
+func buildNet(t *testing.T, g *topology.Graph, cfg core.Config, seed uint64) *Network {
+	t.Helper()
+	assign := topology.NewAssignment(g, xrand.New(seed))
+	n, err := NewNetwork(g, assign, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestDeliveryWithoutLoop: clean shortest-path forwarding delivers, no
+// reports, telemetry intact end to end.
+func TestDeliveryWithoutLoop(t *testing.T) {
+	g, _ := topology.FatTree(4)
+	n := buildNet(t, g, core.DefaultConfig(), 1)
+	if err := n.InstallShortestPaths(19); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := n.Send(0, 19, 1, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Final != Deliver {
+		t.Fatalf("final %v, want deliver; trace %v", tr.Final, tr.Hops)
+	}
+	if tr.Report != nil || n.Controller.Count() != 0 {
+		t.Fatal("clean path raised a loop report")
+	}
+	// FatTree diameter is 4: the path is at most 5 switches.
+	if len(tr.Hops) > 5 {
+		t.Fatalf("path too long: %d hops", len(tr.Hops))
+	}
+}
+
+// TestLoopDetectedAndDropped: inject a loop, packet must be dropped by a
+// loop report (not TTL), and the controller hears about it.
+func TestLoopDetectedAndDropped(t *testing.T) {
+	g, _ := topology.Torus(4, 4)
+	n := buildNet(t, g, core.DefaultConfig(), 2)
+	dst := 15
+	if err := n.InstallShortestPaths(dst); err != nil {
+		t.Fatal(err)
+	}
+	// Remove backups so detection drops instead of deflecting.
+	for node := 0; node < g.N(); node++ {
+		n.Switch(node).backup = map[detect.SwitchID]PortID{}
+	}
+	cycle := topology.Cycle{5, 6, 10, 9} // a unit square on the torus
+	if err := cycle.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InjectLoop(dst, cycle); err != nil {
+		t.Fatal(err)
+	}
+	// Inject at a switch on the cycle so the dst-bound packet is
+	// guaranteed to enter the misconfigured region.
+	tr, err := n.Send(5, dst, 7, 255, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Final != DropLoop {
+		t.Fatalf("final %v, want drop-loop; hops=%d", tr.Final, len(tr.Hops))
+	}
+	if tr.Report == nil || n.Controller.Count() == 0 {
+		t.Fatal("no report delivered")
+	}
+	// The reporter must be a switch on the injected cycle.
+	node := n.Assign.Node(tr.Report.Reporter)
+	if !cycle.Contains(node) {
+		t.Fatalf("reporter node %d not on the cycle %v", node, cycle)
+	}
+	// Detection must beat TTL death by a wide margin.
+	if len(tr.Hops) > 80 {
+		t.Fatalf("detection took %d hops", len(tr.Hops))
+	}
+}
+
+// TestLoopWithoutTelemetryDiesByTTL: the counterfactual the paper
+// motivates with — without in-band detection the packet burns its TTL.
+func TestLoopWithoutTelemetryDiesByTTL(t *testing.T) {
+	g, _ := topology.Torus(4, 4)
+	n := buildNet(t, g, core.DefaultConfig(), 3)
+	dst := 15
+	if err := n.InstallShortestPaths(dst); err != nil {
+		t.Fatal(err)
+	}
+	cycle := topology.Cycle{5, 6, 10, 9}
+	if err := n.InjectLoop(dst, cycle); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := n.Send(5, dst, 7, 255, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Final != DropTTL {
+		t.Fatalf("final %v, want drop-ttl", tr.Final)
+	}
+	if len(tr.Hops) < 250 {
+		t.Fatalf("TTL death after only %d hops", len(tr.Hops))
+	}
+	if n.Controller.Count() != 0 {
+		t.Fatal("report without telemetry?")
+	}
+}
+
+// TestRerouteOnDetect: with backup ports installed, the packet escapes
+// the loop and still reaches the destination.
+func TestRerouteOnDetect(t *testing.T) {
+	g, _ := topology.Torus(4, 4)
+	n := buildNet(t, g, core.DefaultConfig(), 4)
+	dst := 15
+	if err := n.InstallShortestPaths(dst); err != nil {
+		t.Fatal(err)
+	}
+	cycle := topology.Cycle{5, 6, 10, 9}
+	if err := n.InjectLoop(dst, cycle); err != nil {
+		t.Fatal(err)
+	}
+	delivered := false
+	for _, src := range []int{5, 6, 10, 9} { // start inside the loop
+		if delivered {
+			break
+		}
+		tr, err := n.Send(src, dst, uint32(src), 255, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Rerouted && tr.Final == Deliver {
+			delivered = true
+		}
+	}
+	if !delivered {
+		t.Fatal("no packet escaped the loop via a backup port")
+	}
+	if n.Controller.Count() == 0 {
+		t.Fatal("reroute must still report")
+	}
+}
+
+// TestEmulatorMatchesSimulator: drive the identical walk through the
+// Monte Carlo simulator and the byte-level emulator; detection must land
+// at the same hop. This pins the two substrates to one semantics.
+func TestEmulatorMatchesSimulator(t *testing.T) {
+	g, _ := topology.Torus(5, 5)
+	rng := xrand.New(6)
+	for trial := 0; trial < 30; trial++ {
+		sc, err := sim.SampleScenario(g, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Cycle.Contains(sc.Dst) {
+			// A loop through the destination delivers before it
+			// can loop; the walk abstraction has no destination,
+			// so such scenarios are not comparable.
+			continue
+		}
+		cfg := core.DefaultConfig()
+		det := core.MustNew(cfg)
+		w := sc.Walk()
+		simOut := sim.Run(det, w, 40*w.X()+64)
+		if !simOut.Detected {
+			t.Fatal("simulator missed")
+		}
+
+		// Emulator: same assignment, loop injected for a dst beyond
+		// the attachment; source at the path head.
+		n, err := NewNetwork(g, sc.Assign, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := sc.Dst
+		if err := n.InstallShortestPaths(dst); err != nil {
+			t.Fatal(err)
+		}
+		// Pin the pre-loop segment to the sampled path, then the
+		// cycle.
+		dstID := sc.Assign.ID(dst)
+		for i := 0; i+1 <= sc.Attach; i++ {
+			u, v := sc.Path[i], sc.Path[i+1]
+			p, err := n.portTo(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := n.Switch(u).SetRoute(dstID, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := n.InjectLoop(dst, sc.Cycle); err != nil {
+			t.Fatal(err)
+		}
+		for node := 0; node < g.N(); node++ {
+			n.Switch(node).backup = map[detect.SwitchID]PortID{}
+		}
+		tr, err := n.Send(sc.Path[0], dst, 1, 255, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Final != DropLoop {
+			t.Fatalf("trial %d: emulator final %v (sim detected at %d)", trial, tr.Final, simOut.Hops)
+		}
+		// The emulator's first hop is the source switch itself, which
+		// the walk model does not count (the walk starts at the first
+		// forwarding switch). Compare detection switch and hop count.
+		if tr.Report.Hops != simOut.Hops {
+			t.Fatalf("trial %d: emulator detected after %d hops, simulator %d", trial, tr.Report.Hops, simOut.Hops)
+		}
+		if tr.Report.Reporter != simOut.Reporter {
+			t.Fatalf("trial %d: reporters differ: %v vs %v", trial, tr.Report.Reporter, simOut.Reporter)
+		}
+	}
+}
+
+// TestControllerAggregation.
+func TestControllerAggregation(t *testing.T) {
+	c := NewController()
+	c.Deliver(detect.Report{Reporter: 5, Hops: 10}, 1)
+	c.Deliver(detect.Report{Reporter: 5, Hops: 12}, 1)
+	c.Deliver(detect.Report{Reporter: 9, Hops: 8}, 2)
+	if c.Count() != 3 {
+		t.Fatal("count")
+	}
+	top := c.TopReporters()
+	if len(top) != 2 || top[0] != 5 {
+		t.Fatalf("top reporters %v", top)
+	}
+	if len(c.Events()) != 3 {
+		t.Fatal("events")
+	}
+	c.Reset()
+	if c.Count() != 0 {
+		t.Fatal("reset")
+	}
+}
+
+// TestSwitchValidation: bad ports rejected; stats accumulate.
+func TestSwitchValidation(t *testing.T) {
+	g, _ := topology.Ring(4)
+	n := buildNet(t, g, core.DefaultConfig(), 8)
+	sw := n.Switch(0)
+	if err := sw.SetRoute(detect.SwitchID(1), PortID(99)); err == nil {
+		t.Fatal("bad port accepted")
+	}
+	if err := sw.SetBackup(detect.SwitchID(1), PortID(-1)); err == nil {
+		t.Fatal("bad backup accepted")
+	}
+	if sw.Ports() != 2 {
+		t.Fatalf("ring switch has %d ports", sw.Ports())
+	}
+	if len(sw.PhaseStartLUT()) != 256 {
+		t.Fatal("phase LUT size")
+	}
+	// No route: drop and count.
+	pkt := &Packet{TTL: 4, Dst: detect.SwitchID(0xDEAD)}
+	dec, err := sw.Process(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Disposition != DropNoRoute || sw.Stats.NoRoute != 1 {
+		t.Fatalf("no-route handling: %v", dec.Disposition)
+	}
+}
+
+// TestDispositionString covers the stringer.
+func TestDispositionString(t *testing.T) {
+	for d := Forward; d <= RerouteLoop; d++ {
+		if d.String() == "" || strings.HasPrefix(d.String(), "Disposition(") {
+			t.Errorf("missing name for %d", d)
+		}
+	}
+	if !strings.HasPrefix(Disposition(42).String(), "Disposition(") {
+		t.Error("unknown disposition should format numerically")
+	}
+}

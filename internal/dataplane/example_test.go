@@ -1,0 +1,54 @@
+package dataplane_test
+
+import (
+	"fmt"
+
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/dataplane"
+	"github.com/unroller/unroller/internal/topology"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// Example shows the emulator's whole arc: route a torus, misconfigure a
+// square of FIBs, and let Unroller catch the loop on a live packet while
+// a telemetry-less packet burns its TTL.
+func Example() {
+	g, _ := topology.Torus(4, 4)
+	assign := topology.NewAssignment(g, xrand.New(2))
+	net, _ := dataplane.NewNetwork(g, assign, core.DefaultConfig())
+	net.SetLoopPolicy(dataplane.ActionDrop)
+
+	dst := 15
+	net.InstallShortestPaths(dst)
+	net.InjectLoop(dst, topology.Cycle{5, 6, 10, 9})
+
+	withTel, _ := net.Send(5, dst, 1, 255, true)
+	withoutTel, _ := net.Send(5, dst, 2, 255, false)
+	fmt.Printf("with telemetry: %v after %d hops (reported: %v)\n",
+		withTel.Final, len(withTel.Hops), withTel.Report != nil)
+	fmt.Printf("without:        %v after %d hops\n", withoutTel.Final, len(withoutTel.Hops))
+	// Output:
+	// with telemetry: drop-loop after 13 hops (reported: true)
+	// without:        drop-ttl after 256 hops
+}
+
+// ExampleNetwork_SetLoopPolicy contrasts the three reactions on the same
+// loop.
+func ExampleNetwork_SetLoopPolicy() {
+	for _, policy := range []dataplane.LoopAction{
+		dataplane.ActionDrop, dataplane.ActionCollect,
+	} {
+		g, _ := topology.Torus(4, 4)
+		assign := topology.NewAssignment(g, xrand.New(2))
+		net, _ := dataplane.NewNetwork(g, assign, core.DefaultConfig())
+		net.SetLoopPolicy(policy)
+		net.InstallShortestPaths(15)
+		net.InjectLoop(15, topology.Cycle{5, 6, 10, 9})
+		net.Send(5, 15, 1, 255, true)
+		fmt.Printf("%v: reports=%d memberships=%d\n",
+			policy, net.Controller.Count(), len(net.Controller.Memberships()))
+	}
+	// Output:
+	// drop: reports=1 memberships=0
+	// collect: reports=2 memberships=1
+}

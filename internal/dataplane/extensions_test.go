@@ -1,0 +1,195 @@
+package dataplane
+
+import (
+	"testing"
+
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/topology"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// torusWithLoop builds a 4x4 torus network with a unit-square loop
+// injected for dst 15, packets entering at node 5 (on the loop).
+func torusWithLoop(t *testing.T, cfg core.Config, seed uint64) (*Network, topology.Cycle, int) {
+	t.Helper()
+	g, err := topology.Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := topology.NewAssignment(g, xrand.New(seed))
+	n, err := NewNetwork(g, assign, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := 15
+	if err := n.InstallShortestPaths(dst); err != nil {
+		t.Fatal(err)
+	}
+	cycle := topology.Cycle{5, 6, 10, 9}
+	if err := n.InjectLoop(dst, cycle); err != nil {
+		t.Fatal(err)
+	}
+	return n, cycle, dst
+}
+
+// TestCollectMode: with ActionCollect the controller learns the complete
+// loop membership, in cycle order.
+func TestCollectMode(t *testing.T) {
+	n, cycle, dst := torusWithLoop(t, core.DefaultConfig(), 21)
+	n.SetLoopPolicy(ActionCollect)
+
+	tr, err := n.Send(5, dst, 1, 255, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Final != DropLoop {
+		t.Fatalf("final %v, want drop-loop after the collection lap", tr.Final)
+	}
+	members := n.Controller.Memberships()
+	if len(members) != 1 {
+		t.Fatalf("memberships: %d, want 1", len(members))
+	}
+	got := members[0]
+	if len(got) != cycle.Len() {
+		t.Fatalf("membership %v has %d switches, loop has %d", got, len(got), cycle.Len())
+	}
+	// Every reported ID must be a cycle member, each exactly once.
+	onCycle := map[detect.SwitchID]bool{}
+	for _, node := range cycle {
+		onCycle[n.Assign.ID(node)] = true
+	}
+	seen := map[detect.SwitchID]bool{}
+	for _, id := range got {
+		if !onCycle[id] {
+			t.Fatalf("reported member %v is not on the loop", id)
+		}
+		if seen[id] {
+			t.Fatalf("member %v reported twice", id)
+		}
+		seen[id] = true
+	}
+	// Two reports total: the detection itself, then the membership.
+	if n.Controller.Count() != 2 {
+		t.Fatalf("controller has %d events, want 2", n.Controller.Count())
+	}
+}
+
+// TestCollectRecordRoundTrip: the wire codec for collection records.
+func TestCollectRecordRoundTrip(t *testing.T) {
+	rec := collectRecord{Initiator: 0xABCD, IDs: []detect.SwitchID{1, 2, 3}}
+	buf, err := rec.marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := unmarshalCollect(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Initiator != rec.Initiator || len(dec.IDs) != 3 || dec.IDs[2] != 3 {
+		t.Fatalf("round trip: %+v", dec)
+	}
+	// Truncation and caps.
+	if _, err := unmarshalCollect(buf[:7]); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+	if _, err := unmarshalCollect(nil); err == nil {
+		t.Fatal("empty record accepted")
+	}
+	big := collectRecord{IDs: make([]detect.SwitchID, maxCollectIDs+1)}
+	if _, err := big.marshal(); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+// TestTTLHopCountInDataplane: the footnote-3 variant detects loops at
+// the same hop as the self-counting one, while carrying 8 fewer bits.
+func TestTTLHopCountInDataplane(t *testing.T) {
+	base := core.DefaultConfig()
+	ttlCfg := base
+	ttlCfg.TTLHopCount = true
+
+	nBase, _, dstA := torusWithLoop(t, base, 33)
+	nTTL, _, dstB := torusWithLoop(t, ttlCfg, 33)
+	nBase.SetLoopPolicy(ActionDrop)
+	nTTL.SetLoopPolicy(ActionDrop)
+
+	trBase, err := nBase.Send(5, dstA, 1, InitialTTL, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trTTL, err := nTTL.Send(5, dstB, 1, InitialTTL, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trBase.Final != DropLoop || trTTL.Final != DropLoop {
+		t.Fatalf("finals %v / %v", trBase.Final, trTTL.Final)
+	}
+	if trBase.Report.Hops != trTTL.Report.Hops {
+		t.Fatalf("TTL-derived counting detected at %d, explicit at %d", trTTL.Report.Hops, trBase.Report.Hops)
+	}
+	if ttlCfg.HeaderBits() != base.HeaderBits()-8 {
+		t.Fatal("TTL variant must save 8 bits")
+	}
+	// Misuse: wrong initial TTL is a loud error.
+	if _, err := nTTL.Send(5, dstB, 1, 255, true); err != nil {
+		t.Fatalf("InitialTTL send failed: %v", err)
+	}
+}
+
+// TestLoopPolicyDrop: explicit drop policy ignores installed backups.
+func TestLoopPolicyDrop(t *testing.T) {
+	n, _, dst := torusWithLoop(t, core.DefaultConfig(), 44)
+	n.SetLoopPolicy(ActionDrop) // backups still installed, must be ignored
+	tr, err := n.Send(5, dst, 1, 255, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Final != DropLoop || tr.Rerouted {
+		t.Fatalf("drop policy produced %v (rerouted=%v)", tr.Final, tr.Rerouted)
+	}
+}
+
+// TestLoopActionString covers the stringer.
+func TestLoopActionString(t *testing.T) {
+	for a, want := range map[LoopAction]string{
+		ActionDrop: "drop", ActionReroute: "reroute", ActionCollect: "collect",
+	} {
+		if a.String() != want {
+			t.Errorf("%d: %q", a, a.String())
+		}
+	}
+	if LoopAction(9).String() == "" {
+		t.Error("unknown action must format")
+	}
+}
+
+// TestCollectSurvivesFlagsRoundTrip: the collect flag survives the wire.
+func TestCollectSurvivesFlagsRoundTrip(t *testing.T) {
+	p := &Packet{Flags: FlagCollect, TTL: 9, Telemetry: []byte{0, 0, 0, 1, 0}}
+	buf, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Packet
+	if err := q.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if q.Flags&FlagCollect == 0 {
+		t.Fatal("flag lost on the wire")
+	}
+}
+
+// TestUnmarshalFuzz: random bytes never panic the frame parser.
+func TestUnmarshalFuzz(t *testing.T) {
+	rng := xrand.New(0xF022)
+	for trial := 0; trial < 5000; trial++ {
+		n := rng.Intn(64)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(rng.Uint32())
+		}
+		var p Packet
+		_ = p.Unmarshal(buf) // error or success, never a panic
+	}
+}

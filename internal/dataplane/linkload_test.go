@@ -1,0 +1,72 @@
+package dataplane
+
+import (
+	"testing"
+
+	"github.com/unroller/unroller/internal/core"
+)
+
+// TestLinkLoadAccounting verifies the traversal counters and uses them
+// to quantify the paper's introductory claim: a looping packet multiplies
+// the load on the loop's links by orders of magnitude versus a detected
+// one.
+func TestLinkLoadAccounting(t *testing.T) {
+	n, cycle, dst := torusWithLoop(t, core.DefaultConfig(), 55)
+	n.SetLoopPolicy(ActionDrop)
+
+	// Clean baseline: one delivered packet loads each path link once.
+	nClean, _, dstClean := torusWithLoop(t, core.DefaultConfig(), 55)
+	nClean.SetLoopPolicy(ActionDrop)
+	// Use a source whose path avoids the injected loop region.
+	trClean, err := nClean.Send(3, dstClean, 1, 255, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trClean.Final == Deliver {
+		if got := nClean.TotalPacketHops(); got != uint64(len(trClean.Hops)-1) {
+			t.Fatalf("clean delivery: %d traversals for %d hops", got, len(trClean.Hops))
+		}
+	}
+
+	// Undetected loop: TTL burns 255 traversals.
+	trBlind, err := n.Send(5, dst, 1, 255, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trBlind.Final != DropTTL {
+		t.Fatalf("blind packet: %v", trBlind.Final)
+	}
+	blindHops := n.TotalPacketHops()
+	if blindHops < 250 {
+		t.Fatalf("blind loop burned only %d traversals", blindHops)
+	}
+	// The loop's own links absorb almost all of it.
+	loopLoad := uint64(0)
+	for i, u := range cycle {
+		loopLoad += n.LinkLoad(u, cycle[(i+1)%cycle.Len()])
+	}
+	if loopLoad < blindHops*9/10 {
+		t.Fatalf("loop links carried %d of %d traversals", loopLoad, blindHops)
+	}
+	_, _, maxLoad := n.MaxLinkLoad()
+	if maxLoad < blindHops/8 {
+		t.Fatalf("max link load %d implausibly low", maxLoad)
+	}
+
+	// Detected loop: an order of magnitude fewer traversals.
+	n.ResetLoad()
+	if n.TotalPacketHops() != 0 {
+		t.Fatal("reset failed")
+	}
+	trDet, err := n.Send(5, dst, 2, 255, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trDet.Final != DropLoop {
+		t.Fatalf("detected packet: %v", trDet.Final)
+	}
+	detHops := n.TotalPacketHops()
+	if detHops*10 > blindHops {
+		t.Fatalf("detection saved too little: %d vs %d traversals", detHops, blindHops)
+	}
+}

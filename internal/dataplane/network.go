@@ -1,0 +1,291 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/topology"
+)
+
+// Network is an emulated data plane: one Switch per topology node,
+// destination-based FIBs, and a controller sink for loop reports.
+type Network struct {
+	Graph  *topology.Graph
+	Assign *topology.Assignment
+
+	switches []*Switch
+	unroller *core.Unroller
+	linkLoad map[[2]int]uint64
+
+	// Controller receives every loop report raised in the data plane.
+	Controller *Controller
+
+	// OnHop, when set, observes every packet arrival before the switch
+	// pipeline runs — the tap a mirroring/tracing deployment would
+	// install (internal/trace records through it). The callback must
+	// not retain p.
+	OnHop func(node int, sw detect.SwitchID, p *Packet)
+}
+
+// NewNetwork builds switches over g with identifiers from assign, all
+// running the same Unroller configuration.
+func NewNetwork(g *topology.Graph, assign *topology.Assignment, cfg core.Config) (*Network, error) {
+	u, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{
+		Graph:      g,
+		Assign:     assign,
+		switches:   make([]*Switch, g.N()),
+		unroller:   u,
+		linkLoad:   make(map[[2]int]uint64),
+		Controller: NewController(),
+	}
+	for node := 0; node < g.N(); node++ {
+		n.switches[node] = newSwitch(assign.ID(node), node, g.Neighbors(node), u)
+	}
+	return n, nil
+}
+
+// Switch returns the switch at a node index.
+func (n *Network) Switch(node int) *Switch { return n.switches[node] }
+
+// SwitchByID returns the switch holding id, or nil.
+func (n *Network) SwitchByID(id detect.SwitchID) *Switch {
+	node := n.Assign.Node(id)
+	if node < 0 {
+		return nil
+	}
+	return n.switches[node]
+}
+
+// portTo returns u's port leading to neighbour node v.
+func (n *Network) portTo(u, v int) (PortID, error) {
+	for p, w := range n.Graph.Neighbors(u) {
+		if w == v {
+			return PortID(p), nil
+		}
+	}
+	return 0, fmt.Errorf("dataplane: node %d has no link to %d", u, v)
+}
+
+// InstallShortestPaths programs every switch's FIB with a next hop
+// towards dst along shortest paths (BFS tree from the destination). It
+// also installs backup next hops where an alternative shortest-or-equal
+// neighbour exists, enabling reroute-on-detect.
+func (n *Network) InstallShortestPaths(dst int) error {
+	dist := n.Graph.BFS(dst)
+	dstID := n.Assign.ID(dst)
+	for u := 0; u < n.Graph.N(); u++ {
+		if u == dst {
+			continue
+		}
+		if dist[u] < 0 {
+			return fmt.Errorf("dataplane: node %d cannot reach destination %d", u, dst)
+		}
+		primary, backup := -1, -1
+		for _, v := range n.Graph.Neighbors(u) {
+			if dist[v] == dist[u]-1 {
+				if primary < 0 {
+					primary = v
+				} else if backup < 0 {
+					backup = v
+				}
+			}
+		}
+		// Fall back to an equal-distance neighbour for the backup
+		// (a detour that still makes progress after one extra hop).
+		if backup < 0 {
+			for _, v := range n.Graph.Neighbors(u) {
+				if v != primary && dist[v] == dist[u] {
+					backup = v
+					break
+				}
+			}
+		}
+		p, err := n.portTo(u, primary)
+		if err != nil {
+			return err
+		}
+		if err := n.switches[u].SetRoute(dstID, p); err != nil {
+			return err
+		}
+		if backup >= 0 {
+			bp, err := n.portTo(u, backup)
+			if err != nil {
+				return err
+			}
+			if err := n.switches[u].SetBackup(dstID, bp); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// InjectLoop misconfigures the FIBs for destination dst along the cycle:
+// every switch on the cycle forwards dst-bound traffic to its successor,
+// so any dst-bound packet reaching the cycle circulates until its TTL
+// expires or Unroller reports. This is how routing loops actually arise —
+// stale or inconsistent forwarding state — not from the physical graph.
+func (n *Network) InjectLoop(dst int, cycle topology.Cycle) error {
+	if err := cycle.Validate(n.Graph); err != nil {
+		return err
+	}
+	dstID := n.Assign.ID(dst)
+	for i, u := range cycle {
+		v := cycle[(i+1)%cycle.Len()]
+		p, err := n.portTo(u, v)
+		if err != nil {
+			return err
+		}
+		if err := n.switches[u].SetRoute(dstID, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TraceHop is one step of a packet's journey.
+type TraceHop struct {
+	Node     int
+	Switch   detect.SwitchID
+	Decision Decision
+}
+
+// Trace is the full journey of one packet.
+type Trace struct {
+	Hops  []TraceHop
+	Final Disposition
+	// Report is the first loop report raised, if any.
+	Report *detect.Report
+	// Rerouted records whether the packet was deflected at least once.
+	Rerouted bool
+}
+
+// Send injects a packet at the network edge (node src) destined to node
+// dst and emulates its journey hop by hop, re-marshalling the frame
+// between switches exactly as wires would. The returned trace records
+// every decision; reports are also delivered to the controller.
+func (n *Network) Send(src, dst int, flow uint32, ttl uint8, withTelemetry bool) (*Trace, error) {
+	pkt := &Packet{
+		TTL:  ttl,
+		Flow: flow,
+		Src:  n.Assign.ID(src),
+		Dst:  n.Assign.ID(dst),
+	}
+	if withTelemetry {
+		tel, err := n.unroller.NewPacketState().AppendHeader(nil)
+		if err != nil {
+			return nil, err
+		}
+		pkt.Telemetry = tel
+	}
+	tr := &Trace{}
+	cur := src
+	for {
+		// Serialise and re-parse: every hop sees real bytes.
+		wire, err := pkt.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		var onWire Packet
+		if err := onWire.Unmarshal(wire); err != nil {
+			return nil, err
+		}
+		sw := n.switches[cur]
+		if n.OnHop != nil {
+			n.OnHop(cur, sw.ID, &onWire)
+		}
+		dec, err := sw.Process(&onWire)
+		if err != nil {
+			return nil, err
+		}
+		tr.Hops = append(tr.Hops, TraceHop{Node: cur, Switch: sw.ID, Decision: dec})
+		if dec.LoopReport != nil {
+			if tr.Report == nil {
+				tr.Report = dec.LoopReport
+			}
+			n.Controller.DeliverEvent(LoopEvent{
+				Report:  *dec.LoopReport,
+				Node:    sw.Node,
+				Members: dec.Members,
+			})
+		}
+		switch dec.Disposition {
+		case Deliver, DropTTL, DropNoRoute, DropLoop:
+			tr.Final = dec.Disposition
+			return tr, nil
+		case RerouteLoop:
+			tr.Rerouted = true
+			fallthrough
+		case Forward:
+			next := sw.Peer(dec.Egress)
+			n.countLink(cur, next)
+			pkt = &onWire
+			cur = next
+		default:
+			return nil, fmt.Errorf("dataplane: unexpected disposition %v", dec.Disposition)
+		}
+		if len(tr.Hops) > 100000 {
+			return nil, fmt.Errorf("dataplane: runaway packet (missing TTL?)")
+		}
+	}
+}
+
+// Unroller exposes the shared detector (e.g. for header inspection in
+// tools).
+func (n *Network) Unroller() *core.Unroller { return n.unroller }
+
+// SetLoopPolicy applies a loop reaction policy to every switch.
+func (n *Network) SetLoopPolicy(a LoopAction) {
+	for _, sw := range n.switches {
+		sw.LoopPolicy = a
+	}
+}
+
+// countLink accumulates one packet traversal of the link {u, v}. The
+// counters quantify the intro's motivation: packets trapped in loops
+// multiply the load on every link the loop uses, degrading innocent
+// traffic that shares them.
+func (n *Network) countLink(u, v int) {
+	if u > v {
+		u, v = v, u
+	}
+	n.linkLoad[[2]int{u, v}]++
+}
+
+// LinkLoad returns how many packet traversals the link {u, v} has
+// carried since the last ResetLoad.
+func (n *Network) LinkLoad(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return n.linkLoad[[2]int{u, v}]
+}
+
+// TotalPacketHops returns the network-wide traversal count — the
+// bandwidth-cost currency for comparing loop reactions.
+func (n *Network) TotalPacketHops() uint64 {
+	var total uint64
+	for _, c := range n.linkLoad {
+		total += c
+	}
+	return total
+}
+
+// MaxLinkLoad returns the most loaded link and its traversal count.
+func (n *Network) MaxLinkLoad() (u, v int, load uint64) {
+	u, v = -1, -1
+	for k, c := range n.linkLoad {
+		if c > load {
+			u, v, load = k[0], k[1], c
+		}
+	}
+	return u, v, load
+}
+
+// ResetLoad clears the link counters.
+func (n *Network) ResetLoad() { n.linkLoad = make(map[[2]int]uint64) }

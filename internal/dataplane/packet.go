@@ -1,0 +1,122 @@
+// Package dataplane is the software stand-in for the paper's P4/FPGA
+// prototype (§4): a byte-level packet format carrying the Unroller header,
+// a per-switch ingress pipeline structured like the paper's single P4
+// control block (parse → read registers → increment Xcnt → hash → compare
+// → update → deparse), a forwarding network built from a topology with
+// per-switch FIBs, loop injection by FIB misconfiguration, loop reports to
+// a controller, and the reroute-on-detect reaction the paper sketches in
+// its conclusion.
+//
+// The pipeline reuses the bit-exact header codec of internal/core, so the
+// emulator and the Monte Carlo simulator execute the identical algorithm;
+// the package tests cross-check detection hop counts between the two.
+package dataplane
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/unroller/unroller/internal/detect"
+)
+
+// Wire layout of the emulator's frame, big-endian like real network
+// headers:
+//
+//	offset  size  field
+//	0       1     version (currently 1)
+//	1       1     flags (bit 0: telemetry is a collection record)
+//	2       1     TTL
+//	3       4     flow id
+//	7       4     source switch id
+//	11      4     destination switch id
+//	15      1     telemetry length in bytes (0 = absent)
+//	16      n     telemetry: Unroller header, or a collection record
+//	              when FlagCollect is set (see collect.go)
+//	16+n    …     payload
+const (
+	frameVersion    = 1
+	fixedHeaderSize = 16
+)
+
+// Frame flags.
+const (
+	// FlagCollect marks a packet that has already triggered a loop
+	// report and is now circulating the loop once more to record the
+	// identifiers of the participating switches (§3.5 of the paper:
+	// "tag the packet to collect the involved switch IDs and send a
+	// report for analysis").
+	FlagCollect uint8 = 1 << 0
+)
+
+// ErrMalformed is returned when a frame cannot be parsed.
+var ErrMalformed = errors.New("dataplane: malformed frame")
+
+// Packet is the parsed representation of a frame.
+type Packet struct {
+	// Flags carries frame flags (FlagCollect).
+	Flags uint8
+	// TTL is decremented per hop; the packet is dropped at zero — the
+	// fate Unroller exists to preempt.
+	TTL uint8
+	// Flow identifies the five-tuple surrogate.
+	Flow uint32
+	// Src and Dst are switch identifiers of the ingress and egress
+	// edge; forwarding is destination-based.
+	Src, Dst detect.SwitchID
+	// Telemetry is the raw Unroller header carried in-band (nil when
+	// the feature is disabled on this packet).
+	Telemetry []byte
+	// Payload is the opaque application data.
+	Payload []byte
+}
+
+// Marshal serialises the packet into a fresh buffer.
+func (p *Packet) Marshal() ([]byte, error) {
+	if len(p.Telemetry) > 255 {
+		return nil, fmt.Errorf("%w: telemetry %d bytes exceeds the 1-byte length field", ErrMalformed, len(p.Telemetry))
+	}
+	buf := make([]byte, fixedHeaderSize+len(p.Telemetry)+len(p.Payload))
+	buf[0] = frameVersion
+	buf[1] = p.Flags
+	buf[2] = p.TTL
+	binary.BigEndian.PutUint32(buf[3:], p.Flow)
+	binary.BigEndian.PutUint32(buf[7:], uint32(p.Src))
+	binary.BigEndian.PutUint32(buf[11:], uint32(p.Dst))
+	buf[15] = byte(len(p.Telemetry))
+	copy(buf[fixedHeaderSize:], p.Telemetry)
+	copy(buf[fixedHeaderSize+len(p.Telemetry):], p.Payload)
+	return buf, nil
+}
+
+// Unmarshal parses a frame. The telemetry and payload slices alias buf.
+func (p *Packet) Unmarshal(buf []byte) error {
+	if len(buf) < fixedHeaderSize {
+		return fmt.Errorf("%w: %d bytes, need %d", ErrMalformed, len(buf), fixedHeaderSize)
+	}
+	if buf[0] != frameVersion {
+		return fmt.Errorf("%w: version %d", ErrMalformed, buf[0])
+	}
+	tlen := int(buf[15])
+	if len(buf) < fixedHeaderSize+tlen {
+		return fmt.Errorf("%w: telemetry truncated (%d of %d bytes)", ErrMalformed, len(buf)-fixedHeaderSize, tlen)
+	}
+	p.Flags = buf[1]
+	p.TTL = buf[2]
+	p.Flow = binary.BigEndian.Uint32(buf[3:])
+	p.Src = detect.SwitchID(binary.BigEndian.Uint32(buf[7:]))
+	p.Dst = detect.SwitchID(binary.BigEndian.Uint32(buf[11:]))
+	if tlen > 0 {
+		p.Telemetry = buf[fixedHeaderSize : fixedHeaderSize+tlen]
+	} else {
+		p.Telemetry = nil
+	}
+	p.Payload = buf[fixedHeaderSize+tlen:]
+	return nil
+}
+
+// String summarises the packet for traces.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{flow=%d %v→%v ttl=%d tel=%dB pay=%dB}",
+		p.Flow, p.Src, p.Dst, p.TTL, len(p.Telemetry), len(p.Payload))
+}

@@ -1,0 +1,285 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/detect"
+)
+
+// PortID indexes a switch's ports (its position in the adjacency list).
+type PortID int
+
+// Disposition is the pipeline's decision for a packet.
+type Disposition uint8
+
+const (
+	// Forward sends the packet out of Egress.
+	Forward Disposition = iota
+	// Deliver terminates the packet at this switch (it is the
+	// destination).
+	Deliver
+	// DropTTL discards the packet because its TTL reached zero.
+	DropTTL
+	// DropNoRoute discards the packet for lack of a FIB entry.
+	DropNoRoute
+	// DropLoop discards the packet because this switch detected a
+	// routing loop and no backup port is configured (§4: "drop the
+	// packet and inform the controller").
+	DropLoop
+	// RerouteLoop forwards the packet out of a backup port after
+	// detecting a loop — the PURR-style reaction from the paper's
+	// conclusion.
+	RerouteLoop
+)
+
+// String names the disposition.
+func (d Disposition) String() string {
+	switch d {
+	case Forward:
+		return "forward"
+	case Deliver:
+		return "deliver"
+	case DropTTL:
+		return "drop-ttl"
+	case DropNoRoute:
+		return "drop-no-route"
+	case DropLoop:
+		return "drop-loop"
+	case RerouteLoop:
+		return "reroute-loop"
+	default:
+		return fmt.Sprintf("Disposition(%d)", uint8(d))
+	}
+}
+
+// Decision is the full pipeline output for one packet.
+type Decision struct {
+	Disposition Disposition
+	// Egress is valid for Forward and RerouteLoop.
+	Egress PortID
+	// LoopReport is non-nil when the Unroller logic fired at this
+	// switch, regardless of whether the packet was dropped, rerouted,
+	// or sent on a collection lap.
+	LoopReport *detect.Report
+	// Members is the full loop membership, present only when a
+	// collection lap (§3.5) just completed at this switch.
+	Members []detect.SwitchID
+}
+
+// InitialTTL is the TTL edge injection uses. Configurations with
+// TTLHopCount derive the Unroller hop counter as InitialTTL − TTL, so
+// such packets must enter the network with exactly this TTL.
+const InitialTTL = 255
+
+// Switch is one forwarding element. Per the paper, Unroller keeps no
+// per-flow state on the switch: the registers hold only the switch's own
+// identifier, the algorithm configuration, and the 256-entry phase-start
+// lookup table. The FIB is ordinary destination-based forwarding state.
+type Switch struct {
+	// ID is the switch identifier announced in packets.
+	ID detect.SwitchID
+	// Node is the topology node index this switch realises.
+	Node int
+	// LoopPolicy selects the reaction to a detected loop; the default
+	// ActionReroute deflects when a backup port exists and drops
+	// otherwise.
+	LoopPolicy LoopAction
+
+	// fib maps destination switch ID to egress port.
+	fib map[detect.SwitchID]PortID
+	// backup maps destination switch ID to an alternate egress used
+	// after a loop report; absent entries mean "drop on loop".
+	backup map[detect.SwitchID]PortID
+	// neighbors[p] is the node index reachable through port p.
+	neighbors []int
+
+	// unroller is the shared detector (immutable, safe to share across
+	// switches); phaseLUT mirrors the hardware's lookup-table register.
+	unroller *core.Unroller
+	phaseLUT []bool
+
+	// Counters exported to the controller, mirroring what a P4 target
+	// would expose.
+	Stats SwitchStats
+}
+
+// SwitchStats are per-switch packet counters.
+type SwitchStats struct {
+	Received  uint64
+	Forwarded uint64
+	Delivered uint64
+	TTLDrops  uint64
+	NoRoute   uint64
+	LoopHits  uint64
+	Reroutes  uint64
+}
+
+// newSwitch wires a switch for the given node.
+func newSwitch(id detect.SwitchID, node int, neighbors []int, u *core.Unroller) *Switch {
+	return &Switch{
+		ID:         id,
+		Node:       node,
+		LoopPolicy: ActionReroute, // deflect when a backup exists, else drop
+		fib:        make(map[detect.SwitchID]PortID),
+		backup:     make(map[detect.SwitchID]PortID),
+		neighbors:  neighbors,
+		unroller:   u,
+		phaseLUT:   core.PhaseStartTable(u.Config(), 256),
+	}
+}
+
+// SetRoute installs dst→port in the FIB.
+func (s *Switch) SetRoute(dst detect.SwitchID, port PortID) error {
+	if int(port) < 0 || int(port) >= len(s.neighbors) {
+		return fmt.Errorf("dataplane: %v has no port %d", s.ID, port)
+	}
+	s.fib[dst] = port
+	return nil
+}
+
+// SetBackup installs an alternate egress for dst used after a loop
+// report.
+func (s *Switch) SetBackup(dst detect.SwitchID, port PortID) error {
+	if int(port) < 0 || int(port) >= len(s.neighbors) {
+		return fmt.Errorf("dataplane: %v has no port %d", s.ID, port)
+	}
+	s.backup[dst] = port
+	return nil
+}
+
+// ClearBackups removes every backup route, reverting the switch to the
+// paper's base behaviour: drop and report on detection.
+func (s *Switch) ClearBackups() { s.backup = make(map[detect.SwitchID]PortID) }
+
+// Route returns the FIB entry for dst.
+func (s *Switch) Route(dst detect.SwitchID) (PortID, bool) {
+	p, ok := s.fib[dst]
+	return p, ok
+}
+
+// Ports returns the number of ports.
+func (s *Switch) Ports() int { return len(s.neighbors) }
+
+// Peer returns the node index on the far end of port p.
+func (s *Switch) Peer(p PortID) int { return s.neighbors[p] }
+
+// Process runs the ingress pipeline on the packet in place, mirroring the
+// paper's P4 control block: (0) TTL check, (1) parse the Unroller header
+// and bump Xcnt via Visit, (2)–(3) hash, compare, and update the stored
+// identifiers, (4) on a match report to the controller and drop — or
+// deflect to the backup port when one is installed — then deparse and
+// forward by FIB.
+func (s *Switch) Process(p *Packet) (Decision, error) {
+	s.Stats.Received++
+
+	// Collection-mode packets circulate the loop to record membership;
+	// they never deliver.
+	if p.Flags&FlagCollect != 0 {
+		if p.TTL == 0 {
+			s.Stats.TTLDrops++
+			return Decision{Disposition: DropTTL}, nil
+		}
+		p.TTL--
+		return s.processCollect(p)
+	}
+
+	// Destination check precedes everything: the last hop delivers.
+	if p.Dst == s.ID {
+		s.Stats.Delivered++
+		return Decision{Disposition: Deliver}, nil
+	}
+
+	// TTL: decrement and drop at zero, the loss Unroller preempts.
+	if p.TTL == 0 {
+		s.Stats.TTLDrops++
+		return Decision{Disposition: DropTTL}, nil
+	}
+	p.TTL--
+
+	// Unroller control block over the in-band header.
+	var report *detect.Report
+	if len(p.Telemetry) > 0 {
+		st, err := s.decodeTelemetry(p)
+		if err != nil {
+			return Decision{}, fmt.Errorf("dataplane: %v: %w", s.ID, err)
+		}
+		verdict := st.Visit(s.ID)
+		if verdict == detect.Loop {
+			s.Stats.LoopHits++
+			report = &detect.Report{Reporter: s.ID, Hops: int(st.Hops())}
+			return s.reactToLoop(p, report)
+		}
+		tel, err := st.AppendHeader(p.Telemetry[:0])
+		if err != nil {
+			return Decision{}, fmt.Errorf("dataplane: %v: re-encode: %w", s.ID, err)
+		}
+		p.Telemetry = tel
+	}
+
+	// Destination-based forwarding.
+	port, ok := s.fib[p.Dst]
+	if !ok {
+		s.Stats.NoRoute++
+		return Decision{Disposition: DropNoRoute, LoopReport: report}, nil
+	}
+	s.Stats.Forwarded++
+	return Decision{Disposition: Forward, Egress: port, LoopReport: report}, nil
+}
+
+// decodeTelemetry parses the packet's Unroller header, deriving the hop
+// counter from the TTL when the configuration elides it (footnote 3 of
+// the paper). TTL-derived counting requires packets injected with
+// InitialTTL; Process has already decremented the TTL for this hop, so
+// the pre-Visit hop count is InitialTTL − TTL − 1.
+func (s *Switch) decodeTelemetry(p *Packet) (*core.State, error) {
+	if !s.unroller.Config().TTLHopCount {
+		return s.unroller.DecodeHeader(p.Telemetry)
+	}
+	if p.TTL >= InitialTTL {
+		return nil, fmt.Errorf("TTL %d inconsistent with TTL-derived hop counting (initial %d)", p.TTL, InitialTTL)
+	}
+	return s.unroller.DecodeHeaderAt(p.Telemetry, uint64(InitialTTL)-uint64(p.TTL)-1)
+}
+
+// reactToLoop applies the switch's loop policy to a packet on which the
+// Unroller logic just fired.
+func (s *Switch) reactToLoop(p *Packet, report *detect.Report) (Decision, error) {
+	switch s.LoopPolicy {
+	case ActionReroute:
+		if bp, ok := s.backup[p.Dst]; ok {
+			// Deflect: reset the telemetry so the detector
+			// restarts on the new route.
+			fresh := s.unroller.NewPacketState()
+			tel, err := fresh.AppendHeader(nil)
+			if err != nil {
+				return Decision{}, err
+			}
+			p.Telemetry = tel
+			s.Stats.Reroutes++
+			return Decision{Disposition: RerouteLoop, Egress: bp, LoopReport: report}, nil
+		}
+	case ActionCollect:
+		// Tag the packet for one recording lap (§3.5); it keeps
+		// following the looping FIB and returns here with the full
+		// membership.
+		if port, ok := s.fib[p.Dst]; ok {
+			rec := collectRecord{Initiator: s.ID}
+			tel, err := rec.marshal()
+			if err != nil {
+				return Decision{}, err
+			}
+			p.Telemetry = tel
+			p.Flags |= FlagCollect
+			s.Stats.Forwarded++
+			return Decision{Disposition: Forward, Egress: port, LoopReport: report}, nil
+		}
+	case ActionDrop:
+		// fall through to the drop below
+	}
+	return Decision{Disposition: DropLoop, LoopReport: report}, nil
+}
+
+// PhaseStartLUT exposes the lookup-table register (useful for inspecting
+// hardware fidelity in tests and the emulator CLI).
+func (s *Switch) PhaseStartLUT() []bool { return s.phaseLUT }

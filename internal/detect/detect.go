@@ -1,0 +1,63 @@
+// Package detect defines the in-band loop-detection contract shared by the
+// Unroller algorithm (internal/core), every baseline (internal/baseline),
+// the simulation engine (internal/sim), and the data plane
+// (internal/dataplane).
+//
+// A Detector describes an algorithm and its per-packet header cost; a State
+// is the mutable header content carried by one packet. The simulation
+// engine drives a State hop by hop over a switch sequence; the data plane
+// serialises the same state into real packet bytes.
+package detect
+
+import "fmt"
+
+// SwitchID identifies a switch in the network. The paper's evaluation uses
+// randomly generated 32-bit identifiers; topologies map node indices to
+// SwitchIDs via an assignment (see internal/topology).
+type SwitchID uint32
+
+// String formats the ID in hexadecimal, the way operators read them.
+func (id SwitchID) String() string { return fmt.Sprintf("sw-%08x", uint32(id)) }
+
+// Verdict is the outcome of processing one hop.
+type Verdict uint8
+
+const (
+	// Continue means no loop was detected at this hop.
+	Continue Verdict = iota
+	// Loop means the current switch observed its own (hashed) identifier
+	// on the packet and reports a routing loop.
+	Loop
+)
+
+// State is the per-packet detection state carried in the packet header.
+// Implementations are single-packet and not safe for concurrent use, which
+// mirrors the hardware: a packet is processed by one pipeline at a time.
+type State interface {
+	// Visit processes the packet's arrival at switch id (one hop) and
+	// returns whether this switch reports a loop. After a Loop verdict
+	// the state is dead: further Visit calls have unspecified results.
+	Visit(id SwitchID) Verdict
+}
+
+// Detector is a loop-detection algorithm: a factory for per-packet states
+// plus its fixed header cost.
+type Detector interface {
+	// Name returns a short human-readable algorithm name.
+	Name() string
+	// BitOverhead returns the number of header bits the algorithm adds to
+	// each packet. For path-length-dependent schemes (INT) this is the
+	// cost for a packet that has traversed maxHops hops.
+	BitOverhead(maxHops int) int
+	// NewState returns fresh per-packet state.
+	NewState() State
+}
+
+// Report describes a detected loop, as delivered to a controller.
+type Report struct {
+	// Reporter is the switch that observed the loop.
+	Reporter SwitchID
+	// Hops is the number of hops the packet had traversed when the loop
+	// was reported (counting the first hop as 1).
+	Hops int
+}

@@ -1,0 +1,21 @@
+package detect
+
+import "testing"
+
+// TestSwitchIDString pins the operator-facing format.
+func TestSwitchIDString(t *testing.T) {
+	if got := SwitchID(0xDEADBEEF).String(); got != "sw-deadbeef" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := SwitchID(1).String(); got != "sw-00000001" {
+		t.Fatalf("String = %q (must zero-pad)", got)
+	}
+}
+
+// TestVerdictValues pins the contract's constants: Continue must be the
+// zero value so that zero-initialised verdicts are safe.
+func TestVerdictValues(t *testing.T) {
+	if Continue != 0 || Loop == Continue {
+		t.Fatal("verdict constants changed")
+	}
+}

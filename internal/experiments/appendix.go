@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/unroller/unroller/internal/core"
+)
+
+// AppendixA reproduces the lower-bound story of Theorem 5 and Appendix
+// A empirically: for each phase base, replay the lemmas' adversarial
+// constructions and report the worst detection ratio achieved, next to
+// the analytic ceiling (Theorem 1) and the universal floor (Theorem 5).
+// The fractional lookup-table base appears as the final row — the §3
+// "optimize the ratio further" remark made measurable.
+func AppendixA(maxScale int) *Table {
+	if maxScale < 4 {
+		maxScale = 120
+	}
+	t := &Table{
+		ID: "appendixA",
+		Caption: fmt.Sprintf(
+			"Empirical worst-case detection (adversarial constructions up to scale %d) vs theory", maxScale),
+		Headers: []string{"base b", "worst measured (×X)", "Theorem 1 ceiling", "Theorem 5 floor"},
+	}
+	floor := core.LowerBoundFactor()
+	for _, b := range []int{2, 3, 4, 5, 6} {
+		cfg := core.DefaultConfig()
+		cfg.Base = b
+		worst, _ := core.EmpiricalWorstCase(cfg, maxScale)
+		t.AddRow(
+			fmt.Sprintf("%d", b),
+			fmt.Sprintf("%.3f", worst),
+			fmt.Sprintf("%.3f", core.WorstCaseFactor(b)),
+			fmt.Sprintf("%.3f", floor),
+		)
+	}
+	frac := core.DefaultConfig()
+	frac.Schedule = core.ScheduleLookup
+	frac.PhaseTable = core.FractionalPhaseTable(core.OptimalWorstCaseBase(), 40)
+	worst, _ := core.EmpiricalWorstCase(frac, maxScale)
+	t.AddRow(
+		fmt.Sprintf("%.3f (lookup)", core.OptimalWorstCaseBase()),
+		fmt.Sprintf("%.3f", worst),
+		fmt.Sprintf("%.3f", core.OptimalWorstCaseBase()),
+		fmt.Sprintf("%.3f", floor),
+	)
+	return t
+}
+
+// Ablations runs the design-choice comparisons DESIGN.md calls out on a
+// fixed workload (B=5, L=20): phase schedule, integer vs fractional
+// base, and the TTL-derived hop counter's header saving.
+func Ablations(o Options) (*Table, error) {
+	o = o.normalise()
+	t := &Table{
+		ID:      "ablations",
+		Caption: fmt.Sprintf("Design ablations on the B=5, L=20 workload (%d runs each)", o.Runs),
+		Headers: []string{"variant", "header bits", "avg time (×X)"},
+	}
+	variants := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"analysis schedule, b=4", core.DefaultConfig()},
+		{"hardware schedule, b=4", func() core.Config {
+			c := core.DefaultConfig()
+			c.Schedule = core.ScheduleHardware
+			return c
+		}()},
+		{"analysis schedule, b=3", func() core.Config {
+			c := core.DefaultConfig()
+			c.Base = 3
+			return c
+		}()},
+		{"lookup schedule, b≈4.56", func() core.Config {
+			c := core.DefaultConfig()
+			c.Schedule = core.ScheduleLookup
+			c.PhaseTable = core.FractionalPhaseTable(core.OptimalWorstCaseBase(), 40)
+			return c
+		}()},
+		{"TTL-derived hop counter", func() core.Config {
+			c := core.DefaultConfig()
+			c.TTLHopCount = true
+			return c
+		}()},
+	}
+	for _, v := range variants {
+		if err := v.cfg.Validate(); err != nil {
+			return nil, err
+		}
+		t.AddRow(v.name, fmt.Sprintf("%d", v.cfg.HeaderBits()), avgTime(v.cfg, 5, 20, o))
+	}
+	return t, nil
+}

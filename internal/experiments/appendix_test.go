@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAppendixATable: every base's measured worst case sits between the
+// Theorem 5 floor (within finite-scale slack) and its Theorem 1 ceiling,
+// and the fractional row beats the b=4 ceiling.
+func TestAppendixATable(t *testing.T) {
+	tab := AppendixA(80)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	var b4Ceiling, fracWorst float64
+	for _, row := range tab.Rows {
+		worst := cell(t, row[1])
+		ceiling := cell(t, row[2])
+		floor := cell(t, row[3])
+		if worst > ceiling+0.05 {
+			t.Errorf("base %s: measured %.3f above ceiling %.3f", row[0], worst, ceiling)
+		}
+		if worst < floor*0.80 {
+			t.Errorf("base %s: measured %.3f implausibly below the %.3f floor", row[0], worst, floor)
+		}
+		if row[0] == "4" {
+			b4Ceiling = ceiling
+		}
+		if strings.Contains(row[0], "lookup") {
+			fracWorst = worst
+		}
+	}
+	if fracWorst >= b4Ceiling {
+		t.Errorf("fractional base worst %.3f should beat the b=4 ceiling %.3f", fracWorst, b4Ceiling)
+	}
+	// Scale clamping.
+	if tab := AppendixA(0); len(tab.Rows) != 6 {
+		t.Error("clamped scale broke the table")
+	}
+}
+
+// TestAblationsTable: all variants run, the TTL variant saves exactly 8
+// bits, and every detection time is plausible.
+func TestAblationsTable(t *testing.T) {
+	tab, err := Ablations(Options{Runs: 3000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	bitsOf := map[string]int{}
+	for _, row := range tab.Rows {
+		bits, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitsOf[row[0]] = bits
+		if at := cell(t, row[2]); at < 1 || at > 4 {
+			t.Errorf("%s: avg time %v implausible", row[0], at)
+		}
+	}
+	if bitsOf["TTL-derived hop counter"] != bitsOf["analysis schedule, b=4"]-8 {
+		t.Errorf("TTL variant bits: %v", bitsOf)
+	}
+}

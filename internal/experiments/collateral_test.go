@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCollateralTable: the blind row must show multiplied latency and
+// nonzero loss; the detected row must show in-band kills.
+func TestCollateralTable(t *testing.T) {
+	tab, err := Collateral()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	blind, det := tab.Rows[0], tab.Rows[1]
+	blindLat := cell(t, blind[1])
+	detLat := cell(t, det[1])
+	if blindLat < detLat*2 {
+		t.Errorf("blind latency %v should dwarf detected %v", blindLat, detLat)
+	}
+	if !strings.Contains(det[4], "killed in-band") {
+		t.Errorf("detected victim fate: %q", det[4])
+	}
+	if strings.Contains(blind[4], "killed") {
+		t.Errorf("blind victim fate: %q", blind[4])
+	}
+	// Determinism: the discrete-event simulation is seeded, so a second
+	// run reproduces the table exactly.
+	tab2, err := Collateral()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		for j := range tab.Rows[i] {
+			if tab.Rows[i][j] != tab2.Rows[i][j] {
+				t.Fatalf("non-deterministic cell [%d][%d]: %q vs %q", i, j, tab.Rows[i][j], tab2.Rows[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/unroller/unroller/internal/baseline"
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/dataplane"
+	"github.com/unroller/unroller/internal/sim"
+	"github.com/unroller/unroller/internal/topology"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// Table5Options shapes the topology comparison.
+type Table5Options struct {
+	// TimeRuns is the Monte Carlo budget for the avg-detection-time
+	// column (default 20000).
+	TimeRuns int
+	// MinBitsRuns is the per-candidate budget for the zero-false-
+	// positive searches (default 2000; the paper uses 3M — raise it
+	// for the full-budget reproduction, the answer grows by a few bits
+	// as the budget squeezes rarer collisions out).
+	MinBitsRuns int
+	// Seed makes the table reproducible.
+	Seed uint64
+}
+
+func (o Table5Options) normalise() Table5Options {
+	if o.TimeRuns <= 0 {
+		o.TimeRuns = 20000
+	}
+	if o.MinBitsRuns <= 0 {
+		o.MinBitsRuns = 2000
+	}
+	return o
+}
+
+// Table5 reproduces the paper's Table 5: for each topology, the number of
+// nodes, the diameter, PathDump's fixed overhead (only where applicable),
+// the minimum Bloom filter size with zero false positives over the run
+// budget, and Unroller's average detection time plus minimum header bits.
+func Table5(o Table5Options) (*Table, error) {
+	o = o.normalise()
+	t := &Table{
+		ID: "table5",
+		Caption: fmt.Sprintf(
+			"Unroller vs state of the art on real topologies (zero-FP searches over %d runs)", o.MinBitsRuns),
+		Headers: []string{
+			"Topology", "Nodes", "Diameter",
+			"PathDump bits", "Bloom bits", "Unroller AvgTime (#hops/X)", "Unroller bits",
+		},
+	}
+	for _, spec := range topology.TableFiveSpecs() {
+		g, err := topology.ZooGraph(spec)
+		if err != nil {
+			return nil, err
+		}
+		diam := g.Diameter()
+
+		pathdump := "×"
+		if spec.Layered {
+			pathdump = fmt.Sprintf("%d", baseline.PathDumpOverheadBits)
+		}
+
+		entries, err := sim.ExpectedEntries(g, 200, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		bloom, err := sim.MinBloomBits(g, entries, o.MinBitsRuns, o.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+
+		det := core.MustNew(core.DefaultConfig())
+		res, err := sim.TopoMonteCarlo(g, sim.Fixed(det), sim.MCConfig{Runs: o.TimeRuns, Seed: o.Seed + 2})
+		if err != nil {
+			return nil, err
+		}
+		if res.Timeouts > 0 {
+			return nil, fmt.Errorf("experiments: %s: %d undetected loops", spec.Name, res.Timeouts)
+		}
+
+		unr, err := sim.MinUnrollerBits(g, core.DefaultConfig(), o.MinBitsRuns, o.Seed+3)
+		if err != nil {
+			return nil, err
+		}
+
+		t.AddRow(
+			spec.Name,
+			fmt.Sprintf("%d", g.N()),
+			fmt.Sprintf("%d", diam),
+			pathdump,
+			fmt.Sprintf("%d", bloom.Bits),
+			fmt.Sprintf("%.2f", res.Time.Mean()),
+			fmt.Sprintf("%d", unr.Bits),
+		)
+	}
+	return t, nil
+}
+
+// Table4Options shapes the throughput substitute for the FPGA table.
+type Table4Options struct {
+	// Packets per measurement (default 200000).
+	Packets int
+	// Seed for the workload.
+	Seed uint64
+}
+
+func (o Table4Options) normalise() Table4Options {
+	if o.Packets <= 0 {
+		o.Packets = 200000
+	}
+	return o
+}
+
+// Table4 is the substitute for the paper's Table 4 (FPGA resource use and
+// frequency): the hardware targets are unavailable, so it measures the
+// software pipeline's single-core packet rate for representative Unroller
+// configurations — the same per-packet logic whose lightness the paper's
+// table demonstrates. Rates are reported in Mpps; the paper's hardware
+// sustains ≈190–225 Mpps, a software emulator runs orders of magnitude
+// slower but must show the rate is configuration-insensitive (constant
+// per-packet work).
+func Table4(o Table4Options) (*Table, error) {
+	o = o.normalise()
+	t := &Table{
+		ID:      "table4",
+		Caption: "Software pipeline throughput per configuration (substitute for FPGA resources)",
+		Headers: []string{"Configuration", "Header bits", "ns/packet", "Mpps (1 core)"},
+	}
+	configs := []core.Config{
+		core.DefaultConfig(),
+		func() core.Config {
+			c := core.DefaultConfig()
+			c.ZBits = 16
+			c.HashIDs = true
+			return c
+		}(),
+		func() core.Config {
+			c := core.DefaultConfig()
+			c.Chunks, c.Hashes, c.ZBits, c.HashIDs = 2, 2, 16, true
+			return c
+		}(),
+		func() core.Config {
+			c := core.DefaultConfig()
+			c.ZBits, c.Threshold, c.HashIDs = 7, 4, true
+			return c
+		}(),
+	}
+	for _, cfg := range configs {
+		nsPerPkt, err := MeasurePipeline(cfg, o.Packets, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		mpps := 1e3 / nsPerPkt // 1e9 ns/s ÷ ns/pkt ÷ 1e6
+		t.AddRow(
+			cfg.String(),
+			fmt.Sprintf("%d", cfg.HeaderBits()),
+			fmt.Sprintf("%.0f", nsPerPkt),
+			fmt.Sprintf("%.2f", mpps),
+		)
+	}
+	return t, nil
+}
+
+// MeasurePipeline times the full per-packet switch pipeline — parse,
+// Unroller control block, deparse, FIB lookup — over packets circulating
+// a ring, returning nanoseconds per packet. It is also the body of the
+// Table 4 benchmark in bench_test.go.
+func MeasurePipeline(cfg core.Config, packets int, seed uint64) (float64, error) {
+	g, err := topology.Ring(16)
+	if err != nil {
+		return 0, err
+	}
+	assign := topology.NewAssignment(g, xrand.New(seed))
+	n, err := dataplane.NewNetwork(g, assign, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if err := n.InstallShortestPaths(8); err != nil {
+		return 0, err
+	}
+	// Pre-marshal a telemetry-bearing packet aimed across the ring.
+	tel, err := n.Unroller().NewPacketState().AppendHeader(nil)
+	if err != nil {
+		return 0, err
+	}
+	pkt := dataplane.Packet{
+		TTL:       255,
+		Flow:      1,
+		Src:       assign.ID(0),
+		Dst:       assign.ID(8),
+		Telemetry: tel,
+		Payload:   make([]byte, 46), // minimum Ethernet payload
+	}
+	wire, err := pkt.Marshal()
+	if err != nil {
+		return 0, err
+	}
+	sw := n.Switch(1) // a transit switch
+	start := time.Now()
+	for i := 0; i < packets; i++ {
+		var p dataplane.Packet
+		if err := p.Unmarshal(wire); err != nil {
+			return 0, err
+		}
+		if _, err := sw.Process(&p); err != nil {
+			return 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	return float64(elapsed.Nanoseconds()) / float64(packets), nil
+}

@@ -1,0 +1,36 @@
+package frames_test
+
+import (
+	"fmt"
+
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/frames"
+)
+
+// Example embeds live Unroller state in a checksummed IPv4 header as an
+// experimental IP option and recovers it on the far side.
+func Example() {
+	cfg := core.DefaultConfig()
+	cfg.ZBits, cfg.HashIDs = 16, true
+	u := core.MustNew(cfg)
+	st := u.NewPacketState()
+	st.Visit(101)
+	st.Visit(102)
+
+	hdr, _ := st.AppendHeader(nil)
+	opt, _ := frames.BuildUnrollerOption(hdr)
+	ip := frames.IPv4{TTL: 64, Protocol: 17, Options: opt,
+		Src: [4]byte{192, 0, 2, 1}, Dst: [4]byte{192, 0, 2, 2}}
+	wire, _ := ip.Marshal(nil)
+
+	var got frames.IPv4
+	if _, err := got.Unmarshal(wire); err != nil {
+		fmt.Println("checksum failed:", err)
+		return
+	}
+	data, _ := frames.FindUnrollerOption(got.Options)
+	dec, _ := u.DecodeHeader(data)
+	fmt.Printf("ipv4 header %dB, option carries Xcnt=%d\n", got.HeaderLen(), dec.Hops())
+	// Output:
+	// ipv4 header 28B, option carries Xcnt=2
+}

@@ -1,0 +1,212 @@
+// Package frames provides a production-shaped wire encoding for
+// Unroller state: Ethernet II framing and a fully checksummed IPv4
+// header carrying the Unroller fields as an experimental IP option
+// (RFC 3692 experiment type, copy bit set so routers propagate it on
+// fragmentation). The emulator's internal frame (internal/dataplane) is
+// deliberately minimal; this package is what an on-the-wire deployment
+// over IPv4 would parse, and its tests pin the checksum math against
+// known vectors.
+package frames
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Byte sizes and constants of the encodings.
+const (
+	// EthernetHeaderLen is the Ethernet II header size (no 802.1Q).
+	EthernetHeaderLen = 14
+	// EtherTypeIPv4 marks an IPv4 payload.
+	EtherTypeIPv4 = 0x0800
+	// IPv4MinHeaderLen is the option-less IPv4 header size.
+	IPv4MinHeaderLen = 20
+	// IPv4MaxHeaderLen caps the header (IHL is 4 bits of 32-bit words).
+	IPv4MaxHeaderLen = 60
+	// OptionUnroller is the option type carrying Unroller state:
+	// copy=1, class=0 (control), number=30 (RFC 3692 experiment).
+	OptionUnroller = 0x9E
+	// optEOL and optNOP are the standard terminator and padding.
+	optEOL = 0x00
+	optNOP = 0x01
+)
+
+// Errors returned by the decoders.
+var (
+	ErrTruncated   = errors.New("frames: truncated")
+	ErrBadVersion  = errors.New("frames: not IPv4")
+	ErrBadChecksum = errors.New("frames: header checksum mismatch")
+	ErrBadOption   = errors.New("frames: malformed options")
+	ErrNoOption    = errors.New("frames: no unroller option present")
+)
+
+// MAC is an Ethernet address.
+type MAC [6]byte
+
+// String formats the address conventionally.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Ethernet is an Ethernet II header.
+type Ethernet struct {
+	Dst, Src  MAC
+	EtherType uint16
+}
+
+// Marshal appends the header to dst.
+func (e *Ethernet) Marshal(dst []byte) []byte {
+	dst = append(dst, e.Dst[:]...)
+	dst = append(dst, e.Src[:]...)
+	return binary.BigEndian.AppendUint16(dst, e.EtherType)
+}
+
+// Unmarshal parses the header and returns the payload.
+func (e *Ethernet) Unmarshal(buf []byte) ([]byte, error) {
+	if len(buf) < EthernetHeaderLen {
+		return nil, fmt.Errorf("%w: ethernet header needs 14 bytes, have %d", ErrTruncated, len(buf))
+	}
+	copy(e.Dst[:], buf[0:6])
+	copy(e.Src[:], buf[6:12])
+	e.EtherType = binary.BigEndian.Uint16(buf[12:14])
+	return buf[EthernetHeaderLen:], nil
+}
+
+// IPv4 is an IPv4 header with options.
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	Flags    uint8 // 3 bits: reserved/DF/MF
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Src, Dst [4]byte
+	// Options holds the raw option bytes (padded to 32-bit words on
+	// marshal).
+	Options []byte
+	// PayloadLen is the L4 payload length used to compute TotalLength;
+	// set by the caller on marshal, recovered on unmarshal.
+	PayloadLen int
+}
+
+// HeaderLen returns the encoded header size including padded options.
+func (h *IPv4) HeaderLen() int {
+	opts := (len(h.Options) + 3) / 4 * 4
+	return IPv4MinHeaderLen + opts
+}
+
+// Marshal appends the checksummed header to dst.
+func (h *IPv4) Marshal(dst []byte) ([]byte, error) {
+	hlen := h.HeaderLen()
+	if hlen > IPv4MaxHeaderLen {
+		return nil, fmt.Errorf("%w: options of %d bytes exceed the 40-byte limit", ErrBadOption, len(h.Options))
+	}
+	total := hlen + h.PayloadLen
+	if total > 0xFFFF {
+		return nil, fmt.Errorf("frames: total length %d exceeds 16 bits", total)
+	}
+	start := len(dst)
+	dst = append(dst, byte(0x40|hlen/4), h.TOS)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(total))
+	dst = binary.BigEndian.AppendUint16(dst, h.ID)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(h.Flags)<<13|h.FragOff&0x1FFF)
+	dst = append(dst, h.TTL, h.Protocol, 0, 0) // checksum placeholder
+	dst = append(dst, h.Src[:]...)
+	dst = append(dst, h.Dst[:]...)
+	dst = append(dst, h.Options...)
+	for len(dst)-start < hlen {
+		dst = append(dst, optEOL)
+	}
+	ck := Checksum(dst[start : start+hlen])
+	binary.BigEndian.PutUint16(dst[start+10:], ck)
+	return dst, nil
+}
+
+// Unmarshal parses and checksum-verifies the header, returning the
+// payload slice (aliasing buf).
+func (h *IPv4) Unmarshal(buf []byte) ([]byte, error) {
+	if len(buf) < IPv4MinHeaderLen {
+		return nil, fmt.Errorf("%w: ipv4 header needs 20 bytes, have %d", ErrTruncated, len(buf))
+	}
+	if buf[0]>>4 != 4 {
+		return nil, fmt.Errorf("%w: version %d", ErrBadVersion, buf[0]>>4)
+	}
+	hlen := int(buf[0]&0x0F) * 4
+	if hlen < IPv4MinHeaderLen || hlen > len(buf) {
+		return nil, fmt.Errorf("%w: IHL %d bytes against %d available", ErrTruncated, hlen, len(buf))
+	}
+	if Checksum(buf[:hlen]) != 0 {
+		return nil, ErrBadChecksum
+	}
+	total := int(binary.BigEndian.Uint16(buf[2:]))
+	if total < hlen || total > len(buf) {
+		return nil, fmt.Errorf("%w: total length %d", ErrTruncated, total)
+	}
+	h.TOS = buf[1]
+	h.ID = binary.BigEndian.Uint16(buf[4:])
+	ff := binary.BigEndian.Uint16(buf[6:])
+	h.Flags = uint8(ff >> 13)
+	h.FragOff = ff & 0x1FFF
+	h.TTL = buf[8]
+	h.Protocol = buf[9]
+	copy(h.Src[:], buf[12:16])
+	copy(h.Dst[:], buf[16:20])
+	h.Options = buf[IPv4MinHeaderLen:hlen]
+	h.PayloadLen = total - hlen
+	return buf[hlen:total], nil
+}
+
+// Checksum computes the internet checksum (RFC 1071) of b. A buffer
+// containing a correct embedded checksum sums to zero.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// BuildUnrollerOption wraps the Unroller header bytes in an IPv4 option:
+// [type, length, data…], length covering type and length bytes.
+func BuildUnrollerOption(unrollerHeader []byte) ([]byte, error) {
+	if len(unrollerHeader) > 38 { // 40-byte option space minus type+len
+		return nil, fmt.Errorf("%w: unroller header of %d bytes does not fit IPv4 options", ErrBadOption, len(unrollerHeader))
+	}
+	opt := make([]byte, 0, len(unrollerHeader)+2)
+	opt = append(opt, OptionUnroller, byte(len(unrollerHeader)+2))
+	return append(opt, unrollerHeader...), nil
+}
+
+// FindUnrollerOption walks the option list and returns the Unroller
+// header bytes, or ErrNoOption.
+func FindUnrollerOption(options []byte) ([]byte, error) {
+	i := 0
+	for i < len(options) {
+		switch options[i] {
+		case optEOL:
+			return nil, ErrNoOption
+		case optNOP:
+			i++
+		default:
+			if i+1 >= len(options) {
+				return nil, ErrBadOption
+			}
+			l := int(options[i+1])
+			if l < 2 || i+l > len(options) {
+				return nil, ErrBadOption
+			}
+			if options[i] == OptionUnroller {
+				return options[i+2 : i+l], nil
+			}
+			i += l
+		}
+	}
+	return nil, ErrNoOption
+}

@@ -1,0 +1,279 @@
+package frames
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// TestChecksumKnownVector pins the RFC 1071 math against the classic
+// worked example (172.16.10.99 → 172.16.10.12, checksum 0xB1E6).
+func TestChecksumKnownVector(t *testing.T) {
+	hdr := []byte{
+		0x45, 0x00, 0x00, 0x3c, 0x1c, 0x46, 0x40, 0x00,
+		0x40, 0x06, 0x00, 0x00, // checksum zeroed
+		0xac, 0x10, 0x0a, 0x63, 0xac, 0x10, 0x0a, 0x0c,
+	}
+	if got := Checksum(hdr); got != 0xB1E6 {
+		t.Fatalf("checksum %04x, want b1e6", got)
+	}
+	// With the checksum in place the header sums to zero.
+	hdr[10], hdr[11] = 0xB1, 0xE6
+	if got := Checksum(hdr); got != 0 {
+		t.Fatalf("verification sum %04x, want 0", got)
+	}
+	// Odd-length buffers take the padded path.
+	if Checksum([]byte{0x01}) != ^uint16(0x0100) {
+		t.Fatal("odd-length checksum wrong")
+	}
+}
+
+// TestEthernetRoundTrip.
+func TestEthernetRoundTrip(t *testing.T) {
+	e := Ethernet{
+		Dst:       MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		Src:       MAC{0x02, 0x42, 0xac, 0x11, 0x00, 0x02},
+		EtherType: EtherTypeIPv4,
+	}
+	buf := e.Marshal(nil)
+	buf = append(buf, 0xDE, 0xAD)
+	var got Ethernet
+	payload, err := got.Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e || len(payload) != 2 {
+		t.Fatalf("round trip: %+v, payload %d", got, len(payload))
+	}
+	if got.Src.String() != "02:42:ac:11:00:02" {
+		t.Fatalf("MAC string %q", got.Src.String())
+	}
+	if _, err := got.Unmarshal(buf[:10]); !errors.Is(err, ErrTruncated) {
+		t.Fatal("short ethernet accepted")
+	}
+}
+
+// TestIPv4RoundTrip: options padded, checksum verified, payload sliced.
+func TestIPv4RoundTrip(t *testing.T) {
+	opt, err := BuildUnrollerOption([]byte{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := IPv4{
+		TOS: 0x10, ID: 0xBEEF, Flags: 2, FragOff: 0,
+		TTL: 64, Protocol: 17,
+		Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 0, 0, 2},
+		Options: opt, PayloadLen: 3,
+	}
+	buf, err := h.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, 0xAA, 0xBB, 0xCC)
+	if len(buf) != h.HeaderLen()+3 {
+		t.Fatalf("encoded %d bytes", len(buf))
+	}
+	if h.HeaderLen()%4 != 0 {
+		t.Fatal("header not 32-bit aligned")
+	}
+	var got IPv4
+	payload, err := got.Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TTL != 64 || got.ID != 0xBEEF || got.Src != h.Src || got.PayloadLen != 3 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if !bytes.Equal(payload, []byte{0xAA, 0xBB, 0xCC}) {
+		t.Fatalf("payload %x", payload)
+	}
+	// The option must be recoverable through the padded option list.
+	data, err := FindUnrollerOption(got.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte{1, 2, 3, 4, 5}) {
+		t.Fatalf("option data %x", data)
+	}
+}
+
+// TestIPv4ChecksumRejection: a single flipped bit is caught.
+func TestIPv4ChecksumRejection(t *testing.T) {
+	h := IPv4{TTL: 9, Protocol: 6, PayloadLen: 0}
+	buf, err := h.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[8] ^= 0x01 // corrupt the TTL
+	var got IPv4
+	if _, err := got.Unmarshal(buf); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("corruption yielded %v", err)
+	}
+}
+
+// TestIPv4Malformed: version, truncation, total length, oversized
+// options.
+func TestIPv4Malformed(t *testing.T) {
+	var h IPv4
+	if _, err := h.Unmarshal(make([]byte, 10)); !errors.Is(err, ErrTruncated) {
+		t.Fatal("short header accepted")
+	}
+	v6 := make([]byte, 20)
+	v6[0] = 0x65
+	if _, err := h.Unmarshal(v6); !errors.Is(err, ErrBadVersion) {
+		t.Fatal("v6 accepted")
+	}
+	big := IPv4{Options: make([]byte, 44)}
+	if _, err := big.Marshal(nil); !errors.Is(err, ErrBadOption) {
+		t.Fatal("oversized options accepted")
+	}
+}
+
+// TestFindUnrollerOption: NOP padding, foreign options, EOL, and
+// malformed lists.
+func TestFindUnrollerOption(t *testing.T) {
+	ur, _ := BuildUnrollerOption([]byte{9, 8, 7})
+	opts := append([]byte{optNOP, 0x07, 4, 0xDE, 0xAD}, ur...) // NOP + foreign option first
+	got, err := FindUnrollerOption(opts)
+	if err != nil || !bytes.Equal(got, []byte{9, 8, 7}) {
+		t.Fatalf("find: %x, %v", got, err)
+	}
+	if _, err := FindUnrollerOption([]byte{optEOL, OptionUnroller}); !errors.Is(err, ErrNoOption) {
+		t.Fatal("EOL must terminate the scan")
+	}
+	if _, err := FindUnrollerOption([]byte{0x07}); !errors.Is(err, ErrBadOption) {
+		t.Fatal("truncated option accepted")
+	}
+	if _, err := FindUnrollerOption([]byte{0x07, 1}); !errors.Is(err, ErrBadOption) {
+		t.Fatal("length < 2 accepted")
+	}
+	if _, err := FindUnrollerOption(nil); !errors.Is(err, ErrNoOption) {
+		t.Fatal("empty options should report no option")
+	}
+	if _, err := BuildUnrollerOption(make([]byte, 40)); !errors.Is(err, ErrBadOption) {
+		t.Fatal("oversized unroller header accepted")
+	}
+}
+
+// TestEndToEndUnrollerOverIPv4: carry live Unroller state across a full
+// Ethernet/IPv4 encode-decode per hop and verify detection lands at the
+// same hop as the in-memory run — the wire embedding loses nothing.
+func TestEndToEndUnrollerOverIPv4(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.ZBits, cfg.HashIDs = 16, true // keep the option small
+	u := core.MustNew(cfg)
+	rng := xrand.New(77)
+
+	ids := make([]detect.SwitchID, 12)
+	seen := map[detect.SwitchID]bool{}
+	for i := range ids {
+		for {
+			id := detect.SwitchID(rng.Uint32())
+			if id != 0xFFFFFFFF && !seen[id] {
+				seen[id] = true
+				ids[i] = id
+				break
+			}
+		}
+	}
+	walkAt := func(h int) detect.SwitchID {
+		if h-1 < 4 {
+			return ids[h-1]
+		}
+		return ids[4+(h-5)%8]
+	}
+
+	// Reference: pure in-memory run.
+	ref := u.NewPacketState()
+	refHop := 0
+	for h := 1; h <= 200; h++ {
+		if ref.Visit(walkAt(h)) == detect.Loop {
+			refHop = h
+			break
+		}
+	}
+	if refHop == 0 {
+		t.Fatal("reference run did not detect")
+	}
+
+	// Wire run: every hop decodes Ethernet → IPv4 (checksum verified)
+	// → option → Unroller state, visits, and re-encodes everything.
+	st := u.NewPacketState()
+	wire := encodeFrame(t, u, st)
+	for h := 1; h <= 200; h++ {
+		var eth Ethernet
+		ipv4buf, err := eth.Unmarshal(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ip IPv4
+		if _, err := ip.Unmarshal(ipv4buf); err != nil {
+			t.Fatalf("hop %d: %v", h, err)
+		}
+		hdr, err := FindUnrollerOption(ip.Options)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stHop, err := u.DecodeHeader(hdr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stHop.Visit(walkAt(h)) == detect.Loop {
+			if h != refHop {
+				t.Fatalf("wire run detected at %d, in-memory at %d", h, refHop)
+			}
+			return
+		}
+		wire = encodeFrame(t, u, stHop)
+	}
+	t.Fatal("wire run did not detect")
+}
+
+// encodeFrame wraps state into Ethernet/IPv4 bytes.
+func encodeFrame(t *testing.T, u *core.Unroller, st *core.State) []byte {
+	t.Helper()
+	hdr, err := st.AppendHeader(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := BuildUnrollerOption(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := IPv4{TTL: 200, Protocol: 17, Options: opt,
+		Src: [4]byte{192, 0, 2, 1}, Dst: [4]byte{192, 0, 2, 2}}
+	eth := Ethernet{EtherType: EtherTypeIPv4}
+	buf := eth.Marshal(nil)
+	buf, err = ip.Marshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// FuzzIPv4Unmarshal: arbitrary bytes never panic, and anything that
+// decodes re-encodes to a checksum-valid header.
+func FuzzIPv4Unmarshal(f *testing.F) {
+	good := IPv4{TTL: 64, Protocol: 6, PayloadLen: 0}
+	buf, _ := good.Marshal(nil)
+	f.Add(buf)
+	f.Add([]byte{0x45})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h IPv4
+		if _, err := h.Unmarshal(data); err != nil {
+			return
+		}
+		out, err := h.Marshal(nil)
+		if err != nil {
+			return // e.g. unaligned trailing options can exceed limits
+		}
+		var h2 IPv4
+		if _, err := h2.Unmarshal(out); err != nil {
+			t.Fatalf("re-encoded header rejected: %v", err)
+		}
+	})
+}

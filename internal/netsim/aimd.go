@@ -1,0 +1,142 @@
+package netsim
+
+import "fmt"
+
+// This file adds a congestion-responsive sender to the simulator,
+// reproducing the paper's second introductory claim: "packet losses due
+// to traffic loops are often interpreted as a signal of congestion,
+// e.g., in TCP, leading to a reduction in throughput". An AIMDFlow
+// halves its rate whenever it observes loss, so an innocent TCP-like
+// flow sharing links with an undetected loop collapses — and recovers
+// fully once Unroller removes the looping packets.
+
+// AIMDFlow is a rate-based additive-increase/multiplicative-decrease
+// sender: a deliberately simple TCP stand-in that reacts to loss the way
+// the congestion-signal argument requires (window dynamics, RTO, and
+// reordering are out of scope).
+type AIMDFlow struct {
+	// ID, Src, Dst, PacketBytes, Telemetry, TTL as in Flow.
+	ID          uint32
+	Src, Dst    int
+	PacketBytes int
+	Telemetry   bool
+	TTL         uint8
+	// InitRate and MaxRate bound the sending rate in packets/second.
+	InitRate, MaxRate float64
+	// IncreasePerSec is the additive rate ramp (packets/second added
+	// per second without loss).
+	IncreasePerSec float64
+	// LossTimeout declares a packet lost if not delivered within this
+	// time (the RTO surrogate).
+	LossTimeout Time
+	// Start bounds the sending window start.
+	Start Time
+}
+
+// aimdState tracks the adaptive sender.
+type aimdState struct {
+	cfg  AIMDFlow
+	flow *flowState // shares the delivery/drop accounting
+	rate float64
+	seq  uint64
+	// rateLog samples (time, rate) at every adjustment for tests.
+	rateLog []ratePoint
+}
+
+type ratePoint struct {
+	At   Time
+	Rate float64
+}
+
+// AddAIMDFlow registers a congestion-responsive flow; injections are
+// scheduled dynamically from the evolving rate until horizon.
+func (s *Sim) AddAIMDFlow(cfg AIMDFlow, horizon Time) error {
+	if _, dup := s.flows[cfg.ID]; dup {
+		return fmt.Errorf("netsim: duplicate flow id %d", cfg.ID)
+	}
+	if cfg.InitRate <= 0 || cfg.MaxRate < cfg.InitRate || cfg.LossTimeout <= 0 {
+		return fmt.Errorf("netsim: AIMD flow %d has invalid rates/timeout", cfg.ID)
+	}
+	if cfg.Src == cfg.Dst {
+		return fmt.Errorf("netsim: AIMD flow %d sends to itself", cfg.ID)
+	}
+	f := &flowState{cfg: Flow{
+		ID: cfg.ID, Src: cfg.Src, Dst: cfg.Dst,
+		PacketBytes: cfg.PacketBytes, Interval: 1, // unused by AIMD
+		Telemetry: cfg.Telemetry, TTL: cfg.TTL,
+	}}
+	s.flows[cfg.ID] = f
+	a := &aimdState{cfg: cfg, flow: f, rate: cfg.InitRate}
+	if s.aimd == nil {
+		s.aimd = make(map[uint32]*aimdState)
+	}
+	s.aimd[cfg.ID] = a
+	s.schedule(cfg.Start, func() { s.aimdSend(a, horizon) })
+	return nil
+}
+
+// aimdSend injects one packet, arms its loss timer, and schedules the
+// next injection from the current rate.
+func (s *Sim) aimdSend(a *aimdState, horizon Time) {
+	if s.now >= horizon {
+		return
+	}
+	seq := a.seq
+	a.seq++
+	deliveredBefore := a.flow.stats.Delivered
+
+	s.inject(a.flow)
+
+	// Loss heuristic: if the delivered count has not passed this
+	// packet's sequence number by the timeout, back off. In this FIFO
+	// network the flow's packets arrive in order, so the counter
+	// comparison identifies the lost packet up to a one-packet skew —
+	// enough fidelity for the congestion-reflex demonstration.
+	s.schedule(s.now+a.cfg.LossTimeout, func() {
+		_ = deliveredBefore
+		if a.flow.stats.Delivered > seq {
+			// Delivered: additive increase, applied per ack.
+			a.rate += a.cfg.IncreasePerSec * a.cfg.LossTimeout
+			if a.rate > a.cfg.MaxRate {
+				a.rate = a.cfg.MaxRate
+			}
+		} else {
+			// Lost (queue, TTL, or loop drop): multiplicative
+			// decrease — the "loss means congestion" reflex.
+			a.rate /= 2
+			if a.rate < a.cfg.InitRate/8 {
+				a.rate = a.cfg.InitRate / 8
+			}
+		}
+		a.rateLog = append(a.rateLog, ratePoint{At: s.now, Rate: a.rate})
+	})
+
+	next := s.now + 1/a.rate
+	if next < horizon {
+		s.schedule(next, func() { s.aimdSend(a, horizon) })
+	}
+}
+
+// AIMDRate returns the flow's current sending rate (packets/second) and
+// its adjustment history.
+func (s *Sim) AIMDRate(id uint32) (rate float64, history []float64, ok bool) {
+	a, ok := s.aimd[id]
+	if !ok {
+		return 0, nil, false
+	}
+	history = make([]float64, len(a.rateLog))
+	for i, p := range a.rateLog {
+		history[i] = p.Rate
+	}
+	return a.rate, history, true
+}
+
+// FlowThroughput returns a flow's delivered goodput in packets/second
+// over the window [0, at].
+func (s *Sim) FlowThroughput(id uint32, at Time) (float64, bool) {
+	f, ok := s.flows[id]
+	if !ok || at <= 0 {
+		return 0, ok
+	}
+	return float64(f.stats.Delivered) / at, true
+}

@@ -1,0 +1,99 @@
+package netsim
+
+import "testing"
+
+// TestAIMDRampsOnCleanPath: without loss the rate climbs towards the
+// cap and goodput approaches the sending rate.
+func TestAIMDRampsOnCleanPath(t *testing.T) {
+	net := buildChainNet(t, 3)
+	sim, _ := New(net, DefaultLinkParams())
+	const horizon = 2.0
+	if err := sim.AddAIMDFlow(AIMDFlow{
+		ID: 1, Src: 0, Dst: 3, PacketBytes: 984,
+		InitRate: 100, MaxRate: 2000, IncreasePerSec: 400, LossTimeout: 10e-3,
+	}, horizon); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(horizon)
+	rate, hist, ok := sim.AIMDRate(1)
+	if !ok || len(hist) == 0 {
+		t.Fatal("no AIMD state recorded")
+	}
+	if rate < 500 {
+		t.Fatalf("clean path rate %v, should have ramped towards the cap", rate)
+	}
+	fs, _ := sim.FlowStats(1)
+	if fs.Loss() > 0.01 {
+		t.Fatalf("clean path loss %.3f", fs.Loss())
+	}
+	tput, _ := sim.FlowThroughput(1, horizon)
+	if tput < 200 {
+		t.Fatalf("goodput %v pkts/s too low", tput)
+	}
+}
+
+// TestAIMDValidation.
+func TestAIMDValidation(t *testing.T) {
+	net := buildChainNet(t, 3)
+	sim, _ := New(net, DefaultLinkParams())
+	bad := []AIMDFlow{
+		{ID: 1, Src: 0, Dst: 0, InitRate: 1, MaxRate: 2, LossTimeout: 1},
+		{ID: 1, Src: 0, Dst: 3, InitRate: 0, MaxRate: 2, LossTimeout: 1},
+		{ID: 1, Src: 0, Dst: 3, InitRate: 5, MaxRate: 2, LossTimeout: 1},
+		{ID: 1, Src: 0, Dst: 3, InitRate: 1, MaxRate: 2, LossTimeout: 0},
+	}
+	for i, cfg := range bad {
+		if err := sim.AddAIMDFlow(cfg, 1); err == nil {
+			t.Errorf("bad AIMD config %d accepted", i)
+		}
+	}
+	good := AIMDFlow{ID: 2, Src: 0, Dst: 3, PacketBytes: 100, InitRate: 10, MaxRate: 20, IncreasePerSec: 1, LossTimeout: 0.01}
+	if err := sim.AddAIMDFlow(good, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddAIMDFlow(good, 1); err == nil {
+		t.Error("duplicate AIMD id accepted")
+	}
+	if _, _, ok := sim.AIMDRate(99); ok {
+		t.Error("unknown AIMD flow reported state")
+	}
+}
+
+// TestCongestionReflexCollapse reproduces the intro's TCP claim: an
+// AIMD flow sharing a link with an undetected loop reads the loop's
+// queue pressure as congestion and collapses its rate; with Unroller
+// the loop traffic dies young and the same flow keeps its throughput.
+func TestCongestionReflexCollapse(t *testing.T) {
+	const horizon = 0.5
+	measure := func(telemetry bool) float64 {
+		// A tight 20 Mb/s spine (~2500 pkts/s): loop recirculation
+		// visibly contends with the adaptive flow.
+		sim := newCollateralSim(t, 20e6)
+		// Adaptive background flow 0→3 across the shared link. The
+		// loss timeout sits above the worst queueing delay on the
+		// detected path, so only real drops trigger back-off.
+		if err := sim.AddAIMDFlow(AIMDFlow{
+			ID: 1, Src: 0, Dst: 3, PacketBytes: 984, Telemetry: telemetry,
+			InitRate: 200, MaxRate: 2000, IncreasePerSec: 800, LossTimeout: 40e-3,
+		}, horizon); err != nil {
+			t.Fatal(err)
+		}
+		// Victim flow hijacked into the loop.
+		if err := sim.AddFlow(Flow{
+			ID: 2, Src: 0, Dst: 5, PacketBytes: 984, Interval: 5e-3, Telemetry: telemetry,
+		}, horizon); err != nil {
+			t.Fatal(err)
+		}
+		sim.Run(horizon)
+		tput, ok := sim.FlowThroughput(1, horizon)
+		if !ok {
+			t.Fatal("missing flow")
+		}
+		return tput
+	}
+	blind := measure(false)
+	detected := measure(true)
+	if detected < blind*1.5 {
+		t.Fatalf("congestion reflex too weak: blind %.1f pkts/s vs detected %.1f", blind, detected)
+	}
+}

@@ -1,0 +1,135 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/unroller/unroller/internal/dataplane"
+	"github.com/unroller/unroller/internal/stats"
+)
+
+// Flow is a constant-bit-rate sender.
+type Flow struct {
+	// ID must be unique among the simulation's flows.
+	ID uint32
+	// Src and Dst are topology node indices.
+	Src, Dst int
+	// PacketBytes is the frame payload size.
+	PacketBytes int
+	// Interval is the inter-packet gap in seconds.
+	Interval Time
+	// Start and Stop bound the sending window; Stop 0 means "until the
+	// horizon".
+	Start, Stop Time
+	// Telemetry enables the Unroller header on this flow's packets.
+	Telemetry bool
+	// TTL is the initial TTL (0 = dataplane.InitialTTL).
+	TTL uint8
+}
+
+// FlowStats aggregates a flow's fate.
+type FlowStats struct {
+	// Sent counts injected packets.
+	Sent uint64
+	// Delivered counts packets that reached Dst.
+	Delivered uint64
+	// Latency summarises end-to-end delivery delay (seconds).
+	Latency stats.Summary
+	// Jitter is the RFC3550-style smoothed mean of |Δlatency| between
+	// consecutive deliveries (seconds).
+	Jitter float64
+	// Drop counters by cause.
+	QueueDrops, TTLDrops, LoopDrops, NoRouteDrops uint64
+
+	lastLatency Time
+	hasLast     bool
+}
+
+// Loss returns the fraction of sent packets not delivered.
+func (f *FlowStats) Loss() float64 {
+	if f.Sent == 0 {
+		return 0
+	}
+	return 1 - float64(f.Delivered)/float64(f.Sent)
+}
+
+// flowState is the simulator-side flow record.
+type flowState struct {
+	cfg   Flow
+	stats FlowStats
+}
+
+func (f *flowState) recordDelivery(latency Time) {
+	f.stats.Delivered++
+	f.stats.Latency.Add(latency)
+	if f.stats.hasLast {
+		d := math.Abs(latency - f.stats.lastLatency)
+		// RFC 3550 §6.4.1 smoothing: J += (|D| − J)/16.
+		f.stats.Jitter += (d - f.stats.Jitter) / 16
+	}
+	f.stats.lastLatency = latency
+	f.stats.hasLast = true
+}
+
+// AddFlow registers a flow and schedules its packet injections up to
+// horizon (flows stopping earlier use their own Stop).
+func (s *Sim) AddFlow(cfg Flow, horizon Time) error {
+	if _, dup := s.flows[cfg.ID]; dup {
+		return fmt.Errorf("netsim: duplicate flow id %d", cfg.ID)
+	}
+	if cfg.PacketBytes < 0 || cfg.Interval <= 0 {
+		return fmt.Errorf("netsim: flow %d has invalid shape (%dB every %vs)", cfg.ID, cfg.PacketBytes, cfg.Interval)
+	}
+	if cfg.Src == cfg.Dst {
+		return fmt.Errorf("netsim: flow %d sends to itself", cfg.ID)
+	}
+	stop := cfg.Stop
+	if stop == 0 || stop > horizon {
+		stop = horizon
+	}
+	f := &flowState{cfg: cfg}
+	s.flows[cfg.ID] = f
+	for t := cfg.Start; t < stop; t += cfg.Interval {
+		at := t
+		s.schedule(at, func() { s.inject(f) })
+	}
+	return nil
+}
+
+// inject builds one packet of f and starts it at the source switch
+// (which processes it immediately — hop 1, as in Network.Send).
+func (s *Sim) inject(f *flowState) {
+	ttl := f.cfg.TTL
+	if ttl == 0 {
+		ttl = dataplane.InitialTTL
+	}
+	pkt := dataplane.Packet{
+		TTL:     ttl,
+		Flow:    f.cfg.ID,
+		Src:     s.net.Assign.ID(f.cfg.Src),
+		Dst:     s.net.Assign.ID(f.cfg.Dst),
+		Payload: make([]byte, f.cfg.PacketBytes),
+	}
+	if f.cfg.Telemetry {
+		tel, err := s.net.Unroller().NewPacketState().AppendHeader(nil)
+		if err != nil {
+			return
+		}
+		pkt.Telemetry = tel
+	}
+	wire, err := pkt.Marshal()
+	if err != nil {
+		return
+	}
+	f.stats.Sent++
+	s.arrive(f.cfg.Src, wire, pktMeta{flow: f.cfg.ID, sentAt: s.now})
+}
+
+// FlowStats returns a copy of a flow's statistics.
+func (s *Sim) FlowStats(id uint32) (FlowStats, bool) {
+	f, ok := s.flows[id]
+	if !ok {
+		return FlowStats{}, false
+	}
+	return f.stats, true
+}

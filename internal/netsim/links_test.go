@@ -1,0 +1,33 @@
+package netsim
+
+import "testing"
+
+// TestLinkMetrics: per-direction carried/drop counters match the flow's
+// journey, hop by hop.
+func TestLinkMetrics(t *testing.T) {
+	net := buildChainNet(t, 3)
+	sim, _ := New(net, DefaultLinkParams())
+	if err := sim.AddFlow(Flow{
+		ID: 1, Src: 0, Dst: 3, PacketBytes: 100, Interval: 1e-3, Stop: 10e-3,
+	}, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(0.1)
+	fs, _ := sim.FlowStats(1)
+	if fs.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// Every delivered packet crossed each chain link exactly once, in
+	// the forward direction only.
+	for _, hop := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
+		if got := sim.LinkCarried(hop[0], hop[1]); got != fs.Delivered {
+			t.Errorf("link %v carried %d, want %d", hop, got, fs.Delivered)
+		}
+		if got := sim.LinkCarried(hop[1], hop[0]); got != 0 {
+			t.Errorf("reverse direction %v carried %d", hop, got)
+		}
+		if sim.LinkDrops(hop[0], hop[1]) != 0 {
+			t.Errorf("unexpected drops on %v", hop)
+		}
+	}
+}

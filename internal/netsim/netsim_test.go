@@ -1,0 +1,271 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/dataplane"
+	"github.com/unroller/unroller/internal/topology"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// buildChainNet wires a 4-node chain 0-1-2-3 routed towards dst.
+func buildChainNet(t *testing.T, dst int) *dataplane.Network {
+	t.Helper()
+	g, err := topology.Chain(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := topology.NewAssignment(g, xrand.New(1))
+	n, err := dataplane.NewNetwork(g, assign, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InstallShortestPaths(dst); err != nil {
+		t.Fatal(err)
+	}
+	n.SetLoopPolicy(dataplane.ActionDrop)
+	return n
+}
+
+// TestSingleFlowLatencyMatchesHandCalc: one uncongested packet's latency
+// is exactly hops·(switch + serialization + propagation) — the sanity
+// anchor for the whole time model.
+func TestSingleFlowLatencyMatchesHandCalc(t *testing.T) {
+	net := buildChainNet(t, 3)
+	params := DefaultLinkParams()
+	sim, err := New(net, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const payload = 984 // frame = 16 header + 984 = 1000 bytes, no telemetry
+	if err := sim.AddFlow(Flow{
+		ID: 1, Src: 0, Dst: 3, PacketBytes: payload, Interval: 1, Stop: 0.5,
+	}, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(1.0)
+	fs, ok := sim.FlowStats(1)
+	if !ok || fs.Sent != 1 || fs.Delivered != 1 {
+		t.Fatalf("flow stats %+v", fs)
+	}
+	// Path 0→1→2→3: 4 switch traversals, 3 links.
+	frameBits := float64((16 + payload) * 8)
+	want := 4*params.SwitchDelay + 3*(frameBits/params.BandwidthBps+params.PropDelay)
+	if got := fs.Latency.Mean(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("latency %.9f, hand calc %.9f", got, want)
+	}
+	if fs.Loss() != 0 {
+		t.Fatal("lossless path lost packets")
+	}
+}
+
+// TestQueueingDelaysSecondFlow: two flows sharing a link serialize
+// behind each other; with simultaneous injections the second packet
+// waits one serialization time.
+func TestQueueingDelaysSecondFlow(t *testing.T) {
+	net := buildChainNet(t, 3)
+	params := DefaultLinkParams()
+	sim, _ := New(net, params)
+	// Both flows inject at t=0 from node 2 (one hop to 3).
+	for id := uint32(1); id <= 2; id++ {
+		if err := sim.AddFlow(Flow{
+			ID: id, Src: 2, Dst: 3, PacketBytes: 984, Interval: 1, Stop: 0.5,
+		}, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run(1.0)
+	a, _ := sim.FlowStats(1)
+	b, _ := sim.FlowStats(2)
+	frameTime := float64(1000*8) / params.BandwidthBps
+	gap := math.Abs(a.Latency.Mean() - b.Latency.Mean())
+	if math.Abs(gap-frameTime) > 1e-12 {
+		t.Fatalf("queueing gap %.9g, want one frame time %.9g", gap, frameTime)
+	}
+}
+
+// TestQueueCapDrops: overload a link beyond its queue and observe tail
+// drops accounted to the right cause.
+func TestQueueCapDrops(t *testing.T) {
+	net := buildChainNet(t, 3)
+	params := DefaultLinkParams()
+	params.BandwidthBps = 1e6 // slow link: 8 ms per kB frame
+	params.QueuePackets = 4
+	sim, _ := New(net, params)
+	// 100 packets injected back-to-back at t≈0 into a 4-deep queue.
+	if err := sim.AddFlow(Flow{
+		ID: 1, Src: 2, Dst: 3, PacketBytes: 984, Interval: 1e-9, Stop: 100e-9,
+	}, 5.0); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(5.0)
+	fs, _ := sim.FlowStats(1)
+	// Float accumulation of the injection clock may add one packet.
+	if fs.Sent < 100 || fs.Sent > 101 {
+		t.Fatalf("sent %d", fs.Sent)
+	}
+	if fs.QueueDrops == 0 {
+		t.Fatal("no queue drops under 25x overload")
+	}
+	if fs.Delivered+fs.QueueDrops != fs.Sent {
+		t.Fatalf("accounting: %d delivered + %d dropped != %d sent", fs.Delivered, fs.QueueDrops, fs.Sent)
+	}
+	if fs.Delivered < 4 {
+		t.Fatalf("the queue capacity worth of packets must survive, got %d", fs.Delivered)
+	}
+}
+
+// loopCollateralSetup builds the intro scenario. Topology:
+//
+//	0 — 1 — 2 — 3 — 5
+//	     \ /
+//	      4
+//
+// The background flow runs 0→3 along 0-1-2-3. The victim flow heads
+// 0→5 through the same spine; the FIBs of {1, 2, 4} are misconfigured
+// into the triangle cycle for destination 5, so victim packets circulate
+// {1, 2, 4} — burning link 1-2, which the background flow shares.
+func loopCollateralSetup(t *testing.T, telemetry bool) (*Sim, uint32) {
+	t.Helper()
+	sim := newCollateralSim(t, 100e6)
+	const horizon = 0.2
+	// Background flow: 0→3, 1 kB every 1 ms (8 Mb/s).
+	if err := sim.AddFlow(Flow{
+		ID: 1, Src: 0, Dst: 3, PacketBytes: 984, Interval: 1e-3, Telemetry: telemetry,
+	}, horizon); err != nil {
+		t.Fatal(err)
+	}
+	// Loop-bound flow: enters the loop at node 1 towards dst 5, 1 kB
+	// every 2 ms. Each undetected packet circulates link 1-2 for ~250
+	// hops.
+	if err := sim.AddFlow(Flow{
+		ID: 2, Src: 0, Dst: 5, PacketBytes: 984, Interval: 2e-3, Telemetry: telemetry,
+	}, horizon); err != nil {
+		t.Fatal(err)
+	}
+	return sim, 1
+}
+
+// newCollateralSim builds the shared-link scenario network and
+// simulator (no flows yet):
+//
+//	0 — 1 — 2 — 3 — 5,  triangle 1-4-2;  loop {1, 2, 4} for dst 5.
+func newCollateralSim(t *testing.T, bandwidthBps float64) *Sim {
+	t.Helper()
+	g := topology.NewGraph("collateral", 6)
+	for i := 0; i < 6; i++ {
+		g.AddNode("")
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {1, 4}, {2, 4}, {3, 5}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assign := topology.NewAssignment(g, xrand.New(7))
+	net, err := dataplane.NewNetwork(g, assign, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dst := range []int{3, 5} {
+		if err := net.InstallShortestPaths(dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.SetLoopPolicy(dataplane.ActionDrop)
+	if err := net.InjectLoop(5, topology.Cycle{1, 2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultLinkParams()
+	params.BandwidthBps = bandwidthBps
+	params.QueuePackets = 32
+	sim, err := New(net, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// TestLoopCollateralDamage is the paper's introduction, measured: the
+// background flow's latency and jitter degrade badly while loop traffic
+// burns the shared link — and recover completely when Unroller kills the
+// looping packets in-band.
+func TestLoopCollateralDamage(t *testing.T) {
+	simBlind, bg := loopCollateralSetup(t, false)
+	simBlind.Run(0.2)
+	blind, _ := simBlind.FlowStats(bg)
+
+	simDet, bg2 := loopCollateralSetup(t, true)
+	simDet.Run(0.2)
+	det, _ := simDet.FlowStats(bg2)
+
+	if blind.Delivered == 0 || det.Delivered == 0 {
+		t.Fatalf("background flow starved: blind %+v det %+v", blind, det)
+	}
+	// The undetected loop must measurably hurt the background flow.
+	if blind.Latency.Mean() < det.Latency.Mean()*2 {
+		t.Fatalf("loop collateral too small: blind %.6fs vs detected %.6fs",
+			blind.Latency.Mean(), det.Latency.Mean())
+	}
+	if blind.Jitter < det.Jitter {
+		t.Fatalf("undetected loop should raise jitter: %.9f vs %.9f", blind.Jitter, det.Jitter)
+	}
+	// With detection, the loop flow dies by loop-drop, not TTL.
+	loopFlow, _ := simDet.FlowStats(2)
+	if loopFlow.LoopDrops == 0 {
+		t.Fatal("looping packets were not killed by detection")
+	}
+	// Blind looping packets never reach their destination: they die by
+	// TTL expiry, or — once the loop saturates its own links — by queue
+	// overflow (congestion collapse, which is the intro's point).
+	blindLoop, _ := simBlind.FlowStats(2)
+	if blindLoop.Delivered != 0 {
+		t.Fatalf("%d looping packets delivered to an unreachable-by-loop destination", blindLoop.Delivered)
+	}
+	if blindLoop.TTLDrops+blindLoop.QueueDrops == 0 {
+		t.Fatal("blind looping packets must die by TTL or queue overflow")
+	}
+}
+
+// TestSimValidation: misuse is rejected.
+func TestSimValidation(t *testing.T) {
+	net := buildChainNet(t, 3)
+	if _, err := New(net, LinkParams{}); err == nil {
+		t.Fatal("zero params accepted")
+	}
+	sim, _ := New(net, DefaultLinkParams())
+	if err := sim.AddFlow(Flow{ID: 1, Src: 0, Dst: 0, PacketBytes: 10, Interval: 1}, 1); err == nil {
+		t.Fatal("self-flow accepted")
+	}
+	if err := sim.AddFlow(Flow{ID: 1, Src: 0, Dst: 3, PacketBytes: 10, Interval: 0}, 1); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if err := sim.AddFlow(Flow{ID: 1, Src: 0, Dst: 3, PacketBytes: 10, Interval: 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddFlow(Flow{ID: 1, Src: 0, Dst: 3, PacketBytes: 10, Interval: 1}, 2); err == nil {
+		t.Fatal("duplicate flow id accepted")
+	}
+	if _, ok := sim.FlowStats(99); ok {
+		t.Fatal("unknown flow reported stats")
+	}
+}
+
+// TestEventOrderingDeterministic: same setup, same event count and
+// stats — the heap tie-break makes runs bit-reproducible.
+func TestEventOrderingDeterministic(t *testing.T) {
+	run := func() (int, FlowStats) {
+		net := buildChainNet(t, 3)
+		sim, _ := New(net, DefaultLinkParams())
+		sim.AddFlow(Flow{ID: 1, Src: 0, Dst: 3, PacketBytes: 100, Interval: 1e-4}, 0.05)
+		n := sim.Run(0.05)
+		fs, _ := sim.FlowStats(1)
+		return n, fs
+	}
+	n1, f1 := run()
+	n2, f2 := run()
+	if n1 != n2 || f1.Delivered != f2.Delivered || f1.Latency.Mean() != f2.Latency.Mean() {
+		t.Fatal("simulation not deterministic")
+	}
+}

@@ -1,0 +1,22 @@
+package p4gen_test
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/p4gen"
+)
+
+// ExampleGenerate emits the §4 P4 artifact for the paper's hardware
+// configuration and inspects its structure.
+func ExampleGenerate() {
+	cfg := core.DefaultConfig()
+	cfg.Schedule = core.ScheduleHardware // b=4: bitwise phase check
+	prog, _ := p4gen.Generate(cfg)
+	fmt.Printf("slots=%d z=%d bitwise=%v lines=%v\n",
+		prog.SlotCount, prog.ZBits, prog.UsesBitwisePhaseCheck,
+		strings.Count(prog.Source, "\n") > 40)
+	// Output:
+	// slots=1 z=32 bitwise=true lines=true
+}

@@ -1,0 +1,169 @@
+package p4gen
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/unroller/unroller/internal/core"
+)
+
+// TestGenerateDefault: the paper's default configuration produces a
+// structurally correct program.
+func TestGenerateDefault(t *testing.T) {
+	p, err := Generate(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SlotCount != 1 || p.ZBits != 32 {
+		t.Fatalf("metadata %+v", p)
+	}
+	for _, want := range []string{
+		"bit<8> xcnt;",
+		"bit<32> swid_0;",
+		"register<bit<32>>(1) my_id_h0;",
+		"control UnrollerIngress",
+		"PHASE_START", // analysis schedule uses the lookup table
+	} {
+		if !strings.Contains(p.Source, want) {
+			t.Errorf("generated program missing %q", want)
+		}
+	}
+	if strings.Contains(p.Source, "thcnt") {
+		t.Error("Th=1 must not emit a threshold counter")
+	}
+	if p.UsesBitwisePhaseCheck {
+		t.Error("analysis schedule cannot use the bitwise check")
+	}
+	// The analysis-schedule phase starts below 256 are 1, 2, 4, 8, 22,
+	// 86: starts at 1 + (4^i − 1)/3 → 1, 2, 6, 22, 86 … recompute via
+	// the core table instead of hand-listing.
+	entries := phaseStartEntries(core.DefaultConfig())
+	if p.PhaseTableEntries != len(entries) {
+		t.Errorf("table entries %d, want %d", p.PhaseTableEntries, len(entries))
+	}
+}
+
+// TestGenerateHardwareBitwise: b ∈ {2, 4} on the hardware schedule use
+// bitwise phase checks instead of a table.
+func TestGenerateHardwareBitwise(t *testing.T) {
+	for _, base := range []int{2, 4} {
+		cfg := core.DefaultConfig()
+		cfg.Base = base
+		cfg.Schedule = core.ScheduleHardware
+		p, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.UsesBitwisePhaseCheck {
+			t.Fatalf("b=%d hardware should be bitwise", base)
+		}
+		if strings.Contains(p.Source, "PHASE_START") {
+			t.Errorf("b=%d: table emitted despite bitwise check", base)
+		}
+		if !strings.Contains(p.Source, "(xcnt & (xcnt - 1)) == 0") {
+			t.Errorf("b=%d: bitwise power check missing", base)
+		}
+		if base == 4 && !strings.Contains(p.Source, "0x55") {
+			t.Error("b=4 needs the even-bit-position mask")
+		}
+	}
+	// b=6 hardware still needs the table.
+	cfg := core.DefaultConfig()
+	cfg.Base = 6
+	cfg.Schedule = core.ScheduleHardware
+	p, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.UsesBitwisePhaseCheck || !strings.Contains(p.Source, "PHASE_START") {
+		t.Error("b=6 hardware must fall back to the lookup table")
+	}
+}
+
+// TestGenerateMultiSlotThreshold: the §3.3/Appendix B configuration
+// emits every slot, the threshold counter, and alignment padding.
+func TestGenerateMultiSlotThreshold(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Chunks, cfg.Hashes, cfg.ZBits, cfg.Threshold, cfg.HashIDs = 2, 2, 7, 4, true
+	p, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SlotCount != 4 {
+		t.Fatalf("slots %d", p.SlotCount)
+	}
+	for i := 0; i < 4; i++ {
+		if !strings.Contains(p.Source, fmt.Sprintf("bit<7> swid_%d;", i)) {
+			t.Errorf("slot %d missing", i)
+		}
+	}
+	if !strings.Contains(p.Source, "bit<2> thcnt;") {
+		t.Error("Th=4 needs a 2-bit counter")
+	}
+	if !strings.Contains(p.Source, "thcnt == 3") {
+		t.Error("report must fire at Th−1 (footnote 2)")
+	}
+	// 8 + 4·7 + 2 = 38 bits → 2 bits of padding.
+	if !strings.Contains(p.Source, "bit<2> _pad;") {
+		t.Error("padding to byte alignment missing")
+	}
+	if !strings.Contains(p.Source, "register<bit<7>>(1) my_id_h1;") {
+		t.Error("second hash register missing")
+	}
+}
+
+// TestGenerateTTLVariant: footnote 3 drops the xcnt field.
+func TestGenerateTTLVariant(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.TTLHopCount = true
+	p, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(p.Source, "bit<8> xcnt;") {
+		t.Error("TTL variant must not carry xcnt")
+	}
+	if !strings.Contains(p.Source, "255 - std.ttl_proxy") {
+		t.Error("TTL derivation missing")
+	}
+}
+
+// TestGenerateRejectsInvalid.
+func TestGenerateRejectsInvalid(t *testing.T) {
+	if _, err := Generate(core.Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+// TestGenerateLookupSchedule: the fractional-base variant compiles its
+// phase starts into the table constant.
+func TestGenerateLookupSchedule(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Schedule = core.ScheduleLookup
+	cfg.PhaseTable = core.FractionalPhaseTable(core.OptimalWorstCaseBase(), 24)
+	p, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.UsesBitwisePhaseCheck {
+		t.Fatal("lookup schedule cannot be bitwise")
+	}
+	if !strings.Contains(p.Source, "PHASE_START") || p.PhaseTableEntries < 4 {
+		t.Fatalf("phase table missing: %d entries", p.PhaseTableEntries)
+	}
+}
+
+// TestBitmap256 pins the const encoding.
+func TestBitmap256(t *testing.T) {
+	s := bitmap256([]int{0, 1, 64, 255})
+	if !strings.HasPrefix(s, "0x8000000000000000") {
+		t.Errorf("bit 255 not set: %s", s)
+	}
+	if !strings.HasSuffix(s, "0000000000000003") {
+		t.Errorf("bits 0,1 not set: %s", s)
+	}
+	if len(s) != 2+64 {
+		t.Errorf("literal length %d", len(s))
+	}
+}

@@ -1,0 +1,34 @@
+package routing_test
+
+import (
+	"fmt"
+
+	"github.com/unroller/unroller/internal/routing"
+	"github.com/unroller/unroller/internal/topology"
+)
+
+// Example walks the count-to-infinity story: converge a ring, fail a
+// link, and watch transient forwarding loops appear and then clear.
+func Example() {
+	g, _ := topology.Ring(8)
+	p, _ := routing.New(g, routing.DefaultInfinity, false)
+	rounds, _ := p.Converge(100)
+	fmt.Printf("converged in %d rounds, loops: %v\n", rounds, p.HasLoops())
+
+	p.FailLink(0, 7)
+	sawTransient := false
+	for i := 0; i < 100; i++ {
+		if len(p.ForwardingLoops(7)) > 0 {
+			sawTransient = true
+		}
+		if !p.Step() {
+			break
+		}
+	}
+	fmt.Printf("transient loops during reconvergence: %v\n", sawTransient)
+	fmt.Printf("after reconvergence: loops=%v metric(0→7)=%d\n", p.HasLoops(), p.Metric(0, 7))
+	// Output:
+	// converged in 4 rounds, loops: false
+	// transient loops during reconvergence: true
+	// after reconvergence: loops=false metric(0→7)=7
+}

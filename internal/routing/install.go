@@ -1,0 +1,46 @@
+package routing
+
+import (
+	"fmt"
+
+	"github.com/unroller/unroller/internal/dataplane"
+)
+
+// InstallInto programs net's FIBs for destination dst from the
+// protocol's current tables — including mid-convergence states, which is
+// how transient routing loops reach the data plane. Routers without a
+// route to dst get no FIB entry (their packets drop as no-route, the
+// honest outcome during an outage).
+func (p *Protocol) InstallInto(net *dataplane.Network, dst int) error {
+	if net.Graph != p.g {
+		return fmt.Errorf("routing: network is built on a different graph")
+	}
+	dstID := net.Assign.ID(dst)
+	for u := 0; u < p.g.N(); u++ {
+		if u == dst {
+			continue
+		}
+		next, ok := p.NextHop(u, dst)
+		if !ok {
+			continue
+		}
+		port, err := portTo(net, u, next)
+		if err != nil {
+			return err
+		}
+		if err := net.Switch(u).SetRoute(dstID, port); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// portTo resolves u's port leading to neighbour v on net's graph.
+func portTo(net *dataplane.Network, u, v int) (dataplane.PortID, error) {
+	for i, w := range net.Graph.Neighbors(u) {
+		if w == v {
+			return dataplane.PortID(i), nil
+		}
+	}
+	return 0, fmt.Errorf("routing: node %d has no port to %d", u, v)
+}

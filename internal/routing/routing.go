@@ -1,0 +1,243 @@
+// Package routing implements a synchronous distance-vector routing
+// protocol (RIP-style Bellman-Ford with a metric cap and optional split
+// horizon). Its purpose in this repository is to manufacture the
+// phenomenon Unroller exists for: transient forwarding loops. When a
+// link fails, distance-vector networks count to infinity — for several
+// rounds, nodes bounce destination-bound traffic between each other
+// until the bad news propagates. Snapshotting the FIBs mid-convergence
+// and installing them into the data-plane emulator yields authentic
+// routing loops, not hand-injected ones (§1 of the paper cites exactly
+// this routing instability as a main source of loops).
+package routing
+
+import (
+	"fmt"
+
+	"github.com/unroller/unroller/internal/topology"
+)
+
+// DefaultInfinity is the classic RIP metric cap.
+const DefaultInfinity = 16
+
+// entry is one routing-table row: the believed distance to a destination
+// and the neighbour to send through.
+type entry struct {
+	metric  int
+	nextHop int // -1 when unreachable or self
+}
+
+// Protocol is the state of every router in the network. It is not safe
+// for concurrent use.
+type Protocol struct {
+	g *topology.Graph
+	// Infinity is the unreachability metric (≥ 2).
+	Infinity int
+	// SplitHorizon suppresses advertising a route back to the
+	// neighbour it was learned from — the standard mitigation whose
+	// effect on transient loops the tests quantify.
+	SplitHorizon bool
+
+	alive  map[[2]int]bool // live links, normalised u<v
+	tables [][]entry       // tables[u][dst]
+	rounds int
+}
+
+// New initialises the protocol over g with every link up and every
+// router knowing only itself.
+func New(g *topology.Graph, infinity int, splitHorizon bool) (*Protocol, error) {
+	if infinity < 2 {
+		return nil, fmt.Errorf("routing: infinity must be ≥ 2, got %d", infinity)
+	}
+	p := &Protocol{
+		g:            g,
+		Infinity:     infinity,
+		SplitHorizon: splitHorizon,
+		alive:        make(map[[2]int]bool, g.M()),
+		tables:       make([][]entry, g.N()),
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			p.alive[linkKey(u, v)] = true
+		}
+		p.tables[u] = make([]entry, g.N())
+		for d := range p.tables[u] {
+			p.tables[u][d] = entry{metric: infinity, nextHop: -1}
+		}
+		p.tables[u][u] = entry{metric: 0, nextHop: -1}
+	}
+	return p, nil
+}
+
+func linkKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// LinkUp reports whether the link {u, v} is alive.
+func (p *Protocol) LinkUp(u, v int) bool { return p.alive[linkKey(u, v)] }
+
+// FailLink takes {u, v} down. Both endpoints immediately poison routes
+// through the dead link (the local interface-down event); the rest of
+// the network only learns through subsequent rounds.
+func (p *Protocol) FailLink(u, v int) error {
+	if !p.g.HasEdge(u, v) {
+		return fmt.Errorf("routing: no link (%d,%d)", u, v)
+	}
+	if !p.alive[linkKey(u, v)] {
+		return fmt.Errorf("routing: link (%d,%d) already down", u, v)
+	}
+	p.alive[linkKey(u, v)] = false
+	for d := 0; d < p.g.N(); d++ {
+		if p.tables[u][d].nextHop == v {
+			p.tables[u][d] = entry{metric: p.Infinity, nextHop: -1}
+		}
+		if p.tables[v][d].nextHop == u {
+			p.tables[v][d] = entry{metric: p.Infinity, nextHop: -1}
+		}
+	}
+	return nil
+}
+
+// RestoreLink brings {u, v} back up.
+func (p *Protocol) RestoreLink(u, v int) error {
+	if !p.g.HasEdge(u, v) {
+		return fmt.Errorf("routing: no link (%d,%d)", u, v)
+	}
+	p.alive[linkKey(u, v)] = true
+	return nil
+}
+
+// Step runs one synchronous exchange round: every router advertises its
+// current vector to its live neighbours, then every router recomputes
+// from what it heard. It returns whether any table changed.
+func (p *Protocol) Step() bool {
+	n := p.g.N()
+	// Snapshot the vectors each neighbour advertises this round.
+	next := make([][]entry, n)
+	changed := false
+	for u := 0; u < n; u++ {
+		next[u] = make([]entry, n)
+		for d := 0; d < n; d++ {
+			if u == d {
+				next[u][d] = entry{metric: 0, nextHop: -1}
+				continue
+			}
+			best := entry{metric: p.Infinity, nextHop: -1}
+			for _, v := range p.g.Neighbors(u) {
+				if !p.alive[linkKey(u, v)] {
+					continue
+				}
+				adv := p.advertised(v, d, u)
+				if adv >= p.Infinity {
+					continue
+				}
+				if m := adv + 1; m < best.metric {
+					best = entry{metric: m, nextHop: v}
+				}
+			}
+			next[u][d] = best
+			if best != p.tables[u][d] {
+				changed = true
+			}
+		}
+	}
+	p.tables = next
+	p.rounds++
+	return changed
+}
+
+// advertised returns the metric v tells u about destination d, applying
+// split horizon when enabled.
+func (p *Protocol) advertised(v, d, u int) int {
+	e := p.tables[v][d]
+	if p.SplitHorizon && e.nextHop == u {
+		return p.Infinity
+	}
+	return e.metric
+}
+
+// Converge steps until stable or maxRounds, returning the number of
+// rounds taken and whether a fixed point was reached.
+func (p *Protocol) Converge(maxRounds int) (int, bool) {
+	for r := 0; r < maxRounds; r++ {
+		if !p.Step() {
+			return r, true
+		}
+	}
+	return maxRounds, false
+}
+
+// Rounds returns the number of exchange rounds executed.
+func (p *Protocol) Rounds() int { return p.rounds }
+
+// NextHop returns u's current next hop towards dst, or ok=false when u
+// has no route (or is the destination).
+func (p *Protocol) NextHop(u, dst int) (int, bool) {
+	e := p.tables[u][dst]
+	if e.nextHop < 0 || e.metric >= p.Infinity {
+		return -1, false
+	}
+	return e.nextHop, true
+}
+
+// Metric returns u's believed distance to dst (Infinity when
+// unreachable).
+func (p *Protocol) Metric(u, dst int) int { return p.tables[u][dst].metric }
+
+// ForwardingLoops returns every forwarding loop for dst in the current
+// tables: cycles in the functional graph u → NextHop(u, dst). Each loop
+// is returned once, as the node cycle in forwarding order.
+func (p *Protocol) ForwardingLoops(dst int) []topology.Cycle {
+	n := p.g.N()
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the current walk
+		black = 2 // resolved
+	)
+	color := make([]int, n)
+	pos := make([]int, n) // position of a grey node in the current walk
+	var loops []topology.Cycle
+	for start := 0; start < n; start++ {
+		if color[start] != white || start == dst {
+			continue
+		}
+		var walk []int
+		u := start
+		for {
+			if u == dst || color[u] == black {
+				break
+			}
+			if color[u] == grey {
+				// Found a new loop: the walk suffix from u's
+				// first occurrence.
+				loops = append(loops, append(topology.Cycle(nil), walk[pos[u]:]...))
+				break
+			}
+			color[u] = grey
+			pos[u] = len(walk)
+			walk = append(walk, u)
+			next, ok := p.NextHop(u, dst)
+			if !ok {
+				break
+			}
+			u = next
+		}
+		for _, w := range walk {
+			color[w] = black
+		}
+	}
+	return loops
+}
+
+// HasLoops reports whether any destination currently has a forwarding
+// loop.
+func (p *Protocol) HasLoops() bool {
+	for d := 0; d < p.g.N(); d++ {
+		if len(p.ForwardingLoops(d)) > 0 {
+			return true
+		}
+	}
+	return false
+}

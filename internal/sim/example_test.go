@@ -1,0 +1,45 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/sim"
+	"github.com/unroller/unroller/internal/topology"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// ExampleMonteCarlo runs one sensitivity data point: the paper's default
+// detector on B=5, L=20 walks.
+func ExampleMonteCarlo() {
+	det := core.MustNew(core.DefaultConfig())
+	res := sim.MonteCarlo(sim.Fixed(det), 5, 20, sim.MCConfig{Runs: 20000, Seed: 1})
+	fmt.Printf("all detected: %v; mean in Figure 2's band: %v\n",
+		res.Timeouts == 0, res.Time.Mean() > 1.7 && res.Time.Mean() < 2.3)
+	// Output:
+	// all detected: true; mean in Figure 2's band: true
+}
+
+// ExampleSampleScenario draws one Table 5 style loop event on a real
+// topology: a random shortest path with a random intersecting loop.
+func ExampleSampleScenario() {
+	g, _ := topology.FatTree(4)
+	sc, _ := sim.SampleScenario(g, xrand.New(3))
+	w := sc.Walk()
+	fmt.Printf("B=%d L=%d valid=%v loop starts on path=%v\n",
+		w.B(), w.L(), w.Validate() == nil, sc.Cycle[0] == sc.Path[sc.Attach])
+	// Output:
+	// B=1 L=8 valid=true loop starts on path=true
+}
+
+// ExampleFalsePositiveTrial measures a Figure 6 point: compressed 8-bit
+// identifiers on a loop-free 20-hop path.
+func ExampleFalsePositiveTrial() {
+	cfg := core.DefaultConfig()
+	cfg.ZBits, cfg.HashIDs = 8, true
+	det := core.MustNew(cfg)
+	r := sim.FalsePositiveTrial(sim.Fixed(det), 20, sim.MCConfig{Runs: 30000, Seed: 2})
+	fmt.Printf("rate within (0.01, 0.2): %v\n", r.Rate() > 0.01 && r.Rate() < 0.2)
+	// Output:
+	// rate within (0.01, 0.2): true
+}

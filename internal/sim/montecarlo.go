@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/stats"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// DetectorFactory builds a detector for a given worker; detectors whose
+// hash seeds should vary per run can capture the rng. Most experiments
+// use a fixed detector and ignore the argument.
+type DetectorFactory func(rng *xrand.Rand) detect.Detector
+
+// Fixed adapts a single reusable detector into a factory.
+func Fixed(det detect.Detector) DetectorFactory {
+	return func(*xrand.Rand) detect.Detector { return det }
+}
+
+// MCConfig shapes a Monte Carlo batch.
+type MCConfig struct {
+	// Runs is the number of independent packets simulated (the paper
+	// uses 3M per data point; shapes stabilise well below that).
+	Runs int
+	// Seed makes the batch reproducible.
+	Seed uint64
+	// Workers caps parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// MaxHops aborts a run that has not detected by then; 0 derives a
+	// generous budget from the walk (40·X + 64).
+	MaxHops int
+}
+
+// normalise fills defaults.
+func (c MCConfig) normalise() MCConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers > c.Runs && c.Runs > 0 {
+		c.Workers = c.Runs
+	}
+	return c
+}
+
+// MCResult aggregates a batch.
+type MCResult struct {
+	// Time summarises detection time as a ratio of hops to the X = B+L
+	// lower bound — the y-axis of every sensitivity figure.
+	Time stats.Summary
+	// Hops summarises raw detection hop counts.
+	Hops stats.Summary
+	// Timeouts counts runs that hit MaxHops undetected (should be zero
+	// for any loopy walk: Unroller has no false negatives).
+	Timeouts uint64
+	// FalsePositives counts runs whose report fired at a never-visited
+	// switch.
+	FalsePositives uint64
+	// Runs echoes the number of simulated packets.
+	Runs int
+}
+
+// String renders the headline number the way the figures label it.
+func (r MCResult) String() string {
+	return fmt.Sprintf("avg %.3f×X over %d runs (timeouts %d, FPs %d)",
+		r.Time.Mean(), r.Runs, r.Timeouts, r.FalsePositives)
+}
+
+// MonteCarlo simulates cfg.Runs independent packets on random walks with
+// shape (B, L) against detectors from factory, in parallel, and merges
+// the results deterministically (the merge order is fixed by worker
+// index, and each worker's stream derives from the batch seed).
+func MonteCarlo(factory DetectorFactory, B, L int, cfg MCConfig) MCResult {
+	cfg = cfg.normalise()
+	if cfg.Runs <= 0 {
+		return MCResult{}
+	}
+	if L < 1 {
+		panic("sim: MonteCarlo needs a loop; use FalsePositiveTrial for loop-free paths")
+	}
+	type partial struct {
+		time, hops stats.Summary
+		timeouts   uint64
+		fps        uint64
+	}
+	parts := make([]partial, cfg.Workers)
+	root := xrand.New(cfg.Seed)
+	seeds := make([]uint64, cfg.Workers)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < cfg.Workers; wkr++ {
+		runs := cfg.Runs / cfg.Workers
+		if wkr < cfg.Runs%cfg.Workers {
+			runs++
+		}
+		wg.Add(1)
+		go func(wkr, runs int) {
+			defer wg.Done()
+			rng := xrand.New(seeds[wkr])
+			det := factory(rng)
+			p := &parts[wkr]
+			for r := 0; r < runs; r++ {
+				w := RandomWalk(B, L, rng)
+				budget := cfg.MaxHops
+				if budget == 0 {
+					budget = 40*w.X() + 64
+				}
+				out := Run(det, w, budget)
+				if !out.Detected {
+					p.timeouts++
+					continue
+				}
+				if out.FalsePositive {
+					p.fps++
+				}
+				p.time.Add(float64(out.Hops) / float64(w.X()))
+				p.hops.Add(float64(out.Hops))
+			}
+		}(wkr, runs)
+	}
+	wg.Wait()
+	var res MCResult
+	res.Runs = cfg.Runs
+	for i := range parts {
+		res.Time.Merge(parts[i].time)
+		res.Hops.Merge(parts[i].hops)
+		res.Timeouts += parts[i].timeouts
+		res.FalsePositives += parts[i].fps
+	}
+	return res
+}
+
+// FalsePositiveTrial measures the probability that a loop-free path of
+// pathLen hops triggers a (necessarily false) report. This is the
+// Figure 6 experiment: B = pathLen, L = 0.
+func FalsePositiveTrial(factory DetectorFactory, pathLen int, cfg MCConfig) stats.RateEstimator {
+	cfg = cfg.normalise()
+	if pathLen < 1 {
+		panic("sim: false-positive trial needs a non-empty path")
+	}
+	rates := make([]stats.RateEstimator, cfg.Workers)
+	root := xrand.New(cfg.Seed)
+	seeds := make([]uint64, cfg.Workers)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < cfg.Workers; wkr++ {
+		runs := cfg.Runs / cfg.Workers
+		if wkr < cfg.Runs%cfg.Workers {
+			runs++
+		}
+		wg.Add(1)
+		go func(wkr, runs int) {
+			defer wg.Done()
+			rng := xrand.New(seeds[wkr])
+			det := factory(rng)
+			for r := 0; r < runs; r++ {
+				w := RandomWalk(pathLen, 0, rng)
+				out := Run(det, w, pathLen)
+				rates[wkr].Record(out.Detected)
+			}
+		}(wkr, runs)
+	}
+	wg.Wait()
+	var total stats.RateEstimator
+	for i := range rates {
+		total.Add(rates[i].Events(), rates[i].Trials())
+	}
+	return total
+}

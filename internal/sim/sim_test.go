@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/unroller/unroller/internal/baseline"
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// TestWalkShape: At indexing, B/L/X accounting, validation.
+func TestWalkShape(t *testing.T) {
+	w := Walk{
+		Prefix: []detect.SwitchID{10, 11},
+		Loop:   []detect.SwitchID{20, 21, 22},
+	}
+	if w.B() != 2 || w.L() != 3 || w.X() != 5 {
+		t.Fatal("shape accounting")
+	}
+	wantSeq := []detect.SwitchID{10, 11, 20, 21, 22, 20, 21, 22, 20}
+	for h, want := range wantSeq {
+		if got := w.At(h + 1); got != want {
+			t.Fatalf("At(%d) = %v, want %v", h+1, got, want)
+		}
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Walk{Prefix: []detect.SwitchID{1, 2}, Loop: []detect.SwitchID{2, 3}}
+	if bad.Validate() == nil {
+		t.Fatal("prefix/loop overlap accepted")
+	}
+	bad2 := Walk{Loop: []detect.SwitchID{5, 5}}
+	if bad2.Validate() == nil {
+		t.Fatal("loop self-duplicate accepted")
+	}
+}
+
+// TestWalkPanics: misuse is loud.
+func TestWalkPanics(t *testing.T) {
+	w := Walk{Prefix: []detect.SwitchID{1}}
+	for name, fn := range map[string]func(){
+		"hop 0":        func() { w.At(0) },
+		"past the end": func() { w.At(2) },
+		"negative B":   func() { RandomWalk(-1, 2, xrand.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestRandomWalkDistinct: shapes honoured, ids distinct, reserved id
+// avoided, reproducible by seed.
+func TestRandomWalkDistinct(t *testing.T) {
+	rng := xrand.New(1)
+	w := RandomWalk(7, 13, rng)
+	if w.B() != 7 || w.L() != 13 {
+		t.Fatal("shape")
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := RandomWalk(7, 13, xrand.New(1))
+	for h := 1; h <= 20; h++ {
+		if w.At(h) != w2.At(h) {
+			t.Fatal("same seed must give the same walk")
+		}
+	}
+}
+
+// TestRunOutcome: the default detector on a loopy walk detects within
+// Theorem 1, never before X, with no false positive flag.
+func TestRunOutcome(t *testing.T) {
+	det := core.MustNew(core.DefaultConfig())
+	rng := xrand.New(5)
+	for trial := 0; trial < 200; trial++ {
+		B, L := rng.Intn(15), 1+rng.Intn(20)
+		w := RandomWalk(B, L, rng)
+		bound := core.WorstCaseBound(4, B, L)
+		out := Run(det, w, bound+1)
+		if !out.Detected {
+			t.Fatalf("B=%d L=%d undetected within %d", B, L, bound)
+		}
+		if out.Hops < w.X() {
+			t.Fatalf("detected at %d < X=%d", out.Hops, w.X())
+		}
+		if out.FalsePositive {
+			t.Fatal("uncompressed detector flagged a false positive")
+		}
+		if out.Reporter != w.At(out.Hops) {
+			t.Fatal("reporter must be the switch at the detection hop")
+		}
+	}
+}
+
+// TestRunLoopFree: loop-free walks end quietly and ignore oversized
+// budgets.
+func TestRunLoopFree(t *testing.T) {
+	det := core.MustNew(core.DefaultConfig())
+	w := RandomWalk(10, 0, xrand.New(6))
+	out := Run(det, w, 10000)
+	if out.Detected {
+		t.Fatal("false positive on raw 32-bit ids")
+	}
+}
+
+// TestMonteCarloReproducible: same seed → identical aggregate; different
+// seed → (almost surely) different.
+func TestMonteCarloReproducible(t *testing.T) {
+	det := core.MustNew(core.DefaultConfig())
+	cfg := MCConfig{Runs: 2000, Seed: 11, Workers: 4}
+	a := MonteCarlo(Fixed(det), 5, 10, cfg)
+	b := MonteCarlo(Fixed(det), 5, 10, cfg)
+	if a.Time.Mean() != b.Time.Mean() || a.Time.N() != b.Time.N() {
+		t.Fatal("same seed diverged")
+	}
+	cfg.Seed = 12
+	c := MonteCarlo(Fixed(det), 5, 10, cfg)
+	if a.Time.Mean() == c.Time.Mean() {
+		t.Fatal("different seeds identical (suspicious)")
+	}
+	if a.Timeouts != 0 || a.FalsePositives != 0 {
+		t.Fatalf("unexpected timeouts/FPs: %+v", a)
+	}
+}
+
+// TestMonteCarloMatchesTheory: b=4 average detection near the known
+// regime — between 1 and 4.67, and for L≫B close to the paper's ≈1.6-2.2
+// band (Figure 2 at b=4).
+func TestMonteCarloMatchesTheory(t *testing.T) {
+	det := core.MustNew(core.DefaultConfig())
+	res := MonteCarlo(Fixed(det), 5, 20, MCConfig{Runs: 20000, Seed: 42})
+	mean := res.Time.Mean()
+	if mean < 1.0 || mean > 3.0 {
+		t.Fatalf("b=4 B=5 L=20 mean %.3f×X outside plausible band", mean)
+	}
+	if res.Time.Max() > core.WorstCaseFactor(4)+0.5 {
+		t.Fatalf("observed worst %.3f×X beyond Theorem 1 factor", res.Time.Max())
+	}
+}
+
+// TestMonteCarloWorkerInvariance: the aggregate mean is identical for
+// any worker count (deterministic partitioning).
+func TestMonteCarloWorkerInvariance(t *testing.T) {
+	det := core.MustNew(core.DefaultConfig())
+	base := MonteCarlo(Fixed(det), 3, 8, MCConfig{Runs: 999, Seed: 7, Workers: 1})
+	for _, w := range []int{2, 3, 8} {
+		r := MonteCarlo(Fixed(det), 3, 8, MCConfig{Runs: 999, Seed: 7, Workers: w})
+		if r.Time.N() != base.Time.N() {
+			t.Fatalf("workers=%d: %d observations, want %d", w, r.Time.N(), base.Time.N())
+		}
+	}
+}
+
+// TestMonteCarloEdgeCases.
+func TestMonteCarloEdgeCases(t *testing.T) {
+	det := core.MustNew(core.DefaultConfig())
+	if r := MonteCarlo(Fixed(det), 1, 1, MCConfig{Runs: 0, Seed: 1}); r.Runs != 0 {
+		t.Fatal("zero runs")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("L=0 MonteCarlo should panic")
+		}
+	}()
+	MonteCarlo(Fixed(det), 1, 0, MCConfig{Runs: 1, Seed: 1})
+}
+
+// TestFalsePositiveTrialDirections: FP rate falls with z and with Th —
+// the Figure 6 shapes.
+func TestFalsePositiveTrialDirections(t *testing.T) {
+	rate := func(z uint, th int) float64 {
+		cfg := core.DefaultConfig()
+		cfg.ZBits = z
+		cfg.Threshold = th
+		det := core.MustNew(cfg)
+		r := FalsePositiveTrial(Fixed(det), 20, MCConfig{Runs: 8000, Seed: 9})
+		return r.Rate()
+	}
+	r6, r10 := rate(6, 1), rate(10, 1)
+	if r6 <= r10 {
+		t.Errorf("FP should fall with z: z=6 %.4f z=10 %.4f", r6, r10)
+	}
+	r6t2 := rate(6, 2)
+	if r6t2 >= r6 {
+		t.Errorf("FP should fall with Th: Th=1 %.4f Th=2 %.4f", r6, r6t2)
+	}
+	// The §3.3 worked example: z=7, Th=4 on a 20-hop path is below 1e-4
+	// empirically (paper claims < 1e-5; sampling noise at 8k runs means
+	// we check a looser ceiling here).
+	if r74 := rate(7, 4); r74 > 1e-4 {
+		t.Errorf("z=7 Th=4 FP rate %.2e, want < 1e-4", r74)
+	}
+}
+
+// TestBloomInHarness: the harness drives baselines identically.
+func TestBloomInHarness(t *testing.T) {
+	det, err := baseline.NewBloom(256, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := MonteCarlo(Fixed(det), 5, 10, MCConfig{Runs: 3000, Seed: 3})
+	// Bloom detects at X+1 when collision-free: ratio ≈ 16/15.
+	if m := res.Time.Mean(); m < 1.0 || m > 1.2 {
+		t.Errorf("bloom mean %.3f×X, want ≈1.07", m)
+	}
+}

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/topology"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// Scenario is one sampled loop event on a topology, following the Table 5
+// methodology: two random nodes, a random shortest path between them, and
+// a loop intersecting that path chosen at random. The packet follows the
+// path up to the attachment node and then circulates the cycle.
+type Scenario struct {
+	// Graph is the topology the scenario lives on.
+	Graph *topology.Graph
+	// Assign maps nodes to switch identifiers (fresh per scenario: the
+	// paper's identifiers are random per run).
+	Assign *topology.Assignment
+	// Src and Dst are the sampled endpoints.
+	Src, Dst int
+	// Path is the sampled shortest path, inclusive.
+	Path []int
+	// Attach is the index on Path where the loop begins; B = Attach.
+	Attach int
+	// Cycle is the loop, rotated to start at Path[Attach].
+	Cycle topology.Cycle
+}
+
+// Walk lowers the scenario to the detector-facing walk. The loop must
+// not revisit prefix switches for Walk.Validate to hold; SampleScenario
+// resamples until that is true, mirroring the clean B-then-L structure
+// the paper's simulator generates.
+func (s *Scenario) Walk() Walk {
+	return Walk{
+		Prefix: s.Assign.IDs(s.Path[:s.Attach]),
+		Loop:   s.Assign.IDs([]int(s.Cycle)),
+	}
+}
+
+// MaxCycleLen bounds sampled loop lengths: real forwarding loops are
+// short (a handful of misconfigured next-hops), and unbounded sampling on
+// large graphs would mostly produce giant cycles.
+const MaxCycleLen = 16
+
+// SampleScenario draws one scenario on g. It retries internally until the
+// sampled cycle is disjoint from the pre-loop path prefix (so B and L are
+// well defined) and returns an error only if g admits no usable loop at
+// all.
+func SampleScenario(g *topology.Graph, rng *xrand.Rand) (*Scenario, error) {
+	if g.N() < 2 {
+		return nil, fmt.Errorf("sim: graph %s too small for scenarios", g.Name)
+	}
+	const attempts = 128
+	for a := 0; a < attempts; a++ {
+		src, dst := g.RandomPair(rng)
+		path, err := g.ShortestPath(src, dst, rng)
+		if err != nil {
+			return nil, err
+		}
+		attach, cycle, err := topology.RandomLoopOnPath(g, path, MaxCycleLen, rng)
+		if err != nil {
+			continue
+		}
+		sc := &Scenario{
+			Graph:  g,
+			Assign: topology.NewAssignment(g, rng),
+			Src:    src,
+			Dst:    dst,
+			Path:   path,
+			Attach: attach,
+			Cycle:  cycle,
+		}
+		if sc.Walk().Validate() != nil {
+			continue // cycle re-enters the prefix; resample
+		}
+		return sc, nil
+	}
+	return nil, fmt.Errorf("sim: no clean loop scenario found on %s", g.Name)
+}
+
+// TopoResult aggregates a topology Monte Carlo batch (one row of
+// Table 5's Unroller columns).
+type TopoResult struct {
+	MCResult
+	// AvgB and AvgL describe the sampled workload.
+	AvgB, AvgL float64
+}
+
+// TopoMonteCarlo runs cfg.Runs sampled scenarios on g against detectors
+// from factory and aggregates detection times (as hops/X). Workers run
+// in parallel with deterministic per-worker streams, so the aggregate is
+// reproducible for any worker count (matching MonteCarlo's contract).
+func TopoMonteCarlo(g *topology.Graph, factory DetectorFactory, cfg MCConfig) (TopoResult, error) {
+	cfg = cfg.normalise()
+	var res TopoResult
+	res.Runs = cfg.Runs
+	if cfg.Runs <= 0 {
+		return res, nil
+	}
+	type partial struct {
+		res        TopoResult
+		sumB, sumL float64
+		err        error
+	}
+	parts := make([]partial, cfg.Workers)
+	root := xrand.New(cfg.Seed)
+	seeds := make([]uint64, cfg.Workers)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < cfg.Workers; wkr++ {
+		runs := cfg.Runs / cfg.Workers
+		if wkr < cfg.Runs%cfg.Workers {
+			runs++
+		}
+		wg.Add(1)
+		go func(wkr, runs int) {
+			defer wg.Done()
+			rng := xrand.New(seeds[wkr])
+			det := factory(rng)
+			p := &parts[wkr]
+			for r := 0; r < runs; r++ {
+				sc, err := SampleScenario(g, rng)
+				if err != nil {
+					p.err = err
+					return
+				}
+				w := sc.Walk()
+				p.sumB += float64(w.B())
+				p.sumL += float64(w.L())
+				budget := cfg.MaxHops
+				if budget == 0 {
+					budget = 40*w.X() + 64
+				}
+				out := Run(det, w, budget)
+				if !out.Detected {
+					p.res.Timeouts++
+					continue
+				}
+				if out.FalsePositive {
+					p.res.FalsePositives++
+				}
+				p.res.Time.Add(float64(out.Hops) / float64(w.X()))
+				p.res.Hops.Add(float64(out.Hops))
+			}
+		}(wkr, runs)
+	}
+	wg.Wait()
+	var sumB, sumL float64
+	for i := range parts {
+		if parts[i].err != nil {
+			return res, parts[i].err
+		}
+		res.Time.Merge(parts[i].res.Time)
+		res.Hops.Merge(parts[i].res.Hops)
+		res.Timeouts += parts[i].res.Timeouts
+		res.FalsePositives += parts[i].res.FalsePositives
+		sumB += parts[i].sumB
+		sumL += parts[i].sumL
+	}
+	res.AvgB = sumB / float64(cfg.Runs)
+	res.AvgL = sumL / float64(cfg.Runs)
+	return res, nil
+}
+
+// ScenarioIDs returns every switch identifier a scenario's walk touches,
+// for detectors (PathDump) that need applicability checks.
+func (s *Scenario) ScenarioIDs() []detect.SwitchID {
+	ids := s.Assign.IDs(s.Path[:s.Attach])
+	return append(ids, s.Assign.IDs([]int(s.Cycle))...)
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/topology"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// TestSampleScenarioStructure: path is a shortest path, the loop starts
+// at the attachment node, and the lowered walk validates.
+func TestSampleScenarioStructure(t *testing.T) {
+	for _, spec := range topology.TableFiveSpecs() {
+		g, err := topology.ZooGraph(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := xrand.New(1)
+		for trial := 0; trial < 25; trial++ {
+			sc, err := SampleScenario(g, rng)
+			if err != nil {
+				t.Fatalf("%s: %v", spec.Name, err)
+			}
+			if sc.Path[0] != sc.Src || sc.Path[len(sc.Path)-1] != sc.Dst {
+				t.Fatalf("%s: path endpoints", spec.Name)
+			}
+			if sc.Cycle[0] != sc.Path[sc.Attach] {
+				t.Fatalf("%s: loop must start at the attachment node", spec.Name)
+			}
+			w := sc.Walk()
+			if err := w.Validate(); err != nil {
+				t.Fatalf("%s: %v", spec.Name, err)
+			}
+			if w.B() != sc.Attach || w.L() != sc.Cycle.Len() {
+				t.Fatalf("%s: B/L accounting", spec.Name)
+			}
+			if len(sc.ScenarioIDs()) != w.X() {
+				t.Fatalf("%s: ScenarioIDs length", spec.Name)
+			}
+		}
+	}
+}
+
+// TestTopoMonteCarloDetectsEverything: Unroller finds every injected
+// loop on every Table 5 topology, with mean time in the paper's 1.5–2.5
+// band.
+func TestTopoMonteCarloDetectsEverything(t *testing.T) {
+	det := core.MustNew(core.DefaultConfig())
+	for _, spec := range topology.TableFiveSpecs() {
+		g, err := topology.ZooGraph(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := TopoMonteCarlo(g, Fixed(det), MCConfig{Runs: 300, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if res.Timeouts != 0 {
+			t.Errorf("%s: %d loops missed", spec.Name, res.Timeouts)
+		}
+		if res.FalsePositives != 0 {
+			t.Errorf("%s: %d false positives with raw ids", spec.Name, res.FalsePositives)
+		}
+		if m := res.Time.Mean(); m < 1.0 || m > 3.2 {
+			t.Errorf("%s: mean time %.3f×X outside the plausible band", spec.Name, m)
+		}
+		if res.AvgL < 2 || res.AvgB < 0 {
+			t.Errorf("%s: workload stats B=%.2f L=%.2f", spec.Name, res.AvgB, res.AvgL)
+		}
+	}
+}
+
+// TestMinUnrollerBits: the search returns a width that indeed produces
+// no false positives, and the total header cost lands in the paper's
+// 20–32 bit band.
+func TestMinUnrollerBits(t *testing.T) {
+	g, err := topology.ZooGraph(topology.TableFiveSpecs()[0]) // Stanford
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MinUnrollerBits(g, core.DefaultConfig(), 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bits != 8+res.Param {
+		t.Fatalf("bits %d must be 8+z (z=%d)", res.Bits, res.Param)
+	}
+	if res.Bits < 12 || res.Bits > 40 {
+		t.Errorf("minimum unroller header %d bits implausible", res.Bits)
+	}
+}
+
+// TestMinBloomBits: zero-FP filter size found, and it dwarfs Unroller's
+// header (the Table 5 headline).
+func TestMinBloomBits(t *testing.T) {
+	g, err := topology.ZooGraph(topology.TableFiveSpecs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ExpectedEntries(g, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries < 2 || entries > 40 {
+		t.Fatalf("expected entries %d implausible for Stanford", entries)
+	}
+	bloom, err := MinBloomBits(g, entries, 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unr, err := MinUnrollerBits(g, core.DefaultConfig(), 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bloom.Bits <= unr.Bits {
+		t.Errorf("bloom %d bits should exceed unroller %d bits", bloom.Bits, unr.Bits)
+	}
+}
+
+// TestScenarioTooSmall.
+func TestScenarioTooSmall(t *testing.T) {
+	g := topology.NewGraph("tiny", 1)
+	g.AddNode("")
+	if _, err := SampleScenario(g, xrand.New(1)); err == nil {
+		t.Fatal("single-node graph accepted")
+	}
+}

@@ -1,0 +1,143 @@
+// Package sim is the evaluation engine of the reproduction — the Go
+// counterpart of the Python simulator the paper used (§5). It constructs
+// walks with B pre-loop hops and an L-switch loop, drives any
+// detect.Detector over them hop by hop, runs seeded parallel Monte Carlo
+// batches, measures false-positive rates on loop-free paths, samples
+// loop scenarios on real topologies, and searches for the minimum header
+// budget achieving zero false positives (the Table 5 methodology).
+package sim
+
+import (
+	"fmt"
+
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// Walk is the trajectory of one packet: a prefix of switches visited
+// before the loop, then a cycle repeated indefinitely. An empty Loop
+// means a loop-free path that simply ends after the prefix.
+type Walk struct {
+	// Prefix holds the B switches the packet traverses before entering
+	// the loop, in order.
+	Prefix []detect.SwitchID
+	// Loop holds the L switches of the loop, in traversal order. The
+	// packet revisits Loop[0] after Loop[L-1].
+	Loop []detect.SwitchID
+}
+
+// B returns the number of hops before the loop.
+func (w Walk) B() int { return len(w.Prefix) }
+
+// L returns the number of switches in the loop.
+func (w Walk) L() int { return len(w.Loop) }
+
+// X returns the detection lower bound B+L: the hop at which some switch
+// is first visited twice.
+func (w Walk) X() int { return len(w.Prefix) + len(w.Loop) }
+
+// At returns the switch visited at 1-based hop number h. For loop-free
+// walks, hops beyond the prefix are invalid.
+func (w Walk) At(h int) detect.SwitchID {
+	if h < 1 {
+		panic("sim: hops are 1-based")
+	}
+	h--
+	if h < len(w.Prefix) {
+		return w.Prefix[h]
+	}
+	if len(w.Loop) == 0 {
+		panic(fmt.Sprintf("sim: hop %d beyond loop-free walk of %d hops", h+1, len(w.Prefix)))
+	}
+	return w.Loop[(h-len(w.Prefix))%len(w.Loop)]
+}
+
+// Validate checks structural sanity: no duplicate switch inside the
+// prefix, inside the loop, or across the two — the walk's first repeated
+// switch must be Loop[0] at hop X+1.
+func (w Walk) Validate() error {
+	seen := make(map[detect.SwitchID]int, w.X())
+	for i, id := range w.Prefix {
+		if j, dup := seen[id]; dup {
+			return fmt.Errorf("sim: walk repeats %v at prefix positions %d and %d", id, j, i)
+		}
+		seen[id] = i
+	}
+	for i, id := range w.Loop {
+		if j, dup := seen[id]; dup {
+			return fmt.Errorf("sim: walk repeats %v (loop position %d, earlier %d)", id, i, j)
+		}
+		seen[id] = len(w.Prefix) + i
+	}
+	return nil
+}
+
+// RandomWalk draws a walk with exactly b pre-loop hops and an l-switch
+// loop, all switch identifiers distinct uniform 32-bit values — the
+// paper's sensitivity-analysis workload. l = 0 gives a loop-free path of
+// b hops for false-positive trials.
+func RandomWalk(b, l int, rng *xrand.Rand) Walk {
+	if b < 0 || l < 0 {
+		panic(fmt.Sprintf("sim: negative walk shape B=%d L=%d", b, l))
+	}
+	ids := distinctIDs(b+l, rng)
+	return Walk{Prefix: ids[:b], Loop: ids[b:]}
+}
+
+// distinctIDs draws n distinct identifiers, avoiding the reserved
+// all-ones pattern.
+func distinctIDs(n int, rng *xrand.Rand) []detect.SwitchID {
+	out := make([]detect.SwitchID, 0, n)
+	seen := make(map[detect.SwitchID]struct{}, n)
+	for len(out) < n {
+		id := detect.SwitchID(rng.Uint32())
+		if id == 0xFFFFFFFF {
+			continue
+		}
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}
+
+// Outcome describes one packet's simulation.
+type Outcome struct {
+	// Detected reports whether the detector raised a loop verdict within
+	// the hop budget.
+	Detected bool
+	// Hops is the 1-based hop at which the verdict fired (0 if none).
+	Hops int
+	// Reporter is the switch that reported (zero value if none).
+	Reporter detect.SwitchID
+	// FalsePositive is set when the reporting switch had not been
+	// visited before the report — a spurious hash match.
+	FalsePositive bool
+}
+
+// Run drives one fresh packet state from det over walk w for at most
+// maxHops hops. Loop-free walks are driven to the end of their prefix
+// regardless of maxHops being larger.
+func Run(det detect.Detector, w Walk, maxHops int) Outcome {
+	st := det.NewState()
+	limit := maxHops
+	if w.L() == 0 && (limit == 0 || limit > w.B()) {
+		limit = w.B()
+	}
+	visited := make(map[detect.SwitchID]bool, w.X()+1)
+	for h := 1; h <= limit; h++ {
+		id := w.At(h)
+		if st.Visit(id) == detect.Loop {
+			return Outcome{
+				Detected:      true,
+				Hops:          h,
+				Reporter:      id,
+				FalsePositive: !visited[id],
+			}
+		}
+		visited[id] = true
+	}
+	return Outcome{}
+}

@@ -1,0 +1,55 @@
+// Package sweep provides small helpers for building experiment parameter
+// grids: integer ranges, cartesian products, and labelled series. The
+// experiment drivers use these instead of hand-rolled nested loops so the
+// swept space is visible in one expression.
+package sweep
+
+import "fmt"
+
+// Ints returns from, from+step, …, up to and including to (when it lands
+// on the grid). It panics on a non-positive step or an empty range.
+func Ints(from, to, step int) []int {
+	if step <= 0 {
+		panic("sweep: step must be positive")
+	}
+	if to < from {
+		panic(fmt.Sprintf("sweep: empty range [%d, %d]", from, to))
+	}
+	out := make([]int, 0, (to-from)/step+1)
+	for v := from; v <= to; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Pair is a 2-tuple grid point.
+type Pair struct{ A, B int }
+
+// Product returns the cartesian product of two axes, A-major.
+func Product(as, bs []int) []Pair {
+	out := make([]Pair, 0, len(as)*len(bs))
+	for _, a := range as {
+		for _, b := range bs {
+			out = append(out, Pair{A: a, B: b})
+		}
+	}
+	return out
+}
+
+// Series is a labelled sequence of (x, y) points — one line of a figure.
+type Series struct {
+	Label  string
+	X      []float64
+	Y      []float64
+	YError []float64 // optional 95% CI half-widths, parallel to Y
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y, yerr float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+	s.YError = append(s.YError, yerr)
+}
+
+// Len returns the point count.
+func (s *Series) Len() int { return len(s.X) }

@@ -1,0 +1,55 @@
+package sweep
+
+import "testing"
+
+func TestInts(t *testing.T) {
+	got := Ints(1, 10, 3)
+	want := []int{1, 4, 7, 10}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if len(Ints(5, 5, 1)) != 1 {
+		t.Error("singleton range")
+	}
+	if g := Ints(1, 9, 3); g[len(g)-1] != 7 {
+		t.Error("range must not overshoot")
+	}
+	for _, bad := range []func(){
+		func() { Ints(1, 10, 0) },
+		func() { Ints(10, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid range should panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestProduct(t *testing.T) {
+	p := Product([]int{1, 2}, []int{10, 20, 30})
+	if len(p) != 6 {
+		t.Fatalf("len %d", len(p))
+	}
+	if p[0] != (Pair{1, 10}) || p[5] != (Pair{2, 30}) {
+		t.Fatalf("order wrong: %v", p)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Label = "b=4"
+	s.Add(1, 2.5, 0.1)
+	s.Add(2, 2.0, 0.1)
+	if s.Len() != 2 || s.Y[1] != 2.0 || s.YError[0] != 0.1 {
+		t.Fatal("series bookkeeping")
+	}
+}

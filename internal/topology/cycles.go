@@ -1,0 +1,156 @@
+package topology
+
+import (
+	"fmt"
+
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// Cycle is a simple cycle given as the node sequence visited once around;
+// the walk returns from the last node to the first. A length-2 cycle is a
+// ping-pong loop over a single link — the shortest forwarding loop that
+// can exist (two switches pointing default routes at each other).
+type Cycle []int
+
+// Len returns the number of switches in the loop (the paper's L).
+func (c Cycle) Len() int { return len(c) }
+
+// Contains reports whether node u lies on the cycle.
+func (c Cycle) Contains(u int) bool {
+	for _, v := range c {
+		if v == u {
+			return true
+		}
+	}
+	return false
+}
+
+// Rotate returns the cycle rotated so it starts at its k'th element.
+func (c Cycle) Rotate(k int) Cycle {
+	out := make(Cycle, len(c))
+	for i := range c {
+		out[i] = c[(k+i)%len(c)]
+	}
+	return out
+}
+
+// Validate checks that consecutive cycle nodes (wrapping) are adjacent in
+// g and that no node repeats.
+func (c Cycle) Validate(g *Graph) error {
+	if len(c) < 2 {
+		return fmt.Errorf("topology: cycle too short: %v", c)
+	}
+	seen := make(map[int]bool, len(c))
+	for i, u := range c {
+		if seen[u] {
+			return fmt.Errorf("topology: cycle repeats node %d", u)
+		}
+		seen[u] = true
+		v := c[(i+1)%len(c)]
+		if !g.HasEdge(u, v) {
+			return fmt.Errorf("topology: cycle step (%d,%d) is not an edge", u, v)
+		}
+	}
+	return nil
+}
+
+// RandomCycleThrough samples a simple cycle through node v of length at
+// most maxLen, via randomised depth-first walks that try to close back on
+// v. It returns nil if no cycle was found within the attempt budget
+// (e.g. v is a leaf in a tree-like region and even ping-pong is excluded
+// by minLen). minLen ≥ 2; a result of length 2 is the ping-pong loop over
+// one of v's links.
+//
+// The sampler is not exactly uniform over all simple cycles (counting
+// those is #P-hard); the Table 5 experiment needs a well-spread draw over
+// loop lengths and memberships, which randomised walk starts provide.
+func RandomCycleThrough(g *Graph, v int, minLen, maxLen int, rng *xrand.Rand) Cycle {
+	if minLen < 2 {
+		minLen = 2
+	}
+	if g.Degree(v) == 0 {
+		return nil
+	}
+	const attempts = 64
+	for a := 0; a < attempts; a++ {
+		if c := randomWalkCycle(g, v, minLen, maxLen, rng); c != nil {
+			return c
+		}
+	}
+	// Fall back to the shortest option if random walks kept dead-ending.
+	if minLen <= 2 {
+		nbr := g.adj[v][rng.Intn(g.Degree(v))]
+		return Cycle{v, nbr}
+	}
+	return nil
+}
+
+// randomWalkCycle performs one randomised self-avoiding walk from v,
+// closing the cycle as soon as v reappears among a step's candidates and
+// the length constraint is met.
+func randomWalkCycle(g *Graph, v, minLen, maxLen int, rng *xrand.Rand) Cycle {
+	onPath := map[int]bool{v: true}
+	walk := []int{v}
+	cur := v
+	for len(walk) < maxLen {
+		// Candidate next steps: unvisited neighbours; additionally v
+		// itself once the walk is long enough to close a valid cycle.
+		var cands []int
+		canClose := false
+		for _, w := range g.adj[cur] {
+			if w == v && len(walk) >= minLen && len(walk) >= 3 {
+				canClose = true
+				continue
+			}
+			if !onPath[w] {
+				cands = append(cands, w)
+			}
+		}
+		// Prefer closing with probability growing in walk length, so
+		// short and long cycles both get sampled.
+		if canClose && (len(cands) == 0 || rng.Float64() < 0.4) {
+			return Cycle(walk)
+		}
+		if len(cands) == 0 {
+			// Dead end. A 2-cycle (ping-pong) is still closable
+			// from the first step.
+			if len(walk) == 2 && minLen <= 2 {
+				return Cycle(walk)
+			}
+			return nil
+		}
+		next := cands[rng.Intn(len(cands))]
+		onPath[next] = true
+		walk = append(walk, next)
+		cur = next
+		if len(walk) == 2 && minLen <= 2 && rng.Float64() < 0.15 {
+			// Occasionally emit the ping-pong loop over the first
+			// link, so L=2 loops appear in the mix.
+			return Cycle(walk)
+		}
+	}
+	return nil
+}
+
+// RandomLoopOnPath picks a uniform random node of path and samples a
+// cycle through it. It returns the index on the path where the loop
+// attaches (the paper's B is that index) and the cycle, or an error if
+// the budgeted sampling found no cycle anywhere on the path.
+func RandomLoopOnPath(g *Graph, path []int, maxLen int, rng *xrand.Rand) (attach int, c Cycle, err error) {
+	if len(path) == 0 {
+		return 0, nil, fmt.Errorf("topology: empty path")
+	}
+	// Try path positions in random order until one yields a cycle.
+	for _, idx := range rng.Perm(len(path)) {
+		if c := RandomCycleThrough(g, path[idx], 2, maxLen, rng); c != nil {
+			// Rotate the cycle to start at the attachment node so
+			// walk construction is straightforward.
+			for k, u := range c {
+				if u == path[idx] {
+					return idx, c.Rotate(k), nil
+				}
+			}
+		}
+	}
+	return 0, nil, fmt.Errorf("topology: %s: no cycle found intersecting path", g.Name)
+}

@@ -1,0 +1,133 @@
+package topology
+
+import (
+	"testing"
+
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// TestCycleValidate covers the validator.
+func TestCycleValidate(t *testing.T) {
+	g, _ := Ring(5)
+	good := Cycle{0, 1, 2, 3, 4}
+	if err := good.Validate(g); err != nil {
+		t.Fatalf("valid cycle rejected: %v", err)
+	}
+	if err := (Cycle{0, 2, 4}).Validate(g); err == nil {
+		t.Fatal("non-adjacent cycle accepted")
+	}
+	if err := (Cycle{0}).Validate(g); err == nil {
+		t.Fatal("length-1 cycle accepted")
+	}
+	if err := (Cycle{0, 1, 0, 1}).Validate(g); err == nil {
+		t.Fatal("repeating cycle accepted")
+	}
+	// Ping-pong over an edge is a valid length-2 loop.
+	if err := (Cycle{0, 1}).Validate(g); err != nil {
+		t.Fatalf("ping-pong rejected: %v", err)
+	}
+}
+
+// TestCycleHelpers.
+func TestCycleHelpers(t *testing.T) {
+	c := Cycle{3, 5, 7}
+	if c.Len() != 3 || !c.Contains(5) || c.Contains(9) {
+		t.Fatal("helpers wrong")
+	}
+	r := c.Rotate(1)
+	if r[0] != 5 || r[1] != 7 || r[2] != 3 {
+		t.Fatalf("rotate: %v", r)
+	}
+	if c[0] != 3 {
+		t.Fatal("rotate mutated the original")
+	}
+}
+
+// TestRandomCycleThroughValid: every sampled cycle passes validation,
+// goes through the requested node, and respects the length cap.
+func TestRandomCycleThroughValid(t *testing.T) {
+	rng := xrand.New(10)
+	graphs := []*Graph{}
+	if g, err := Torus(4, 4); err == nil {
+		graphs = append(graphs, g)
+	}
+	if g, err := FatTree(4); err == nil {
+		graphs = append(graphs, g)
+	}
+	if g, err := Synthetic("z", 40, 8); err == nil {
+		graphs = append(graphs, g)
+	}
+	for _, g := range graphs {
+		lengths := map[int]int{}
+		for trial := 0; trial < 300; trial++ {
+			v := rng.Intn(g.N())
+			c := RandomCycleThrough(g, v, 2, 10, rng)
+			if c == nil {
+				continue
+			}
+			if len(c) > 10 {
+				t.Fatalf("%s: cycle too long: %v", g.Name, c)
+			}
+			if !c.Contains(v) {
+				t.Fatalf("%s: cycle misses anchor %d: %v", g.Name, v, c)
+			}
+			if len(c) > 2 {
+				if err := c.Validate(g); err != nil {
+					t.Fatalf("%s: %v", g.Name, err)
+				}
+			} else if !g.HasEdge(c[0], c[1]) {
+				t.Fatalf("%s: ping-pong over non-edge %v", g.Name, c)
+			}
+			lengths[len(c)]++
+		}
+		if len(lengths) < 2 {
+			t.Errorf("%s: cycle sampler produced only lengths %v", g.Name, lengths)
+		}
+	}
+}
+
+// TestRandomCycleThroughLeaf: a leaf in a tree has only the ping-pong
+// loop; with minLen 3 nothing is found.
+func TestRandomCycleThroughLeaf(t *testing.T) {
+	g, _ := Chain(5)
+	rng := xrand.New(11)
+	c := RandomCycleThrough(g, 0, 2, 10, rng)
+	if c == nil || c.Len() != 2 {
+		t.Fatalf("leaf should yield a ping-pong, got %v", c)
+	}
+	if c := RandomCycleThrough(g, 0, 3, 10, rng); c != nil {
+		t.Fatalf("chain admits no simple cycle ≥ 3, got %v", c)
+	}
+	// Isolated node: no loop at all.
+	iso := NewGraph("iso", 1)
+	iso.AddNode("")
+	if c := RandomCycleThrough(iso, 0, 2, 10, rng); c != nil {
+		t.Fatalf("isolated node yielded %v", c)
+	}
+}
+
+// TestRandomLoopOnPath: attach index on the path, cycle rotated to start
+// at the attachment.
+func TestRandomLoopOnPath(t *testing.T) {
+	g, _ := Torus(5, 5)
+	rng := xrand.New(12)
+	path, err := g.ShortestPath(0, 12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		attach, c, err := RandomLoopOnPath(g, path, 12, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attach < 0 || attach >= len(path) {
+			t.Fatalf("attach %d outside path", attach)
+		}
+		if c[0] != path[attach] {
+			t.Fatalf("cycle %v does not start at path[%d]=%d", c, attach, path[attach])
+		}
+	}
+	if _, _, err := RandomLoopOnPath(g, nil, 12, rng); err == nil {
+		t.Fatal("empty path accepted")
+	}
+}

@@ -1,0 +1,36 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"github.com/unroller/unroller/internal/topology"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// ExampleFatTree builds the paper's FatTree4 evaluation fabric.
+func ExampleFatTree() {
+	g, _ := topology.FatTree(4)
+	fmt.Printf("%s: %d switches, %d links, diameter %d\n", g.Name, g.N(), g.M(), g.Diameter())
+	// Output:
+	// FatTree4: 20 switches, 32 links, diameter 4
+}
+
+// ExampleSynthetic builds a Table 5 WAN stand-in: exact node count and
+// diameter, guaranteed loop-rich.
+func ExampleSynthetic() {
+	g, _ := topology.Synthetic("GEANT", 40, 8)
+	fmt.Printf("%s: n=%d diameter=%d connected=%v\n", g.Name, g.N(), g.Diameter(), g.Connected())
+	// Output:
+	// GEANT: n=40 diameter=8 connected=true
+}
+
+// ExampleRandomCycleThrough samples a forwarding-loop candidate through
+// a given switch.
+func ExampleRandomCycleThrough() {
+	g, _ := topology.Torus(4, 4)
+	c := topology.RandomCycleThrough(g, 5, 2, 8, xrand.New(1))
+	fmt.Printf("loop through 5: length %d, valid %v, anchored %v\n",
+		c.Len(), c.Validate(g) == nil, c.Contains(5))
+	// Output:
+	// loop through 5: length 2, valid true, anchored true
+}

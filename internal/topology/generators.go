@@ -1,0 +1,272 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// FatTree builds the switch-level k-ary fat-tree fabric (k even, k ≥ 2):
+// k pods of k/2 edge and k/2 aggregation switches plus (k/2)² cores.
+// FatTree(4) is the paper's "FatTree4": 20 switches, diameter 4.
+// Node order: edges, then aggregations, then cores.
+func FatTree(k int) (*Graph, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topology: fat-tree arity must be even and ≥ 2, got %d", k)
+	}
+	half := k / 2
+	g := NewGraph(fmt.Sprintf("FatTree%d", k), k*k+half*half)
+	edge := make([][]int, k) // [pod][i]
+	agg := make([][]int, k)
+	for p := 0; p < k; p++ {
+		edge[p] = make([]int, half)
+		for i := range edge[p] {
+			edge[p][i] = g.AddNode(fmt.Sprintf("edge-p%d-%d", p, i))
+		}
+	}
+	for p := 0; p < k; p++ {
+		agg[p] = make([]int, half)
+		for i := range agg[p] {
+			agg[p][i] = g.AddNode(fmt.Sprintf("agg-p%d-%d", p, i))
+		}
+	}
+	cores := make([]int, half*half)
+	for i := range cores {
+		cores[i] = g.AddNode(fmt.Sprintf("core-%d", i))
+	}
+	for p := 0; p < k; p++ {
+		for _, e := range edge[p] {
+			for _, a := range agg[p] {
+				g.mustEdge(e, a)
+			}
+		}
+		for j, a := range agg[p] {
+			for c := 0; c < half; c++ {
+				g.mustEdge(a, cores[j*half+c])
+			}
+		}
+	}
+	return g, nil
+}
+
+// FatTreeLayers returns the tier of each FatTree(k) node (0 = edge,
+// 1 = aggregation, 2 = core), keyed by assigned switch identifier — the
+// layer map PathDump requires.
+func FatTreeLayers(k int, a *Assignment) map[detect.SwitchID]int {
+	half := k / 2
+	nEdge := k * half
+	nAgg := k * half
+	layers := make(map[detect.SwitchID]int, nEdge+nAgg+half*half)
+	for u := 0; u < nEdge; u++ {
+		layers[a.ID(u)] = 0
+	}
+	for u := nEdge; u < nEdge+nAgg; u++ {
+		layers[a.ID(u)] = 1
+	}
+	for u := nEdge + nAgg; u < nEdge+nAgg+half*half; u++ {
+		layers[a.ID(u)] = 2
+	}
+	return layers
+}
+
+// VL2 builds the VL2 fabric of Greenberg et al.: nt top-of-rack switches,
+// each dual-homed to two of na aggregation switches, and na aggregations
+// each connected to all ni intermediates. Node order: ToRs, aggs,
+// intermediates.
+func VL2(nt, na, ni int) (*Graph, error) {
+	if nt < 1 || na < 2 || ni < 1 {
+		return nil, fmt.Errorf("topology: VL2 needs nt ≥ 1, na ≥ 2, ni ≥ 1; got %d/%d/%d", nt, na, ni)
+	}
+	g := NewGraph(fmt.Sprintf("VL2-%d-%d-%d", nt, na, ni), nt+na+ni)
+	tors := make([]int, nt)
+	for i := range tors {
+		tors[i] = g.AddNode(fmt.Sprintf("tor-%d", i))
+	}
+	aggs := make([]int, na)
+	for i := range aggs {
+		aggs[i] = g.AddNode(fmt.Sprintf("agg-%d", i))
+	}
+	ints := make([]int, ni)
+	for i := range ints {
+		ints[i] = g.AddNode(fmt.Sprintf("int-%d", i))
+	}
+	for i, t := range tors {
+		g.mustEdge(t, aggs[(2*i)%na])
+		g.mustEdge(t, aggs[(2*i+1)%na])
+	}
+	for _, a := range aggs {
+		for _, x := range ints {
+			g.mustEdge(a, x)
+		}
+	}
+	return g, nil
+}
+
+// VL2Layers returns the PathDump layer map for a VL2 graph built by VL2.
+func VL2Layers(nt, na, ni int, a *Assignment) map[detect.SwitchID]int {
+	layers := make(map[detect.SwitchID]int, nt+na+ni)
+	for u := 0; u < nt; u++ {
+		layers[a.ID(u)] = 0
+	}
+	for u := nt; u < nt+na; u++ {
+		layers[a.ID(u)] = 1
+	}
+	for u := nt + na; u < nt+na+ni; u++ {
+		layers[a.ID(u)] = 2
+	}
+	return layers
+}
+
+// Ring builds the n-cycle (n ≥ 3).
+func Ring(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: ring needs n ≥ 3, got %d", n)
+	}
+	g := NewGraph(fmt.Sprintf("Ring%d", n), n)
+	for i := 0; i < n; i++ {
+		g.AddNode("")
+	}
+	for i := 0; i < n; i++ {
+		g.mustEdge(i, (i+1)%n)
+	}
+	return g, nil
+}
+
+// Chain builds the n-node path graph (n ≥ 1).
+func Chain(n int) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: chain needs n ≥ 1, got %d", n)
+	}
+	g := NewGraph(fmt.Sprintf("Chain%d", n), n)
+	for i := 0; i < n; i++ {
+		g.AddNode("")
+	}
+	for i := 0; i+1 < n; i++ {
+		g.mustEdge(i, i+1)
+	}
+	return g, nil
+}
+
+// Torus builds the w×h wraparound grid (w, h ≥ 3), a common NoC/DC shape
+// with abundant cycles.
+func Torus(w, h int) (*Graph, error) {
+	if w < 3 || h < 3 {
+		return nil, fmt.Errorf("topology: torus needs w,h ≥ 3, got %dx%d", w, h)
+	}
+	g := NewGraph(fmt.Sprintf("Torus%dx%d", w, h), w*h)
+	for i := 0; i < w*h; i++ {
+		g.AddNode("")
+	}
+	at := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g.mustEdge(at(x, y), at((x+1)%w, y))
+			g.mustEdge(at(x, y), at(x, (y+1)%h))
+		}
+	}
+	return g, nil
+}
+
+// Waxman builds the classic Waxman random WAN: n nodes scattered
+// uniformly on the unit square, each pair linked with probability
+// alpha·exp(−d/(beta·L)) where d is Euclidean distance and L = √2 the
+// maximal distance. A random spanning tree guarantees connectivity.
+// Waxman graphs are the standard synthetic stand-in for ISP topologies
+// and complement the diameter-matched Zoo stand-ins.
+func Waxman(n int, alpha, beta float64, rng *xrand.Rand) (*Graph, error) {
+	if n < 2 || alpha <= 0 || alpha > 1 || beta <= 0 || beta > 1 {
+		return nil, fmt.Errorf("topology: waxman needs n ≥ 2 and alpha, beta ∈ (0,1]; got n=%d a=%v b=%v", n, alpha, beta)
+	}
+	g := NewGraph(fmt.Sprintf("Waxman%d", n), n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		g.AddNode("")
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		g.mustEdge(perm[i], perm[rng.Intn(i)])
+	}
+	const maxDist = 1.4142135623730951 // √2
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if g.HasEdge(u, v) {
+				continue
+			}
+			dx, dy := xs[u]-xs[v], ys[u]-ys[v]
+			d := math.Sqrt(dx*dx + dy*dy)
+			if rng.Float64() < alpha*math.Exp(-d/(beta*maxDist)) {
+				g.mustEdge(u, v)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Jellyfish builds an n-node random r-regular graph (the Jellyfish
+// data-center fabric of Singla et al.): switches wired uniformly at
+// random with equal degree. Construction uses the pairing model with
+// retry-and-patch: random stub matching, then local edge swaps to clear
+// self-loops and duplicates. Requires n·r even, r ≥ 2, n > r.
+func Jellyfish(n, r int, rng *xrand.Rand) (*Graph, error) {
+	if r < 2 || n <= r || n*r%2 != 0 {
+		return nil, fmt.Errorf("topology: jellyfish needs r ≥ 2, n > r, n·r even; got n=%d r=%d", n, r)
+	}
+	const attempts = 200
+	for a := 0; a < attempts; a++ {
+		g := NewGraph(fmt.Sprintf("Jellyfish%d-%d", n, r), n)
+		for i := 0; i < n; i++ {
+			g.AddNode("")
+		}
+		// Stub list: node i appears r times; pair a random matching.
+		stubs := make([]int, 0, n*r)
+		for i := 0; i < n; i++ {
+			for j := 0; j < r; j++ {
+				stubs = append(stubs, i)
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v || g.HasEdge(u, v) {
+				ok = false
+				break
+			}
+			g.mustEdge(u, v)
+		}
+		if ok && g.Connected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("topology: jellyfish sampling failed for n=%d r=%d (parameters too tight)", n, r)
+}
+
+// ErdosRenyi builds G(n, p) conditioned on connectivity: edges are drawn
+// independently and a spanning tree over a random permutation is added
+// first so the result is always connected.
+func ErdosRenyi(n int, p float64, rng *xrand.Rand) (*Graph, error) {
+	if n < 2 || p < 0 || p > 1 {
+		return nil, fmt.Errorf("topology: ER needs n ≥ 2 and p ∈ [0,1], got n=%d p=%v", n, p)
+	}
+	g := NewGraph(fmt.Sprintf("ER%d", n), n)
+	for i := 0; i < n; i++ {
+		g.AddNode("")
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		g.mustEdge(perm[i], perm[rng.Intn(i)])
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(u, v) && rng.Float64() < p {
+				g.mustEdge(u, v)
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,86 @@
+package topology
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleGraphML = `<?xml version="1.0" encoding="utf-8"?>
+<graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+  <key attr.name="label" attr.type="string" for="node" id="d0"/>
+  <key attr.name="LinkSpeed" attr.type="string" for="edge" id="d1"/>
+  <graph edgedefault="undirected">
+    <node id="0"><data key="d0">Vienna</data></node>
+    <node id="1"><data key="d0">Prague</data></node>
+    <node id="2"><data key="d0">Berlin</data></node>
+    <node id="3"/>
+    <edge source="0" target="1"><data key="d1">10G</data></edge>
+    <edge source="1" target="2"/>
+    <edge source="2" target="0"/>
+    <edge source="2" target="3"/>
+    <edge source="3" target="2"/>
+    <edge source="3" target="3"/>
+  </graph>
+</graphml>`
+
+// TestParseGraphML covers the Topology Zoo dialect: labels via data keys,
+// duplicate and self edges dropped.
+func TestParseGraphML(t *testing.T) {
+	g, err := ParseGraphML(strings.NewReader(sampleGraphML), "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if g.M() != 4 { // duplicate 3-2 and self 3-3 dropped
+		t.Fatalf("m = %d, want 4", g.M())
+	}
+	if g.NodeByLabel("Vienna") == -1 || g.NodeByLabel("Prague") == -1 {
+		t.Fatal("labels lost")
+	}
+	if g.NodeByLabel("3") == -1 {
+		t.Fatal("unlabelled node should fall back to its id")
+	}
+	if !g.Connected() || g.Diameter() != 2 {
+		t.Fatalf("shape wrong: connected=%v diam=%d", g.Connected(), g.Diameter())
+	}
+}
+
+// TestParseGraphMLErrors.
+func TestParseGraphMLErrors(t *testing.T) {
+	cases := map[string]string{
+		"not xml":     "garbage",
+		"no graph":    `<graphml></graphml>`,
+		"dup node":    `<graphml><graph><node id="a"/><node id="a"/></graph></graphml>`,
+		"unknown src": `<graphml><graph><node id="a"/><edge source="zz" target="a"/></graph></graphml>`,
+		"unknown dst": `<graphml><graph><node id="a"/><edge source="a" target="zz"/></graph></graphml>`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseGraphML(strings.NewReader(doc), name); err == nil {
+			t.Errorf("%s: parse accepted", name)
+		}
+	}
+}
+
+// TestLoadGraphML exercises the file path, including naming from the
+// base name.
+func TestLoadGraphML(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "Geant2012.graphml")
+	if err := os.WriteFile(path, []byte(sampleGraphML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadGraphML(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "Geant2012" {
+		t.Fatalf("name %q", g.Name)
+	}
+	if _, err := LoadGraphML(filepath.Join(dir, "missing.graphml")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

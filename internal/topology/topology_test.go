@@ -1,0 +1,346 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// TestGraphBasics covers construction and accessors.
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph("t", 4)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("")
+	if g.N() != 3 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if g.Label(c) != "n2" {
+		t.Fatalf("auto label %q", g.Label(c))
+	}
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(a, b); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+	if err := g.AddEdge(b, a); err == nil {
+		t.Fatal("reversed duplicate accepted")
+	}
+	if err := g.AddEdge(a, a); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	if err := g.AddEdge(a, 99); err == nil {
+		t.Fatal("out of range accepted")
+	}
+	if !g.HasEdge(a, b) || !g.HasEdge(b, a) || g.HasEdge(a, c) {
+		t.Fatal("HasEdge wrong")
+	}
+	if g.M() != 1 || g.Degree(a) != 1 || g.Degree(c) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if g.NodeByLabel("b") != b || g.NodeByLabel("zz") != -1 {
+		t.Fatal("NodeByLabel wrong")
+	}
+	if !strings.Contains(g.String(), "n=3") {
+		t.Fatalf("String: %s", g.String())
+	}
+}
+
+// TestBFSAndDiameter on a known shape: a 6-cycle has diameter 3.
+func TestBFSAndDiameter(t *testing.T) {
+	g, err := Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := g.BFS(0)
+	want := []int{0, 1, 2, 3, 2, 1}
+	for i, d := range want {
+		if dist[i] != d {
+			t.Fatalf("dist[%d] = %d, want %d", i, dist[i], d)
+		}
+	}
+	if g.Diameter() != 3 {
+		t.Fatalf("ring6 diameter %d", g.Diameter())
+	}
+	if !g.Connected() {
+		t.Fatal("ring disconnected?")
+	}
+	// Disconnected detection.
+	h := NewGraph("d", 2)
+	h.AddNode("")
+	h.AddNode("")
+	if h.Connected() {
+		t.Fatal("two isolated nodes reported connected")
+	}
+}
+
+// TestShortestPathValid: endpoints, adjacency, length, randomised
+// tie-breaking actually varies.
+func TestShortestPathValid(t *testing.T) {
+	g, _ := Torus(4, 4)
+	rng := xrand.New(1)
+	dist := g.BFS(0)
+	variants := map[string]bool{}
+	for trial := 0; trial < 50; trial++ {
+		p, err := g.ShortestPath(0, 10, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p[0] != 0 || p[len(p)-1] != 10 {
+			t.Fatalf("endpoints wrong: %v", p)
+		}
+		if len(p)-1 != dist[10] {
+			t.Fatalf("path length %d, shortest %d", len(p)-1, dist[10])
+		}
+		for i := 0; i+1 < len(p); i++ {
+			if !g.HasEdge(p[i], p[i+1]) {
+				t.Fatalf("non-edge step in %v", p)
+			}
+		}
+		key := ""
+		for _, u := range p {
+			key += string(rune(u)) // structural fingerprint
+		}
+		variants[key] = true
+	}
+	if len(variants) < 2 {
+		t.Error("tie-breaking never varied on a torus (suspicious)")
+	}
+	if _, err := g.ShortestPath(-1, 0, rng); err == nil {
+		t.Fatal("negative endpoint accepted")
+	}
+}
+
+// TestRandomPairDistinct.
+func TestRandomPairDistinct(t *testing.T) {
+	g, _ := Ring(5)
+	rng := xrand.New(2)
+	for i := 0; i < 200; i++ {
+		u, v := g.RandomPair(rng)
+		if u == v || u < 0 || v < 0 || u >= 5 || v >= 5 {
+			t.Fatalf("bad pair (%d,%d)", u, v)
+		}
+	}
+}
+
+// TestFatTreeShape: the paper's FatTree4 is 20 switches, diameter 4, and
+// the layer map is consistent.
+func TestFatTreeShape(t *testing.T) {
+	g, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 20 {
+		t.Fatalf("FatTree4 has %d nodes, want 20", g.N())
+	}
+	if d := g.Diameter(); d != 4 {
+		t.Fatalf("FatTree4 diameter %d, want 4", d)
+	}
+	if !g.Connected() {
+		t.Fatal("fat tree disconnected")
+	}
+	// k=4: 8 edge, 8 agg, 4 core; edges: 8 edge×2 agg... check counts.
+	if g.M() != 8*2+8*2 {
+		t.Fatalf("FatTree4 has %d links, want 32", g.M())
+	}
+	rng := xrand.New(3)
+	a := NewAssignment(g, rng)
+	layers := FatTreeLayers(4, a)
+	if len(layers) != 20 {
+		t.Fatalf("layer map size %d", len(layers))
+	}
+	counts := map[int]int{}
+	for _, l := range layers {
+		counts[l]++
+	}
+	if counts[0] != 8 || counts[1] != 8 || counts[2] != 4 {
+		t.Fatalf("layer counts %v", counts)
+	}
+	// Links only connect adjacent layers.
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			lu, lv := layers[a.ID(u)], layers[a.ID(v)]
+			if lu == lv || lu-lv > 1 || lv-lu > 1 {
+				t.Fatalf("link between layers %d and %d", lu, lv)
+			}
+		}
+	}
+	if _, err := FatTree(3); err == nil {
+		t.Fatal("odd arity accepted")
+	}
+}
+
+// TestVL2Shape.
+func TestVL2Shape(t *testing.T) {
+	g, err := VL2(8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 14 || !g.Connected() {
+		t.Fatalf("VL2 n=%d connected=%v", g.N(), g.Connected())
+	}
+	rng := xrand.New(4)
+	a := NewAssignment(g, rng)
+	layers := VL2Layers(8, 4, 2, a)
+	counts := map[int]int{}
+	for _, l := range layers {
+		counts[l]++
+	}
+	if counts[0] != 8 || counts[1] != 4 || counts[2] != 2 {
+		t.Fatalf("VL2 layer counts %v", counts)
+	}
+	if _, err := VL2(0, 4, 2); err == nil {
+		t.Fatal("invalid VL2 accepted")
+	}
+}
+
+// TestGenerators shape checks.
+func TestGenerators(t *testing.T) {
+	if g, _ := Chain(10); g.Diameter() != 9 || g.M() != 9 {
+		t.Error("chain shape")
+	}
+	if g, _ := Torus(4, 5); g.N() != 20 || g.M() != 40 || !g.Connected() {
+		t.Error("torus shape")
+	}
+	rng := xrand.New(5)
+	g, err := ErdosRenyi(30, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() || g.N() != 30 || g.M() < 29 {
+		t.Errorf("ER: n=%d m=%d connected=%v", g.N(), g.M(), g.Connected())
+	}
+	wax, err := Waxman(40, 0.6, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wax.N() != 40 || !wax.Connected() || wax.M() < 39 {
+		t.Errorf("waxman shape: n=%d m=%d connected=%v", wax.N(), wax.M(), wax.Connected())
+	}
+	if _, err := Waxman(1, 0.5, 0.5, rng); err == nil {
+		t.Error("waxman n=1 accepted")
+	}
+	if _, err := Waxman(5, 0, 0.5, rng); err == nil {
+		t.Error("waxman alpha=0 accepted")
+	}
+	if _, err := Waxman(5, 0.5, 1.5, rng); err == nil {
+		t.Error("waxman beta>1 accepted")
+	}
+	jf, err := Jellyfish(30, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jf.N() != 30 || jf.M() != 60 || !jf.Connected() {
+		t.Errorf("jellyfish shape: n=%d m=%d", jf.N(), jf.M())
+	}
+	for u := 0; u < jf.N(); u++ {
+		if jf.Degree(u) != 4 {
+			t.Fatalf("jellyfish node %d has degree %d, want 4", u, jf.Degree(u))
+		}
+	}
+	for _, bad := range []func() error{
+		func() error { _, err := Ring(2); return err },
+		func() error { _, err := Jellyfish(4, 5, rng); return err },
+		func() error { _, err := Jellyfish(5, 3, rng); return err }, // odd n·r
+		func() error { _, err := Chain(0); return err },
+		func() error { _, err := Torus(2, 3); return err },
+		func() error { _, err := ErdosRenyi(1, 0.5, rng); return err },
+		func() error { _, err := ErdosRenyi(5, 1.5, rng); return err },
+	} {
+		if bad() == nil {
+			t.Error("invalid generator input accepted")
+		}
+	}
+}
+
+// TestZooStandIns: every Table 5 stand-in matches the paper's node count
+// and diameter exactly, is connected, and contains cycles through many of
+// its nodes.
+func TestZooStandIns(t *testing.T) {
+	rng := xrand.New(6)
+	for _, spec := range TableFiveSpecs() {
+		g, err := ZooGraph(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if g.N() != spec.Nodes {
+			t.Errorf("%s: %d nodes, want %d", spec.Name, g.N(), spec.Nodes)
+		}
+		if d := g.Diameter(); d != spec.Diameter {
+			t.Errorf("%s: diameter %d, want %d", spec.Name, d, spec.Diameter)
+		}
+		if !g.Connected() {
+			t.Errorf("%s disconnected", spec.Name)
+		}
+		// Loops must be samplable through a healthy fraction of nodes.
+		withCycle := 0
+		for u := 0; u < g.N(); u++ {
+			if c := RandomCycleThrough(g, u, 2, 12, rng); c != nil {
+				withCycle++
+			}
+		}
+		if withCycle < g.N()*9/10 {
+			t.Errorf("%s: only %d/%d nodes admit loops", spec.Name, withCycle, g.N())
+		}
+	}
+}
+
+// TestSyntheticValidation.
+func TestSyntheticValidation(t *testing.T) {
+	if _, err := Synthetic("x", 3, 1); err == nil {
+		t.Error("diameter 1 accepted")
+	}
+	if _, err := Synthetic("x", 3, 5); err == nil {
+		t.Error("too few nodes accepted")
+	}
+	// Boundary: exactly d+1 nodes is a pure path.
+	g, err := Synthetic("p", 6, 5)
+	if err != nil || g.Diameter() != 5 || g.M() != 5 {
+		t.Errorf("pure path synthetic: %v, %v", g, err)
+	}
+}
+
+// TestAssignment: distinct ids, reserved value avoided, reverse lookup.
+func TestAssignment(t *testing.T) {
+	g, _ := Synthetic("a", 50, 5)
+	rng := xrand.New(7)
+	a := NewAssignment(g, rng)
+	seen := map[uint32]bool{}
+	for u := 0; u < g.N(); u++ {
+		id := uint32(a.ID(u))
+		if id == 0xFFFFFFFF {
+			t.Fatal("reserved id assigned")
+		}
+		if seen[id] {
+			t.Fatal("duplicate id")
+		}
+		seen[id] = true
+		if a.Node(a.ID(u)) != u {
+			t.Fatal("reverse lookup broken")
+		}
+	}
+	if a.Node(0xFFFFFFFF) != -1 {
+		t.Fatal("unknown id should map to -1")
+	}
+	ids := a.IDs([]int{0, 1, 2})
+	if len(ids) != 3 || ids[1] != a.ID(1) {
+		t.Fatal("IDs translation")
+	}
+}
+
+// TestSortAdjacency makes iteration deterministic.
+func TestSortAdjacency(t *testing.T) {
+	g := NewGraph("s", 3)
+	g.AddNode("")
+	g.AddNode("")
+	g.AddNode("")
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 1)
+	g.SortAdjacency()
+	n := g.Neighbors(0)
+	if n[0] != 1 || n[1] != 2 {
+		t.Fatalf("adjacency not sorted: %v", n)
+	}
+}

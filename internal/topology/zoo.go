@@ -1,0 +1,89 @@
+package topology
+
+import "fmt"
+
+// This file provides the built-in stand-ins for the Internet Topology Zoo
+// WANs used in Table 5 of the paper. The original GraphML files are not
+// redistributed here; Synthetic builds deterministic graphs that match the
+// exact node count and diameter the paper reports for each topology —
+// the two properties that govern the experiment (they set the
+// distribution of path lengths B and available loop lengths L). Real Zoo
+// files can be loaded with LoadGraphML instead and flow through the same
+// experiment code.
+
+// ZooSpec describes one Table 5 topology.
+type ZooSpec struct {
+	// Name is the topology's name as printed in the table.
+	Name string
+	// Nodes is the switch count reported by the paper.
+	Nodes int
+	// Diameter is the hop diameter reported by the paper.
+	Diameter int
+	// Layered reports whether PathDump applies (FatTree/VL2 only).
+	Layered bool
+}
+
+// TableFiveSpecs lists the six topologies of Table 5 with the node counts
+// and diameters the paper reports.
+func TableFiveSpecs() []ZooSpec {
+	return []ZooSpec{
+		{Name: "Stanford", Nodes: 16, Diameter: 2},
+		{Name: "BellSouth", Nodes: 51, Diameter: 7},
+		{Name: "GEANT", Nodes: 40, Diameter: 8},
+		{Name: "ATT-NA", Nodes: 25, Diameter: 5},
+		{Name: "UsCarrier", Nodes: 158, Diameter: 35},
+		{Name: "FatTree4", Nodes: 20, Diameter: 4, Layered: true},
+	}
+}
+
+// Synthetic builds a deterministic connected graph with exactly n nodes
+// and hop diameter exactly d (n ≥ d+1 ≥ 3).
+//
+// Construction: a backbone path v0…vd realises the diameter; the
+// remaining n−d−1 nodes are attached round-robin across consecutive
+// backbone pairs (v_i, v_{i+1}), each extra adjacent to both ends of its
+// pair, and extras sharing a pair are chained together. Every attachment
+// forms triangles and longer cycles (so forwarding loops of many lengths
+// exist) without creating any backbone shortcut, and every non-backbone
+// node stays within distance d of everything — both properties are
+// verified by the package tests.
+func Synthetic(name string, n, d int) (*Graph, error) {
+	if d < 2 {
+		return nil, fmt.Errorf("topology: synthetic diameter must be ≥ 2, got %d", d)
+	}
+	if n < d+1 {
+		return nil, fmt.Errorf("topology: need ≥ %d nodes for diameter %d, got %d", d+1, d, n)
+	}
+	g := NewGraph(name, n)
+	for i := 0; i <= d; i++ {
+		g.AddNode(fmt.Sprintf("bb-%d", i))
+	}
+	for i := 0; i < d; i++ {
+		g.mustEdge(i, i+1)
+	}
+	extras := n - (d + 1)
+	lastAtPair := make([]int, d) // previous extra attached to pair i, for chaining
+	for i := range lastAtPair {
+		lastAtPair[i] = -1
+	}
+	for e := 0; e < extras; e++ {
+		pair := e % d
+		u := g.AddNode(fmt.Sprintf("ext-%d-%d", pair, e/d))
+		g.mustEdge(u, pair)   // v_pair
+		g.mustEdge(u, pair+1) // v_pair+1
+		if prev := lastAtPair[pair]; prev >= 0 {
+			g.mustEdge(u, prev)
+		}
+		lastAtPair[pair] = u
+	}
+	return g, nil
+}
+
+// ZooGraph builds the stand-in graph for a Table 5 spec. FatTree4 is
+// exact by construction; the WANs use Synthetic.
+func ZooGraph(spec ZooSpec) (*Graph, error) {
+	if spec.Name == "FatTree4" {
+		return FatTree(4)
+	}
+	return Synthetic(spec.Name, spec.Nodes, spec.Diameter)
+}

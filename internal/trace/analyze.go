@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/unroller/unroller/internal/detect"
+)
+
+// Finding is one loop detected by offline analysis: a packet observed at
+// the same switch twice, with the loop membership between the two
+// observations.
+type Finding struct {
+	// Flow and Packet identify the trapped packet.
+	Flow   uint32
+	Packet uint64
+	// Reporter is the switch observed twice.
+	Reporter detect.SwitchID
+	// FirstSeq and SecondSeq are the two observations' sequence
+	// numbers.
+	FirstSeq, SecondSeq uint64
+	// Members lists the distinct switches visited between the repeat
+	// (inclusive) — the loop's membership, in first-visit order.
+	Members []detect.SwitchID
+	// HopsObserved is the packet's total observation count up to
+	// detection — what a collector must ingest before it can answer.
+	HopsObserved int
+}
+
+// Analyze scans records (any order; they are re-sorted by sequence) and
+// returns one finding per trapped packet: the first repeat visit, as a
+// real-time detector would have flagged it. Records after a packet's
+// first repeat do not produce further findings for that packet.
+func Analyze(records []Record) []Finding {
+	sorted := append([]Record(nil), records...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Seq < sorted[j].Seq })
+
+	type pktKey struct {
+		flow uint32
+		pkt  uint64
+	}
+	type pktState struct {
+		firstSeen map[detect.SwitchID]uint64
+		order     []detect.SwitchID
+		hops      int
+		done      bool
+	}
+	states := make(map[pktKey]*pktState)
+	var findings []Finding
+	for _, rec := range sorted {
+		k := pktKey{rec.Flow, rec.Packet}
+		st, ok := states[k]
+		if !ok {
+			st = &pktState{firstSeen: make(map[detect.SwitchID]uint64, 8)}
+			states[k] = st
+		}
+		if st.done {
+			continue
+		}
+		st.hops++
+		if first, seen := st.firstSeen[rec.Switch]; seen {
+			// Loop closed: members are the switches from the first
+			// occurrence of the reporter onwards.
+			var members []detect.SwitchID
+			started := false
+			for _, sw := range st.order {
+				if sw == rec.Switch {
+					started = true
+				}
+				if started {
+					members = append(members, sw)
+				}
+			}
+			findings = append(findings, Finding{
+				Flow:         rec.Flow,
+				Packet:       rec.Packet,
+				Reporter:     rec.Switch,
+				FirstSeq:     first,
+				SecondSeq:    rec.Seq,
+				Members:      members,
+				HopsObserved: st.hops,
+			})
+			st.done = true
+			continue
+		}
+		st.firstSeen[rec.Switch] = rec.Seq
+		st.order = append(st.order, rec.Switch)
+	}
+	return findings
+}
+
+// Summary aggregates findings per flow for reporting.
+type Summary struct {
+	// Flows maps flow → number of trapped packets.
+	Flows map[uint32]int
+	// Records is the total observation count analysed.
+	Records int
+	// Findings is the total number of trapped packets.
+	Findings int
+}
+
+// Summarize builds the per-flow roll-up.
+func Summarize(records []Record, findings []Finding) Summary {
+	s := Summary{Flows: make(map[uint32]int), Records: len(records), Findings: len(findings)}
+	for _, f := range findings {
+		s.Flows[f.Flow]++
+	}
+	return s
+}
+
+// String renders the summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("trace: %d records, %d trapped packets across %d flows",
+		s.Records, s.Findings, len(s.Flows))
+}

@@ -1,0 +1,157 @@
+// Package trace implements offline packet-trace recording and analysis —
+// the classical way routing loops were found before in-band detection
+// (Hengartner et al., the paper's [14]: "Detection and Analysis of
+// Routing Loops in Packet Traces"). Switch-observation records are
+// written to a compact binary format; an offline analyzer then scans for
+// packets that visited the same switch twice.
+//
+// The point of carrying this substrate in the repository is the
+// comparison it enables: the offline pipeline needs every observation
+// shipped to a collector and only answers after the fact, while
+// Unroller's answer is available at the looping switch while the packet
+// is still alive. The emulator can produce both from the same run (hook
+// a Recorder into dataplane.Network.OnHop), and the tests check that the
+// two agree on which flows looped.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/unroller/unroller/internal/detect"
+)
+
+// Record is one switch observation: packet pkt of flow was seen at
+// switch sw (topology node) at the seq'th observation overall.
+type Record struct {
+	// Seq is the global observation sequence number (collector arrival
+	// order).
+	Seq uint64
+	// Node is the observing topology node.
+	Node uint32
+	// Switch is the observing switch's identifier.
+	Switch detect.SwitchID
+	// Flow identifies the flow.
+	Flow uint32
+	// Packet identifies the packet within the flow.
+	Packet uint64
+}
+
+const (
+	magic      = "UTRC"
+	version    = 1
+	recordSize = 8 + 4 + 4 + 4 + 8
+)
+
+// ErrBadHeader is returned when a trace file does not start with the
+// expected magic and version.
+var ErrBadHeader = errors.New("trace: bad header")
+
+// Writer streams records to an io.Writer.
+type Writer struct {
+	w       *bufio.Writer
+	seq     uint64
+	started bool
+}
+
+// NewWriter returns a trace writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Append writes one observation, assigning the next sequence number,
+// and returns it.
+func (t *Writer) Append(node int, sw detect.SwitchID, flow uint32, packet uint64) (uint64, error) {
+	if !t.started {
+		if _, err := t.w.WriteString(magic); err != nil {
+			return 0, err
+		}
+		if err := t.w.WriteByte(version); err != nil {
+			return 0, err
+		}
+		t.started = true
+	}
+	var buf [recordSize]byte
+	binary.BigEndian.PutUint64(buf[0:], t.seq)
+	binary.BigEndian.PutUint32(buf[8:], uint32(node))
+	binary.BigEndian.PutUint32(buf[12:], uint32(sw))
+	binary.BigEndian.PutUint32(buf[16:], flow)
+	binary.BigEndian.PutUint64(buf[20:], packet)
+	if _, err := t.w.Write(buf[:]); err != nil {
+		return 0, err
+	}
+	seq := t.seq
+	t.seq++
+	return seq, nil
+}
+
+// Flush drains buffered records to the underlying writer.
+func (t *Writer) Flush() error {
+	if !t.started {
+		// An empty trace still carries a valid header.
+		if _, err := t.w.WriteString(magic); err != nil {
+			return err
+		}
+		if err := t.w.WriteByte(version); err != nil {
+			return err
+		}
+		t.started = true
+	}
+	return t.w.Flush()
+}
+
+// Count returns the number of records appended.
+func (t *Writer) Count() uint64 { return t.seq }
+
+// Reader streams records back from an io.Reader.
+type Reader struct {
+	r      *bufio.Reader
+	header bool
+}
+
+// NewReader returns a trace reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+// Next returns the next record, or io.EOF at the end of the trace.
+func (t *Reader) Next() (Record, error) {
+	if !t.header {
+		var hdr [5]byte
+		if _, err := io.ReadFull(t.r, hdr[:]); err != nil {
+			return Record{}, fmt.Errorf("%w: %v", ErrBadHeader, err)
+		}
+		if string(hdr[:4]) != magic || hdr[4] != version {
+			return Record{}, fmt.Errorf("%w: magic %q version %d", ErrBadHeader, hdr[:4], hdr[4])
+		}
+		t.header = true
+	}
+	var buf [recordSize]byte
+	if _, err := io.ReadFull(t.r, buf[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	return Record{
+		Seq:    binary.BigEndian.Uint64(buf[0:]),
+		Node:   binary.BigEndian.Uint32(buf[8:]),
+		Switch: detect.SwitchID(binary.BigEndian.Uint32(buf[12:])),
+		Flow:   binary.BigEndian.Uint32(buf[16:]),
+		Packet: binary.BigEndian.Uint64(buf[20:]),
+	}, nil
+}
+
+// ReadAll drains the trace into memory.
+func (t *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := t.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

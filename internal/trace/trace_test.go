@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/dataplane"
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/topology"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// TestWriterReaderRoundTrip: records survive the binary format exactly.
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	want := []struct {
+		node int
+		sw   detect.SwitchID
+		flow uint32
+		pkt  uint64
+	}{
+		{0, 0xAABB, 1, 0},
+		{7, 0x1, 1, 1},
+		{255, 0xFFFFFFFE, 9, 1 << 40},
+	}
+	for i, rec := range want {
+		seq, err := w.Append(rec.node, rec.sw, rec.flow, rec.pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("seq %d, want %d", seq, i)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("count %d", w.Count())
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i, rec := range got {
+		if rec.Seq != uint64(i) || int(rec.Node) != want[i].node ||
+			rec.Switch != want[i].sw || rec.Flow != want[i].flow || rec.Packet != want[i].pkt {
+			t.Fatalf("record %d: %+v", i, rec)
+		}
+	}
+}
+
+// TestEmptyTrace: header-only files parse to zero records.
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := NewReader(&buf).ReadAll()
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("%v, %d records", err, len(recs))
+	}
+}
+
+// TestBadHeaderAndTruncation.
+func TestBadHeaderAndTruncation(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("JUNKJUNKJUNK")).Next(); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewReader(strings.NewReader("")).Next(); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	// Valid header, torn record.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Append(1, 2, 3, 4)
+	w.Flush()
+	torn := buf.Bytes()[:buf.Len()-5]
+	r := NewReader(bytes.NewReader(torn))
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Fatalf("torn record: err = %v", err)
+	}
+}
+
+// TestAnalyzeFindsLoops: hand-built observation streams.
+func TestAnalyzeFindsLoops(t *testing.T) {
+	// Packet 1 of flow 7: path a b c d b — loop {b, c, d}.
+	recs := []Record{
+		{Seq: 0, Switch: 0xA, Flow: 7, Packet: 1},
+		{Seq: 1, Switch: 0xB, Flow: 7, Packet: 1},
+		{Seq: 2, Switch: 0xC, Flow: 7, Packet: 1},
+		{Seq: 3, Switch: 0xD, Flow: 7, Packet: 1},
+		{Seq: 4, Switch: 0xB, Flow: 7, Packet: 1},
+		// Packet 2 of flow 7: clean path.
+		{Seq: 5, Switch: 0xA, Flow: 7, Packet: 2},
+		{Seq: 6, Switch: 0xB, Flow: 7, Packet: 2},
+	}
+	findings := Analyze(recs)
+	if len(findings) != 1 {
+		t.Fatalf("%d findings", len(findings))
+	}
+	f := findings[0]
+	if f.Reporter != 0xB || f.FirstSeq != 1 || f.SecondSeq != 4 || f.HopsObserved != 5 {
+		t.Fatalf("finding %+v", f)
+	}
+	if len(f.Members) != 3 || f.Members[0] != 0xB || f.Members[1] != 0xC || f.Members[2] != 0xD {
+		t.Fatalf("members %v", f.Members)
+	}
+	sum := Summarize(recs, findings)
+	if sum.Findings != 1 || sum.Flows[7] != 1 || sum.Records != 7 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if !strings.Contains(sum.String(), "1 trapped") {
+		t.Fatalf("summary string %q", sum.String())
+	}
+}
+
+// TestAnalyzeOrderIndependent: shuffled input yields the same findings.
+func TestAnalyzeOrderIndependent(t *testing.T) {
+	recs := []Record{
+		{Seq: 0, Switch: 1, Flow: 1, Packet: 1},
+		{Seq: 1, Switch: 2, Flow: 1, Packet: 1},
+		{Seq: 2, Switch: 1, Flow: 1, Packet: 1},
+	}
+	shuffled := []Record{recs[2], recs[0], recs[1]}
+	a, b := Analyze(recs), Analyze(shuffled)
+	if len(a) != 1 || len(b) != 1 || a[0].Reporter != b[0].Reporter ||
+		a[0].FirstSeq != b[0].FirstSeq || a[0].SecondSeq != b[0].SecondSeq {
+		t.Fatalf("order dependence: %+v vs %+v", a, b)
+	}
+}
+
+// TestOfflineMatchesInBand: record an emulated loop run through the
+// OnHop tap and verify the offline analyzer names the same reporter at
+// the same hop as the in-band Unroller report — while having had to
+// collect every observation to do it.
+func TestOfflineMatchesInBand(t *testing.T) {
+	g, err := topology.Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := topology.NewAssignment(g, xrand.New(9))
+	net, err := dataplane.NewNetwork(g, assign, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetLoopPolicy(dataplane.ActionDrop)
+	dst := 15
+	if err := net.InstallShortestPaths(dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.InjectLoop(dst, topology.Cycle{5, 6, 10, 9}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	pktID := uint64(1)
+	net.OnHop = func(node int, sw detect.SwitchID, p *dataplane.Packet) {
+		if _, err := w.Append(node, sw, p.Flow, pktID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := net.Send(5, dst, 42, 255, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Report == nil {
+		t.Fatal("in-band detection missing")
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Analyze(recs)
+	if len(findings) != 1 {
+		t.Fatalf("%d offline findings", len(findings))
+	}
+	f := findings[0]
+	// The offline analyzer flags the first revisited switch; Unroller
+	// flags the loop's minimum-ID switch. Both must be members of the
+	// same loop: the in-band reporter appears in the offline finding's
+	// membership.
+	inBandSeen := false
+	for _, sw := range f.Members {
+		if sw == tr.Report.Reporter {
+			inBandSeen = true
+			break
+		}
+	}
+	if !inBandSeen {
+		t.Fatalf("in-band reporter %v not in offline membership %v", tr.Report.Reporter, f.Members)
+	}
+	// The offline analyzer sees the repeat at X+1 observations; the
+	// in-band detector pays the Unroller delay but needed no
+	// collection. Both facts are part of the paper's trade-off table.
+	if f.HopsObserved > tr.Report.Hops {
+		t.Fatalf("offline needed %d observations, more than in-band's %d hops", f.HopsObserved, tr.Report.Hops)
+	}
+	if len(recs) != tr.Report.Hops {
+		t.Fatalf("collector ingested %d records for a %d-hop packet", len(recs), tr.Report.Hops)
+	}
+}

@@ -1,0 +1,208 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestSplitMix64Reference checks against the published reference outputs
+// of SplitMix64 for seed 1234567 (from the author's C reference
+// implementation).
+func TestSplitMix64Reference(t *testing.T) {
+	sm := NewSplitMix64(1234567)
+	want := []uint64{
+		6457827717110365317,
+		3203168211198807973,
+		9817491932198370423,
+		4593380528125082431,
+		16408922859458223821,
+	}
+	for i, w := range want {
+		if got := sm.Next(); got != w {
+			t.Fatalf("output %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestDeterminism: same seed, same stream; different seed, different
+// stream.
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d/1000 times", same)
+	}
+}
+
+// TestForkIndependence: a child stream should not replicate the parent.
+func TestForkIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.NewFrom()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked stream matches parent %d/1000 times", same)
+	}
+}
+
+// TestIntnRange: Intn stays in range and covers all residues.
+func TestIntnRange(t *testing.T) {
+	r := New(1)
+	for _, n := range []int{1, 2, 3, 7, 16, 100} {
+		seen := make([]bool, n)
+		for i := 0; i < n*200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+			seen[v] = true
+		}
+		for v, ok := range seen {
+			if !ok {
+				t.Fatalf("Intn(%d) never produced %d", n, v)
+			}
+		}
+	}
+}
+
+// TestIntnPanics: non-positive bounds are misuse.
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+// TestUint64nUnbiased: chi-square-lite uniformity over a non-power-of-two
+// modulus.
+func TestUint64nUnbiased(t *testing.T) {
+	r := New(5)
+	const n, draws = 10, 100000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	for v, c := range counts {
+		if c < draws/n*8/10 || c > draws/n*12/10 {
+			t.Errorf("residue %d drawn %d times, expected ≈%d", v, c, draws/n)
+		}
+	}
+}
+
+// TestFloat64Range via quick-check over seeds.
+func TestFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPerm: valid permutations, varying across draws.
+func TestPerm(t *testing.T) {
+	r := New(11)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+	identity := 0
+	for trial := 0; trial < 50; trial++ {
+		q := r.Perm(10)
+		same := true
+		for i := range q {
+			if q[i] != i {
+				same = false
+				break
+			}
+		}
+		if same {
+			identity++
+		}
+	}
+	if identity > 2 {
+		t.Errorf("identity permutation drawn %d/50 times", identity)
+	}
+}
+
+// TestDistinctUint32: all distinct, correct count.
+func TestDistinctUint32(t *testing.T) {
+	r := New(3)
+	ids := r.DistinctUint32(5000)
+	if len(ids) != 5000 {
+		t.Fatalf("got %d ids", len(ids))
+	}
+	seen := make(map[uint32]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestUint32Uniformity: high/low halves balanced.
+func TestUint32Uniformity(t *testing.T) {
+	r := New(9)
+	hi := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if r.Uint32() >= 1<<31 {
+			hi++
+		}
+	}
+	if hi < draws*45/100 || hi > draws*55/100 {
+		t.Errorf("high-half fraction %d/%d", hi, draws)
+	}
+}
+
+// TestBool balance.
+func TestBool(t *testing.T) {
+	r := New(13)
+	trues := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if trues < 4500 || trues > 5500 {
+		t.Errorf("Bool true fraction %d/10000", trues)
+	}
+}
+
+// TestZeroSeedUsable: the all-zero expansion guard.
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	a, b := r.Uint64(), r.Uint64()
+	if a == 0 && b == 0 {
+		t.Fatal("zero seed produced a dead stream")
+	}
+}

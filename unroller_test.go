@@ -1,0 +1,70 @@
+package unroller_test
+
+import (
+	"testing"
+
+	unroller "github.com/unroller/unroller"
+)
+
+// TestFacadeQuickstart exercises the documented quick-start flow through
+// the public API only.
+func TestFacadeQuickstart(t *testing.T) {
+	det, err := unroller.New(unroller.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := unroller.RandomWalk(5, 12, 1)
+	out := unroller.Simulate(det, w, unroller.WorstCaseBound(4, 5, 12)+1)
+	if !out.Detected {
+		t.Fatal("quickstart walk not detected")
+	}
+	if out.Hops < w.X() {
+		t.Fatalf("detected at %d before X=%d", out.Hops, w.X())
+	}
+}
+
+// TestFacadeMonteCarlo: the aggregate entry point.
+func TestFacadeMonteCarlo(t *testing.T) {
+	det := unroller.MustNew(unroller.DefaultConfig())
+	res := unroller.MonteCarlo(det, 5, 20, unroller.MCConfig{Runs: 2000, Seed: 7})
+	if m := res.Time.Mean(); m < 1 || m > 3 {
+		t.Fatalf("mean %v implausible", m)
+	}
+}
+
+// TestFacadeNetwork: build and route an emulated fat tree via the facade.
+func TestFacadeNetwork(t *testing.T) {
+	g, err := unroller.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := unroller.NewAssignment(g, 3)
+	n, err := unroller.NewNetwork(g, assign, unroller.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InstallShortestPaths(0); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := n.Send(19, 0, 1, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Report != nil {
+		t.Fatal("clean fabric reported a loop")
+	}
+}
+
+// TestFacadeBaselines: baselines drive through the same generic entry
+// point.
+func TestFacadeBaselines(t *testing.T) {
+	bloom, err := unroller.NewBloom(256, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var det unroller.AnyDetector = bloom
+	out := unroller.Simulate(det, unroller.RandomWalk(3, 8, 2), 100)
+	if !out.Detected {
+		t.Fatal("bloom missed")
+	}
+}
