@@ -1,0 +1,33 @@
+# Makefile — thin entry points over the Go toolchain and ci.sh.
+#
+#   make build   compile everything
+#   make test    unit tests
+#   make lint    go vet + the project's own analyzers (unroller-vet)
+#   make race    unit tests under the race detector
+#   make fuzz    5s smoke run of each bitpack fuzz target
+#   make ci      the full gate (ci.sh): build, vet, unroller-vet,
+#                race tests, fuzz smoke
+
+GO ?= go
+
+.PHONY: build test lint race fuzz ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/unroller-vet ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzReader$$' -fuzztime 5s ./internal/bitpack
+	$(GO) test -run '^$$' -fuzz '^FuzzWriterRoundTrip$$' -fuzztime 5s ./internal/bitpack
+
+ci:
+	sh ci.sh

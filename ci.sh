@@ -1,0 +1,36 @@
+#!/bin/sh
+# ci.sh — the repository's full verification gate. Run from the module
+# root. Every step must pass; the script stops at the first failure.
+#
+#   build         go build ./...
+#   vet           go vet ./...
+#   unroller-vet  the project's own analyzers (see internal/analysis):
+#                 determinism, hotpath, wirewidth, errctx, nodeps,
+#                 directive — exit 1 on findings, 2 on load errors
+#   race tests    go test -race ./...  (includes the concurrency
+#                 regression tests in internal/core and
+#                 internal/dataplane)
+#   fuzz smoke    5s of each bitpack fuzz target (`-fuzz Fuzz` would
+#                 refuse to run because two targets match, so each is
+#                 invoked by exact name)
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> unroller-vet ./..."
+go run ./cmd/unroller-vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> fuzz smoke (internal/bitpack, 5s per target)"
+go test -run '^$' -fuzz '^FuzzReader$' -fuzztime 5s ./internal/bitpack
+go test -run '^$' -fuzz '^FuzzWriterRoundTrip$' -fuzztime 5s ./internal/bitpack
+
+echo "==> ci.sh: all gates passed"

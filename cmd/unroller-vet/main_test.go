@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file from current output")
+
+// TestGoldenOutput pins the driver's output format over a fixture that
+// trips several analyzers at once: sorted module-relative paths, one
+// `path:line:col: analyzer: message` finding per line, exit status 1.
+func TestGoldenOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"./cmd/unroller-vet/testdata/src/stats"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	golden := filepath.Join("testdata", "golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatalf("updating golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("output differs from golden file\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}
+
+// TestCleanPackageExitsZero runs the suite over a package that must stay
+// clean and checks the quiet path.
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"./internal/xrand"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", out.String())
+	}
+}
+
+// TestListFlag checks -list names every analyzer.
+func TestListFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"determinism", "hotpath", "wirewidth", "errctx", "nodeps", "directive"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestBadPatternExitsTwo checks load failures are usage errors, not
+// findings.
+func TestBadPatternExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"./no/such/dir"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unroller-vet:") {
+		t.Errorf("stderr lacks the unroller-vet prefix:\n%s", errb.String())
+	}
+}
+
+// TestBadFlagExitsTwo covers flag parse failures.
+func TestBadFlagExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,32 @@
+// Package stats is the unroller-vet golden-file fixture: it type-checks
+// cleanly but trips several analyzers at once, pinning the driver's
+// output format (sorted, module-relative paths, one finding per line).
+// The directory is named stats to land in the determinism scope.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	_ "math/rand"
+	"time"
+)
+
+// ErrOops lacks its package prefix.
+var ErrOops = errors.New("oops")
+
+// Summarize mixes wall-clock reads and map iteration into its output.
+func Summarize(counts map[string]int) (string, error) {
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	if total == 0 {
+		return "", fmt.Errorf("no observations at %v", time.Now())
+	}
+	return fmt.Sprintf("%d observations", total), nil
+}
+
+// Noop carries an allow for a check that does not exist.
+//
+//unroller:allow frobnication -- unknown check name
+func Noop() {}

@@ -1,0 +1,177 @@
+// Package analysis is the repo's custom static-analysis suite
+// ("unroller-vet"). It machine-checks invariants that the paper's
+// reproduction depends on but that the compiler cannot see:
+//
+//   - determinism: the Monte Carlo engine and everything feeding table
+//     output must be bit-for-bit reproducible, so math/rand, wall-clock
+//     reads, and unordered map iteration are forbidden in the
+//     deterministic packages (internal/xrand is the only sanctioned
+//     randomness source).
+//   - hotpath: per-hop functions (State.Visit, Switch.Process, ...)
+//     tagged //unroller:hotpath must stay allocation- and fmt-free.
+//   - wirewidth: bit-granular wire encode/decode (internal/bitpack,
+//     internal/core/header.go) must make every truncation explicit with
+//     a width mask, so identifier fields cannot silently lose bits when
+//     widths drift.
+//   - errctx: errors must carry their package prefix ("core: ...") so a
+//     report from a 10k-switch emulation is attributable.
+//   - nodeps: the module stays stdlib-only, cgo-free, and math/rand-free.
+//   - directive: the //unroller: directive grammar itself is validated.
+//
+// The suite is pure go/ast + go/types — no golang.org/x/tools dependency —
+// so the module remains zero-dep. The cmd/unroller-vet driver wires it
+// into CI (see ci.sh).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant checker, deliberately shaped like
+// golang.org/x/tools/go/analysis.Analyzer so the suite could migrate to
+// the official driver if the module ever takes on the dependency.
+type Analyzer struct {
+	// Name is the check's identifier, used in output and in
+	// //unroller:allow directives.
+	Name string
+	// Doc is a one-line description shown by `unroller-vet -list`.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	PkgPath    string
+	ModulePath string
+	Info       *types.Info
+	Dirs       *Directives
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless an //unroller:allow directive
+// covering that line suppresses this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.Dirs != nil && p.Dirs.allowed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full suite in the order the driver runs it.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		HotpathAnalyzer,
+		WirewidthAnalyzer,
+		ErrctxAnalyzer,
+		NodepsAnalyzer,
+		DirectiveAnalyzer,
+	}
+}
+
+// allowableChecks are the analyzer names that may appear in an
+// //unroller:allow directive. The directive analyzer itself cannot be
+// suppressed: a broken directive hiding its own diagnosis would be
+// unfindable. (A literal list, not derived from All(), to avoid an
+// initialization cycle through DirectiveAnalyzer.)
+var allowableChecks = map[string]bool{
+	"determinism": true,
+	"hotpath":     true,
+	"wirewidth":   true,
+	"errctx":      true,
+	"nodeps":      true,
+}
+
+// RunAnalyzers applies every analyzer in suite to the package and returns
+// the surviving diagnostics sorted by position. Stale //unroller:allow
+// directives — ones that suppressed nothing across the whole suite — are
+// reported under the directive analyzer's name, so allowlist entries
+// cannot outlive the finding they were written for.
+func RunAnalyzers(pkg *Package, suite []*Analyzer) ([]Diagnostic, error) {
+	dirs := parseDirectives(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	for _, a := range suite {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			PkgPath:    pkg.Path,
+			ModulePath: pkg.ModulePath,
+			Info:       pkg.Info,
+			Dirs:       dirs,
+			diags:      &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	// Stale detection is only meaningful for checks that actually ran:
+	// an allow for an analyzer outside this suite may well have fired in
+	// a full run.
+	ran := make(map[string]bool, len(suite))
+	for _, a := range suite {
+		ran[a.Name] = true
+	}
+	for _, stale := range dirs.stale() {
+		if !ran[stale.check] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      stale.pos,
+			Analyzer: DirectiveAnalyzer.Name,
+			Message:  fmt.Sprintf("stale //unroller:allow %s: no diagnostic suppressed", stale.check),
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// pkgBase returns the last element of an import path: the conventional
+// package name used for scope decisions and error prefixes.
+func pkgBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// Each analyzer runs over its fixture package, which contains at least
+// one construct it must flag (checked by want annotations) and at least
+// one it must pass (any unexpected diagnostic fails the harness).
+
+func TestDeterminismAnalyzer(t *testing.T) {
+	runFixture(t, []*Analyzer{DeterminismAnalyzer}, "sim", false)
+}
+
+func TestHotpathAnalyzer(t *testing.T) {
+	runFixture(t, []*Analyzer{HotpathAnalyzer}, "hot", false)
+}
+
+func TestWirewidthAnalyzer(t *testing.T) {
+	runFixture(t, []*Analyzer{WirewidthAnalyzer}, "bitpack", false)
+}
+
+func TestErrctxAnalyzer(t *testing.T) {
+	runFixture(t, []*Analyzer{ErrctxAnalyzer}, "errctx", false)
+}
+
+func TestNodepsAnalyzer(t *testing.T) {
+	// The fixture deliberately imports an unresolvable external path, so
+	// type errors are expected; the analyzer is purely syntactic.
+	runFixture(t, []*Analyzer{NodepsAnalyzer}, "deps", true)
+}
+
+func TestDirectiveAnalyzer(t *testing.T) {
+	runFixture(t, All(), "directives", false)
+}
+
+// TestDeterministicScopeSkipsOtherPackages pins that the determinism
+// analyzer ignores packages outside its scope: the errctx fixture calls
+// nothing deterministic but lives outside the scoped package list.
+func TestDeterministicScopeSkipsOtherPackages(t *testing.T) {
+	root := moduleRootDir(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load("./internal/analysis/testdata/src/errctx")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags, err := RunAnalyzers(pkgs[0], []*Analyzer{DeterminismAnalyzer})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("determinism flagged out-of-scope package: %v", diags)
+	}
+}
+
+// TestSuiteCleanOnOwnModule is the self-test the CI gate depends on: the
+// full suite over the full module must be silent. Any new finding must
+// be fixed or explicitly allowed, never ignored.
+func TestSuiteCleanOnOwnModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root := moduleRootDir(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("Load(./...): %v", err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("Load(./...) found only %d packages; walker is broken", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("%s does not type-check under the analysis loader: %v", pkg.Path, pkg.TypeErrors[0])
+		}
+		diags, err := RunAnalyzers(pkg, All())
+		if err != nil {
+			t.Fatalf("RunAnalyzers(%s): %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestDirectiveParsing covers the grammar helpers directly.
+func TestDirectiveParsing(t *testing.T) {
+	cases := []struct {
+		text string
+		verb string
+		args string
+	}{
+		{"//unroller:hotpath", "hotpath", ""},
+		{"//unroller:allow errctx -- reason text", "allow", "errctx -- reason text"},
+		{"//unroller:allow a,b", "allow", "a,b"},
+		{"// ordinary comment", "", ""},
+		{"//go:noinline", "", ""},
+	}
+	for _, c := range cases {
+		verb, args := splitDirective(c.text)
+		if verb != c.verb || args != c.args {
+			t.Errorf("splitDirective(%q) = %q, %q; want %q, %q", c.text, verb, args, c.verb, c.args)
+		}
+	}
+	checks := splitAllowChecks("errctx, hotpath -- cold branch")
+	if len(checks) != 2 || checks[0] != "errctx" || checks[1] != "hotpath" {
+		t.Errorf("splitAllowChecks = %v; want [errctx hotpath]", checks)
+	}
+	if got := splitAllowChecks("-- only a reason"); len(got) != 0 {
+		t.Errorf("splitAllowChecks with no names = %v; want empty", got)
+	}
+}
+
+// TestLoaderStdlibDetection pins the stdlib/external split the importer
+// and nodeps share.
+func TestLoaderStdlibDetection(t *testing.T) {
+	for path, want := range map[string]bool{
+		"fmt":                true,
+		"math/rand":          true,
+		"go/types":           true,
+		"github.com/x/y":     false,
+		"golang.org/x/tools": false,
+		"example.com/single": false,
+	} {
+		if got := isStdlib(path); got != want {
+			t.Errorf("isStdlib(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestDiagnosticString pins the output format the golden file and CI
+// grepability rely on.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "errctx", Message: "boom"}
+	d.Pos.Filename = "a/b.go"
+	d.Pos.Line = 3
+	d.Pos.Column = 7
+	if got, want := d.String(), "a/b.go:3:7: errctx: boom"; got != want {
+		t.Errorf("Diagnostic.String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// deterministicPkgs are the package basenames whose results must be
+// bit-for-bit reproducible across runs: everything between an experiment
+// seed and a table or figure. internal/xrand is the only sanctioned
+// randomness source for these (it is seedable and version-pinned, unlike
+// math/rand whose sequences may change between Go releases).
+var deterministicPkgs = map[string]bool{
+	"core":        true,
+	"sim":         true,
+	"netsim":      true,
+	"experiments": true,
+	"topology":    true,
+	"stats":       true,
+}
+
+// forbiddenTimeFuncs read the wall clock; any of their outputs reaching a
+// table would make runs non-reproducible. Timing-only call sites carry an
+// //unroller:allow determinism directive with a justification.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// DeterminismAnalyzer enforces reproducibility in the deterministic
+// packages: no math/rand, no wall-clock reads, no iteration over maps
+// (whose order Go randomises per run).
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid math/rand, wall-clock reads, and map iteration in packages feeding reproducible output",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !deterministicPkgs[pkgBase(pass.PkgPath)] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s in deterministic package %s: use internal/xrand (seedable, version-pinned)", path, pkgBase(pass.PkgPath))
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := pkgFuncCall(pass, n, "time"); ok && forbiddenTimeFuncs[name] {
+					pass.Reportf(n.Pos(), "call to time.%s in deterministic package %s: wall-clock values must not feed reproducible output (//unroller:allow determinism for timing-only uses)", name, pkgBase(pass.PkgPath))
+				}
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(), "range over map has nondeterministic order in deterministic package %s: sort the keys first (//unroller:allow determinism if order provably cannot leak)", pkgBase(pass.PkgPath))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pkgFuncCall reports whether call is pkgName.Func(...) on the named
+// standard-library package, returning the function name.
+func pkgFuncCall(pass *Pass, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	obj, ok := pass.Info.Uses[ident]
+	if !ok {
+		return "", false
+	}
+	pn, ok := obj.(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DirectiveAnalyzer validates the //unroller: directive grammar, so a
+// typo in an allowlist entry fails the build instead of silently
+// suppressing nothing (stale-allow detection in RunAnalyzers catches the
+// complementary failure: a well-formed allow whose finding has since
+// been fixed). It flags:
+//
+//   - unknown verbs (only "hotpath" and "allow" exist)
+//   - allow directives naming no check, or an unknown check
+//   - //unroller:hotpath outside a function's doc comment
+//   - "// unroller:" with interior space — a directive that the Go
+//     convention (and this suite) treats as an ordinary comment
+var DirectiveAnalyzer = &Analyzer{
+	Name: "directive",
+	Doc:  "validate //unroller: directive grammar and placement",
+	Run:  runDirective,
+}
+
+func runDirective(pass *Pass) error {
+	known := allowableChecks
+	for _, f := range pass.Files {
+		// Comments that are function doc comments, where hotpath is
+		// legal.
+		inFuncDoc := make(map[*ast.Comment]bool)
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Doc != nil {
+				for _, c := range fn.Doc.List {
+					inFuncDoc[c] = true
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if rest, ok := strings.CutPrefix(text, "// "); ok && strings.HasPrefix(strings.TrimLeft(rest, " "), "unroller:") {
+					pass.Reportf(c.Pos(), "malformed directive: space between // and unroller: makes this an ordinary comment")
+					continue
+				}
+				verb, args := splitDirective(text)
+				if verb == "" && !strings.HasPrefix(text, "//unroller:") {
+					continue
+				}
+				switch verb {
+				case "hotpath":
+					if !inFuncDoc[c] {
+						pass.Reportf(c.Pos(), "//unroller:hotpath must be in a function's doc comment")
+					}
+					if args != "" {
+						pass.Reportf(c.Pos(), "//unroller:hotpath takes no arguments, got %q", args)
+					}
+				case "allow":
+					checks := splitAllowChecks(args)
+					if len(checks) == 0 {
+						pass.Reportf(c.Pos(), "//unroller:allow names no check; grammar: //unroller:allow <check>[,<check>...] [-- reason]")
+					}
+					for _, name := range checks {
+						if !known[name] {
+							pass.Reportf(c.Pos(), "//unroller:allow names unknown check %q (known: determinism, errctx, hotpath, nodeps, wirewidth)", name)
+						}
+					}
+				case "":
+					pass.Reportf(c.Pos(), "empty //unroller: directive; known verbs: hotpath, allow")
+				default:
+					pass.Reportf(c.Pos(), "unknown //unroller: verb %q; known verbs: hotpath, allow", verb)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// This file implements the //unroller: directive grammar:
+//
+//	//unroller:hotpath
+//	    In a function's doc comment: marks it as per-hop code the
+//	    hotpath analyzer must keep allocation-free.
+//
+//	//unroller:allow <check>[,<check>...] [-- reason]
+//	    Suppresses the named checks. Placement decides scope: in a
+//	    function's doc comment it covers the whole function body; on or
+//	    immediately above a statement it covers that line and the next.
+//	    The reason after "--" is free text and is strongly encouraged.
+//
+// Directives follow the Go toolchain convention (//go:noinline): no space
+// between "//" and "unroller:". A stale allow — one that suppresses no
+// diagnostic across a full suite run — is itself reported.
+
+// allowDirective is one parsed //unroller:allow entry for a single check.
+type allowDirective struct {
+	check     string
+	pos       token.Pos
+	file      string
+	fromLine  int // inclusive line range the suppression covers
+	toLine    int
+	suppressd bool // did it suppress at least one diagnostic?
+}
+
+// Directives is the parsed directive set of one package.
+type Directives struct {
+	fset   *token.FileSet
+	allows []*allowDirective
+	// hotpath maps *ast.FuncDecl nodes tagged //unroller:hotpath.
+	hotpath map[*ast.FuncDecl]bool
+}
+
+// staleAllow identifies an allow directive that never fired.
+type staleAllow struct {
+	check string
+	pos   token.Position
+}
+
+// parseDirectives walks every comment in the package and builds the
+// directive table. Grammar errors are left in place for the directive
+// analyzer to report; this parser only collects well-formed entries.
+func parseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{fset: fset, hotpath: make(map[*ast.FuncDecl]bool)}
+	for _, f := range files {
+		// Function-scoped directives: doc comments on declarations.
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Doc != nil {
+				for _, c := range fn.Doc.List {
+					verb, args := splitDirective(c.Text)
+					switch verb {
+					case "hotpath":
+						d.hotpath[fn] = true
+					case "allow":
+						from := fset.Position(fn.Pos()).Line
+						to := fset.Position(fn.End()).Line
+						d.addAllows(c, args, from, to)
+					}
+				}
+			}
+		}
+		// Line-scoped directives: everything else. A doc-comment allow is
+		// re-seen here but its function-wide entry subsumes the narrow
+		// one, so skip comments inside func docs via position containment.
+		funcDocs := make(map[*ast.Comment]bool)
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Doc != nil {
+				for _, c := range fn.Doc.List {
+					funcDocs[c] = true
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if funcDocs[c] {
+					continue
+				}
+				verb, args := splitDirective(c.Text)
+				if verb != "allow" {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				// Covers its own line (end-of-line form) and the next
+				// (standalone-comment-above form).
+				d.addAllows(c, args, line, line+1)
+			}
+		}
+	}
+	return d
+}
+
+// addAllows registers one allow comment, fanning out per check name.
+func (d *Directives) addAllows(c *ast.Comment, args string, from, to int) {
+	pos := d.fset.Position(c.Pos())
+	for _, check := range splitAllowChecks(args) {
+		d.allows = append(d.allows, &allowDirective{
+			check:    check,
+			pos:      c.Pos(),
+			file:     pos.Filename,
+			fromLine: from,
+			toLine:   to,
+		})
+	}
+}
+
+// allowed reports whether a diagnostic from check at position is
+// suppressed, marking the covering directive as used.
+func (d *Directives) allowed(check string, position token.Position) bool {
+	hit := false
+	for _, a := range d.allows {
+		if a.check == check && a.file == position.Filename &&
+			a.fromLine <= position.Line && position.Line <= a.toLine {
+			a.suppressd = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// stale returns every allow directive that suppressed nothing.
+func (d *Directives) stale() []staleAllow {
+	var out []staleAllow
+	for _, a := range d.allows {
+		if !a.suppressd {
+			out = append(out, staleAllow{check: a.check, pos: d.fset.Position(a.pos)})
+		}
+	}
+	return out
+}
+
+// isHotpath reports whether fn carries the //unroller:hotpath tag.
+func (d *Directives) isHotpath(fn *ast.FuncDecl) bool { return d.hotpath[fn] }
+
+// splitDirective parses a comment's text into directive verb and argument
+// string. Non-directive comments return verb "".
+func splitDirective(text string) (verb, args string) {
+	const prefix = "//unroller:"
+	if !strings.HasPrefix(text, prefix) {
+		return "", ""
+	}
+	rest := text[len(prefix):]
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		return rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	return rest, ""
+}
+
+// splitAllowChecks parses an allow directive's arguments into check
+// names, stripping the optional "-- reason" suffix.
+func splitAllowChecks(args string) []string {
+	if i := strings.Index(args, "--"); i >= 0 {
+		args = args[:i]
+	}
+	var out []string
+	for _, name := range strings.Split(args, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// ErrctxAnalyzer enforces the repo's error-message convention, modelled
+// on internal/core/unroller.go's
+//
+//	fmt.Errorf("core: invalid config: %w", err)
+//
+// Every error constructed in a library package must be attributable
+// without a stack trace: a 10k-switch emulation surfaces errors far from
+// their origin, so the message itself carries the package name. The rule
+// for string literals passed to fmt.Errorf and errors.New:
+//
+//   - start with "<pkg>: ", or
+//   - start with "%w" (the prefix then comes from the wrapped error,
+//     whose own construction site this rule already covered).
+//
+// Sub-errors that are joined under a prefixed wrapper by construction
+// (e.g. Config.Validate's list, wrapped by New as "core: invalid
+// config: %w") opt out with a function-scoped //unroller:allow errctx.
+// Package main is exempt: a CLI's errors print next to its own name.
+var ErrctxAnalyzer = &Analyzer{
+	Name: "errctx",
+	Doc:  "require package-prefixed messages in fmt.Errorf and errors.New",
+	Run:  runErrctx,
+}
+
+func runErrctx(pass *Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		return nil
+	}
+	prefix := pkgBase(pass.PkgPath) + ": "
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			var what string
+			if name, ok := pkgFuncCall(pass, call, "fmt"); ok && name == "Errorf" {
+				what = "fmt.Errorf"
+			} else if name, ok := pkgFuncCall(pass, call, "errors"); ok && name == "New" {
+				what = "errors.New"
+			} else {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				return true // dynamic format: out of scope
+			}
+			text, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if strings.HasPrefix(text, prefix) || strings.HasPrefix(text, "%w") {
+				return true
+			}
+			pass.Reportf(lit.Pos(), "%s message %q lacks the package prefix %q (or a leading %%w delegating to a prefixed error)", what, truncateMsg(text), prefix)
+			return true
+		})
+	}
+	return nil
+}
+
+// truncateMsg keeps diagnostics single-line and short.
+func truncateMsg(s string) string {
+	if len(s) > 40 {
+		return s[:37] + "..."
+	}
+	return s
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// This file is a miniature analysistest: fixtures under testdata/src/<n>
+// annotate expected findings with want comments and the harness checks
+// the analyzer produces exactly those, no more and no fewer. Two forms:
+//
+//	expr() // want "substring" "another substring"
+//
+// expects diagnostics on that line whose messages contain each quoted
+// substring, and
+//
+//	// want "substring"
+//	//unroller:directive-under-test
+//
+// (a standalone want line) expects them on the following line — needed
+// because a full-line comment cannot carry a second comment.
+
+// key identifies one fixture source line.
+type key struct {
+	file string // basename
+	line int
+}
+
+// want is one expectation, consumed as diagnostics match it.
+type want struct {
+	substr  string
+	matched bool
+}
+
+func moduleRootDir(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatalf("resolving module root: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root %s has no go.mod: %v", root, err)
+	}
+	return root
+}
+
+// runFixture loads testdata/src/<name> and checks the analyzer suite
+// against the fixture's want annotations. tolerateTypeErrors is for
+// fixtures that deliberately import unresolvable paths (the nodeps
+// negative cases).
+func runFixture(t *testing.T, suite []*Analyzer, name string, tolerateTypeErrors bool) {
+	t.Helper()
+	root := moduleRootDir(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	rel := "./internal/analysis/testdata/src/" + name
+	pkgs, err := loader.Load(rel)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", rel, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load(%s) returned %d packages, want 1", rel, len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.TypeErrors) > 0 && !tolerateTypeErrors {
+		t.Fatalf("fixture %s has type errors: %v", name, pkg.TypeErrors)
+	}
+	diags, err := RunAnalyzers(pkg, suite)
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	wants := parseWants(t, pkg.Dir)
+
+	for _, d := range diags {
+		k := key{file: filepath.Base(d.Pos.Filename), line: d.Pos.Line}
+		if !consumeWant(wants[k], d.Message) {
+			t.Errorf("unexpected diagnostic at %s:%d: %s: %s", k.file, k.line, d.Analyzer, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("missing diagnostic at %s:%d: want message containing %q", k.file, k.line, w.substr)
+			}
+		}
+	}
+}
+
+// consumeWant marks the first unmatched want whose substring occurs in
+// msg, reporting whether one was found.
+func consumeWant(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && strings.Contains(msg, w.substr) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants scans every fixture file for want annotations.
+func parseWants(t *testing.T, dir string) map[key][]*want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	wants := make(map[key][]*want)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		lines := strings.Split(string(data), "\n")
+		for i, line := range lines {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			targetLine := i + 1 // 1-based line of this annotation
+			if strings.HasPrefix(strings.TrimSpace(line), "// want ") {
+				// Standalone form annotates the next line, skipping the
+				// empty "//" separators gofmt inserts before directives.
+				targetLine++
+				for targetLine-1 < len(lines) && strings.TrimSpace(lines[targetLine-1]) == "//" {
+					targetLine++
+				}
+			}
+			k := key{file: e.Name(), line: targetLine}
+			for _, substr := range parseQuoted(t, line[idx+len("// want "):]) {
+				wants[k] = append(wants[k], &want{substr: substr})
+			}
+		}
+	}
+	return wants
+}
+
+// parseQuoted extracts the quoted substrings of a want annotation.
+func parseQuoted(t *testing.T, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		start := strings.IndexByte(s, '"')
+		if start < 0 {
+			break
+		}
+		end := strings.IndexByte(s[start+1:], '"')
+		if end < 0 {
+			t.Fatalf("unterminated want annotation: %s", s)
+		}
+		out = append(out, s[start+1:start+1+end])
+		s = s[start+end+2:]
+	}
+	if len(out) == 0 {
+		t.Fatalf("want annotation with no quoted substrings: %s", s)
+	}
+	return out
+}

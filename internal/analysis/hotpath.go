@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotpathAnalyzer keeps per-hop code honest. Functions tagged
+// //unroller:hotpath are the software analogue of the paper's P4 control
+// block: they run once per packet per switch, so a single heap
+// allocation or fmt call turns the "as fast as the hardware allows"
+// north star into a garbage-collection benchmark. The analyzer flags,
+// inside tagged function bodies only (callees are checked where they are
+// tagged themselves):
+//
+//   - defer and go statements (scheduling overhead, allocation)
+//   - closures (func literals allocate their environment)
+//   - make/new/append and &composite-literal allocations
+//   - slice and map composite literals
+//   - any call into package fmt (allocates, takes locks)
+//   - explicit conversions to interface types and type assertions
+//     (interface conversions box their operand)
+//   - string concatenation (allocates the result)
+//
+// Cold branches inside a hot function — error returns, the
+// once-per-detection report — carry //unroller:allow hotpath directives
+// with a justification.
+var HotpathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc:  "flag allocations, fmt calls, defers, and interface conversions in //unroller:hotpath functions",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !pass.Dirs.isHotpath(fn) {
+				continue
+			}
+			checkHotBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotBody(pass *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in hot path %s", name)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "goroutine launch in hot path %s", name)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in hot path %s allocates its environment", name)
+		case *ast.TypeAssertExpr:
+			pass.Reportf(n.Pos(), "type assertion in hot path %s", name)
+		case *ast.UnaryExpr:
+			if _, ok := n.X.(*ast.CompositeLit); ok {
+				pass.Reportf(n.Pos(), "&composite literal in hot path %s heap-allocates", name)
+			}
+		case *ast.CompositeLit:
+			if t := pass.Info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "%s literal in hot path %s allocates", kindName(t), name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				if t := pass.Info.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pass.Reportf(n.Pos(), "string concatenation in hot path %s allocates", name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, n, name)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr, fname string) {
+	// Conversions: T(x) where T is an interface type boxes x.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) {
+			pass.Reportf(call.Pos(), "conversion to interface type in hot path %s boxes its operand", fname)
+		}
+		return
+	}
+	// Builtins that allocate.
+	if ident, ok := call.Fun.(*ast.Ident); ok {
+		if b, isBuiltin := pass.Info.Uses[ident].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s in hot path %s allocates", b.Name(), fname)
+			case "append":
+				pass.Reportf(call.Pos(), "append in hot path %s may grow its backing array", fname)
+			}
+			return
+		}
+	}
+	// Any call into package fmt.
+	if name, ok := pkgFuncCall(pass, call, "fmt"); ok {
+		pass.Reportf(call.Pos(), "fmt.%s in hot path %s allocates and formats reflectively", name, fname)
+	}
+}
+
+// kindName names a composite-literal kind for diagnostics.
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	default:
+		return "composite"
+	}
+}

@@ -1,0 +1,299 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path (module path + directory for module
+	// packages; a testdata-relative pseudo-path for fixtures).
+	Path string
+	// Dir is the absolute directory the files came from.
+	Dir        string
+	ModulePath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects non-fatal type-checker complaints. The driver
+	// treats any as a load failure; the test harness tolerates them for
+	// fixtures that deliberately import unresolvable paths.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of one module without any
+// dependency on golang.org/x/tools: module-internal imports are resolved
+// by walking the module tree, standard-library imports via go/importer's
+// source importer.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleDir  string
+	ModulePath string
+
+	std     types.Importer
+	cache   map[string]*Package // keyed by absolute directory
+	loading map[string]bool     // import-cycle guard
+}
+
+// NewLoader returns a loader rooted at moduleDir, which must contain
+// go.mod.
+func NewLoader(moduleDir string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: resolving module dir: %w", err)
+	}
+	modPath, err := modulePathOf(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleDir:  abs,
+		ModulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		cache:      make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// modulePathOf extracts the module path from dir/go.mod.
+func modulePathOf(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: %s is not a module root: %w", dir, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			path := strings.TrimSpace(rest)
+			if path != "" {
+				return strings.Trim(path, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s/go.mod", dir)
+}
+
+// Load resolves patterns to package directories and loads each. Accepted
+// patterns: "./..." (the whole module), "./dir/..." (a subtree), and
+// plain directories relative to the module root (a leading "./" is
+// fine). Results are sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirSet := make(map[string]bool)
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			dirs, err := l.walkTree(l.ModuleDir)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				dirSet[d] = true
+			}
+		case strings.HasSuffix(pat, "/..."):
+			root := filepath.Join(l.ModuleDir, strings.TrimSuffix(pat, "/..."))
+			dirs, err := l.walkTree(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				dirSet[d] = true
+			}
+		default:
+			dir := pat
+			if !filepath.IsAbs(dir) {
+				dir = filepath.Join(l.ModuleDir, pat)
+			}
+			if !hasGoFiles(dir) {
+				return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+			}
+			dirSet[dir] = true
+		}
+	}
+	dirs := make([]string, 0, len(dirSet))
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// walkTree finds every package directory under root, skipping testdata,
+// vendor, and hidden or underscore-prefixed directories — the same
+// pruning the go tool applies to "./..." patterns.
+func (l *Loader) walkTree(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: walking %s: %w", root, err)
+	}
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test Go source file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir parses and type-checks the package in dir (memoised).
+// Analysis covers non-test files only: the invariants guard production
+// code, and tests legitimately use wall clocks and allocations.
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: resolving %s: %w", dir, err)
+	}
+	if pkg, ok := l.cache[abs]; ok {
+		return pkg, nil
+	}
+	if l.loading[abs] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", abs)
+	}
+	l.loading[abs] = true
+	defer delete(l.loading, abs)
+
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading %s: %w", abs, err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", abs)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+
+	pkg := &Package{
+		Path:       l.importPathFor(abs),
+		Dir:        abs,
+		ModulePath: l.ModulePath,
+		Fset:       l.Fset,
+		Files:      files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check never returns a usable error when conf.Error is set; the
+	// collected TypeErrors carry the detail.
+	pkg.Types, _ = conf.Check(pkg.Path, l.Fset, files, pkg.Info)
+	l.cache[abs] = pkg
+	return pkg, nil
+}
+
+// importPathFor maps an absolute directory to its import path.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.ModuleDir, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filepath.Base(dir))
+	}
+	if rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// loaderImporter adapts Loader to types.Importer: module-internal paths
+// load recursively from source, the standard library goes through the
+// source importer, and anything else is refused (the nodeps analyzer
+// reports the import site; this error surfaces as a type error).
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "C" {
+		return nil, fmt.Errorf("analysis: cgo is not supported")
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		pkg, err := l.loadDir(filepath.Join(l.ModuleDir, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("analysis: %s has type errors: %v", path, pkg.TypeErrors[0])
+		}
+		return pkg.Types, nil
+	}
+	if isStdlib(path) {
+		return l.std.Import(path)
+	}
+	return nil, fmt.Errorf("analysis: external dependency %q (module is stdlib-only)", path)
+}
+
+// isStdlib reports whether path names a standard-library package: by
+// convention the first path element of any external module contains a
+// dot, while no stdlib path element does.
+func isStdlib(path string) bool {
+	first := path
+	if i := strings.Index(path, "/"); i >= 0 {
+		first = path[:i]
+	}
+	return !strings.Contains(first, ".")
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// NodepsAnalyzer guards the module's dependency posture, which is itself
+// a reproducibility feature: with a stdlib-only build there is no
+// version resolution, no supply chain, and no vendored randomness to
+// drift between environments. It flags, in every package:
+//
+//   - imports outside the standard library and the module itself
+//   - cgo ("C") and unsafe, which break the pure-Go portability the
+//     emulator relies on
+//   - math/rand anywhere but internal/xrand: the deterministic packages
+//     are covered by the determinism analyzer, but even outside them a
+//     math/rand call site invites accidental reuse in seeded code, so
+//     the designated generator package is the only allowed home.
+var NodepsAnalyzer = &Analyzer{
+	Name: "nodeps",
+	Doc:  "forbid external dependencies, cgo, unsafe, and math/rand outside internal/xrand",
+	Run:  runNodeps,
+}
+
+func runNodeps(pass *Pass) error {
+	base := pkgBase(pass.PkgPath)
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch {
+			case path == "C":
+				pass.Reportf(imp.Pos(), "cgo import: the module builds pure Go only")
+			case path == "unsafe":
+				pass.Reportf(imp.Pos(), "unsafe import: wire formats are encoded with internal/bitpack, not pointer casts")
+			case (path == "math/rand" || path == "math/rand/v2") && base != "xrand":
+				pass.Reportf(imp.Pos(), "math/rand import outside internal/xrand: all randomness flows through the seedable xrand generators")
+			case path == pass.ModulePath || strings.HasPrefix(path, pass.ModulePath+"/"):
+				// module-internal: fine
+			case isStdlib(path):
+				// stdlib: fine
+			default:
+				pass.Reportf(imp.Pos(), "external dependency %q: the module is stdlib-only (stub or gate it)", path)
+			}
+		}
+	}
+	return nil
+}

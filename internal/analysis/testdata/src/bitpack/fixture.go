@@ -1,0 +1,43 @@
+// Package bitpack is a wirewidth-analyzer fixture: the directory name
+// puts every file in scope, mirroring the real internal/bitpack.
+package bitpack
+
+// Narrow drops the top 56 bits with nothing in the source saying so.
+func Narrow(v uint64) byte {
+	return byte(v) // want "narrowing conversion uint64"
+}
+
+// NarrowSigned narrows a signed value into an unsigned field.
+func NarrowSigned(x int) uint16 {
+	return uint16(x) // want "narrowing conversion int"
+}
+
+// Masked is the positive case: the width is explicit at the call site.
+func Masked(v uint64) byte {
+	return byte(v & 0xff)
+}
+
+// Widen never loses bits and is exempt.
+func Widen(b byte) uint64 { return uint64(b) }
+
+// ConstNarrow is compiler-checked and exempt.
+func ConstNarrow() byte { return byte(0x12) }
+
+// ShiftLoss can silently push b's high bits off the top.
+func ShiftLoss(b byte, s uint) byte {
+	return b << s // want "left shift on uint8"
+}
+
+// ShiftMasked bounds the shifted value explicitly.
+func ShiftMasked(b byte, s uint) byte {
+	return (b & 0x0f) << s
+}
+
+// ShiftWide works at the full 64-bit working width and is exempt.
+func ShiftWide(v uint64) uint64 { return v << 3 }
+
+// ShiftAllowed shows the escape hatch for shifts whose bound is proven
+// by construction rather than by a mask.
+//
+//unroller:allow wirewidth -- fixture: b always arrives with ≤ 4 bits
+func ShiftAllowed(b byte) byte { return b << 4 }

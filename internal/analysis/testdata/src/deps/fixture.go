@@ -1,0 +1,23 @@
+// Package deps is a nodeps-analyzer fixture. The external import below
+// cannot resolve, so the fixture type-checks with errors by design; the
+// harness tolerates them for this analyzer, which is purely syntactic.
+package deps
+
+import (
+	_ "math/rand" // want "math/rand import outside internal/xrand"
+	_ "unsafe"    // want "unsafe import"
+
+	_ "github.com/fake/dep" // want "external dependency"
+
+	"sort"
+
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// Shuffle uses the sanctioned module-internal and stdlib imports: the
+// positive cases.
+func Shuffle(xs []int, seed uint64) {
+	r := xrand.New(seed)
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sort.Ints(xs)
+}

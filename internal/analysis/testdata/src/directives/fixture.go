@@ -1,0 +1,37 @@
+// Package directives is a directive-analyzer fixture: the grammar of
+// //unroller: comments is itself linted, and allows that suppress
+// nothing are reported stale.
+package directives
+
+// Tagged is a correctly tagged function: the positive case.
+//
+//unroller:hotpath
+func Tagged() int { return 1 }
+
+// want "unknown //unroller: verb"
+//unroller:frobnicate
+
+// want "names unknown check"
+//unroller:allow frobnication -- no such analyzer
+
+// want "names no check"
+//unroller:allow
+
+// want "empty //unroller: directive"
+//unroller:
+
+// want "space between"
+// unroller:allow hotpath
+
+// want "must be in a function's doc comment"
+//unroller:hotpath
+
+// want "stale //unroller:allow"
+//unroller:allow determinism -- nothing here for it to suppress
+
+// MisTagged carries hotpath with stray arguments.
+//
+// want "takes no arguments"
+//
+//unroller:hotpath with arguments
+func MisTagged() int { return 2 }

@@ -1,0 +1,41 @@
+// Package errctx is an errctx-analyzer fixture.
+package errctx
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGood carries its package prefix: the positive case.
+var ErrGood = errors.New("errctx: something broke")
+
+// ErrNaked would be unattributable in a large run's logs.
+var ErrNaked = errors.New("something broke") // want "errors.New message"
+
+// Wrap is the canonical form the rule is modelled on.
+func Wrap(err error) error {
+	return fmt.Errorf("errctx: operation failed: %w", err)
+}
+
+// Delegate starts with %w: the prefix comes from the wrapped error.
+func Delegate(err error) error {
+	return fmt.Errorf("%w: while finishing up", err)
+}
+
+// Naked lacks both prefix and delegation.
+func Naked(n int) error {
+	return fmt.Errorf("value %d out of range", n) // want "fmt.Errorf message"
+}
+
+// Sub shows the function-scoped escape hatch for validation sub-errors
+// joined under a prefixed wrapper by the caller.
+//
+//unroller:allow errctx -- fixture: caller wraps as "errctx: invalid: %w"
+func Sub(n int) error {
+	return fmt.Errorf("field %d must be positive", n)
+}
+
+// Dynamic formats are out of scope: the rule checks literals only.
+func Dynamic(format string, n int) error {
+	return fmt.Errorf(format, n)
+}

@@ -1,0 +1,51 @@
+// Package hot is a hotpath-analyzer fixture: only the function tagged
+// //unroller:hotpath is checked; its untagged twin is the positive case.
+package hot
+
+import "fmt"
+
+type state struct {
+	n   int
+	tag string
+	buf [8]uint64
+}
+
+// Hot collects one specimen of every construct the analyzer forbids.
+//
+//unroller:hotpath
+func (s *state) Hot(id uint32) uint64 {
+	v := make([]uint64, 4)    // want "make in hot path"
+	v = append(v, uint64(id)) // want "append in hot path"
+	p := &state{}             // want "composite literal in hot path"
+	m := map[int]int{1: 2}    // want "map literal in hot path"
+	sl := []int{1}            // want "slice literal in hot path"
+	f := func() {}            // want "closure in hot path"
+	defer f()                 // want "defer in hot path"
+	go f()                    // want "goroutine launch in hot path"
+	fmt.Println(id)           // want "fmt.Println in hot path"
+	label := s.tag + "!"      // want "string concatenation in hot path"
+	var boxed interface{} = s.n
+	_, _ = boxed.(int)    // want "type assertion in hot path"
+	_ = fmt.Stringer(nil) // want "conversion to interface type in hot path"
+	return v[0] + s.buf[0] + uint64(p.n) + uint64(m[1]) + uint64(sl[0]) + uint64(len(label))
+}
+
+// HotAllowed shows the cold-branch escape hatch inside a hot function.
+//
+//unroller:hotpath
+func (s *state) HotAllowed(fail bool) error {
+	s.n++
+	if fail {
+		//unroller:allow hotpath -- fixture: error path is cold
+		return fmt.Errorf("hot: state %d failed", s.n)
+	}
+	return nil
+}
+
+// Cold is untagged: the same constructs draw no findings.
+func (s *state) Cold(id uint32) uint64 {
+	v := make([]uint64, 4)
+	v = append(v, uint64(id))
+	defer fmt.Println(id)
+	return v[0]
+}

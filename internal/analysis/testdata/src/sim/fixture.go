@@ -1,0 +1,57 @@
+// Package sim is a determinism-analyzer fixture: its directory name puts
+// it in the deterministic scope, mirroring the real internal/sim.
+package sim
+
+import (
+	"math/rand" // want "use internal/xrand"
+	"sort"
+	"time"
+)
+
+// Seeded is the positive case: pure arithmetic on a seed, no findings.
+func Seeded(seed uint64) uint64 { return seed * 0x9e3779b97f4a7c15 }
+
+// Clocky reads the wall clock where a reproducible value is expected.
+func Clocky() int64 {
+	t := time.Now() // want "call to time.Now"
+	return t.UnixNano()
+}
+
+// Elapsed measures wall-clock durations.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "call to time.Since"
+}
+
+// Allowed shows the sanctioned escape hatch for timing-only call sites.
+//
+//unroller:allow determinism -- fixture: timing-only call site
+func Allowed() time.Time { return time.Now() }
+
+// Emit iterates a map, whose order Go randomises per run.
+func Emit(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want "range over map"
+		sum += v
+	}
+	return sum
+}
+
+// EmitSorted is the deterministic way to walk a map — collect keys, sort
+// them, index by them — with the collection loop allowed because the
+// sort erases the iteration order before anything can observe it.
+func EmitSorted(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	//unroller:allow determinism -- key order is erased by the sort below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Draw keeps rand referenced so the flagged import type-checks.
+func Draw() int { return rand.Int() }

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// WirewidthAnalyzer guards the wire format. The Unroller header packs
+// identifier fields at bit granularity (z-bit slots, an 8-bit hop
+// counter, a log2(Th)-bit threshold counter), so the encode/decode code
+// in internal/bitpack and internal/core/header.go is full of narrowing
+// conversions and shifts. Each one silently discards high bits; if a
+// width constant drifts, identifiers truncate and detection quietly
+// degrades. The analyzer therefore requires every hazardous operation to
+// carry an explicit width mask (an & with the operand) so the intended
+// width is visible in the source and survives refactors:
+//
+//   - a conversion to a narrower unsigned integer type must mask its
+//     operand: byte((v >> s) & 0xff), not byte(v >> s)
+//   - a left shift of a sub-64-bit unsigned value must be masked or
+//     carry an //unroller:allow wirewidth directive proving the bound
+//
+// Scope: every file of internal/bitpack, plus core's header.go (the only
+// core file that touches the wire).
+var WirewidthAnalyzer = &Analyzer{
+	Name: "wirewidth",
+	Doc:  "require explicit width masks on narrowing conversions and shifts in wire-format code",
+	Run:  runWirewidth,
+}
+
+func runWirewidth(pass *Pass) error {
+	base := pkgBase(pass.PkgPath)
+	for _, f := range pass.Files {
+		filename := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if !(base == "bitpack" || (base == "core" && filename == "header.go")) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkNarrowingConversion(pass, n)
+			case *ast.BinaryExpr:
+				checkUnmaskedShift(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkNarrowingConversion flags T(x) where T is an unsigned integer
+// type strictly narrower than x's static type and x carries no explicit
+// mask.
+func checkNarrowingConversion(pass *Pass, call *ast.CallExpr) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dstW := uintWidth(tv.Type)
+	if dstW == 0 {
+		return // not an unsigned integer target
+	}
+	arg := call.Args[0]
+	argTV, ok := pass.Info.Types[arg]
+	if !ok || argTV.Value != nil {
+		return // constants are range-checked by the compiler
+	}
+	srcW := intWidth(argTV.Type)
+	if srcW == 0 || dstW >= srcW {
+		return
+	}
+	if containsMask(arg) {
+		return
+	}
+	pass.Reportf(call.Pos(), "narrowing conversion %s→uint%d drops high bits without an explicit width mask", argTV.Type, dstW)
+}
+
+// checkUnmaskedShift flags x << s on sub-64-bit unsigned types: the
+// shifted-out high bits vanish silently. 64-bit shifts are exempt — they
+// are the working width, and rotations/packing at uint64 are pervasive
+// and safe under the masks the conversions rule already demands.
+func checkUnmaskedShift(pass *Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.SHL {
+		return
+	}
+	tv, ok := pass.Info.Types[bin]
+	if !ok || tv.Value != nil {
+		return // constant shifts are compiler-checked
+	}
+	w := uintWidth(tv.Type)
+	if w == 0 || w >= 64 {
+		return
+	}
+	if containsMask(bin.X) {
+		return // the shifted value carries an explicit width bound
+	}
+	pass.Reportf(bin.Pos(), "left shift on uint%d may drop high bits; mask the shifted value or //unroller:allow wirewidth with the width argument", w)
+}
+
+// containsMask reports whether the expression tree contains an & or &^
+// operation — the explicit width guard this analyzer demands.
+func containsMask(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if bin, ok := n.(*ast.BinaryExpr); ok {
+			if bin.Op == token.AND || bin.Op == token.AND_NOT {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// uintWidth returns the bit width of an unsigned integer type, or 0 for
+// anything else. uint and uintptr count as 64-bit (the gc targets this
+// repo builds for).
+func uintWidth(t types.Type) int {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsUnsigned == 0 {
+		return 0
+	}
+	switch b.Kind() {
+	case types.Uint8:
+		return 8
+	case types.Uint16:
+		return 16
+	case types.Uint32:
+		return 32
+	case types.Uint64, types.Uint, types.Uintptr:
+		return 64
+	}
+	return 0
+}
+
+// intWidth returns the bit width of any integer type, or 0 otherwise.
+func intWidth(t types.Type) int {
+	if w := uintWidth(t); w != 0 {
+		return w
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return 0
+	}
+	switch b.Kind() {
+	case types.Int8:
+		return 8
+	case types.Int16:
+		return 16
+	case types.Int32:
+		return 32
+	case types.Int64, types.Int:
+		return 64
+	}
+	return 0
+}

@@ -64,6 +64,7 @@ type bloomState struct {
 	bits []uint64
 }
 
+//unroller:hotpath
 func (s *bloomState) Visit(id detect.SwitchID) detect.Verdict {
 	d := s.det
 	// Test-then-insert: a switch whose k positions are all set concludes

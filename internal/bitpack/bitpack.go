@@ -42,7 +42,8 @@ func (w *Writer) WriteBits(v uint64, width uint) {
 		if width < take {
 			take = width
 		}
-		chunk := byte(v >> (width - take))
+		chunk := byte((v >> (width - take)) & (1<<take - 1))
+		//unroller:allow wirewidth -- chunk has ≤ take bits; take + (free−take) = free ≤ 8
 		w.buf[len(w.buf)-1] |= chunk << (free - take)
 		w.nbit += take
 		width -= take

@@ -81,6 +81,8 @@ func DefaultConfig() Config {
 }
 
 // Validate reports whether the configuration is usable.
+//
+//unroller:allow errctx -- sub-errors are joined under "core: invalid config: %w" by New
 func (c Config) Validate() error {
 	var errs []error
 	if c.Base < 2 {

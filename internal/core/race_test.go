@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// TestConcurrentDetectorSharedAcrossGoroutines pins the concurrency
+// contract documented on Unroller: one immutable detector shared by many
+// goroutines, each packet carrying its own State. Run under -race (the
+// CI gate does) this catches any write sneaking into the shared detector
+// — e.g. a cache added to Config or the hash family — and any shared
+// state between packets.
+func TestConcurrentDetectorSharedAcrossGoroutines(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Chunks = 2
+	cfg.Hashes = 2
+	cfg.ZBits = 16
+	cfg.Threshold = 2
+	cfg.Seed = 42
+	u := MustNew(cfg)
+
+	const (
+		goroutines = 8
+		packets    = 50
+		maxHops    = 4096
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(worker) + 1)
+			for p := 0; p < packets; p++ {
+				// A fresh walk per packet: B pre-loop switches then an
+				// L-switch loop of distinct identifiers.
+				B := rng.Intn(10)
+				L := 2 + rng.Intn(8)
+				ids := rng.DistinctUint32(B + L)
+
+				st := u.NewPacketState()
+				detected := false
+				hops := 0
+				for _, id := range ids[:B] {
+					hops++
+					if st.Visit(detect.SwitchID(id)) == detect.Loop {
+						detected = true
+						break
+					}
+				}
+				for !detected && hops < maxHops {
+					for _, id := range ids[B:] {
+						hops++
+						if st.Visit(detect.SwitchID(id)) == detect.Loop {
+							detected = true
+							break
+						}
+					}
+				}
+				if !detected {
+					t.Errorf("worker %d packet %d: no detection within %d hops (B=%d L=%d)", worker, p, maxHops, B, L)
+					return
+				}
+
+				// Wire round-trip through the shared detector: encode on
+				// this goroutine, decode on the same shared Unroller, and
+				// keep visiting — the detector itself must stay read-only
+				// throughout.
+				st2 := u.NewPacketState()
+				for _, id := range ids[:B] {
+					st2.Visit(detect.SwitchID(id))
+				}
+				buf, err := st2.AppendHeader(nil)
+				if err != nil {
+					t.Errorf("worker %d: encode: %v", worker, err)
+					return
+				}
+				st3, err := u.DecodeHeader(buf)
+				if err != nil {
+					t.Errorf("worker %d: decode: %v", worker, err)
+					return
+				}
+				if st3.Hops() != st2.Hops() {
+					t.Errorf("worker %d: round-trip hops = %d, want %d", worker, st3.Hops(), st2.Hops())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

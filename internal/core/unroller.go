@@ -8,8 +8,19 @@ import (
 )
 
 // Unroller is the detector described by the paper. It implements
-// detect.Detector; a single Unroller value is immutable and safe for
-// concurrent use, each packet getting its own State.
+// detect.Detector.
+//
+// # Concurrency contract
+//
+// An Unroller is immutable after New returns: its configuration and hash
+// family are never written again, so one Unroller may be shared freely by
+// any number of goroutines — this mirrors the hardware, where the
+// algorithm parameters live in read-only registers replicated per
+// pipeline. All mutable detection state lives in State, which is
+// single-packet and NOT safe for concurrent use: each goroutine (each
+// in-flight packet) must obtain its own via NewState/NewPacketState or
+// DecodeHeader. The race-enabled regression test
+// TestConcurrentDetectorSharedAcrossGoroutines pins this contract.
 type Unroller struct {
 	cfg    Config
 	family xhash.Family
@@ -92,6 +103,8 @@ func (s *State) Slots() []uint64 { return append([]uint64(nil), s.slots...) }
 // slotValue maps a switch identifier to the value stored and compared for
 // hash function i: the raw identifier when running uncompressed with a
 // single hash, or the z-bit hash mapped into [0, sentinel) otherwise.
+//
+//unroller:hotpath
 func (s *State) slotValue(i int, id detect.SwitchID) uint64 {
 	cfg := &s.det.cfg
 	if !cfg.hashed() {
@@ -110,6 +123,8 @@ func (s *State) slotValue(i int, id detect.SwitchID) uint64 {
 // then reset or min-update the slot owned by the current chunk window.
 // The comparison runs before the update, so a phase-boundary hop still
 // detects against the identifier stored in the previous phase.
+//
+//unroller:hotpath
 func (s *State) Visit(id detect.SwitchID) detect.Verdict {
 	cfg := &s.det.cfg
 
@@ -130,6 +145,7 @@ func (s *State) Visit(id detect.SwitchID) detect.Verdict {
 	if cfg.Hashes <= len(vbuf) {
 		vals = vbuf[:cfg.Hashes]
 	} else {
+		//unroller:allow hotpath -- H > 8 is outside the paper's parameter space; rare slow path
 		vals = make([]uint64, cfg.Hashes)
 	}
 	for i := range vals {

@@ -170,6 +170,8 @@ func (s *Switch) Peer(p PortID) int { return s.neighbors[p] }
 // identifiers, (4) on a match report to the controller and drop — or
 // deflect to the backup port when one is installed — then deparse and
 // forward by FIB.
+//
+//unroller:hotpath
 func (s *Switch) Process(p *Packet) (Decision, error) {
 	s.Stats.Received++
 
@@ -202,16 +204,19 @@ func (s *Switch) Process(p *Packet) (Decision, error) {
 	if len(p.Telemetry) > 0 {
 		st, err := s.decodeTelemetry(p)
 		if err != nil {
+			//unroller:allow hotpath -- malformed-header path: the packet is already dead
 			return Decision{}, fmt.Errorf("dataplane: %v: %w", s.ID, err)
 		}
 		verdict := st.Visit(s.ID)
 		if verdict == detect.Loop {
 			s.Stats.LoopHits++
+			//unroller:allow hotpath -- fires once per detected loop, not per hop
 			report = &detect.Report{Reporter: s.ID, Hops: int(st.Hops())}
 			return s.reactToLoop(p, report)
 		}
 		tel, err := st.AppendHeader(p.Telemetry[:0])
 		if err != nil {
+			//unroller:allow hotpath -- encode failure path: the packet is already dead
 			return Decision{}, fmt.Errorf("dataplane: %v: re-encode: %w", s.ID, err)
 		}
 		p.Telemetry = tel
@@ -232,6 +237,8 @@ func (s *Switch) Process(p *Packet) (Decision, error) {
 // the paper). TTL-derived counting requires packets injected with
 // InitialTTL; Process has already decremented the TTL for this hop, so
 // the pre-Visit hop count is InitialTTL − TTL − 1.
+//
+//unroller:allow errctx -- Process wraps every return as "dataplane: <switch>: %w"
 func (s *Switch) decodeTelemetry(p *Packet) (*core.State, error) {
 	if !s.unroller.Config().TTLHopCount {
 		return s.unroller.DecodeHeader(p.Telemetry)

@@ -30,6 +30,18 @@ const (
 	Loop
 )
 
+// String names the verdict for logs and test failures.
+func (v Verdict) String() string {
+	switch v {
+	case Continue:
+		return "continue"
+	case Loop:
+		return "loop"
+	default:
+		return fmt.Sprintf("Verdict(%d)", uint8(v))
+	}
+}
+
 // State is the per-packet detection state carried in the packet header.
 // Implementations are single-packet and not safe for concurrent use, which
 // mirrors the hardware: a packet is processed by one pipeline at a time.

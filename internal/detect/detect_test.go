@@ -19,3 +19,35 @@ func TestVerdictValues(t *testing.T) {
 		t.Fatal("verdict constants changed")
 	}
 }
+
+// TestVerdictString pins the verdict names, including the out-of-range
+// fallback a corrupted value would print.
+func TestVerdictString(t *testing.T) {
+	cases := []struct {
+		v    Verdict
+		want string
+	}{
+		{Continue, "continue"},
+		{Loop, "loop"},
+		{Verdict(7), "Verdict(7)"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("Verdict(%d).String() = %q, want %q", uint8(c.v), got, c.want)
+		}
+	}
+}
+
+// TestReportFields pins that a Report is a plain value: copying it must
+// not share state with the original.
+func TestReportFields(t *testing.T) {
+	r := Report{Reporter: SwitchID(0xAB), Hops: 12}
+	cp := r
+	cp.Hops = 99
+	if r.Hops != 12 {
+		t.Fatalf("Report is not a value type: original mutated to %d hops", r.Hops)
+	}
+	if r.Reporter.String() != "sw-000000ab" {
+		t.Fatalf("Reporter = %s", r.Reporter)
+	}
+}

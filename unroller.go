@@ -29,6 +29,15 @@
 //		}
 //	}
 //
+// # Concurrency
+//
+// A Detector is immutable after construction and safe to share across
+// any number of goroutines; a PacketState belongs to one packet and is
+// not safe for concurrent use. The intended pattern is one shared
+// Detector and a fresh NewState per packet — see the contract on
+// core.Unroller and the -race regression test
+// TestConcurrentDetectorSharedAcrossGoroutines in internal/core.
+//
 // See examples/ for runnable scenarios and cmd/ for the experiment
 // drivers that regenerate every table and figure of the paper.
 package unroller
