@@ -5,12 +5,13 @@
 #   make lint    go vet + the project's own analyzers (unroller-vet)
 #   make race    unit tests under the race detector
 #   make fuzz    5s smoke run of each bitpack fuzz target
+#   make bench   full benchmark run with allocation stats
 #   make ci      the full gate (ci.sh): build, vet, unroller-vet,
-#                race tests, fuzz smoke
+#                race tests, fuzz smoke, bench smoke
 
 GO ?= go
 
-.PHONY: build test lint race fuzz ci
+.PHONY: build test lint race fuzz bench ci
 
 build:
 	$(GO) build ./...
@@ -28,6 +29,9 @@ race:
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReader$$' -fuzztime 5s ./internal/bitpack
 	$(GO) test -run '^$$' -fuzz '^FuzzWriterRoundTrip$$' -fuzztime 5s ./internal/bitpack
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
 
 ci:
 	sh ci.sh

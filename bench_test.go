@@ -14,6 +14,7 @@ package unroller_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/unroller/unroller/internal/baseline"
@@ -481,6 +482,89 @@ func BenchmarkLoopCollateral(b *testing.B) {
 				lastLatency = fs.Latency.Mean() * 1e3
 			}
 			b.ReportMetric(lastLatency, "bg-ms")
+		})
+	}
+}
+
+// BenchmarkNetworkSend — the emulator's full per-packet journey (edge
+// injection → per-hop marshal/parse/pipeline → delivery) on a 16-ring,
+// reporting ns/hop and allocs/hop. The hop loop ping-pongs two scratch
+// buffers instead of allocating a frame and a Packet per hop, so
+// allocs/hop must stay well below the seed's ~3.
+func BenchmarkNetworkSend(b *testing.B) {
+	g, err := topology.Ring(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	assign := topology.NewAssignment(g, xrand.New(1))
+	n, err := dataplane.NewNetwork(g, assign, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := n.InstallShortestPaths(8); err != nil {
+		b.Fatal(err)
+	}
+	tr, err := n.Send(0, 8, 0, 255, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if tr.Final != dataplane.Deliver {
+		b.Fatalf("warm-up packet %v", tr.Final)
+	}
+	hops := len(tr.Hops)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.SendFlow(dataplane.Flow{Src: 0, Dst: 8, ID: uint32(i), TTL: 255, Telemetry: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*hops), "ns/hop")
+	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(uint64(b.N)*uint64(hops)), "allocs/hop")
+}
+
+// BenchmarkTrafficEngine — the concurrent traffic engine pushing a
+// batch of flows across many destinations on a 5×5 torus, swept over
+// worker counts; pkts/s is the headline and should scale with workers
+// until the memory bus saturates.
+func BenchmarkTrafficEngine(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			g, err := topology.Torus(5, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			assign := topology.NewAssignment(g, xrand.New(1))
+			n, err := dataplane.NewNetwork(g, assign, core.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for dst := 0; dst < g.N(); dst++ {
+				if err := n.InstallShortestPaths(dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rng := xrand.New(0xF10)
+			flows := make([]dataplane.Flow, 512)
+			for i := range flows {
+				src, dst := g.RandomPair(rng)
+				flows[i] = dataplane.Flow{Src: src, Dst: dst, ID: uint32(i), TTL: 255, Telemetry: true}
+			}
+			eng := dataplane.NewTrafficEngine(n, workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.SendMany(flows); err != nil {
+					b.Fatal(err)
+				}
+			}
+			pktsPerOp := float64(len(flows))
+			b.ReportMetric(pktsPerOp*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
 		})
 	}
 }

@@ -13,6 +13,9 @@
 #   fuzz smoke    5s of each bitpack fuzz target (`-fuzz Fuzz` would
 #                 refuse to run because two targets match, so each is
 #                 invoked by exact name)
+#   bench smoke   one iteration of the traffic-engine benchmarks — not a
+#                 measurement, just proof the concurrent injection path
+#                 stays runnable
 set -eu
 
 cd "$(dirname "$0")"
@@ -32,5 +35,8 @@ go test -race ./...
 echo "==> fuzz smoke (internal/bitpack, 5s per target)"
 go test -run '^$' -fuzz '^FuzzReader$' -fuzztime 5s ./internal/bitpack
 go test -run '^$' -fuzz '^FuzzWriterRoundTrip$' -fuzztime 5s ./internal/bitpack
+
+echo "==> bench smoke (traffic engine, 1 iteration)"
+go test -run '^$' -bench 'TrafficEngine|NetworkSend' -benchtime 1x .
 
 echo "==> ci.sh: all gates passed"

@@ -7,12 +7,20 @@
 // Usage:
 //
 //	unroller-emu [-topo fattree4|torus|geant] [-seed 1] [-reroute] [-packets 5]
+//
+// Bulk mode drives the concurrent traffic engine instead of tracing
+// individual packets: -flows N injects N random flows through a worker
+// pool (-workers W) and prints aggregate dispositions, link load, and
+// throughput:
+//
+//	unroller-emu -topo torus -flows 10000 -workers 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/unroller/unroller/internal/core"
 	"github.com/unroller/unroller/internal/dataplane"
@@ -26,30 +34,69 @@ func main() {
 		topo    = flag.String("topo", "torus", "topology: fattree4, torus, or geant")
 		seed    = flag.Uint64("seed", 1, "scenario seed")
 		policy  = flag.String("policy", "drop", "loop reaction: drop, reroute, or collect (§3.5 membership recording)")
-		packets = flag.Int("packets", 5, "packets to inject")
+		packets = flag.Int("packets", 5, "packets to inject (traced mode)")
+		flows   = flag.Int("flows", 0, "bulk mode: inject this many random flows through the traffic engine")
+		workers = flag.Int("workers", 0, "bulk mode: worker goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*topo, *seed, *policy, *packets); err != nil {
+	var err error
+	if *flows > 0 {
+		err = runBulk(*topo, *seed, *policy, *flows, *workers)
+	} else {
+		err = run(*topo, *seed, *policy, *packets)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "unroller-emu: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(topoName string, seed uint64, policy string, packets int) error {
-	var (
-		g   *topology.Graph
-		err error
-	)
+// buildTopo maps the -topo flag to a graph.
+func buildTopo(topoName string) (*topology.Graph, error) {
 	switch topoName {
 	case "fattree4":
-		g, err = topology.FatTree(4)
+		return topology.FatTree(4)
 	case "torus":
-		g, err = topology.Torus(5, 5)
+		return topology.Torus(5, 5)
 	case "geant":
-		g, err = topology.Synthetic("GEANT", 40, 8)
+		return topology.Synthetic("GEANT", 40, 8)
 	default:
-		return fmt.Errorf("unknown topology %q", topoName)
+		return nil, fmt.Errorf("unknown topology %q", topoName)
 	}
+}
+
+// setPolicy maps the -policy flag onto the network.
+func setPolicy(net *dataplane.Network, policy string) error {
+	switch policy {
+	case "drop":
+		net.SetLoopPolicy(dataplane.ActionDrop)
+	case "reroute":
+		net.SetLoopPolicy(dataplane.ActionReroute)
+	case "collect":
+		net.SetLoopPolicy(dataplane.ActionCollect)
+	default:
+		return fmt.Errorf("unknown policy %q (drop, reroute, collect)", policy)
+	}
+	return nil
+}
+
+// sampleLoop draws a loop scenario the way the Table 5 experiment does,
+// rejecting cycles through the destination itself (those deliver before
+// they can loop, which makes for a dull demo).
+func sampleLoop(g *topology.Graph, rng *xrand.Rand) (*sim.Scenario, error) {
+	for {
+		sc, err := sim.SampleScenario(g, rng)
+		if err != nil {
+			return nil, err
+		}
+		if !sc.Cycle.Contains(sc.Dst) {
+			return sc, nil
+		}
+	}
+}
+
+func run(topoName string, seed uint64, policy string, packets int) error {
+	g, err := buildTopo(topoName)
 	if err != nil {
 		return err
 	}
@@ -62,31 +109,15 @@ func run(topoName string, seed uint64, policy string, packets int) error {
 		return err
 	}
 
-	// Sample a loop scenario the way the Table 5 experiment does,
-	// rejecting cycles through the destination itself (those deliver
-	// before they can loop, which makes for a dull demo).
-	var sc *sim.Scenario
-	for {
-		sc, err = sim.SampleScenario(g, rng)
-		if err != nil {
-			return err
-		}
-		if !sc.Cycle.Contains(sc.Dst) {
-			break
-		}
+	sc, err := sampleLoop(g, rng)
+	if err != nil {
+		return err
 	}
 	if err := net.InstallShortestPaths(sc.Dst); err != nil {
 		return err
 	}
-	switch policy {
-	case "drop":
-		net.SetLoopPolicy(dataplane.ActionDrop)
-	case "reroute":
-		net.SetLoopPolicy(dataplane.ActionReroute)
-	case "collect":
-		net.SetLoopPolicy(dataplane.ActionCollect)
-	default:
-		return fmt.Errorf("unknown policy %q (drop, reroute, collect)", policy)
+	if err := setPolicy(net, policy); err != nil {
+		return err
 	}
 	if err := net.InjectLoop(sc.Dst, sc.Cycle); err != nil {
 		return err
@@ -124,6 +155,87 @@ func run(topoName string, seed uint64, policy string, packets int) error {
 	}
 	fmt.Printf("without telemetry: packet %s after %d hops (TTL exhausted in the loop)\n",
 		tr.Final, len(tr.Hops))
+	return nil
+}
+
+// runBulk drives the concurrent traffic engine: shortest paths for every
+// destination, one injected loop, and a batch of random flows — a fifth
+// of which are steered into the loop, and a fifth of which carry no
+// telemetry so the aggregate output contrasts DropLoop with DropTTL.
+func runBulk(topoName string, seed uint64, policy string, flows, workers int) error {
+	g, err := buildTopo(topoName)
+	if err != nil {
+		return err
+	}
+	rng := xrand.New(seed)
+	assign := topology.NewAssignment(g, rng)
+	net, err := dataplane.NewNetwork(g, assign, core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	for dst := 0; dst < g.N(); dst++ {
+		if err := net.InstallShortestPaths(dst); err != nil {
+			return err
+		}
+	}
+	sc, err := sampleLoop(g, rng)
+	if err != nil {
+		return err
+	}
+	if err := setPolicy(net, policy); err != nil {
+		return err
+	}
+	if err := net.InjectLoop(sc.Dst, sc.Cycle); err != nil {
+		return err
+	}
+
+	fs := make([]dataplane.Flow, flows)
+	for i := range fs {
+		src, dst := g.RandomPair(rng)
+		fs[i] = dataplane.Flow{Src: src, Dst: dst, ID: uint32(i), TTL: dataplane.InitialTTL, Telemetry: true}
+		switch i % 5 {
+		case 0:
+			// Steer into the loop from its head.
+			fs[i].Src, fs[i].Dst = sc.Cycle[0], sc.Dst
+		case 4:
+			// Blind traffic: looping packets die by TTL instead.
+			fs[i].Telemetry = false
+		}
+	}
+
+	eng := dataplane.NewTrafficEngine(net, workers)
+	fmt.Printf("topology %s: %d switches, %d links; loop of %d switches for dst %v\n",
+		g.Name, g.N(), g.M(), sc.Cycle.Len(), assign.ID(sc.Dst))
+	fmt.Printf("injecting %d flows across %d workers\n", flows, eng.Workers())
+
+	start := time.Now()
+	sums, err := eng.SendMany(fs)
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+
+	var hops, reports uint64
+	var finals [6]int
+	for _, s := range sums {
+		finals[s.Final]++
+		hops += uint64(s.Hops)
+		reports += uint64(s.Reports)
+	}
+	fmt.Printf("done in %v (%.0f flows/s, %d packet-hops, %.1f hops/flow)\n",
+		elapsed.Round(time.Microsecond), float64(flows)/elapsed.Seconds(),
+		net.TotalPacketHops(), float64(hops)/float64(flows))
+	for d := dataplane.Forward; d <= dataplane.RerouteLoop; d++ {
+		if finals[d] > 0 {
+			fmt.Printf("  %-13s %d\n", d.String()+":", finals[d])
+		}
+	}
+	fmt.Printf("controller received %d loop reports (%d carried in summaries)\n",
+		net.Controller.Count(), reports)
+	u, v, load := net.MaxLinkLoad()
+	if load > 0 {
+		fmt.Printf("hottest link (%d,%d) carried %d traversals\n", u, v, load)
+	}
 	return nil
 }
 

@@ -23,3 +23,29 @@ func TestRunRejectsBadInputs(t *testing.T) {
 		t.Error("unknown policy accepted")
 	}
 }
+
+// TestRunBulk smoke-tests the traffic-engine mode across topologies,
+// policies, and worker counts.
+func TestRunBulk(t *testing.T) {
+	for _, topo := range []string{"fattree4", "torus", "geant"} {
+		for _, policy := range []string{"drop", "reroute", "collect"} {
+			if err := runBulk(topo, 3, policy, 40, 4); err != nil {
+				t.Errorf("runBulk(%s, %s): %v", topo, policy, err)
+			}
+		}
+	}
+	// Default worker count and a single-flow batch.
+	if err := runBulk("torus", 9, "drop", 1, 0); err != nil {
+		t.Errorf("runBulk single flow: %v", err)
+	}
+}
+
+// TestRunBulkRejectsBadInputs.
+func TestRunBulkRejectsBadInputs(t *testing.T) {
+	if err := runBulk("nonexistent", 1, "drop", 10, 2); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := runBulk("torus", 1, "explode", 10, 2); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

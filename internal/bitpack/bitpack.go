@@ -72,6 +72,16 @@ func (w *Writer) Reset() {
 	w.nbit = 0
 }
 
+// ResetBuf points the writer at buf's backing array, preserving buf's
+// current contents: subsequent writes append after them and Bytes
+// returns the extended slice. No allocation happens until the backing
+// array's capacity is exhausted, so callers that re-encode a header
+// into a slice they own avoid a scratch buffer per encode.
+func (w *Writer) ResetBuf(buf []byte) {
+	w.buf = buf
+	w.nbit = uint(len(buf)) * 8
+}
+
 // Reader consumes bit fields from a byte slice.
 type Reader struct {
 	buf []byte

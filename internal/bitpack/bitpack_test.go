@@ -166,6 +166,32 @@ func TestWriterReset(t *testing.T) {
 	}
 }
 
+// TestWriterResetBuf: the writer appends into the caller's backing
+// array — overwriting stale bytes beyond len — and allocates nothing
+// when capacity suffices.
+func TestWriterResetBuf(t *testing.T) {
+	backing := append(make([]byte, 0, 8), 0xAA, 0xFF, 0xFF, 0xFF)[:1]
+	var w Writer
+	w.ResetBuf(backing)
+	w.WriteBits(0b1, 1)
+	got := w.Bytes()
+	if len(got) != 2 || got[0] != 0xAA || got[1] != 0b10000000 {
+		t.Fatalf("bytes after ResetBuf append: %x", got)
+	}
+	if &got[0] != &backing[0] {
+		t.Fatal("ResetBuf must reuse the caller's backing array")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		var w Writer
+		w.ResetBuf(backing[:1])
+		w.WriteBits(0xABCD, 16)
+		_ = w.Bytes()
+	})
+	if allocs != 0 {
+		t.Fatalf("in-capacity encode allocated %.1f times per run", allocs)
+	}
+}
+
 // TestWidthPanics: widths above 64 are misuse.
 func TestWidthPanics(t *testing.T) {
 	for name, fn := range map[string]func(){

@@ -52,13 +52,16 @@ func (s *State) EncodeHeader(w *bitpack.Writer) error {
 }
 
 // AppendHeader appends the encoded header to dst and returns the extended
-// slice, padding to a whole number of bytes.
+// slice, padding to a whole number of bytes. The writer encodes directly
+// into dst's backing array, so a caller that reuses a buffer with enough
+// capacity pays no allocation per encode.
 func (s *State) AppendHeader(dst []byte) ([]byte, error) {
 	var w bitpack.Writer
+	w.ResetBuf(dst)
 	if err := s.EncodeHeader(&w); err != nil {
 		return dst, err
 	}
-	return append(dst, w.Bytes()...), nil
+	return w.Bytes(), nil
 }
 
 // DecodeHeader reconstructs per-packet state from the wire bytes produced
@@ -82,38 +85,78 @@ func (u *Unroller) DecodeHeaderAt(buf []byte, hops uint64) (*State, error) {
 	return u.decode(buf, hops, true)
 }
 
+// DecodeHeaderInto is DecodeHeader decoding into st instead of
+// allocating a fresh state. st must have been created by the same
+// Unroller (NewPacketState or an earlier decode); every field is
+// overwritten, so pooled or otherwise reused states carry nothing
+// across packets. The emulator's hop loop uses this to keep per-hop
+// allocation flat.
+func (u *Unroller) DecodeHeaderInto(st *State, buf []byte) error {
+	if u.cfg.TTLHopCount {
+		return fmt.Errorf("core: %s elides the hop counter; use DecodeHeaderAtInto with the TTL-derived hop count", u.cfg)
+	}
+	return u.decodeInto(st, buf, 0, false)
+}
+
+// DecodeHeaderAtInto is DecodeHeaderAt decoding into st, under the same
+// reuse contract as DecodeHeaderInto.
+func (u *Unroller) DecodeHeaderAtInto(st *State, buf []byte, hops uint64) error {
+	if !u.cfg.TTLHopCount {
+		return fmt.Errorf("core: %s carries its own hop counter; use DecodeHeaderInto", u.cfg)
+	}
+	return u.decodeInto(st, buf, hops, true)
+}
+
 func (u *Unroller) decode(buf []byte, hops uint64, external bool) (*State, error) {
+	s := u.NewPacketState()
+	if err := u.decodeInto(s, buf, hops, external); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (u *Unroller) decodeInto(s *State, buf []byte, hops uint64, external bool) error {
 	cfg := &u.cfg
+	if s.det != u {
+		return fmt.Errorf("core: decode target state belongs to a different detector")
+	}
 	if len(buf) < cfg.HeaderBytes() {
-		return nil, fmt.Errorf("%w: need %d bytes, have %d", ErrHeaderTooShort, cfg.HeaderBytes(), len(buf))
+		return fmt.Errorf("%w: need %d bytes, have %d", ErrHeaderTooShort, cfg.HeaderBytes(), len(buf))
 	}
 	r := bitpack.NewReader(buf)
-	s := u.NewPacketState()
+	// Scrub state the wire may not carry (thcnt when Th = 1) and state
+	// rebuildPhase leaves untouched for pristine packets (ph, reset), so
+	// a reused target is indistinguishable from a fresh one.
+	s.thcnt = 0
+	s.ph = phase{}
+	for j := range s.reset {
+		s.reset[j] = false
+	}
 	if external {
 		s.x = hops
 	} else {
 		x, err := r.ReadBits(hopCounterBits)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s.x = x
 	}
 	for i := range s.slots {
 		v, err := r.ReadBits(cfg.ZBits)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s.slots[i] = v
 	}
 	if tb := thresholdBits(cfg.Threshold); tb > 0 {
 		th, err := r.ReadBits(uint(tb))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s.thcnt = int(th)
 	}
 	s.rebuildPhase()
-	return s, nil
+	return nil
 }
 
 // rebuildPhase recomputes the cached phase and chunk-reset flags from the

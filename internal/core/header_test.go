@@ -139,6 +139,111 @@ func TestDecodeShortBuffer(t *testing.T) {
 	}
 }
 
+// TestDecodeHeaderInto: decoding into a reused state scrubs every trace
+// of the previous packet — including thcnt when Th = 1 (not carried on
+// the wire) and the phase cache for pristine packets, which
+// rebuildPhase leaves untouched — so a pooled state is indistinguishable
+// from a fresh decode.
+func TestDecodeHeaderInto(t *testing.T) {
+	for _, cfg := range configsUnderTest() {
+		u := MustNew(cfg)
+		for _, srcHops := range []int{0, 1, 7} {
+			src := u.NewPacketState()
+			for h := 1; h <= srcHops; h++ {
+				src.Visit(detect.SwitchID(100 + h))
+			}
+			wire, err := src.AppendHeader(nil)
+			if err != nil {
+				t.Fatalf("%v: %v", cfg, err)
+			}
+			// Dirty the reuse target with an unrelated walk first.
+			reused := u.NewPacketState()
+			for h := 1; h <= 9; h++ {
+				reused.Visit(detect.SwitchID(h))
+			}
+			if err := u.DecodeHeaderInto(reused, wire); err != nil {
+				t.Fatalf("%v: DecodeHeaderInto: %v", cfg, err)
+			}
+			fresh, err := u.DecodeHeader(wire)
+			if err != nil {
+				t.Fatalf("%v: %v", cfg, err)
+			}
+			if reused.Hops() != fresh.Hops() || reused.Matches() != fresh.Matches() ||
+				!equalSlots(reused.Slots(), fresh.Slots()) {
+				t.Fatalf("%v src %d hops: reused state %d/%d/%v differs from fresh %d/%d/%v",
+					cfg, srcHops, reused.Hops(), reused.Matches(), reused.Slots(),
+					fresh.Hops(), fresh.Matches(), fresh.Slots())
+			}
+			// Drive both onward; verdicts must agree hop for hop (this
+			// is where stale phase or reset flags would diverge).
+			for h := 0; h < 30; h++ {
+				id := detect.SwitchID(200 + h%6)
+				v1, v2 := reused.Visit(id), fresh.Visit(id)
+				if v1 != v2 {
+					t.Fatalf("%v src %d hops: verdicts diverge at hop %d: %v vs %v", cfg, srcHops, h, v1, v2)
+				}
+				if v1 == detect.Loop {
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeHeaderIntoMisuse: the Into variants enforce the same
+// config-matching rules as their allocating counterparts, plus a
+// same-detector check on the target state.
+func TestDecodeHeaderIntoMisuse(t *testing.T) {
+	base := DefaultConfig()
+	u := MustNew(base)
+	ttlCfg := base
+	ttlCfg.TTLHopCount = true
+	uTTL := MustNew(ttlCfg)
+
+	wire, err := u.NewPacketState().AppendHeader(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := uTTL.DecodeHeaderInto(uTTL.NewPacketState(), wire); err == nil {
+		t.Fatal("DecodeHeaderInto must reject a TTL-hop-count config")
+	}
+	if err := u.DecodeHeaderAtInto(u.NewPacketState(), wire, 3); err == nil {
+		t.Fatal("DecodeHeaderAtInto must reject a self-counting config")
+	}
+	// A state from a different detector must be refused, not silently
+	// reshaped.
+	if err := u.DecodeHeaderInto(MustNew(base).NewPacketState(), wire); err == nil {
+		t.Fatal("DecodeHeaderInto accepted a foreign state")
+	}
+	if err := u.DecodeHeaderInto(u.NewPacketState(), wire[:1]); err == nil {
+		t.Fatal("DecodeHeaderInto accepted a truncated header")
+	}
+}
+
+// TestDecodeHeaderIntoAllocFree: the reuse path is allocation-free —
+// the property the emulator's hop loop is built on.
+func TestDecodeHeaderIntoAllocFree(t *testing.T) {
+	u := MustNew(DefaultConfig())
+	src := u.NewPacketState()
+	src.Visit(detect.SwitchID(9))
+	wire, err := src.AppendHeader(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := u.NewPacketState()
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := u.DecodeHeaderInto(st, wire); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.AppendHeader(wire[:0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("decode+re-encode allocated %.1f times per hop", allocs)
+	}
+}
+
 // TestDecodePristine checks the zero-hop round trip (a packet that has
 // not yet visited any switch).
 func TestDecodePristine(t *testing.T) {

@@ -51,6 +51,12 @@ func unmarshalCollect(buf []byte) (*collectRecord, error) {
 		return nil, fmt.Errorf("%w: collection record of %d bytes", ErrMalformed, len(buf))
 	}
 	n := int(buf[4])
+	if n > maxCollectIDs {
+		// Reject at parse time: a crafted count byte up to 255 would
+		// otherwise parse fine and only fail deep in the pipeline when
+		// the record is re-marshalled against the cap.
+		return nil, fmt.Errorf("%w: collection record claims %d ids, cap is %d", ErrMalformed, n, maxCollectIDs)
+	}
 	if len(buf) < 5+4*n {
 		return nil, fmt.Errorf("%w: collection record truncated (%d of %d ids)", ErrMalformed, (len(buf)-5)/4, n)
 	}
@@ -121,9 +127,9 @@ func (s *Switch) processCollect(p *Packet) (Decision, error) {
 	}
 	port, ok := s.fib[p.Dst]
 	if !ok {
-		s.Stats.NoRoute++
+		s.stats.noRoute.Add(1)
 		return Decision{Disposition: DropNoRoute}, nil
 	}
-	s.Stats.Forwarded++
+	s.stats.forwarded.Add(1)
 	return Decision{Disposition: Forward, Egress: port}, nil
 }

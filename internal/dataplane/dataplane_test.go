@@ -320,8 +320,46 @@ func TestSwitchValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dec.Disposition != DropNoRoute || sw.Stats.NoRoute != 1 {
+	if dec.Disposition != DropNoRoute || sw.Stats().NoRoute != 1 {
 		t.Fatalf("no-route handling: %v", dec.Disposition)
+	}
+}
+
+// TestInstallShortestPathsDegenerate: degenerate inputs fail with clear
+// errors instead of panics or the confusing portTo "no link to -1".
+func TestInstallShortestPathsDegenerate(t *testing.T) {
+	g, _ := topology.Ring(4)
+	n := buildNet(t, g, core.DefaultConfig(), 10)
+	for _, dst := range []int{-1, 4, 99} {
+		err := n.InstallShortestPaths(dst)
+		if err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("dst %d: err = %v, want out-of-range error", dst, err)
+		}
+	}
+	// Disconnected: reachability error, not a next-hop one.
+	island := topology.NewGraph("island", 3)
+	for i := 0; i < 3; i++ {
+		island.AddNode("")
+	}
+	if err := island.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	ni := buildNet(t, island, core.DefaultConfig(), 11)
+	if err := ni.InstallShortestPaths(0); err == nil || !strings.Contains(err.Error(), "cannot reach") {
+		t.Fatalf("disconnected graph: %v", err)
+	}
+
+	// The primary == -1 guard itself: a distance labelling with no
+	// strictly closer neighbour (every neighbour at the same level)
+	// must yield no next hop rather than node index -1.
+	if primary, _ := shortestNextHops([]int{1, 2}, []int{2, 2, 2}, 2); primary != -1 {
+		t.Fatalf("degenerate labelling produced next hop %d", primary)
+	}
+	// Sanity on a consistent labelling: primary strictly closer, backup
+	// the equal-distance detour.
+	primary, backup := shortestNextHops([]int{1, 2}, []int{2, 1, 2}, 2)
+	if primary != 1 || backup != 2 {
+		t.Fatalf("next hops (%d, %d), want (1, 2)", primary, backup)
 	}
 }
 

@@ -1,0 +1,100 @@
+package dataplane
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/unroller/unroller/internal/core"
+)
+
+// TestTrafficEngineResultOrder: summaries land at their flow's index
+// regardless of worker interleaving, and echo the flow's identity.
+func TestTrafficEngineResultOrder(t *testing.T) {
+	n, _, dst := torusWithLoop(t, core.DefaultConfig(), 91)
+	flows := mixedFlows(dst, 40, 0xAB)
+	got, err := NewTrafficEngine(n, 7).SendMany(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(flows) {
+		t.Fatalf("%d summaries for %d flows", len(got), len(flows))
+	}
+	for i, s := range got {
+		if s.Flow != flows[i].ID || s.Src != flows[i].Src || s.Dst != flows[i].Dst {
+			t.Fatalf("summary %d does not echo its flow: %+v vs %+v", i, s, flows[i])
+		}
+		if s.Hops == 0 {
+			t.Fatalf("summary %d recorded no hops", i)
+		}
+	}
+}
+
+// TestTrafficEngineDefaults: worker selection and accessors.
+func TestTrafficEngineDefaults(t *testing.T) {
+	n, _, _ := torusWithLoop(t, core.DefaultConfig(), 92)
+	if e := NewTrafficEngine(n, 0); e.Workers() < 1 {
+		t.Fatalf("default worker count %d", e.Workers())
+	}
+	e := NewTrafficEngine(n, 3)
+	if e.Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", e.Workers())
+	}
+	if e.Network() != n {
+		t.Fatal("Network() lost the network")
+	}
+	// Empty batches are a no-op, not a hang.
+	out, err := e.SendMany(nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %d summaries", err, len(out))
+	}
+}
+
+// TestTrafficEngineErrorPropagation: a failing flow surfaces the
+// first-in-order error while the rest of the batch still runs.
+func TestTrafficEngineErrorPropagation(t *testing.T) {
+	n, _, dst := torusWithLoop(t, core.DefaultConfig(), 93)
+	flows := mixedFlows(dst, 10, 0xCD)
+	flows[3].Src = -1 // out of range: send must reject it
+	flows[7].Src = 99
+	got, err := NewTrafficEngine(n, 4).SendMany(flows)
+	if err == nil {
+		t.Fatal("invalid flow accepted")
+	}
+	if !strings.Contains(err.Error(), "(-1,") && !strings.Contains(err.Error(), "(-1, ") {
+		t.Fatalf("error is not the first-in-order failure (flow 3, src -1): %v", err)
+	}
+	for i, s := range got {
+		if i == 3 || i == 7 {
+			continue
+		}
+		if s.Hops == 0 {
+			t.Fatalf("valid flow %d did not run after the failure", i)
+		}
+	}
+}
+
+// TestSendFlowMatchesSend: the summary path and the traced path agree on
+// every derived quantity.
+func TestSendFlowMatchesSend(t *testing.T) {
+	nA, _, dst := torusWithLoop(t, core.DefaultConfig(), 94)
+	nB, _, _ := torusWithLoop(t, core.DefaultConfig(), 94)
+	for _, f := range mixedFlows(dst, 20, 0xEF) {
+		sum, err := nA.SendFlow(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := nB.Send(f.Src, f.Dst, f.ID, f.TTL, f.Telemetry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Final != tr.Final || sum.Hops != len(tr.Hops) || sum.Rerouted != tr.Rerouted {
+			t.Fatalf("flow %d: summary %+v vs trace final=%v hops=%d rerouted=%v", f.ID, sum, tr.Final, len(tr.Hops), tr.Rerouted)
+		}
+		if (tr.Report != nil) != (sum.Reports > 0) {
+			t.Fatalf("flow %d: report presence diverges", f.ID)
+		}
+		if tr.Report != nil && sum.Reporter != tr.Report.Reporter {
+			t.Fatalf("flow %d: reporter %v vs %v", f.ID, sum.Reporter, tr.Report.Reporter)
+		}
+	}
+}

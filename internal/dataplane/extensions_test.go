@@ -1,6 +1,7 @@
 package dataplane
 
 import (
+	"errors"
 	"testing"
 
 	"github.com/unroller/unroller/internal/core"
@@ -102,6 +103,53 @@ func TestCollectRecordRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCollectRecordRejectsCraftedCount: a count byte above maxCollectIDs
+// must be rejected at parse time with ErrMalformed. Before this guard a
+// crafted count up to 255 (with enough trailing bytes) parsed fine and
+// only failed deep in the pipeline when the record was re-marshalled.
+func TestCollectRecordRejectsCraftedCount(t *testing.T) {
+	for _, count := range []int{maxCollectIDs + 1, 100, 255} {
+		buf := make([]byte, 5+4*count)
+		buf[4] = byte(count)
+		_, err := unmarshalCollect(buf)
+		if !errors.Is(err, ErrMalformed) {
+			t.Fatalf("count %d: err = %v, want ErrMalformed", count, err)
+		}
+	}
+	// The cap itself still parses and re-marshals.
+	full := make([]byte, 5+4*maxCollectIDs)
+	full[4] = maxCollectIDs
+	rec, err := unmarshalCollect(full)
+	if err != nil {
+		t.Fatalf("record at the cap rejected: %v", err)
+	}
+	if _, err := rec.marshal(); err != nil {
+		t.Fatalf("parse-accepted record failed to re-marshal: %v", err)
+	}
+}
+
+// TestUnmarshalRejectsUnknownFlags: undefined flag bits are ErrMalformed
+// on the wire, so a future FlagCollect-style extension cannot be
+// silently misinterpreted by parsers that predate it.
+func TestUnmarshalRejectsUnknownFlags(t *testing.T) {
+	p := &Packet{Flags: FlagCollect, TTL: 3, Telemetry: []byte{0, 0, 0, 1, 0}}
+	buf, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Packet
+	if err := q.Unmarshal(buf); err != nil {
+		t.Fatalf("known flags rejected: %v", err)
+	}
+	for _, flags := range []uint8{1 << 1, 1 << 7, FlagCollect | 1<<3, 0xFF} {
+		buf[1] = flags
+		err := q.Unmarshal(buf)
+		if !errors.Is(err, ErrMalformed) {
+			t.Fatalf("flags %#02x: err = %v, want ErrMalformed", flags, err)
+		}
+	}
+}
+
 // TestTTLHopCountInDataplane: the footnote-3 variant detects loops at
 // the same hop as the self-counting one, while carrying 8 fewer bits.
 func TestTTLHopCountInDataplane(t *testing.T) {
@@ -180,7 +228,11 @@ func TestCollectSurvivesFlagsRoundTrip(t *testing.T) {
 	}
 }
 
-// TestUnmarshalFuzz: random bytes never panic the frame parser.
+// TestUnmarshalFuzz: random bytes never panic the frame parser, and
+// whatever the parsers accept must survive the rest of the pipeline —
+// in particular, an accepted collection record must re-marshal (the
+// crafted-count-byte corpus below used to parse fine and then blow up
+// on re-marshal against maxCollectIDs).
 func TestUnmarshalFuzz(t *testing.T) {
 	rng := xrand.New(0xF022)
 	for trial := 0; trial < 5000; trial++ {
@@ -191,5 +243,26 @@ func TestUnmarshalFuzz(t *testing.T) {
 		}
 		var p Packet
 		_ = p.Unmarshal(buf) // error or success, never a panic
+	}
+	// Collection-record corpus: random count bytes (the full 0..255
+	// range, weighted to straddle the cap) over random-length bodies.
+	for trial := 0; trial < 5000; trial++ {
+		body := make([]byte, rng.Intn(5+4*(maxCollectIDs+4)))
+		for i := range body {
+			body[i] = byte(rng.Uint32())
+		}
+		if len(body) >= 5 && trial%2 == 0 {
+			body[4] = byte(maxCollectIDs - 2 + rng.Intn(8))
+		}
+		rec, err := unmarshalCollect(body)
+		if err != nil {
+			continue
+		}
+		if len(rec.IDs) > maxCollectIDs {
+			t.Fatalf("parser accepted %d ids (cap %d) from %d bytes", len(rec.IDs), maxCollectIDs, len(body))
+		}
+		if _, err := rec.marshal(); err != nil {
+			t.Fatalf("parse-accepted record failed to re-marshal: %v", err)
+		}
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/topology"
+	"github.com/unroller/unroller/internal/xrand"
 )
 
 // TestLinkLoadAccounting verifies the traversal counters and uses them
@@ -68,5 +70,38 @@ func TestLinkLoadAccounting(t *testing.T) {
 	detHops := n.TotalPacketHops()
 	if detHops*10 > blindHops {
 		t.Fatalf("detection saved too little: %d vs %d traversals", detHops, blindHops)
+	}
+}
+
+// TestMaxLinkLoadDeterministicTieBreak: with several links at the same
+// maximal load, MaxLinkLoad must return the smallest (u, v) — every run.
+// The old map iteration returned whichever equal-load link Go's
+// randomised map order visited first, violating the repo's determinism
+// invariant.
+func TestMaxLinkLoadDeterministicTieBreak(t *testing.T) {
+	g, err := topology.Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNetwork(g, topology.NewAssignment(g, xrand.New(1)), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		n.ResetLoad()
+		// A three-way tie at load 7, with a lighter link mixed in.
+		for _, l := range [][2]int{{4, 5}, {1, 2}, {2, 3}} {
+			n.linkLoad[n.linkIndex[l]].Store(7)
+		}
+		n.linkLoad[n.linkIndex[[2]int{0, 1}]].Store(3)
+		u, v, load := n.MaxLinkLoad()
+		if u != 1 || v != 2 || load != 7 {
+			t.Fatalf("trial %d: MaxLinkLoad = {%d,%d}×%d, want the smallest tied link {1,2}×7", trial, u, v, load)
+		}
+	}
+	// Empty network: the sentinel stays (-1, -1).
+	n.ResetLoad()
+	if u, v, load := n.MaxLinkLoad(); u != -1 || v != -1 || load != 0 {
+		t.Fatalf("unloaded network: {%d,%d}×%d", u, v, load)
 	}
 }

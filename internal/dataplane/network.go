@@ -2,6 +2,8 @@ package dataplane
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"github.com/unroller/unroller/internal/core"
 	"github.com/unroller/unroller/internal/detect"
@@ -10,13 +12,31 @@ import (
 
 // Network is an emulated data plane: one Switch per topology node,
 // destination-based FIBs, and a controller sink for loop reports.
+//
+// A Network is safe for concurrent Send calls once its routes are
+// installed: switch counters and link-load counters are atomic, and the
+// Controller sink is mutex-guarded. Route mutation (InstallShortestPaths,
+// InjectLoop, SetRoute, SetLoopPolicy, ResetLoad) must not race with
+// in-flight sends — configure first, then inject traffic, exactly like a
+// real network quiesces FIB updates.
 type Network struct {
 	Graph  *topology.Graph
 	Assign *topology.Assignment
 
 	switches []*Switch
 	unroller *core.Unroller
-	linkLoad map[[2]int]uint64
+
+	// Link-load accounting is dense and lock-free. Every undirected
+	// link {u, v} (u < v) gets an index into links, assigned in
+	// ascending (u, v) order so iteration — and therefore tie-breaking
+	// in MaxLinkLoad — is deterministic. linkLoad[i] is the shared
+	// traversal counter for links[i]; Send bumps it atomically, while
+	// TrafficEngine workers batch traversals in private per-worker
+	// accumulators and merge them here when their flows finish.
+	links     [][2]int
+	linkIndex map[[2]int]int
+	portLink  [][]int // portLink[node][port] = link index
+	linkLoad  []atomic.Uint64
 
 	// Controller receives every loop report raised in the data plane.
 	Controller *Controller
@@ -24,7 +44,9 @@ type Network struct {
 	// OnHop, when set, observes every packet arrival before the switch
 	// pipeline runs — the tap a mirroring/tracing deployment would
 	// install (internal/trace records through it). The callback must
-	// not retain p.
+	// not retain p (its slices alias reused scratch buffers), and must
+	// itself be safe for concurrent use before driving the network from
+	// multiple goroutines.
 	OnHop func(node int, sw detect.SwitchID, p *Packet)
 }
 
@@ -40,13 +62,52 @@ func NewNetwork(g *topology.Graph, assign *topology.Assignment, cfg core.Config)
 		Assign:     assign,
 		switches:   make([]*Switch, g.N()),
 		unroller:   u,
-		linkLoad:   make(map[[2]int]uint64),
 		Controller: NewController(),
 	}
 	for node := 0; node < g.N(); node++ {
 		n.switches[node] = newSwitch(assign.ID(node), node, g.Neighbors(node), u)
 	}
+	n.indexLinks()
 	return n, nil
+}
+
+// indexLinks enumerates the undirected links in ascending (u, v) order
+// and precomputes the per-port link index every forwarding hop uses, so
+// the hop loop does one slice lookup instead of hashing a map key.
+func (n *Network) indexLinks() {
+	g := n.Graph
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				n.links = append(n.links, [2]int{u, v})
+			}
+		}
+	}
+	sort.Slice(n.links, func(i, j int) bool {
+		a, b := n.links[i], n.links[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		return a[1] < b[1]
+	})
+	n.linkIndex = make(map[[2]int]int, len(n.links))
+	for i, l := range n.links {
+		n.linkIndex[l] = i
+	}
+	n.linkLoad = make([]atomic.Uint64, len(n.links))
+	n.portLink = make([][]int, g.N())
+	for u := 0; u < g.N(); u++ {
+		nbrs := g.Neighbors(u)
+		pl := make([]int, len(nbrs))
+		for p, v := range nbrs {
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			pl[p] = n.linkIndex[[2]int{a, b}]
+		}
+		n.portLink[u] = pl
+	}
 }
 
 // Switch returns the switch at a node index.
@@ -76,6 +137,9 @@ func (n *Network) portTo(u, v int) (PortID, error) {
 // also installs backup next hops where an alternative shortest-or-equal
 // neighbour exists, enabling reroute-on-detect.
 func (n *Network) InstallShortestPaths(dst int) error {
+	if dst < 0 || dst >= n.Graph.N() {
+		return fmt.Errorf("dataplane: destination node %d out of range (graph has %d nodes)", dst, n.Graph.N())
+	}
 	dist := n.Graph.BFS(dst)
 	dstID := n.Assign.ID(dst)
 	for u := 0; u < n.Graph.N(); u++ {
@@ -85,25 +149,14 @@ func (n *Network) InstallShortestPaths(dst int) error {
 		if dist[u] < 0 {
 			return fmt.Errorf("dataplane: node %d cannot reach destination %d", u, dst)
 		}
-		primary, backup := -1, -1
-		for _, v := range n.Graph.Neighbors(u) {
-			if dist[v] == dist[u]-1 {
-				if primary < 0 {
-					primary = v
-				} else if backup < 0 {
-					backup = v
-				}
-			}
-		}
-		// Fall back to an equal-distance neighbour for the backup
-		// (a detour that still makes progress after one extra hop).
-		if backup < 0 {
-			for _, v := range n.Graph.Neighbors(u) {
-				if v != primary && dist[v] == dist[u] {
-					backup = v
-					break
-				}
-			}
+		primary, backup := shortestNextHops(n.Graph.Neighbors(u), dist, dist[u])
+		if primary < 0 {
+			// Degenerate distance labelling (a BFS tree over a
+			// consistent undirected graph always has a parent, but a
+			// corrupt or hand-built dist can lack one). Without this
+			// guard the failure surfaces as portTo's confusing
+			// "node N has no link to -1".
+			return fmt.Errorf("dataplane: node %d has no shortest-path next hop towards destination %d", u, dst)
 		}
 		p, err := n.portTo(u, primary)
 		if err != nil {
@@ -123,6 +176,34 @@ func (n *Network) InstallShortestPaths(dst int) error {
 		}
 	}
 	return nil
+}
+
+// shortestNextHops picks u's primary next hop (a strictly closer
+// neighbour on the BFS tree) and a backup (another strictly closer
+// neighbour, falling back to an equal-distance detour that still makes
+// progress after one extra hop). du is dist[u]. primary is -1 when no
+// neighbour is strictly closer — a degenerate labelling the caller must
+// reject.
+func shortestNextHops(neighbors []int, dist []int, du int) (primary, backup int) {
+	primary, backup = -1, -1
+	for _, v := range neighbors {
+		if dist[v] == du-1 {
+			if primary < 0 {
+				primary = v
+			} else if backup < 0 {
+				backup = v
+			}
+		}
+	}
+	if backup < 0 {
+		for _, v := range neighbors {
+			if v != primary && dist[v] == du {
+				backup = v
+				break
+			}
+		}
+	}
+	return primary, backup
 }
 
 // InjectLoop misconfigures the FIBs for destination dst along the cycle:
@@ -165,47 +246,133 @@ type Trace struct {
 	Rerouted bool
 }
 
+// Flow describes one packet injection at the network edge: a packet of
+// flow ID enters at node Src destined to node Dst.
+type Flow struct {
+	Src, Dst int
+	ID       uint32
+	TTL      uint8
+	// Telemetry attaches the in-band Unroller header; without it the
+	// packet is the paper's blind counterfactual (loops burn TTL).
+	Telemetry bool
+}
+
+// TraceSummary condenses a packet's journey to the quantities bulk
+// experiments aggregate, without recording per-hop state — the result
+// type of the TrafficEngine's batched injection.
+type TraceSummary struct {
+	// Flow echoes the injected flow ID.
+	Flow uint32
+	// Src and Dst echo the injection's edge nodes.
+	Src, Dst int
+	// Final is the packet's fate.
+	Final Disposition
+	// Hops is the number of switches the packet visited.
+	Hops int
+	// Rerouted records whether the packet was deflected at least once.
+	Rerouted bool
+	// Reports counts loop reports raised along the journey; Reporter
+	// identifies the switch that raised the first one.
+	Reports  int
+	Reporter detect.SwitchID
+}
+
+// sendScratch holds the per-in-flight-packet reusable state of the hop
+// loop: two wire buffers (each hop marshals into the buffer the packet
+// was not parsed from, so in-place telemetry rewrites never alias the
+// marshal destination), a telemetry seed buffer, the packet struct, and
+// — for engine workers — a private link-load accumulator.
+type sendScratch struct {
+	wireA, wireB []byte
+	tel          []byte
+	pkt          Packet
+	// loads, when non-nil, receives link traversals instead of the
+	// shared atomic counters; the owner merges it via mergeLoads once
+	// its batch completes.
+	loads []uint64
+}
+
 // Send injects a packet at the network edge (node src) destined to node
 // dst and emulates its journey hop by hop, re-marshalling the frame
 // between switches exactly as wires would. The returned trace records
-// every decision; reports are also delivered to the controller.
+// every decision; reports are also delivered to the controller. Send is
+// safe to call concurrently on a shared network (see the Network
+// contract).
 func (n *Network) Send(src, dst int, flow uint32, ttl uint8, withTelemetry bool) (*Trace, error) {
-	pkt := &Packet{
-		TTL:  ttl,
-		Flow: flow,
-		Src:  n.Assign.ID(src),
-		Dst:  n.Assign.ID(dst),
-	}
-	if withTelemetry {
-		tel, err := n.unroller.NewPacketState().AppendHeader(nil)
-		if err != nil {
-			return nil, err
-		}
-		pkt.Telemetry = tel
-	}
+	var sc sendScratch
 	tr := &Trace{}
-	cur := src
-	for {
-		// Serialise and re-parse: every hop sees real bytes.
-		wire, err := pkt.Marshal()
+	f := Flow{Src: src, Dst: dst, ID: flow, TTL: ttl, Telemetry: withTelemetry}
+	if _, err := n.send(&sc, f, tr); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// SendFlow injects one flow and returns only its summary — the
+// allocation-lean path TrafficEngine workers use, exposed for callers
+// that do not need per-hop traces.
+func (n *Network) SendFlow(f Flow) (TraceSummary, error) {
+	var sc sendScratch
+	return n.send(&sc, f, nil)
+}
+
+// send is the hop loop shared by Send (tr != nil: full trace) and the
+// traffic engine (tr == nil: summary only). Scratch buffers in sc are
+// reused across hops and, for engine workers, across flows: after the
+// first few hops warm the two wire buffers, a forwarding hop performs no
+// heap allocation in this loop (the telemetry re-encode in
+// Switch.Process writes in place via AppendHeader(p.Telemetry[:0])).
+func (n *Network) send(sc *sendScratch, f Flow, tr *Trace) (TraceSummary, error) {
+	sum := TraceSummary{Flow: f.ID, Src: f.Src, Dst: f.Dst}
+	if f.Src < 0 || f.Src >= n.Graph.N() || f.Dst < 0 || f.Dst >= n.Graph.N() {
+		return sum, fmt.Errorf("dataplane: flow %d endpoints (%d, %d) out of range (graph has %d nodes)", f.ID, f.Src, f.Dst, n.Graph.N())
+	}
+	p := &sc.pkt
+	*p = Packet{
+		TTL:  f.TTL,
+		Flow: f.ID,
+		Src:  n.Assign.ID(f.Src),
+		Dst:  n.Assign.ID(f.Dst),
+	}
+	if f.Telemetry {
+		tel, err := n.unroller.NewPacketState().AppendHeader(sc.tel[:0])
 		if err != nil {
-			return nil, err
+			return sum, err
 		}
-		var onWire Packet
-		if err := onWire.Unmarshal(wire); err != nil {
-			return nil, err
+		sc.tel = tel
+		p.Telemetry = tel
+	}
+	cur := f.Src
+	for {
+		// Serialise and re-parse: every hop sees real bytes. The
+		// packet's slices alias wireB (or the seed buffers) at this
+		// point, so wireA is free to receive the frame.
+		wire, err := p.MarshalAppend(sc.wireA[:0])
+		if err != nil {
+			return sum, err
+		}
+		sc.wireA = wire
+		if err := p.Unmarshal(wire); err != nil {
+			return sum, err
 		}
 		sw := n.switches[cur]
 		if n.OnHop != nil {
-			n.OnHop(cur, sw.ID, &onWire)
+			n.OnHop(cur, sw.ID, p)
 		}
-		dec, err := sw.Process(&onWire)
+		dec, err := sw.Process(p)
 		if err != nil {
-			return nil, err
+			return sum, err
 		}
-		tr.Hops = append(tr.Hops, TraceHop{Node: cur, Switch: sw.ID, Decision: dec})
+		sum.Hops++
+		if tr != nil {
+			tr.Hops = append(tr.Hops, TraceHop{Node: cur, Switch: sw.ID, Decision: dec})
+		}
 		if dec.LoopReport != nil {
-			if tr.Report == nil {
+			sum.Reports++
+			if sum.Reports == 1 {
+				sum.Reporter = dec.LoopReport.Reporter
+			}
+			if tr != nil && tr.Report == nil {
 				tr.Report = dec.LoopReport
 			}
 			n.Controller.DeliverEvent(LoopEvent{
@@ -216,22 +383,34 @@ func (n *Network) Send(src, dst int, flow uint32, ttl uint8, withTelemetry bool)
 		}
 		switch dec.Disposition {
 		case Deliver, DropTTL, DropNoRoute, DropLoop:
-			tr.Final = dec.Disposition
-			return tr, nil
+			sum.Final = dec.Disposition
+			if tr != nil {
+				tr.Final = dec.Disposition
+			}
+			return sum, nil
 		case RerouteLoop:
-			tr.Rerouted = true
+			sum.Rerouted = true
+			if tr != nil {
+				tr.Rerouted = true
+			}
 			fallthrough
 		case Forward:
-			next := sw.Peer(dec.Egress)
-			n.countLink(cur, next)
-			pkt = &onWire
-			cur = next
+			li := n.portLink[cur][dec.Egress]
+			if sc.loads != nil {
+				sc.loads[li]++
+			} else {
+				n.linkLoad[li].Add(1)
+			}
+			cur = sw.Peer(dec.Egress)
 		default:
-			return nil, fmt.Errorf("dataplane: unexpected disposition %v", dec.Disposition)
+			return sum, fmt.Errorf("dataplane: unexpected disposition %v", dec.Disposition)
 		}
-		if len(tr.Hops) > 100000 {
-			return nil, fmt.Errorf("dataplane: runaway packet (missing TTL?)")
+		if sum.Hops > 100000 {
+			return sum, fmt.Errorf("dataplane: runaway packet (missing TTL?)")
 		}
+		// Next hop parses from the buffer just written and marshals
+		// into the other one.
+		sc.wireA, sc.wireB = sc.wireB, sc.wireA
 	}
 }
 
@@ -246,46 +425,62 @@ func (n *Network) SetLoopPolicy(a LoopAction) {
 	}
 }
 
-// countLink accumulates one packet traversal of the link {u, v}. The
-// counters quantify the intro's motivation: packets trapped in loops
-// multiply the load on every link the loop uses, degrading innocent
-// traffic that shares them.
-func (n *Network) countLink(u, v int) {
-	if u > v {
-		u, v = v, u
+// mergeLoads folds a per-worker link-load accumulator into the shared
+// counters. uint64 addition commutes, so the merged totals are identical
+// regardless of worker scheduling — the determinism the per-worker
+// sharding must preserve.
+func (n *Network) mergeLoads(loads []uint64) {
+	for i, c := range loads {
+		if c != 0 {
+			n.linkLoad[i].Add(c)
+		}
 	}
-	n.linkLoad[[2]int{u, v}]++
 }
 
 // LinkLoad returns how many packet traversals the link {u, v} has
-// carried since the last ResetLoad.
+// carried since the last ResetLoad. The counters quantify the intro's
+// motivation: packets trapped in loops multiply the load on every link
+// the loop uses, degrading innocent traffic that shares them.
 func (n *Network) LinkLoad(u, v int) uint64 {
 	if u > v {
 		u, v = v, u
 	}
-	return n.linkLoad[[2]int{u, v}]
+	i, ok := n.linkIndex[[2]int{u, v}]
+	if !ok {
+		return 0
+	}
+	return n.linkLoad[i].Load()
 }
 
 // TotalPacketHops returns the network-wide traversal count — the
 // bandwidth-cost currency for comparing loop reactions.
 func (n *Network) TotalPacketHops() uint64 {
 	var total uint64
-	for _, c := range n.linkLoad {
-		total += c
+	for i := range n.linkLoad {
+		total += n.linkLoad[i].Load()
 	}
 	return total
 }
 
 // MaxLinkLoad returns the most loaded link and its traversal count.
+// Equal-load ties break towards the smallest (u, v): links are scanned
+// in ascending order and only a strictly greater load displaces the
+// current maximum, so the result is deterministic (the repo-wide
+// invariant the old map iteration violated).
 func (n *Network) MaxLinkLoad() (u, v int, load uint64) {
 	u, v = -1, -1
-	for k, c := range n.linkLoad {
-		if c > load {
-			u, v, load = k[0], k[1], c
+	for i := range n.linkLoad {
+		if c := n.linkLoad[i].Load(); c > load {
+			u, v, load = n.links[i][0], n.links[i][1], c
 		}
 	}
 	return u, v, load
 }
 
-// ResetLoad clears the link counters.
-func (n *Network) ResetLoad() { n.linkLoad = make(map[[2]int]uint64) }
+// ResetLoad clears the link counters. Like route mutation, it must not
+// race with in-flight sends.
+func (n *Network) ResetLoad() {
+	for i := range n.linkLoad {
+		n.linkLoad[i].Store(0)
+	}
+}

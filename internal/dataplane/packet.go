@@ -47,6 +47,12 @@ const (
 	// "tag the packet to collect the involved switch IDs and send a
 	// report for analysis").
 	FlagCollect uint8 = 1 << 0
+
+	// knownFlags is the set of flag bits this parser understands.
+	// Unmarshal rejects frames with any other bit set: silently
+	// accepting them would let a future extension flag be carried —
+	// and misinterpreted — by parsers that predate it.
+	knownFlags = FlagCollect
 )
 
 // ErrMalformed is returned when a frame cannot be parsed.
@@ -72,20 +78,37 @@ type Packet struct {
 }
 
 // Marshal serialises the packet into a fresh buffer.
-func (p *Packet) Marshal() ([]byte, error) {
+func (p *Packet) Marshal() ([]byte, error) { return p.MarshalAppend(nil) }
+
+// MarshalAppend serialises the packet onto the end of buf, growing it
+// only when its capacity is insufficient, and returns the extended
+// slice. A hop loop that alternates two scratch buffers therefore stops
+// allocating once both have reached the frame size. buf must not alias
+// p.Telemetry or p.Payload (the ping-pong in Network sends guarantees
+// this by marshalling into the buffer the packet was not parsed from).
+func (p *Packet) MarshalAppend(buf []byte) ([]byte, error) {
 	if len(p.Telemetry) > 255 {
 		return nil, fmt.Errorf("%w: telemetry %d bytes exceeds the 1-byte length field", ErrMalformed, len(p.Telemetry))
 	}
-	buf := make([]byte, fixedHeaderSize+len(p.Telemetry)+len(p.Payload))
-	buf[0] = frameVersion
-	buf[1] = p.Flags
-	buf[2] = p.TTL
-	binary.BigEndian.PutUint32(buf[3:], p.Flow)
-	binary.BigEndian.PutUint32(buf[7:], uint32(p.Src))
-	binary.BigEndian.PutUint32(buf[11:], uint32(p.Dst))
-	buf[15] = byte(len(p.Telemetry))
-	copy(buf[fixedHeaderSize:], p.Telemetry)
-	copy(buf[fixedHeaderSize+len(p.Telemetry):], p.Payload)
+	off := len(buf)
+	total := off + fixedHeaderSize + len(p.Telemetry) + len(p.Payload)
+	if cap(buf) >= total {
+		buf = buf[:total]
+	} else {
+		grown := make([]byte, total)
+		copy(grown, buf[:off])
+		buf = grown
+	}
+	b := buf[off:]
+	b[0] = frameVersion
+	b[1] = p.Flags
+	b[2] = p.TTL
+	binary.BigEndian.PutUint32(b[3:], p.Flow)
+	binary.BigEndian.PutUint32(b[7:], uint32(p.Src))
+	binary.BigEndian.PutUint32(b[11:], uint32(p.Dst))
+	b[15] = byte(len(p.Telemetry))
+	copy(b[fixedHeaderSize:], p.Telemetry)
+	copy(b[fixedHeaderSize+len(p.Telemetry):], p.Payload)
 	return buf, nil
 }
 
@@ -96,6 +119,9 @@ func (p *Packet) Unmarshal(buf []byte) error {
 	}
 	if buf[0] != frameVersion {
 		return fmt.Errorf("%w: version %d", ErrMalformed, buf[0])
+	}
+	if bad := buf[1] &^ knownFlags; bad != 0 {
+		return fmt.Errorf("%w: unknown flag bits %#02x", ErrMalformed, bad)
 	}
 	tlen := int(buf[15])
 	if len(buf) < fixedHeaderSize+tlen {

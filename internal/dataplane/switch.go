@@ -2,6 +2,8 @@ package dataplane
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/unroller/unroller/internal/core"
 	"github.com/unroller/unroller/internal/detect"
@@ -99,12 +101,34 @@ type Switch struct {
 	unroller *core.Unroller
 	phaseLUT []bool
 
-	// Counters exported to the controller, mirroring what a P4 target
-	// would expose.
-	Stats SwitchStats
+	// states recycles per-packet detector state across Process calls;
+	// DecodeHeaderInto overwrites every field, so reuse is invisible to
+	// the pipeline.
+	states *statePool
+
+	// stats are the live counters, mirroring what a P4 target would
+	// expose; read a consistent-enough snapshot with Stats.
+	stats switchCounters
 }
 
-// SwitchStats are per-switch packet counters.
+// statePool recycles *core.State values so the hot hop loop does not
+// allocate a fresh state (struct plus two slices) per decode. It is a
+// thin typed wrapper over sync.Pool; the Get-side type assertion lives
+// here, outside any hotpath-tagged function body.
+type statePool struct {
+	pool sync.Pool
+}
+
+func newStatePool(u *core.Unroller) *statePool {
+	sp := &statePool{}
+	sp.pool.New = func() any { return u.NewPacketState() }
+	return sp
+}
+
+func (sp *statePool) get() *core.State   { return sp.pool.Get().(*core.State) }
+func (sp *statePool) put(st *core.State) { sp.pool.Put(st) }
+
+// SwitchStats is a snapshot of a switch's packet counters.
 type SwitchStats struct {
 	Received  uint64
 	Forwarded uint64
@@ -113,6 +137,37 @@ type SwitchStats struct {
 	NoRoute   uint64
 	LoopHits  uint64
 	Reroutes  uint64
+}
+
+// switchCounters are the live per-switch counters. They are updated
+// atomically so parallel Send calls and TrafficEngine workers can share
+// switches without locks: each field is an independent statistic, so
+// per-field atomicity is the exact semantics a hardware counter array
+// has.
+type switchCounters struct {
+	received  atomic.Uint64
+	forwarded atomic.Uint64
+	delivered atomic.Uint64
+	ttlDrops  atomic.Uint64
+	noRoute   atomic.Uint64
+	loopHits  atomic.Uint64
+	reroutes  atomic.Uint64
+}
+
+// Stats returns a snapshot of the switch's counters. Each field is read
+// atomically; when sends are in flight the fields may straddle packet
+// boundaries, but once traffic quiesces (e.g. after SendMany returns)
+// the snapshot is exact.
+func (s *Switch) Stats() SwitchStats {
+	return SwitchStats{
+		Received:  s.stats.received.Load(),
+		Forwarded: s.stats.forwarded.Load(),
+		Delivered: s.stats.delivered.Load(),
+		TTLDrops:  s.stats.ttlDrops.Load(),
+		NoRoute:   s.stats.noRoute.Load(),
+		LoopHits:  s.stats.loopHits.Load(),
+		Reroutes:  s.stats.reroutes.Load(),
+	}
 }
 
 // newSwitch wires a switch for the given node.
@@ -126,6 +181,7 @@ func newSwitch(id detect.SwitchID, node int, neighbors []int, u *core.Unroller) 
 		neighbors:  neighbors,
 		unroller:   u,
 		phaseLUT:   core.PhaseStartTable(u.Config(), 256),
+		states:     newStatePool(u),
 	}
 }
 
@@ -173,13 +229,13 @@ func (s *Switch) Peer(p PortID) int { return s.neighbors[p] }
 //
 //unroller:hotpath
 func (s *Switch) Process(p *Packet) (Decision, error) {
-	s.Stats.Received++
+	s.stats.received.Add(1)
 
 	// Collection-mode packets circulate the loop to record membership;
 	// they never deliver.
 	if p.Flags&FlagCollect != 0 {
 		if p.TTL == 0 {
-			s.Stats.TTLDrops++
+			s.stats.ttlDrops.Add(1)
 			return Decision{Disposition: DropTTL}, nil
 		}
 		p.TTL--
@@ -188,13 +244,13 @@ func (s *Switch) Process(p *Packet) (Decision, error) {
 
 	// Destination check precedes everything: the last hop delivers.
 	if p.Dst == s.ID {
-		s.Stats.Delivered++
+		s.stats.delivered.Add(1)
 		return Decision{Disposition: Deliver}, nil
 	}
 
 	// TTL: decrement and drop at zero, the loss Unroller preempts.
 	if p.TTL == 0 {
-		s.Stats.TTLDrops++
+		s.stats.ttlDrops.Add(1)
 		return Decision{Disposition: DropTTL}, nil
 	}
 	p.TTL--
@@ -209,12 +265,14 @@ func (s *Switch) Process(p *Packet) (Decision, error) {
 		}
 		verdict := st.Visit(s.ID)
 		if verdict == detect.Loop {
-			s.Stats.LoopHits++
+			s.stats.loopHits.Add(1)
 			//unroller:allow hotpath -- fires once per detected loop, not per hop
 			report = &detect.Report{Reporter: s.ID, Hops: int(st.Hops())}
+			s.states.put(st)
 			return s.reactToLoop(p, report)
 		}
 		tel, err := st.AppendHeader(p.Telemetry[:0])
+		s.states.put(st)
 		if err != nil {
 			//unroller:allow hotpath -- encode failure path: the packet is already dead
 			return Decision{}, fmt.Errorf("dataplane: %v: re-encode: %w", s.ID, err)
@@ -225,10 +283,10 @@ func (s *Switch) Process(p *Packet) (Decision, error) {
 	// Destination-based forwarding.
 	port, ok := s.fib[p.Dst]
 	if !ok {
-		s.Stats.NoRoute++
+		s.stats.noRoute.Add(1)
 		return Decision{Disposition: DropNoRoute, LoopReport: report}, nil
 	}
-	s.Stats.Forwarded++
+	s.stats.forwarded.Add(1)
 	return Decision{Disposition: Forward, Egress: port, LoopReport: report}, nil
 }
 
@@ -240,13 +298,21 @@ func (s *Switch) Process(p *Packet) (Decision, error) {
 //
 //unroller:allow errctx -- Process wraps every return as "dataplane: <switch>: %w"
 func (s *Switch) decodeTelemetry(p *Packet) (*core.State, error) {
-	if !s.unroller.Config().TTLHopCount {
-		return s.unroller.DecodeHeader(p.Telemetry)
+	st := s.states.get()
+	var err error
+	switch {
+	case !s.unroller.Config().TTLHopCount:
+		err = s.unroller.DecodeHeaderInto(st, p.Telemetry)
+	case p.TTL >= InitialTTL:
+		err = fmt.Errorf("TTL %d inconsistent with TTL-derived hop counting (initial %d)", p.TTL, InitialTTL)
+	default:
+		err = s.unroller.DecodeHeaderAtInto(st, p.Telemetry, uint64(InitialTTL)-uint64(p.TTL)-1)
 	}
-	if p.TTL >= InitialTTL {
-		return nil, fmt.Errorf("TTL %d inconsistent with TTL-derived hop counting (initial %d)", p.TTL, InitialTTL)
+	if err != nil {
+		s.states.put(st)
+		return nil, err
 	}
-	return s.unroller.DecodeHeaderAt(p.Telemetry, uint64(InitialTTL)-uint64(p.TTL)-1)
+	return st, nil
 }
 
 // reactToLoop applies the switch's loop policy to a packet on which the
@@ -263,7 +329,7 @@ func (s *Switch) reactToLoop(p *Packet, report *detect.Report) (Decision, error)
 				return Decision{}, err
 			}
 			p.Telemetry = tel
-			s.Stats.Reroutes++
+			s.stats.reroutes.Add(1)
 			return Decision{Disposition: RerouteLoop, Egress: bp, LoopReport: report}, nil
 		}
 	case ActionCollect:
@@ -278,7 +344,7 @@ func (s *Switch) reactToLoop(p *Packet, report *detect.Report) (Decision, error)
 			}
 			p.Telemetry = tel
 			p.Flags |= FlagCollect
-			s.Stats.Forwarded++
+			s.stats.forwarded.Add(1)
 			return Decision{Disposition: Forward, Egress: port, LoopReport: report}, nil
 		}
 	case ActionDrop:
