@@ -4,7 +4,8 @@
 #   make test    unit tests
 #   make lint    go vet + the project's own analyzers (unroller-vet)
 #   make race    unit tests under the race detector
-#   make fuzz    5s smoke run of each bitpack fuzz target
+#   make fuzz    smoke run of every fuzz target (bitpack 5s each,
+#                dataplane packet wire format 10s)
 #   make bench   full benchmark run with allocation stats
 #   make ci      the full gate (ci.sh): build, vet, unroller-vet,
 #                race tests, fuzz smoke, bench smoke
@@ -29,6 +30,7 @@ race:
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReader$$' -fuzztime 5s ./internal/bitpack
 	$(GO) test -run '^$$' -fuzz '^FuzzWriterRoundTrip$$' -fuzztime 5s ./internal/bitpack
+	$(GO) test -run '^$$' -fuzz '^FuzzPacket$$' -fuzztime 10s ./internal/dataplane
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -9,10 +9,13 @@
 #                 directive — exit 1 on findings, 2 on load errors
 #   race tests    go test -race ./...  (includes the concurrency
 #                 regression tests in internal/core and
-#                 internal/dataplane)
-#   fuzz smoke    5s of each bitpack fuzz target (`-fuzz Fuzz` would
-#                 refuse to run because two targets match, so each is
-#                 invoked by exact name)
+#                 internal/dataplane, and the churn/scenario suite —
+#                 worker-invariance under fault injection runs under
+#                 the race detector every time)
+#   fuzz smoke    5s of each bitpack fuzz target and 10s of the packet
+#                 wire-format target (`-fuzz Fuzz` would refuse to run
+#                 because several targets match, so each is invoked by
+#                 exact name)
 #   bench smoke   one iteration of the traffic-engine benchmarks — not a
 #                 measurement, just proof the concurrent injection path
 #                 stays runnable
@@ -35,6 +38,9 @@ go test -race ./...
 echo "==> fuzz smoke (internal/bitpack, 5s per target)"
 go test -run '^$' -fuzz '^FuzzReader$' -fuzztime 5s ./internal/bitpack
 go test -run '^$' -fuzz '^FuzzWriterRoundTrip$' -fuzztime 5s ./internal/bitpack
+
+echo "==> fuzz smoke (internal/dataplane packet wire format, 10s)"
+go test -run '^$' -fuzz '^FuzzPacket$' -fuzztime 10s ./internal/dataplane
 
 echo "==> bench smoke (traffic engine, 1 iteration)"
 go test -run '^$' -bench 'TrafficEngine|NetworkSend' -benchtime 1x .

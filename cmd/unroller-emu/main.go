@@ -14,16 +14,28 @@
 // throughput:
 //
 //	unroller-emu -topo torus -flows 10000 -workers 8
+//
+// Scenario mode replays a named churn scenario — deterministic fault
+// injection (link failures, staggered FIB updates, switch restarts, wire
+// corruption) interleaved with traffic epochs — and prints its event log,
+// disposition table, and controller stats. The output is a pure function
+// of (scenario, seed): any worker count produces identical bytes.
+//
+//	unroller-emu -scenario microloop -seed 7
+//	unroller-emu -scenario linkflap -seed 3 -workers 16
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/unroller/unroller/internal/core"
 	"github.com/unroller/unroller/internal/dataplane"
+	"github.com/unroller/unroller/internal/scenario"
 	"github.com/unroller/unroller/internal/sim"
 	"github.com/unroller/unroller/internal/topology"
 	"github.com/unroller/unroller/internal/xrand"
@@ -36,19 +48,38 @@ func main() {
 		policy  = flag.String("policy", "drop", "loop reaction: drop, reroute, or collect (§3.5 membership recording)")
 		packets = flag.Int("packets", 5, "packets to inject (traced mode)")
 		flows   = flag.Int("flows", 0, "bulk mode: inject this many random flows through the traffic engine")
-		workers = flag.Int("workers", 0, "bulk mode: worker goroutines (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "bulk/scenario mode: worker goroutines (0 = GOMAXPROCS)")
+		scen    = flag.String("scenario", "", "scenario mode: replay this named churn scenario (see -scenario help)")
 	)
 	flag.Parse()
 	var err error
-	if *flows > 0 {
+	switch {
+	case *scen != "":
+		err = runScenario(os.Stdout, *scen, *seed, *workers)
+	case *flows > 0:
 		err = runBulk(*topo, *seed, *policy, *flows, *workers)
-	} else {
+	default:
 		err = run(*topo, *seed, *policy, *packets)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "unroller-emu: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runScenario replays a named churn scenario and renders its replayable
+// summary; "help" (or "list") prints the catalogue.
+func runScenario(w io.Writer, name string, seed uint64, workers int) error {
+	if name == "help" || name == "list" {
+		fmt.Fprintf(w, "available scenarios: %s\n", strings.Join(scenario.Names(), ", "))
+		return nil
+	}
+	res, err := scenario.Run(name, seed, workers)
+	if err != nil {
+		return err
+	}
+	res.Render(w)
+	return nil
 }
 
 // buildTopo maps the -topo flag to a graph.
@@ -216,7 +247,7 @@ func runBulk(topoName string, seed uint64, policy string, flows, workers int) er
 	}
 
 	var hops, reports uint64
-	var finals [6]int
+	var finals [dataplane.NumDispositions]int
 	for _, s := range sums {
 		finals[s.Final]++
 		hops += uint64(s.Hops)
@@ -225,7 +256,7 @@ func runBulk(topoName string, seed uint64, policy string, flows, workers int) er
 	fmt.Printf("done in %v (%.0f flows/s, %d packet-hops, %.1f hops/flow)\n",
 		elapsed.Round(time.Microsecond), float64(flows)/elapsed.Seconds(),
 		net.TotalPacketHops(), float64(hops)/float64(flows))
-	for d := dataplane.Forward; d <= dataplane.RerouteLoop; d++ {
+	for d := dataplane.Disposition(0); int(d) < dataplane.NumDispositions; d++ {
 		if finals[d] > 0 {
 			fmt.Printf("  %-13s %d\n", d.String()+":", finals[d])
 		}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/unroller/unroller/internal/scenario"
+)
+
+var update = flag.Bool("update", false, "rewrite scenario golden files from current output")
+
+// TestScenarioGolden pins the full `-scenario` report — event log,
+// per-epoch lines, disposition table, controller stats — byte-for-byte
+// against testdata/<name>.golden at seed 7. Any drift in the fault
+// schedule, traffic generation, detection math, admission policy, or
+// rendering shows up as a golden diff. Regenerate deliberately with
+// `go test ./cmd/unroller-emu -run TestScenarioGolden -update`.
+func TestScenarioGolden(t *testing.T) {
+	for _, name := range scenario.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := runScenario(&out, name, 7, 4); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatalf("updating golden: %v", err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output differs from %s\n--- got ---\n%s--- want ---\n%s", golden, out.String(), want)
+			}
+		})
+	}
+}
+
+// TestScenarioGoldenWorkerInvariant re-renders one golden scenario at a
+// different worker count and requires the identical bytes — the CLI
+// contract that -workers tunes speed, never results.
+func TestScenarioGoldenWorkerInvariant(t *testing.T) {
+	var w1, w16 bytes.Buffer
+	if err := runScenario(&w1, "linkflap", 7, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScenario(&w16, "linkflap", 7, 16); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w1.Bytes(), w16.Bytes()) {
+		t.Errorf("workers 1 vs 16 diverged:\n--- 1 ---\n%s--- 16 ---\n%s", w1.String(), w16.String())
+	}
+}
+
+// TestScenarioList checks the help path names every scenario.
+func TestScenarioList(t *testing.T) {
+	var out bytes.Buffer
+	if err := runScenario(&out, "list", 7, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range scenario.Names() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestScenarioUnknown checks the error path surfaces the options.
+func TestScenarioUnknown(t *testing.T) {
+	var out bytes.Buffer
+	err := runScenario(&out, "bogus", 7, 1)
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("error should quote the bad name: %v", err)
+	}
+}

@@ -1,0 +1,115 @@
+package dataplane
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The churn driver alternates quiesced fault application with traffic
+// bursts, emulating a network whose control plane mutates state *between*
+// packet batches — the granularity at which the determinism contract
+// holds. One epoch is:
+//
+//	apply this epoch's scheduled faults   (traffic quiesced)
+//	inject the epoch's flow batch         (workers race freely)
+//	advance the controller's logical tick (traffic quiesced again)
+//
+// Because every shared-state mutation happens at the boundaries and every
+// per-hop fault decision is a pure function of (seed, flow, hop), the
+// result — event log, disposition table, controller stats — is identical
+// for any worker count and replayable from the scenario seed.
+
+// ChurnEpoch is one epoch's traffic: the flows injected after that
+// epoch's faults fire.
+type ChurnEpoch struct {
+	Flows []Flow
+}
+
+// EpochSummary aggregates one epoch's traffic outcome.
+type EpochSummary struct {
+	Epoch        int
+	Flows        int
+	Hops         uint64
+	Reports      uint64
+	Dispositions [NumDispositions]uint64
+}
+
+// ChurnResult is the replayable outcome of a churn run. Every field is a
+// deterministic function of (topology, plan, flows): the log records the
+// faults as they fired plus one summary line per epoch, and the tables
+// hold worker-count-invariant aggregates.
+type ChurnResult struct {
+	Epochs       int
+	Flows        int
+	Hops         uint64
+	Reports      uint64
+	Dispositions [NumDispositions]uint64
+	PerEpoch     []EpochSummary
+	Log          []string
+	Controller   ControllerStats
+}
+
+// Table renders the disposition table as stable text, one line per
+// disposition in declaration order (zero rows included, so the shape
+// never varies between runs).
+func (r *ChurnResult) Table() string {
+	var b strings.Builder
+	for d := 0; d < NumDispositions; d++ {
+		fmt.Fprintf(&b, "%-14s %d\n", Disposition(d).String(), r.Dispositions[d])
+	}
+	return b.String()
+}
+
+// RunChurn drives the engine through the fault plan: epoch e applies
+// plan.At(e), injects epochs[e].Flows (when present), then ticks the
+// controller clock. The run spans max(len(epochs), plan.Epochs()) epochs,
+// so trailing fault-only epochs still fire. Traffic errors abort the run;
+// fault application errors do too (a plan referencing a missing link is a
+// scenario bug, not a network condition).
+func RunChurn(eng *TrafficEngine, plan *FaultPlan, epochs []ChurnEpoch) (*ChurnResult, error) {
+	net := eng.Network()
+	total := len(epochs)
+	if plan != nil && plan.Epochs() > total {
+		total = plan.Epochs()
+	}
+	res := &ChurnResult{Epochs: total}
+	for e := 0; e < total; e++ {
+		if plan != nil {
+			for _, ev := range plan.At(e) {
+				if err := net.ApplyFault(ev); err != nil {
+					return res, fmt.Errorf("dataplane: epoch %d fault %q: %w", e, ev.String(), err)
+				}
+				res.Log = append(res.Log, fmt.Sprintf("[epoch %d] fault: %s", e, ev))
+			}
+		}
+		es := EpochSummary{Epoch: e}
+		if e < len(epochs) && len(epochs[e].Flows) > 0 {
+			sums, err := eng.SendMany(epochs[e].Flows)
+			if err != nil {
+				return res, err
+			}
+			es.Flows = len(sums)
+			for i := range sums {
+				s := &sums[i]
+				es.Hops += uint64(s.Hops)
+				es.Reports += uint64(s.Reports)
+				es.Dispositions[s.Final]++
+			}
+		}
+		res.Flows += es.Flows
+		res.Hops += es.Hops
+		res.Reports += es.Reports
+		for d := 0; d < NumDispositions; d++ {
+			res.Dispositions[d] += es.Dispositions[d]
+		}
+		res.PerEpoch = append(res.PerEpoch, es)
+		res.Log = append(res.Log, fmt.Sprintf(
+			"[epoch %d] flows=%d hops=%d reports=%d delivered=%d looped=%d dropped-link=%d corrupted=%d",
+			e, es.Flows, es.Hops, es.Reports,
+			es.Dispositions[Deliver], es.Dispositions[DropLoop],
+			es.Dispositions[DropLink], es.Dispositions[DropCorrupt]))
+		net.Controller.Tick()
+	}
+	res.Controller = net.Controller.Stats()
+	return res, nil
+}

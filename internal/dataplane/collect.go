@@ -130,6 +130,10 @@ func (s *Switch) processCollect(p *Packet) (Decision, error) {
 		s.stats.noRoute.Add(1)
 		return Decision{Disposition: DropNoRoute}, nil
 	}
+	if !s.portUp[port] {
+		s.stats.linkDrops.Add(1)
+		return Decision{Disposition: DropLink}, nil
+	}
 	s.stats.forwarded.Add(1)
 	return Decision{Disposition: Forward, Egress: port}, nil
 }

@@ -1,0 +1,245 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// This file is the data plane's fault-injection surface. The paper's
+// premise is that loops are *transient*: they open while FIB updates are
+// in flight and close when convergence completes, and a detector must
+// catch them inside that window. A static emulation can't exercise that
+// regime, so faults here are first-class, scheduled events:
+//
+//   - link failures and recoveries (SetLink): the wire dies under a FIB
+//     that still points at it;
+//   - staggered FIB updates (RouteUpdate batches): some switches learn
+//     the new routes before others — the inconsistency window where
+//     micro-loops live;
+//   - switch restarts: forwarding state wiped until the control plane
+//     reprograms it;
+//   - wire-level corruption (CorruptionModel): seeded bit flips that the
+//     parsers must reject cleanly.
+//
+// Determinism contract: shared-state events (links, routes, restarts,
+// corruption-model changes) fire only at quiesced epoch boundaries (see
+// RunChurn), and per-hop corruption strikes are a pure function of
+// (seed, flow, hop) via xrand.Mix3. Every run is therefore replayable
+// from its seed, and aggregates are identical at any worker count.
+
+// CorruptionModel decides, per (flow, hop), whether the frame on the
+// wire takes a bit flip — a stateless, seeded event stream.
+type CorruptionModel struct {
+	seed uint64
+	// threshold compares against a uniform Mix3 output: a hop is struck
+	// when the 64-bit hash falls below it, so threshold/2^64 ≈ prob.
+	threshold uint64
+}
+
+// newCorruptionModel maps a probability to a threshold; prob <= 0 means
+// no model (nil), prob >= 1 strikes every hop.
+func newCorruptionModel(prob float64, seed uint64) *CorruptionModel {
+	if prob <= 0 {
+		return nil
+	}
+	m := &CorruptionModel{seed: seed}
+	if prob >= 1 {
+		m.threshold = ^uint64(0)
+		return m
+	}
+	// 2^64 as a float64; the product back-converts exactly enough for a
+	// probability knob, and identically on every conforming platform.
+	m.threshold = uint64(prob * 18446744073709551616.0)
+	return m
+}
+
+// strike flips one pseudo-random bit of wire when the (flow, hop) event
+// fires, reporting whether it did. Pure function of the model's seed and
+// the arguments — never of goroutine interleaving.
+func (m *CorruptionModel) strike(flow uint32, hop uint64, wire []byte) bool {
+	if len(wire) == 0 {
+		return false
+	}
+	h := xrand.Mix3(m.seed, uint64(flow), hop)
+	if h >= m.threshold {
+		return false
+	}
+	bit := xrand.Mix3(m.seed^0xc0ffee, uint64(flow), hop) % uint64(len(wire)*8)
+	wire[bit>>3] ^= byte(1) << (bit & 7)
+	return true
+}
+
+// FaultKind enumerates the scheduled fault events.
+type FaultKind uint8
+
+const (
+	// FaultLinkDown cuts the link {U, V}.
+	FaultLinkDown FaultKind = iota
+	// FaultLinkUp restores the link {U, V}.
+	FaultLinkUp
+	// FaultRoutes applies a batch of FIB updates (Routes).
+	FaultRoutes
+	// FaultRestart reboots the switch at Node (FIB wiped).
+	FaultRestart
+	// FaultCorruption sets the wire corruption model to (Prob, Seed);
+	// Prob 0 turns corruption off.
+	FaultCorruption
+	// FaultControllerReset wipes the controller's report log and
+	// quarantine state — the control plane restarting mid-incident.
+	FaultControllerReset
+)
+
+// RouteUpdate is one incremental FIB change: point Node's route for Dst
+// at Port, or withdraw it when Clear is set.
+type RouteUpdate struct {
+	Node  int
+	Dst   detect.SwitchID
+	Port  PortID
+	Clear bool
+}
+
+// FaultEvent is one scheduled fault; which fields matter depends on
+// Kind. Events fire at the start of their Epoch, in plan insertion
+// order.
+type FaultEvent struct {
+	Epoch int
+	Kind  FaultKind
+
+	U, V   int           // FaultLinkDown, FaultLinkUp
+	Node   int           // FaultRestart
+	Routes []RouteUpdate // FaultRoutes
+	Prob   float64       // FaultCorruption
+	Seed   uint64        // FaultCorruption
+}
+
+// String renders the event as a stable event-log line fragment.
+func (e FaultEvent) String() string {
+	switch e.Kind {
+	case FaultLinkDown:
+		return fmt.Sprintf("link (%d,%d) down", e.U, e.V)
+	case FaultLinkUp:
+		return fmt.Sprintf("link (%d,%d) up", e.U, e.V)
+	case FaultRoutes:
+		return fmt.Sprintf("fib update: %d routes", len(e.Routes))
+	case FaultRestart:
+		return fmt.Sprintf("switch %d restart", e.Node)
+	case FaultCorruption:
+		if e.Prob <= 0 {
+			return "corruption off"
+		}
+		return fmt.Sprintf("corruption p=%g", e.Prob)
+	case FaultControllerReset:
+		return "controller reset"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(e.Kind))
+	}
+}
+
+// FaultPlan is a deterministic schedule of fault events keyed by epoch.
+// Build it once from a seed; replaying the same plan over the same flows
+// reproduces the same run bit for bit.
+type FaultPlan struct {
+	events []FaultEvent
+}
+
+// Add appends events to the plan. Within an epoch, events fire in the
+// order they were added.
+func (p *FaultPlan) Add(events ...FaultEvent) { p.events = append(p.events, events...) }
+
+// LinkDownAt schedules a link cut.
+func (p *FaultPlan) LinkDownAt(epoch, u, v int) {
+	p.Add(FaultEvent{Epoch: epoch, Kind: FaultLinkDown, U: u, V: v})
+}
+
+// LinkUpAt schedules a link recovery.
+func (p *FaultPlan) LinkUpAt(epoch, u, v int) {
+	p.Add(FaultEvent{Epoch: epoch, Kind: FaultLinkUp, U: u, V: v})
+}
+
+// RoutesAt schedules a batch of FIB updates.
+func (p *FaultPlan) RoutesAt(epoch int, routes []RouteUpdate) {
+	p.Add(FaultEvent{Epoch: epoch, Kind: FaultRoutes, Routes: routes})
+}
+
+// RestartAt schedules a switch reboot.
+func (p *FaultPlan) RestartAt(epoch, node int) {
+	p.Add(FaultEvent{Epoch: epoch, Kind: FaultRestart, Node: node})
+}
+
+// CorruptionAt schedules a corruption-model change.
+func (p *FaultPlan) CorruptionAt(epoch int, prob float64, seed uint64) {
+	p.Add(FaultEvent{Epoch: epoch, Kind: FaultCorruption, Prob: prob, Seed: seed})
+}
+
+// ControllerResetAt schedules a controller state wipe.
+func (p *FaultPlan) ControllerResetAt(epoch int) {
+	p.Add(FaultEvent{Epoch: epoch, Kind: FaultControllerReset})
+}
+
+// At returns the events scheduled for epoch, in insertion order.
+func (p *FaultPlan) At(epoch int) []FaultEvent {
+	var out []FaultEvent
+	for _, e := range p.events {
+		if e.Epoch == epoch {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Epochs returns the number of epochs the plan spans (max epoch + 1).
+func (p *FaultPlan) Epochs() int {
+	max := 0
+	for _, e := range p.events {
+		if e.Epoch+1 > max {
+			max = e.Epoch + 1
+		}
+	}
+	return max
+}
+
+// Len returns the total number of scheduled events.
+func (p *FaultPlan) Len() int { return len(p.events) }
+
+// ApplyFault executes one fault event against the network. Like all
+// shared-state mutation it must run while traffic is quiesced; RunChurn
+// guarantees that by applying events only at epoch boundaries.
+func (n *Network) ApplyFault(ev FaultEvent) error {
+	switch ev.Kind {
+	case FaultLinkDown:
+		return n.SetLink(ev.U, ev.V, false)
+	case FaultLinkUp:
+		return n.SetLink(ev.U, ev.V, true)
+	case FaultRoutes:
+		for _, ru := range ev.Routes {
+			if ru.Node < 0 || ru.Node >= len(n.switches) {
+				return fmt.Errorf("dataplane: route update for node %d out of range (graph has %d nodes)", ru.Node, len(n.switches))
+			}
+			sw := n.switches[ru.Node]
+			if ru.Clear {
+				sw.ClearRoute(ru.Dst)
+				continue
+			}
+			if err := sw.SetRoute(ru.Dst, ru.Port); err != nil {
+				return err
+			}
+		}
+		return nil
+	case FaultRestart:
+		if ev.Node < 0 || ev.Node >= len(n.switches) {
+			return fmt.Errorf("dataplane: restart of node %d out of range (graph has %d nodes)", ev.Node, len(n.switches))
+		}
+		n.switches[ev.Node].Restart()
+		return nil
+	case FaultCorruption:
+		n.SetCorruption(ev.Prob, ev.Seed)
+		return nil
+	case FaultControllerReset:
+		n.Controller.Reset()
+		return nil
+	default:
+		return fmt.Errorf("dataplane: unknown fault kind %d", ev.Kind)
+	}
+}

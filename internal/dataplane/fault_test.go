@@ -1,0 +1,291 @@
+package dataplane
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/topology"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// torusNet builds a 4x4 torus with shortest paths installed for dst 15
+// and no loop — the plain substrate the fault tests mutate.
+func torusNet(t *testing.T, seed uint64) *Network {
+	t.Helper()
+	g, err := topology.Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNetwork(g, topology.NewAssignment(g, xrand.New(seed)), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InstallShortestPaths(15); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestFaultPlanScheduling: events fire grouped by epoch in insertion
+// order, and the plan knows its span.
+func TestFaultPlanScheduling(t *testing.T) {
+	p := &FaultPlan{}
+	p.LinkDownAt(2, 0, 1)
+	p.RestartAt(0, 3)
+	p.LinkUpAt(2, 0, 1)
+	p.CorruptionAt(5, 0.5, 9)
+	if p.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", p.Len())
+	}
+	if p.Epochs() != 6 {
+		t.Fatalf("Epochs = %d, want 6", p.Epochs())
+	}
+	at2 := p.At(2)
+	if len(at2) != 2 || at2[0].Kind != FaultLinkDown || at2[1].Kind != FaultLinkUp {
+		t.Fatalf("At(2) = %v, want down then up", at2)
+	}
+	if len(p.At(1)) != 0 {
+		t.Fatalf("At(1) should be empty")
+	}
+}
+
+// TestFaultEventString pins the event-log vocabulary the golden files
+// depend on.
+func TestFaultEventString(t *testing.T) {
+	cases := []struct {
+		ev   FaultEvent
+		want string
+	}{
+		{FaultEvent{Kind: FaultLinkDown, U: 1, V: 2}, "link (1,2) down"},
+		{FaultEvent{Kind: FaultLinkUp, U: 1, V: 2}, "link (1,2) up"},
+		{FaultEvent{Kind: FaultRoutes, Routes: make([]RouteUpdate, 3)}, "fib update: 3 routes"},
+		{FaultEvent{Kind: FaultRestart, Node: 7}, "switch 7 restart"},
+		{FaultEvent{Kind: FaultCorruption, Prob: 0.05}, "corruption p=0.05"},
+		{FaultEvent{Kind: FaultCorruption, Prob: 0}, "corruption off"},
+		{FaultEvent{Kind: FaultControllerReset}, "controller reset"},
+		{FaultEvent{Kind: FaultKind(99)}, "FaultKind(99)"},
+	}
+	for _, tc := range cases {
+		if got := tc.ev.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// TestCorruptionModelDeterminism: strikes are a pure function of (seed,
+// flow, hop) — the property that keeps corrupted runs replayable — and
+// the probability knob behaves at its extremes.
+func TestCorruptionModelDeterminism(t *testing.T) {
+	if m := newCorruptionModel(0, 1); m != nil {
+		t.Fatal("prob 0 should disable the model")
+	}
+	if m := newCorruptionModel(-0.5, 1); m != nil {
+		t.Fatal("negative prob should disable the model")
+	}
+	always := newCorruptionModel(1, 7)
+	never := newCorruptionModel(1, 7)
+	if always.strike(1, 1, nil) {
+		t.Fatal("empty wire must never be struck")
+	}
+	for hop := uint64(0); hop < 64; hop++ {
+		a := make([]byte, 32)
+		b := make([]byte, 32)
+		sa := always.strike(3, hop, a)
+		sb := never.strike(3, hop, b)
+		if !sa || !sb {
+			t.Fatalf("prob 1 must strike every hop (hop %d: %v %v)", hop, sa, sb)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("hop %d: same (seed, flow, hop) flipped different bits", hop)
+		}
+		ones := 0
+		for _, x := range a {
+			for ; x != 0; x &= x - 1 {
+				ones++
+			}
+		}
+		if ones != 1 {
+			t.Fatalf("hop %d: %d bits flipped, want exactly 1", hop, ones)
+		}
+	}
+	// A mid-range probability strikes some hops and spares others, with
+	// identical verdicts on a second pass.
+	m1 := newCorruptionModel(0.3, 99)
+	m2 := newCorruptionModel(0.3, 99)
+	var struck, spared int
+	buf := make([]byte, 16)
+	for hop := uint64(0); hop < 200; hop++ {
+		s1 := m1.strike(8, hop, buf)
+		s2 := m2.strike(8, hop, buf)
+		if s1 != s2 {
+			t.Fatalf("hop %d: replay diverged", hop)
+		}
+		if s1 {
+			struck++
+		} else {
+			spared++
+		}
+	}
+	if struck == 0 || spared == 0 {
+		t.Fatalf("p=0.3 over 200 hops: struck=%d spared=%d, want both nonzero", struck, spared)
+	}
+}
+
+// TestSetLinkDropsTraffic: cutting a link makes traffic that the FIB
+// still steers onto it die as drop-link at the dead port; restoring the
+// link heals delivery. The FIBs are never touched.
+func TestSetLinkDropsTraffic(t *testing.T) {
+	n := torusNet(t, 11)
+	// Node 14 is a direct neighbour of 15 on the torus; its shortest
+	// path uses the (14,15) link.
+	tr, err := n.Send(14, 15, 1, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Final != Deliver {
+		t.Fatalf("baseline: %v, want deliver", tr.Final)
+	}
+	if err := n.SetLink(14, 15, false); err != nil {
+		t.Fatal(err)
+	}
+	if n.LinkIsUp(14, 15) {
+		t.Fatal("link should report down")
+	}
+	tr, err = n.Send(14, 15, 2, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Final != DropLink {
+		t.Fatalf("downed link: %v, want drop-link", tr.Final)
+	}
+	if got := n.Switch(14).Stats().LinkDrops; got != 1 {
+		t.Fatalf("LinkDrops = %d, want 1", got)
+	}
+	if err := n.SetLink(14, 15, true); err != nil {
+		t.Fatal(err)
+	}
+	tr, err = n.Send(14, 15, 3, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Final != Deliver {
+		t.Fatalf("restored link: %v, want deliver", tr.Final)
+	}
+	if err := n.SetLink(0, 5, false); err == nil {
+		t.Fatal("SetLink on a non-link should fail")
+	}
+}
+
+// TestRestartWipesForwardingState: a rebooted switch forgets its FIB
+// (traffic through it drops as no-route) until routes are reinstalled,
+// and the restart is counted.
+func TestRestartWipesForwardingState(t *testing.T) {
+	n := torusNet(t, 12)
+	saved := routesAsUpdates(n, 14)
+	if len(saved) == 0 {
+		t.Fatal("switch 14 should have routes installed")
+	}
+	if err := n.ApplyFault(FaultEvent{Kind: FaultRestart, Node: 14}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Switch(14).Routes()); got != 0 {
+		t.Fatalf("restarted switch still has %d routes", got)
+	}
+	if got := n.Switch(14).Stats().Restarts; got != 1 {
+		t.Fatalf("Restarts = %d, want 1", got)
+	}
+	tr, err := n.Send(14, 15, 1, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Final != DropNoRoute {
+		t.Fatalf("blank FIB: %v, want drop-no-route", tr.Final)
+	}
+	if err := n.ApplyFault(FaultEvent{Kind: FaultRoutes, Routes: saved}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err = n.Send(14, 15, 2, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Final != Deliver {
+		t.Fatalf("reinstalled FIB: %v, want deliver", tr.Final)
+	}
+}
+
+// routesAsUpdates snapshots a switch's FIB as a reinstallable batch.
+func routesAsUpdates(n *Network, node int) []RouteUpdate {
+	var out []RouteUpdate
+	for dst, port := range n.Switch(node).Routes() {
+		out = append(out, RouteUpdate{Node: node, Dst: dst, Port: port})
+	}
+	return out
+}
+
+// TestApplyFaultErrors: plans referencing missing links, out-of-range
+// nodes, or unknown kinds fail loudly instead of silently no-opping.
+func TestApplyFaultErrors(t *testing.T) {
+	n := torusNet(t, 13)
+	cases := []FaultEvent{
+		{Kind: FaultLinkDown, U: 0, V: 5},
+		{Kind: FaultRestart, Node: 99},
+		{Kind: FaultRestart, Node: -1},
+		{Kind: FaultRoutes, Routes: []RouteUpdate{{Node: 99, Dst: 1, Port: 0}}},
+		{Kind: FaultKind(200)},
+	}
+	for _, ev := range cases {
+		if err := n.ApplyFault(ev); err == nil {
+			t.Errorf("ApplyFault(%v) should fail", ev)
+		} else if !strings.HasPrefix(err.Error(), "dataplane: ") {
+			t.Errorf("ApplyFault(%v) error %q lacks package context", ev, err)
+		}
+	}
+}
+
+// TestRouteUpdateClear: a Clear update withdraws the route.
+func TestRouteUpdateClear(t *testing.T) {
+	n := torusNet(t, 14)
+	dstID := n.Assign.ID(15)
+	if err := n.ApplyFault(FaultEvent{Kind: FaultRoutes, Routes: []RouteUpdate{
+		{Node: 14, Dst: dstID, Clear: true},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := n.Send(14, 15, 1, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Final != DropNoRoute {
+		t.Fatalf("cleared route: %v, want drop-no-route", tr.Final)
+	}
+}
+
+// TestCorruptionEndToEnd: with every hop struck, traffic dies as
+// drop-corrupt (never as an emulator error), and turning the model off
+// restores clean delivery.
+func TestCorruptionEndToEnd(t *testing.T) {
+	n := torusNet(t, 15)
+	n.SetCorruption(1, 42)
+	sawCorrupt := false
+	for flow := uint32(0); flow < 32; flow++ {
+		tr, err := n.Send(0, 15, flow, 64, true)
+		if err != nil {
+			t.Fatalf("flow %d: corruption surfaced as error: %v", flow, err)
+		}
+		if tr.Final == DropCorrupt {
+			sawCorrupt = true
+		}
+	}
+	if !sawCorrupt {
+		t.Fatal("p=1 corruption never produced drop-corrupt")
+	}
+	n.SetCorruption(0, 0)
+	tr, err := n.Send(0, 15, 999, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Final != Deliver {
+		t.Fatalf("after storm: %v, want deliver", tr.Final)
+	}
+}

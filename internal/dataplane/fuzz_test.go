@@ -1,0 +1,74 @@
+package dataplane
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/detect"
+)
+
+// FuzzPacket feeds arbitrary bytes to the frame parser. The contract the
+// corruption-storm scenario leans on: Unmarshal never panics, rejects
+// every unparseable input with ErrMalformed (so the send loop can tell
+// an injected bit flip from an emulator bug), and any frame it accepts
+// re-marshals to exactly the input bytes — the parser and serialiser
+// agree on one canonical wire form.
+func FuzzPacket(f *testing.F) {
+	// Canonical frames as seeds: bare, with payload, with a real
+	// Unroller header, and a collection-mode frame.
+	bare := &Packet{TTL: 64, Flow: 7, Src: 1, Dst: 2}
+	if w, err := bare.Marshal(); err == nil {
+		f.Add(w)
+	}
+	pay := &Packet{TTL: 8, Flow: 9, Src: 3, Dst: 4, Payload: []byte("hello")}
+	if w, err := pay.Marshal(); err == nil {
+		f.Add(w)
+	}
+	if u, err := core.New(core.DefaultConfig()); err == nil {
+		if tel, err := u.NewPacketState().AppendHeader(nil); err == nil {
+			telp := &Packet{TTL: 255, Flow: 1, Src: 5, Dst: 6, Telemetry: tel}
+			if w, err := telp.Marshal(); err == nil {
+				f.Add(w)
+			}
+		}
+	}
+	rec := &collectRecord{Initiator: 42, IDs: []detect.SwitchID{1, 2, 3}}
+	if tel, err := rec.marshal(); err == nil {
+		cp := &Packet{Flags: FlagCollect, TTL: 16, Flow: 2, Src: 7, Dst: 8, Telemetry: tel}
+		if w, err := cp.Marshal(); err == nil {
+			f.Add(w)
+		}
+	}
+	// Degenerate inputs the parser must reject cleanly.
+	f.Add([]byte{})
+	f.Add([]byte{0xff})
+	f.Add(bytes.Repeat([]byte{0}, 16))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Packet
+		if err := p.Unmarshal(data); err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("Unmarshal(%x) = %v, not ErrMalformed", data, err)
+			}
+			return
+		}
+		out, err := p.MarshalAppend(nil)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted frame failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip not canonical:\n in  %x\n out %x", data, out)
+		}
+		var q Packet
+		if err := q.Unmarshal(out); err != nil {
+			t.Fatalf("re-parse of marshalled frame failed: %v", err)
+		}
+		if p.Flags != q.Flags || p.TTL != q.TTL || p.Flow != q.Flow ||
+			p.Src != q.Src || p.Dst != q.Dst ||
+			!bytes.Equal(p.Telemetry, q.Telemetry) || !bytes.Equal(p.Payload, q.Payload) {
+			t.Fatalf("fields changed across round trip:\n %+v\n %+v", p, q)
+		}
+	})
+}

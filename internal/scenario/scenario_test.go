@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/unroller/unroller/internal/dataplane"
+)
+
+// TestNamesSorted: the registry lists every scenario, sorted, so the
+// CLI's "list" output and error messages are stable.
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) < 4 {
+		t.Fatalf("want at least 4 named scenarios, have %v", names)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	for _, want := range []string{"corruption", "linkflap", "microloop", "restart"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("scenario %q missing from registry %v", want, names)
+		}
+	}
+}
+
+// TestRunUnknownScenario: a bad name fails with the available names in
+// the message, not a panic or a silent default.
+func TestRunUnknownScenario(t *testing.T) {
+	_, err := Run("no-such-thing", 1, 1)
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if !strings.Contains(err.Error(), "no-such-thing") || !strings.Contains(err.Error(), "microloop") {
+		t.Fatalf("error should name the bad input and the options: %v", err)
+	}
+}
+
+// TestScenarioWorkerInvariance renders every named scenario at workers
+// 1, 4, and 16 and requires the full report — event log, per-epoch
+// counters, dispositions, controller stats, top reporters — to be
+// byte-identical. This is the user-facing face of the determinism
+// contract: `unroller-emu -scenario X -seed S` means one specific run,
+// regardless of the host's parallelism.
+func TestScenarioWorkerInvariance(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			render := func(workers int) string {
+				res, err := Run(name, 7, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				var b bytes.Buffer
+				res.Render(&b)
+				return b.String()
+			}
+			base := render(1)
+			if base == "" {
+				t.Fatal("empty render")
+			}
+			for _, workers := range []int{4, 16} {
+				if got := render(workers); got != base {
+					t.Errorf("workers=%d output diverged from workers=1:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+						workers, base, workers, got)
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioSeedMatters: at least the traffic/assignment seed must
+// reach the output — two distinct seeds may not tell the same story.
+func TestScenarioSeedMatters(t *testing.T) {
+	render := func(seed uint64) string {
+		res, err := Run("microloop", seed, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		res.Render(&b)
+		return b.String()
+	}
+	if render(7) == render(8) {
+		t.Fatal("seeds 7 and 8 rendered identically; the seed is dead")
+	}
+}
+
+// TestScenariosExerciseFaults: each scenario's run must actually show
+// its namesake failure mode in the aggregates — otherwise the golden
+// files pin a story that never happens.
+func TestScenariosExerciseFaults(t *testing.T) {
+	for _, name := range Names() {
+		res, err := Run(name, 7, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r := res.Churn
+		if r.Flows == 0 || r.Hops == 0 {
+			t.Errorf("%s: no traffic ran: %+v", name, r)
+		}
+		if len(r.Log) == 0 {
+			t.Errorf("%s: empty event log", name)
+		}
+		switch name {
+		case "corruption":
+			if r.Dispositions[dataplane.DropCorrupt] == 0 {
+				t.Errorf("%s: no packet was ever corrupted: %v", name, r.Dispositions)
+			}
+		default:
+			if r.Reports == 0 {
+				t.Errorf("%s: no loop was ever reported", name)
+			}
+		}
+	}
+}

@@ -30,6 +30,29 @@ func (s *SplitMix64) Next() uint64 {
 	return z ^ (z >> 31)
 }
 
+// mix64 is the SplitMix64 output finalizer: a full-avalanche bijection
+// on 64-bit words.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix3 is a stateless keyed hash of three words, built from chained
+// SplitMix64 finalizer rounds with the golden-ratio increment between
+// inputs. It powers seeded *event streams*: a fault model that must
+// decide, for every (flow, hop) pair, whether an event fires can call
+// Mix3(seed, flow, hop) and get the same verdict no matter which worker
+// asks or in what order — the property that keeps fault injection
+// replayable and worker-count-invariant, which a shared stateful
+// generator cannot provide under concurrency.
+func Mix3(a, b, c uint64) uint64 {
+	h := mix64(a + 0x9e3779b97f4a7c15)
+	h = mix64(h ^ (b + 0x9e3779b97f4a7c15))
+	h = mix64(h ^ (c + 0x9e3779b97f4a7c15))
+	return h
+}
+
 // Rand is the workhorse generator (xoshiro256**). The zero value is not
 // usable; construct with New or NewFrom.
 type Rand struct {
