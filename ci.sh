@@ -12,13 +12,17 @@
 #                 internal/dataplane, and the churn/scenario suite —
 #                 worker-invariance under fault injection runs under
 #                 the race detector every time)
-#   fuzz smoke    5s of each bitpack fuzz target and 10s of the packet
-#                 wire-format target (`-fuzz Fuzz` would refuse to run
-#                 because several targets match, so each is invoked by
-#                 exact name)
-#   bench smoke   one iteration of the traffic-engine benchmarks — not a
-#                 measurement, just proof the concurrent injection path
-#                 stays runnable
+#   collector e2e a second, explicit race-enabled run of the collectord
+#                 end-to-end suite (16 concurrent clients streaming a
+#                 scenario through the framed TCP protocol, connection
+#                 kills, exact aggregate accounting) — the service gate
+#   fuzz smoke    5s of each bitpack fuzz target and 10s each of the
+#                 packet wire-format and collector report-frame targets
+#                 (`-fuzz Fuzz` would refuse to run because several
+#                 targets match, so each is invoked by exact name)
+#   bench smoke   one iteration of the traffic-engine and collector
+#                 ingest benchmarks — not a measurement, just proof the
+#                 concurrent injection and ingest paths stay runnable
 set -eu
 
 cd "$(dirname "$0")"
@@ -35,6 +39,9 @@ go run ./cmd/unroller-vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> collector e2e under race (16 clients, kills, exact accounting)"
+go test -race -run 'TestCollector' -count 1 ./internal/collectorsvc
+
 echo "==> fuzz smoke (internal/bitpack, 5s per target)"
 go test -run '^$' -fuzz '^FuzzReader$' -fuzztime 5s ./internal/bitpack
 go test -run '^$' -fuzz '^FuzzWriterRoundTrip$' -fuzztime 5s ./internal/bitpack
@@ -42,7 +49,10 @@ go test -run '^$' -fuzz '^FuzzWriterRoundTrip$' -fuzztime 5s ./internal/bitpack
 echo "==> fuzz smoke (internal/dataplane packet wire format, 10s)"
 go test -run '^$' -fuzz '^FuzzPacket$' -fuzztime 10s ./internal/dataplane
 
-echo "==> bench smoke (traffic engine, 1 iteration)"
-go test -run '^$' -bench 'TrafficEngine|NetworkSend' -benchtime 1x .
+echo "==> fuzz smoke (internal/collectorsvc report frames, 10s)"
+go test -run '^$' -fuzz '^FuzzReportFrame$' -fuzztime 10s ./internal/collectorsvc
+
+echo "==> bench smoke (traffic engine + collector ingest, 1 iteration)"
+go test -run '^$' -bench 'TrafficEngine|NetworkSend|CollectorIngest' -benchtime 1x .
 
 echo "==> ci.sh: all gates passed"

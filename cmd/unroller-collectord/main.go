@@ -1,0 +1,122 @@
+// Command unroller-collectord is the networked loop-report collector:
+// the long-running service end of the switch→collector channel the
+// paper's prototype assumes (§5). Emulators (and tests) stream loop
+// reports to it over the versioned frame protocol in
+// internal/collectorsvc; the daemon shards ingest by flow hash across
+// independent controller instances, absorbs bursts in bounded queues
+// with counted drop-oldest backpressure, and serves its counters on a
+// plaintext admin endpoint.
+//
+// Usage:
+//
+//	unroller-collectord [-listen :7777] [-admin :7778] [-shards 4]
+//	                    [-queue 1024] [-dedup 8] [-max-events 4096]
+//	                    [-quarantine-after 0] [-quarantine-ticks 0]
+//	                    [-max-age 0] [-ack-every 64]
+//
+// SIGINT or SIGTERM drains gracefully: stop accepting, close
+// connections, flush every shard queue into its controller, then print
+// the final accounting (after which Ingested = delivered + queue-dropped
+// holds exactly).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/unroller/unroller/internal/collectorsvc"
+	"github.com/unroller/unroller/internal/dataplane"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7777", "ingest listener address")
+		admin    = flag.String("admin", "", "admin /statsz listener address (empty = disabled)")
+		shards   = flag.Int("shards", collectorsvc.DefaultShards, "independent ingest shards")
+		queue    = flag.Int("queue", collectorsvc.DefaultQueueDepth, "per-shard queue depth (drop-oldest beyond it)")
+		dedup    = flag.Int("dedup", 8, "per-flow dedup window in hops (0 = off)")
+		maxEv    = flag.Int("max-events", dataplane.DefaultMaxEvents, "per-shard event buffer size")
+		qAfter   = flag.Int("quarantine-after", 0, "quarantine a reporter after this many accepts per tick (0 = off; per-shard under flow sharding)")
+		qTicks   = flag.Int("quarantine-ticks", 0, "ticks a quarantined reporter stays muted")
+		maxAge   = flag.Int("max-age", 0, "age out buffered events after this many ticks (0 = never)")
+		ackEvery = flag.Int("ack-every", collectorsvc.DefaultAckEvery, "acknowledge at least every N frames")
+	)
+	flag.Parse()
+	cfg := collectorsvc.ServerConfig{
+		Shards:     *shards,
+		QueueDepth: *queue,
+		AckEvery:   *ackEvery,
+		Controller: dataplane.ControllerConfig{
+			MaxEvents:       *maxEv,
+			DedupWindow:     *dedup,
+			QuarantineAfter: *qAfter,
+			QuarantineTicks: *qTicks,
+			MaxAgeTicks:     *maxAge,
+		},
+	}
+
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "unroller-collectord: %v, draining\n", s)
+		close(stop)
+	}()
+
+	if err := run(os.Stdout, cfg, *listen, *admin, stop, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "unroller-collectord: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until stop closes, then drains and
+// prints the final accounting. It is main minus the process concerns:
+// tests drive it with their own stop channel and read the bound
+// addresses from ready (ingest address first, then admin when enabled).
+func run(w io.Writer, cfg collectorsvc.ServerConfig, listen, admin string, stop <-chan struct{}, ready chan<- net.Addr) error {
+	srv := collectorsvc.NewServer(cfg)
+	addr, err := srv.Start(listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "listening on %s (shards=%d queue=%d dedup=%d)\n",
+		addr, cfg.Shards, cfg.QueueDepth, cfg.Controller.DedupWindow)
+	if ready != nil {
+		ready <- addr
+	}
+
+	var adminLn net.Listener
+	if admin != "" {
+		adminLn, err = net.Listen("tcp", admin)
+		if err != nil {
+			srv.Shutdown()
+			return fmt.Errorf("admin listen %s: %w", admin, err)
+		}
+		fmt.Fprintf(w, "admin on http://%s/statsz\n", adminLn.Addr())
+		if ready != nil {
+			ready <- adminLn.Addr()
+		}
+		go srv.ServeAdmin(adminLn)
+	}
+
+	<-stop
+	if adminLn != nil {
+		adminLn.Close()
+	}
+	srv.Shutdown()
+
+	st := srv.Stats()
+	fmt.Fprintf(w, "final: conns=%d frames=%d bad=%d dupes=%d ingested=%d ticks=%d queue_dropped=%d\n",
+		st.Conns, st.Frames, st.BadFrames, st.Dupes, st.Ingested, st.Ticks, st.QueueDropped)
+	fmt.Fprintf(w, "aggregate: %s\n", srv.ControllerStats())
+	for i, cs := range srv.ShardStats() {
+		fmt.Fprintf(w, "shard %d: %s\n", i, cs)
+	}
+	return nil
+}

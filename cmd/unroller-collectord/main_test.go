@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+
+	"github.com/unroller/unroller/internal/collectorsvc"
+	"github.com/unroller/unroller/internal/dataplane"
+	"github.com/unroller/unroller/internal/scenario"
+)
+
+// TestRunServesAndDrains drives the daemon's run loop end to end: boot
+// on ephemeral ports, stream a scenario into it, stop, and check the
+// final accounting report.
+func TestRunServesAndDrains(t *testing.T) {
+	var out bytes.Buffer
+	cfg := collectorsvc.ServerConfig{
+		Shards:     2,
+		QueueDepth: 1 << 14,
+		Controller: dataplane.ControllerConfig{MaxEvents: 1024, DedupWindow: 8},
+	}
+	stop := make(chan struct{})
+	ready := make(chan net.Addr, 2)
+	done := make(chan error, 1)
+	go func() { done <- run(&out, cfg, "127.0.0.1:0", "127.0.0.1:0", stop, ready) }()
+	addr := <-ready
+	<-ready // admin
+
+	c, err := collectorsvc.NewClient(collectorsvc.ClientConfig{Addr: addr.String(), ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scenario.RunStreamed("microloop", 7, 4, func(ev dataplane.LoopEvent, hop int) {
+		c.Send(ev, hop)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Acked == 0 || st.Dropped != 0 {
+		t.Fatalf("client stats %+v", st)
+	}
+
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"listening on", "admin on", "final:", "aggregate:", "shard 1:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, "queue_dropped=0") {
+		t.Errorf("expected a drop-free drain:\n%s", text)
+	}
+}
+
+// TestRunRejectsBadListenAddrs: both listeners fail fast with a
+// non-nil error instead of serving nothing.
+func TestRunRejectsBadListenAddrs(t *testing.T) {
+	var out bytes.Buffer
+	stop := make(chan struct{})
+	close(stop)
+	if err := run(&out, collectorsvc.ServerConfig{}, "not-an-address", "", stop, nil); err == nil {
+		t.Error("bad ingest address accepted")
+	}
+	if err := run(&out, collectorsvc.ServerConfig{}, "127.0.0.1:0", "not-an-address", stop, nil); err == nil {
+		t.Error("bad admin address accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"github.com/unroller/unroller/internal/scenario"
+)
+
+// TestMain lets this test binary impersonate the real unroller-emu:
+// when re-executed with UNROLLER_EMU_RUN_MAIN=1 it runs main() instead
+// of the test suite, which is how the flag-error tests observe real
+// exit codes and stderr without a separate build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("UNROLLER_EMU_RUN_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// emuExec re-runs this binary as unroller-emu with args, returning
+// stderr and the exit code.
+func emuExec(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "UNROLLER_EMU_RUN_MAIN=1")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		return stderr.String(), 0
+	}
+	exit, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running %v: %v", args, err)
+	}
+	return stderr.String(), exit.ExitCode()
+}
+
+// TestUnknownScenarioExitsNonZero: a typo'd -scenario must fail with a
+// non-zero exit and a stderr message listing every available scenario,
+// so the operator can self-correct without reading source.
+func TestUnknownScenarioExitsNonZero(t *testing.T) {
+	stderr, code := emuExec(t, "-scenario", "no-such-scenario")
+	if code == 0 {
+		t.Fatalf("unknown scenario exited 0 (stderr %q)", stderr)
+	}
+	if !strings.Contains(stderr, "no-such-scenario") {
+		t.Errorf("stderr does not echo the bad name: %q", stderr)
+	}
+	for _, name := range scenario.Names() {
+		if !strings.Contains(stderr, name) {
+			t.Errorf("stderr does not list available scenario %q: %q", name, stderr)
+		}
+	}
+}
+
+// TestBadCollectorAddressExitsNonZero: an unparsable -collector address
+// must fail fast at startup, before any traffic runs.
+func TestBadCollectorAddressExitsNonZero(t *testing.T) {
+	stderr, code := emuExec(t, "-scenario", "microloop", "-collector", "not an address")
+	if code == 0 {
+		t.Fatalf("bad collector address exited 0 (stderr %q)", stderr)
+	}
+	if !strings.Contains(stderr, "not an address") {
+		t.Errorf("stderr does not echo the bad address: %q", stderr)
+	}
+}
+
+// TestScenarioHelpExitsZero: the catalogue path stays a success so
+// scripts can probe it.
+func TestScenarioHelpExitsZero(t *testing.T) {
+	if stderr, code := emuExec(t, "-scenario", "help"); code != 0 {
+		t.Fatalf("-scenario help exited %d (stderr %q)", code, stderr)
+	}
+}

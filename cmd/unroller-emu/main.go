@@ -23,6 +23,12 @@
 //
 //	unroller-emu -scenario microloop -seed 7
 //	unroller-emu -scenario linkflap -seed 3 -workers 16
+//
+// Any mode can additionally stream its loop reports to a running
+// unroller-collectord over the collectorsvc frame protocol; the sender
+// reconnects with backoff and never blocks the data plane:
+//
+//	unroller-emu -scenario restart -collector 127.0.0.1:7777
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/unroller/unroller/internal/collectorsvc"
 	"github.com/unroller/unroller/internal/core"
 	"github.com/unroller/unroller/internal/dataplane"
 	"github.com/unroller/unroller/internal/scenario"
@@ -43,23 +50,41 @@ import (
 
 func main() {
 	var (
-		topo    = flag.String("topo", "torus", "topology: fattree4, torus, or geant")
-		seed    = flag.Uint64("seed", 1, "scenario seed")
-		policy  = flag.String("policy", "drop", "loop reaction: drop, reroute, or collect (§3.5 membership recording)")
-		packets = flag.Int("packets", 5, "packets to inject (traced mode)")
-		flows   = flag.Int("flows", 0, "bulk mode: inject this many random flows through the traffic engine")
-		workers = flag.Int("workers", 0, "bulk/scenario mode: worker goroutines (0 = GOMAXPROCS)")
-		scen    = flag.String("scenario", "", "scenario mode: replay this named churn scenario (see -scenario help)")
+		topo      = flag.String("topo", "torus", "topology: fattree4, torus, or geant")
+		seed      = flag.Uint64("seed", 1, "scenario seed")
+		policy    = flag.String("policy", "drop", "loop reaction: drop, reroute, or collect (§3.5 membership recording)")
+		packets   = flag.Int("packets", 5, "packets to inject (traced mode)")
+		flows     = flag.Int("flows", 0, "bulk mode: inject this many random flows through the traffic engine")
+		workers   = flag.Int("workers", 0, "bulk/scenario mode: worker goroutines (0 = GOMAXPROCS)")
+		scen      = flag.String("scenario", "", "scenario mode: replay this named churn scenario (see -scenario help)")
+		collector = flag.String("collector", "", "stream loop reports to a collectord at this host:port")
 	)
 	flag.Parse()
+	var hook dataplane.ReportHook
+	var client *collectorsvc.Client
+	if *collector != "" {
+		var err error
+		client, err = collectorsvc.NewClient(collectorsvc.ClientConfig{Addr: *collector, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unroller-emu: %v\n", err)
+			os.Exit(1)
+		}
+		hook = client.Send
+	}
 	var err error
 	switch {
 	case *scen != "":
-		err = runScenario(os.Stdout, *scen, *seed, *workers)
+		err = runScenario(os.Stdout, *scen, *seed, *workers, hook)
 	case *flows > 0:
-		err = runBulk(*topo, *seed, *policy, *flows, *workers)
+		err = runBulk(*topo, *seed, *policy, *flows, *workers, hook)
 	default:
-		err = run(*topo, *seed, *policy, *packets)
+		err = run(*topo, *seed, *policy, *packets, hook)
+	}
+	if client != nil {
+		client.Close()
+		st := client.Stats()
+		fmt.Printf("collector %s: enqueued=%d acked=%d dropped=%d retransmits=%d connects=%d dial_failures=%d\n",
+			*collector, st.Enqueued, st.Acked, st.Dropped, st.Retransmits, st.Connects, st.DialFailures)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "unroller-emu: %v\n", err)
@@ -69,12 +94,12 @@ func main() {
 
 // runScenario replays a named churn scenario and renders its replayable
 // summary; "help" (or "list") prints the catalogue.
-func runScenario(w io.Writer, name string, seed uint64, workers int) error {
+func runScenario(w io.Writer, name string, seed uint64, workers int, hook dataplane.ReportHook) error {
 	if name == "help" || name == "list" {
 		fmt.Fprintf(w, "available scenarios: %s\n", strings.Join(scenario.Names(), ", "))
 		return nil
 	}
-	res, err := scenario.Run(name, seed, workers)
+	res, err := scenario.RunStreamed(name, seed, workers, hook)
 	if err != nil {
 		return err
 	}
@@ -126,7 +151,7 @@ func sampleLoop(g *topology.Graph, rng *xrand.Rand) (*sim.Scenario, error) {
 	}
 }
 
-func run(topoName string, seed uint64, policy string, packets int) error {
+func run(topoName string, seed uint64, policy string, packets int, hook dataplane.ReportHook) error {
 	g, err := buildTopo(topoName)
 	if err != nil {
 		return err
@@ -139,6 +164,7 @@ func run(topoName string, seed uint64, policy string, packets int) error {
 	if err != nil {
 		return err
 	}
+	net.OnReport = hook
 
 	sc, err := sampleLoop(g, rng)
 	if err != nil {
@@ -193,7 +219,7 @@ func run(topoName string, seed uint64, policy string, packets int) error {
 // destination, one injected loop, and a batch of random flows — a fifth
 // of which are steered into the loop, and a fifth of which carry no
 // telemetry so the aggregate output contrasts DropLoop with DropTTL.
-func runBulk(topoName string, seed uint64, policy string, flows, workers int) error {
+func runBulk(topoName string, seed uint64, policy string, flows, workers int, hook dataplane.ReportHook) error {
 	g, err := buildTopo(topoName)
 	if err != nil {
 		return err
@@ -204,6 +230,7 @@ func runBulk(topoName string, seed uint64, policy string, flows, workers int) er
 	if err != nil {
 		return err
 	}
+	net.OnReport = hook
 	for dst := 0; dst < g.N(); dst++ {
 		if err := net.InstallShortestPaths(dst); err != nil {
 			return err

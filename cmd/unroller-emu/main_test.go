@@ -7,7 +7,7 @@ import "testing"
 func TestRunAllTopologiesAndPolicies(t *testing.T) {
 	for _, topo := range []string{"fattree4", "torus", "geant"} {
 		for _, policy := range []string{"drop", "reroute", "collect"} {
-			if err := run(topo, 3, policy, 2); err != nil {
+			if err := run(topo, 3, policy, 2, nil); err != nil {
 				t.Errorf("run(%s, %s): %v", topo, policy, err)
 			}
 		}
@@ -16,10 +16,10 @@ func TestRunAllTopologiesAndPolicies(t *testing.T) {
 
 // TestRunRejectsBadInputs.
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("nonexistent", 1, "drop", 1); err == nil {
+	if err := run("nonexistent", 1, "drop", 1, nil); err == nil {
 		t.Error("unknown topology accepted")
 	}
-	if err := run("torus", 1, "explode", 1); err == nil {
+	if err := run("torus", 1, "explode", 1, nil); err == nil {
 		t.Error("unknown policy accepted")
 	}
 }
@@ -29,23 +29,23 @@ func TestRunRejectsBadInputs(t *testing.T) {
 func TestRunBulk(t *testing.T) {
 	for _, topo := range []string{"fattree4", "torus", "geant"} {
 		for _, policy := range []string{"drop", "reroute", "collect"} {
-			if err := runBulk(topo, 3, policy, 40, 4); err != nil {
+			if err := runBulk(topo, 3, policy, 40, 4, nil); err != nil {
 				t.Errorf("runBulk(%s, %s): %v", topo, policy, err)
 			}
 		}
 	}
 	// Default worker count and a single-flow batch.
-	if err := runBulk("torus", 9, "drop", 1, 0); err != nil {
+	if err := runBulk("torus", 9, "drop", 1, 0, nil); err != nil {
 		t.Errorf("runBulk single flow: %v", err)
 	}
 }
 
 // TestRunBulkRejectsBadInputs.
 func TestRunBulkRejectsBadInputs(t *testing.T) {
-	if err := runBulk("nonexistent", 1, "drop", 10, 2); err == nil {
+	if err := runBulk("nonexistent", 1, "drop", 10, 2, nil); err == nil {
 		t.Error("unknown topology accepted")
 	}
-	if err := runBulk("torus", 1, "explode", 10, 2); err == nil {
+	if err := runBulk("torus", 1, "explode", 10, 2, nil); err == nil {
 		t.Error("unknown policy accepted")
 	}
 }

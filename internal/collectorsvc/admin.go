@@ -1,0 +1,75 @@
+package collectorsvc
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+
+	"github.com/unroller/unroller/internal/dataplane"
+)
+
+// The admin surface is a plaintext HTTP listener in the /statsz
+// tradition: GET /statsz renders the service counters, the aggregate
+// controller snapshot, and every shard's snapshot as stable text;
+// /statsz?format=json emits the same data in the machine-readable
+// schema pinned by internal/dataplane's MarshalJSON golden test, so the
+// endpoint and the CLI share one schema.
+
+// adminStats is the JSON shape of the admin snapshot.
+type adminStats struct {
+	Server    ServerStats                 `json:"server"`
+	Aggregate dataplane.ControllerStats   `json:"aggregate"`
+	Shards    []dataplane.ControllerStats `json:"shards"`
+}
+
+// AdminHandler returns the /statsz handler.
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		snap := adminStats{
+			Server:    s.Stats(),
+			Aggregate: s.ControllerStats(),
+			Shards:    s.ShardStats(),
+		}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, renderStatsText(snap))
+	})
+	return mux
+}
+
+// renderStatsText renders the snapshot as stable plaintext, one counter
+// group per stanza.
+func renderStatsText(snap adminStats) string {
+	var b strings.Builder
+	sv := snap.Server
+	fmt.Fprintf(&b, "server: conns=%d active=%d frames=%d bad=%d dupes=%d ingested=%d ticks=%d queue_dropped=%d flow_evictions=%d\n",
+		sv.Conns, sv.ActiveConns, sv.Frames, sv.BadFrames, sv.Dupes, sv.Ingested, sv.Ticks, sv.QueueDropped, sv.FlowEvictions)
+	fmt.Fprintf(&b, "aggregate: %s tick=%d\n", snap.Aggregate, snap.Aggregate.Tick)
+	for i, sh := range snap.Shards {
+		fmt.Fprintf(&b, "shard %d: %s tick=%d\n", i, sh, sh.Tick)
+	}
+	return b.String()
+}
+
+// ServeAdmin serves the admin handler on l until the listener closes.
+func (s *Server) ServeAdmin(l net.Listener) error {
+	err := http.Serve(l, s.AdminHandler())
+	if err != nil && !isClosedErr(err) {
+		return fmt.Errorf("collectorsvc: admin: %w", err)
+	}
+	return nil
+}
+
+// isClosedErr reports the benign listener-closed error.
+func isClosedErr(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "use of closed network connection")
+}

@@ -1,0 +1,111 @@
+package collectorsvc
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/unroller/unroller/internal/dataplane"
+	"github.com/unroller/unroller/internal/detect"
+)
+
+// adminFixture runs one report through a small server so the admin
+// snapshot has non-zero counters, returning the server pre-Shutdown.
+func adminFixture(t *testing.T) *Server {
+	t.Helper()
+	srv := NewServer(ServerConfig{Shards: 2})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Shutdown)
+	c, err := NewClient(ClientConfig{Addr: addr.String(), ID: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Send(dataplane.LoopEvent{Report: detect.Report{Reporter: 9, Hops: 4}, Flow: 31}, 4)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestAdminStatsText: /statsz renders one stanza per counter group.
+func TestAdminStatsText(t *testing.T) {
+	srv := adminFixture(t)
+	rec := httptest.NewRecorder()
+	srv.AdminHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/statsz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"server: conns=1", "ingested=1", "aggregate:", "shard 0:", "shard 1:"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("text stats missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestAdminStatsJSON: /statsz?format=json emits the schema pinned by
+// internal/dataplane's golden test.
+func TestAdminStatsJSON(t *testing.T) {
+	srv := adminFixture(t)
+	rec := httptest.NewRecorder()
+	srv.AdminHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/statsz?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var snap struct {
+		Server    map[string]any   `json:"server"`
+		Aggregate map[string]any   `json:"aggregate"`
+		Shards    []map[string]any `json:"shards"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, rec.Body.String())
+	}
+	if got := snap.Server["ingested"]; got != float64(1) {
+		t.Errorf("server.ingested = %v, want 1", got)
+	}
+	if len(snap.Shards) != 2 {
+		t.Fatalf("%d shards in snapshot, want 2", len(snap.Shards))
+	}
+	// The aggregate uses the dataplane schema's lowercase keys.
+	for _, key := range []string{"delivered", "accepted", "deduped", "quarantined", "tick"} {
+		if _, ok := snap.Aggregate[key]; !ok {
+			t.Errorf("aggregate missing %q: %v", key, snap.Aggregate)
+		}
+	}
+}
+
+// TestServeAdmin: the admin listener serves over a real socket and
+// shuts down cleanly (listener close is not an error).
+func TestServeAdmin(t *testing.T) {
+	srv := adminFixture(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.ServeAdmin(ln) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "server:") {
+		t.Errorf("status %d body %q", resp.StatusCode, body)
+	}
+	ln.Close()
+	if err := <-served; err != nil {
+		t.Errorf("ServeAdmin after listener close: %v", err)
+	}
+}

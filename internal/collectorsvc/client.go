@@ -1,0 +1,449 @@
+package collectorsvc
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/unroller/unroller/internal/dataplane"
+	"github.com/unroller/unroller/internal/xhash"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// ClientConfig tunes the reconnecting sender. Zero values select the
+// defaults noted per field.
+type ClientConfig struct {
+	// Addr is the collectord address (host:port). Validated at NewClient
+	// so a typo fails fast instead of spinning in the dialer.
+	Addr string
+	// ID is the client identity for exactly-once ingest. It must be
+	// unique per client *instance*: reusing an ID resumes its sequence
+	// space, so a fresh instance with a reused ID would see its frames
+	// discarded as duplicates. 0 derives an instance-unique ID from the
+	// wall clock and Seed.
+	ID uint64
+	// Buffer bounds the local queue of events not yet written to a
+	// connection. When full, the oldest unsent event is dropped and
+	// counted (ClientStats.Dropped) — the sender never blocks the data
+	// plane. <= 0 selects DefaultClientBuffer.
+	Buffer int
+	// Batch caps the frames encoded per socket write. <= 0 selects
+	// DefaultClientBatch.
+	Batch int
+	// Window caps the sent-but-unacknowledged frames in flight. A full
+	// window pauses sending (the local buffer absorbs, then drops) until
+	// acks arrive. <= 0 selects DefaultClientWindow.
+	Window int
+	// MinBackoff and MaxBackoff bound the capped exponential reconnect
+	// backoff. Each retry waits min(MaxBackoff, MinBackoff<<attempt)
+	// jittered to [d/2, d] by the seeded generator, so tests replay the
+	// exact schedule. Zero values select 50ms and 5s.
+	MinBackoff, MaxBackoff time.Duration
+	// FlushTimeout bounds how long Close waits for the buffer and
+	// in-flight window to drain; whatever remains is counted as dropped.
+	// <= 0 selects DefaultFlushTimeout.
+	FlushTimeout time.Duration
+	// Seed seeds the backoff jitter (and the derived ID when ID is 0).
+	Seed uint64
+	// Dial overrides the dialer (tests inject failing or proxied
+	// connections); nil uses a 5s-timeout TCP dial.
+	Dial func(addr string) (net.Conn, error)
+}
+
+// Defaults for ClientConfig's knobs.
+const (
+	DefaultClientBuffer = 4096
+	DefaultClientBatch  = 128
+	DefaultClientWindow = 1024
+	DefaultMinBackoff   = 50 * time.Millisecond
+	DefaultMaxBackoff   = 5 * time.Second
+	DefaultFlushTimeout = 5 * time.Second
+	defaultDialTimeout  = 5 * time.Second
+)
+
+// ClientStats snapshots the sender's accounting. Once Close returns,
+// Enqueued = Acked + Dropped exactly: every event the data plane handed
+// over was either acknowledged by the server or counted as dropped
+// (buffer overflow or unflushed at close) — never silently lost.
+type ClientStats struct {
+	// Enqueued counts events accepted by Send (plus ticks by Tick).
+	Enqueued uint64 `json:"enqueued"`
+	// Acked counts frames the server acknowledged as accounted.
+	Acked uint64 `json:"acked"`
+	// Dropped counts events lost locally: buffer overflow (drop-oldest)
+	// plus whatever Close abandoned at its deadline.
+	Dropped uint64 `json:"dropped"`
+	// Retransmits counts frames re-sent after a reconnect; duplicates
+	// among them are absorbed server-side by sequence accounting.
+	Retransmits uint64 `json:"retransmits"`
+	// Connects counts successful dials; DialFailures failed ones.
+	Connects     uint64 `json:"connects"`
+	DialFailures uint64 `json:"dial_failures"`
+}
+
+// clientItem is one queued frame-to-be: a report or a tick. seq is
+// assigned when the item first reaches the wire and kept across
+// retransmissions.
+type clientItem struct {
+	ev   dataplane.LoopEvent
+	hop  int
+	tick bool
+	seq  uint64
+}
+
+// Client is a reconnecting, batching sender of loop reports. Send never
+// blocks on the network; a background goroutine owns the connection
+// lifecycle. Safe for concurrent use.
+type Client struct {
+	cfg ClientConfig
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	unsent   []clientItem // bounded ring semantics via head index
+	inflight []clientItem // sent, awaiting ack; FIFO by seq
+	nextSeq  uint64
+	stats    ClientStats
+	rng      *xrand.Rand
+	closing  bool // Close called: drain, then stop
+	aborted  bool // drain deadline hit: count pending as dropped, stop
+	broken   bool // current connection died (reader noticed first)
+
+	done chan struct{} // run goroutine exited
+}
+
+// NewClient validates cfg and starts the sender. The returned client is
+// usable immediately; connection establishment happens in the
+// background with backoff.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Dial == nil {
+		if _, _, err := net.SplitHostPort(cfg.Addr); err != nil {
+			return nil, fmt.Errorf("collectorsvc: bad collector address %q: %w", cfg.Addr, err)
+		}
+		cfg.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, defaultDialTimeout)
+		}
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = DefaultClientBuffer
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = DefaultClientBatch
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultClientWindow
+	}
+	if cfg.MinBackoff <= 0 {
+		cfg.MinBackoff = DefaultMinBackoff
+	}
+	if cfg.MaxBackoff < cfg.MinBackoff {
+		cfg.MaxBackoff = DefaultMaxBackoff
+	}
+	if cfg.FlushTimeout <= 0 {
+		cfg.FlushTimeout = DefaultFlushTimeout
+	}
+	if cfg.ID == 0 {
+		// Instance-unique: wall clock mixed with the seed. The wire
+		// protocol's exactly-once state is keyed by this, so two
+		// instances must not collide even when configured identically.
+		cfg.ID = xhash.Mix64(uint64(time.Now().UnixNano()) ^ xhash.Mix64(cfg.Seed))
+	}
+	c := &Client{
+		cfg:  cfg,
+		rng:  xrand.New(cfg.Seed),
+		done: make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	go c.run()
+	return c, nil
+}
+
+// Send enqueues one loop report (hop is the reporting packet's journey
+// hop count — the dedup context). Never blocks on the network: a full
+// buffer drops the oldest unsent event, counted.
+func (c *Client) Send(ev dataplane.LoopEvent, hop int) {
+	c.enqueue(clientItem{ev: ev, hop: hop})
+}
+
+// Tick enqueues an epoch-boundary tick, ordered with the reports around
+// it. Meaningful only when this client is the collector's single feeder.
+func (c *Client) Tick() {
+	c.enqueue(clientItem{tick: true})
+}
+
+func (c *Client) enqueue(it clientItem) {
+	c.mu.Lock()
+	if c.closing || c.aborted {
+		// Late events after Close are dropped and counted, preserving
+		// the accounting identity.
+		c.stats.Enqueued++
+		c.stats.Dropped++
+		c.mu.Unlock()
+		return
+	}
+	c.stats.Enqueued++
+	if len(c.unsent) >= c.cfg.Buffer {
+		c.unsent = c.unsent[1:]
+		c.stats.Dropped++
+	}
+	c.unsent = append(c.unsent, it)
+	c.mu.Unlock()
+	c.cond.Signal()
+}
+
+// Stats snapshots the client's accounting counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Pending returns the events not yet acknowledged (unsent + in flight).
+func (c *Client) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.unsent) + len(c.inflight)
+}
+
+// Close drains the sender: it keeps (re)connecting and sending until
+// everything enqueued is acknowledged or FlushTimeout elapses, counts
+// whatever remains as dropped, and stops the background goroutine.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closing {
+		c.mu.Unlock()
+		<-c.done
+		return nil
+	}
+	c.closing = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+
+	select {
+	case <-c.done:
+	case <-time.After(c.cfg.FlushTimeout):
+		c.mu.Lock()
+		c.aborted = true
+		c.stats.Dropped += uint64(len(c.unsent) + len(c.inflight))
+		c.unsent, c.inflight = nil, nil
+		c.mu.Unlock()
+		c.cond.Broadcast()
+		<-c.done
+	}
+	return nil
+}
+
+// finished reports whether the run loop should exit: draining is done
+// (or abandoned) and no work remains.
+func (c *Client) finished() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aborted || (c.closing && len(c.unsent) == 0 && len(c.inflight) == 0)
+}
+
+// run owns the connection lifecycle: dial with backoff, stream until
+// the connection breaks, repeat until drained.
+func (c *Client) run() {
+	defer close(c.done)
+	attempt := 0
+	for {
+		if c.finished() {
+			return
+		}
+		conn, err := c.cfg.Dial(c.cfg.Addr)
+		if err != nil {
+			c.mu.Lock()
+			c.stats.DialFailures++
+			d := backoffDelay(c.rng, attempt, c.cfg.MinBackoff, c.cfg.MaxBackoff)
+			c.mu.Unlock()
+			attempt++
+			if c.sleep(d) {
+				return
+			}
+			continue
+		}
+		attempt = 0
+		c.mu.Lock()
+		c.stats.Connects++
+		c.broken = false
+		c.mu.Unlock()
+		c.stream(conn)
+		conn.Close()
+	}
+}
+
+// sleep waits d, returning early (true) when the client aborts.
+func (c *Client) sleep(d time.Duration) bool {
+	deadline := time.NewTimer(d)
+	defer deadline.Stop()
+	poll := time.NewTicker(10 * time.Millisecond)
+	defer poll.Stop()
+	for {
+		select {
+		case <-deadline.C:
+			return c.isAborted()
+		case <-poll.C:
+			if c.isAborted() {
+				return true
+			}
+		}
+	}
+}
+
+func (c *Client) isAborted() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aborted
+}
+
+// stream runs one connection: hello, retransmit the in-flight window,
+// then batch unsent items until the connection breaks or draining
+// completes. A reader goroutine consumes acks concurrently.
+func (c *Client) stream(conn net.Conn) {
+	bw := bufio.NewWriterSize(conn, 1<<15)
+	buf := make([]byte, 0, 1<<12)
+
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		br := bufio.NewReaderSize(conn, 1<<10)
+		var scratch []byte
+		for {
+			f, sc, err := ReadFrame(br, scratch)
+			if err != nil {
+				break
+			}
+			scratch = sc
+			if f.Type == FrameAck {
+				c.ack(f.Seq)
+			}
+		}
+		c.mu.Lock()
+		c.broken = true
+		c.mu.Unlock()
+		c.cond.Broadcast()
+	}()
+	defer func() {
+		conn.Close() // unblocks the reader
+		<-readerDone
+	}()
+
+	buf = AppendHello(buf[:0], c.cfg.ID)
+	if _, err := bw.Write(buf); err != nil {
+		return
+	}
+
+	// Retransmit the in-flight window (frames sent on the previous
+	// connection whose acks never arrived). The server discards the
+	// already-accounted prefix by sequence number.
+	c.mu.Lock()
+	resend := append([]clientItem(nil), c.inflight...)
+	c.stats.Retransmits += uint64(len(resend))
+	c.mu.Unlock()
+	var err error
+	for _, it := range resend {
+		if buf, err = appendItem(buf[:0], it); err != nil {
+			return
+		}
+		if _, err = bw.Write(buf); err != nil {
+			return
+		}
+	}
+	if err = bw.Flush(); err != nil {
+		return
+	}
+
+	batch := make([]clientItem, 0, c.cfg.Batch)
+	for {
+		batch = batch[:0]
+		c.mu.Lock()
+		for {
+			if c.aborted || c.broken {
+				c.mu.Unlock()
+				return
+			}
+			if len(c.unsent) > 0 && len(c.inflight) < c.cfg.Window {
+				break
+			}
+			if c.closing {
+				if len(c.unsent) == 0 && len(c.inflight) == 0 {
+					c.mu.Unlock()
+					bw.Flush()
+					return
+				}
+				if len(c.unsent) == 0 {
+					// Everything is on the wire; wait for acks.
+					c.cond.Wait()
+					continue
+				}
+			}
+			c.cond.Wait()
+		}
+		for len(c.unsent) > 0 && len(batch) < c.cfg.Batch && len(c.inflight) < c.cfg.Window {
+			it := c.unsent[0]
+			c.unsent = c.unsent[1:]
+			c.nextSeq++
+			it.seq = c.nextSeq
+			c.inflight = append(c.inflight, it)
+			batch = append(batch, it)
+		}
+		c.mu.Unlock()
+
+		for _, it := range batch {
+			if buf, err = appendItem(buf[:0], it); err != nil {
+				return
+			}
+			if _, err = bw.Write(buf); err != nil {
+				return
+			}
+		}
+		if err = bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// appendItem encodes one queued item as its wire frame.
+func appendItem(dst []byte, it clientItem) ([]byte, error) {
+	if it.tick {
+		return AppendTick(dst, it.seq), nil
+	}
+	return AppendReport(dst, it.seq, it.ev, it.hop)
+}
+
+// ack releases the in-flight prefix up to seq.
+func (c *Client) ack(seq uint64) {
+	c.mu.Lock()
+	n := 0
+	for n < len(c.inflight) && c.inflight[n].seq <= seq {
+		n++
+	}
+	if n > 0 {
+		c.inflight = c.inflight[n:]
+		c.stats.Acked += uint64(n)
+	}
+	c.mu.Unlock()
+	if n > 0 {
+		c.cond.Broadcast()
+	}
+}
+
+// backoffDelay computes the attempt-th reconnect delay: capped
+// exponential growth from min, jittered into [d/2, d] by rng. Pure
+// function of (rng state, attempt), so a seeded client replays its
+// exact schedule — the property the determinism tests pin.
+func backoffDelay(rng *xrand.Rand, attempt int, min, max time.Duration) time.Duration {
+	d := min
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rng.Uint64n(uint64(half)+1))
+}

@@ -1,0 +1,153 @@
+package collectorsvc
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/unroller/unroller/internal/dataplane"
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// TestBackoffDelayDeterministic: two generators with the same seed
+// replay the identical backoff schedule, and every delay respects the
+// [min/2 (shifted), max] envelope with exponential growth capped at max.
+func TestBackoffDelayDeterministic(t *testing.T) {
+	const minB, maxB = 50 * time.Millisecond, 5 * time.Second
+	a, b := xrand.New(42), xrand.New(42)
+	for attempt := 0; attempt < 20; attempt++ {
+		da := backoffDelay(a, attempt, minB, maxB)
+		db := backoffDelay(b, attempt, minB, maxB)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", attempt, da, db)
+		}
+		uncapped := minB << uint(attempt)
+		ceil := uncapped
+		if attempt > 10 || ceil > maxB || ceil <= 0 {
+			ceil = maxB
+		}
+		if da > ceil || da < ceil/2 {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", attempt, da, ceil/2, ceil)
+		}
+	}
+	if d := backoffDelay(xrand.New(1), 500, minB, maxB); d > maxB || d < maxB/2 {
+		t.Errorf("huge attempt: delay %v outside [%v, %v]", d, maxB/2, maxB)
+	}
+}
+
+// TestNewClientRejectsBadAddress: an unparsable host:port fails fast at
+// construction instead of spinning in the dialer forever.
+func TestNewClientRejectsBadAddress(t *testing.T) {
+	for _, addr := range []string{"", "no-port", "host:port:extra"} {
+		if _, err := NewClient(ClientConfig{Addr: addr}); err == nil {
+			t.Errorf("address %q accepted", addr)
+		}
+	}
+}
+
+// TestClientBufferOverflowCounted: with no server to drain it, a tiny
+// buffer drops the oldest events — every one of them counted, and the
+// Enqueued = Acked + Dropped identity holds after Close.
+func TestClientBufferOverflowCounted(t *testing.T) {
+	dialErr := errors.New("collectorsvc: test dialer is offline")
+	c, err := NewClient(ClientConfig{
+		Addr:         "127.0.0.1:1",
+		ID:           1,
+		Buffer:       8,
+		MinBackoff:   time.Hour, // park the dialer after the first failure
+		MaxBackoff:   time.Hour,
+		FlushTimeout: 50 * time.Millisecond,
+		Dial:         func(string) (net.Conn, error) { return nil, dialErr },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	ev := dataplane.LoopEvent{Report: detect.Report{Reporter: 7, Hops: 2}, Flow: 1}
+	for i := 0; i < n; i++ {
+		c.Send(ev, 2)
+	}
+	// Wait for the first dial attempt so the failure count below is
+	// deterministic (the run goroutine parks in its hour-long backoff
+	// right after it).
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Stats().DialFailures == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dialer never attempted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := c.Stats()
+	if st.Enqueued != n {
+		t.Errorf("enqueued %d, want %d", st.Enqueued, n)
+	}
+	if st.Dropped != n-8 {
+		t.Errorf("dropped %d, want %d (buffer of 8)", st.Dropped, n-8)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.Acked != 0 || st.Enqueued != st.Acked+st.Dropped {
+		t.Errorf("identity broken after close: %+v", st)
+	}
+	if st.DialFailures == 0 {
+		t.Error("dial failures not counted")
+	}
+	// Late sends after Close are absorbed into the identity, not lost.
+	c.Send(ev, 2)
+	st = c.Stats()
+	if st.Enqueued != st.Acked+st.Dropped {
+		t.Errorf("identity broken by post-close send: %+v", st)
+	}
+}
+
+// TestClientReconnectsWithBackoff: a dialer that fails a few times and
+// then succeeds sees its events delivered; the failures are counted.
+func TestClientReconnectsWithBackoff(t *testing.T) {
+	srv := NewServer(ServerConfig{Shards: 2})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	fails := 3
+	c, err := NewClient(ClientConfig{
+		Addr:       addr.String(),
+		ID:         2,
+		Seed:       7,
+		MinBackoff: time.Millisecond,
+		MaxBackoff: 4 * time.Millisecond,
+		Dial: func(a string) (net.Conn, error) {
+			if fails > 0 {
+				fails--
+				return nil, errors.New("collectorsvc: test dial refused")
+			}
+			return net.DialTimeout("tcp", a, time.Second)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		c.Send(dataplane.LoopEvent{Report: detect.Report{Reporter: 3, Hops: 4}, Flow: uint32(i)}, 4)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Acked != n || st.Dropped != 0 {
+		t.Fatalf("acked=%d dropped=%d, want %d/0 (stats %+v)", st.Acked, st.Dropped, n, st)
+	}
+	if st.DialFailures != 3 || st.Connects == 0 {
+		t.Errorf("dial accounting: %+v", st)
+	}
+	srv.Shutdown()
+	if got := srv.Stats().Ingested; got != n {
+		t.Errorf("server ingested %d, want %d", got, n)
+	}
+}

@@ -1,0 +1,88 @@
+package collectorsvc
+
+import (
+	"bufio"
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/unroller/unroller/internal/dataplane"
+	"github.com/unroller/unroller/internal/detect"
+)
+
+// FuzzReportFrame throws arbitrary bytes at the frame decoder. The
+// invariants under fuzz:
+//
+//   - no panic, whatever the input (truncated payloads, oversized length
+//     prefixes, unknown versions, garbage member counts);
+//   - no allocation proportional to a hostile length prefix — the
+//     stream reader's scratch buffer never grows past MaxFrameBody;
+//   - DecodeFrame and ReadFrame agree: same frame or same error class;
+//   - anything that decodes successfully re-encodes to bytes that decode
+//     to the identical frame (the codec is self-consistent).
+func FuzzReportFrame(f *testing.F) {
+	ev := dataplane.LoopEvent{
+		Report:  detect.Report{Reporter: 0xDEADBEEF, Hops: 6},
+		Node:    3,
+		Flow:    77,
+		Members: []detect.SwitchID{0xA, 0xB},
+	}
+	report, err := AppendReport(nil, 12, ev, 6)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(report)
+	f.Add(AppendHello(nil, 1))
+	f.Add(AppendTick(nil, 2))
+	f.Add(AppendAck(nil, 3))
+	f.Add(report[:len(report)-3])           // truncated mid-body
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})   // absurd length prefix
+	f.Add([]byte{0, 0, 0, 2, 9, FrameTick}) // unknown version
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		df, dn, derr := DecodeFrame(data)
+
+		sf, scratch, serr := ReadFrame(bufio.NewReader(bytes.NewReader(data)), nil)
+		if cap(scratch) > MaxFrameBody {
+			t.Fatalf("scratch grew to %d (> MaxFrameBody %d) on %d input bytes", cap(scratch), MaxFrameBody, len(data))
+		}
+		if (derr == nil) != (serr == nil) {
+			t.Fatalf("decoders disagree: DecodeFrame err=%v, ReadFrame err=%v", derr, serr)
+		}
+		if derr != nil {
+			return
+		}
+		if dn <= 0 || dn > len(data) {
+			t.Fatalf("consumed %d of %d bytes", dn, len(data))
+		}
+		if !reflect.DeepEqual(df, sf) {
+			t.Fatalf("decoders disagree on frame: %+v vs %+v", df, sf)
+		}
+
+		// Re-encode and decode again: the codec must be a fixed point.
+		var out []byte
+		var err error
+		switch df.Type {
+		case FrameHello:
+			out = AppendHello(nil, df.ClientID)
+		case FrameReport:
+			out, err = AppendReport(nil, df.Seq, df.Event, df.Hop)
+		case FrameTick:
+			out = AppendTick(nil, df.Seq)
+		case FrameAck:
+			out = AppendAck(nil, df.Seq)
+		default:
+			t.Fatalf("decoder produced unknown type %d", df.Type)
+		}
+		if err != nil {
+			t.Fatalf("re-encoding a decoded frame: %v", err)
+		}
+		back, bn, err := DecodeFrame(out)
+		if err != nil {
+			t.Fatalf("decoding a re-encoded frame: %v", err)
+		}
+		if bn != len(out) || !reflect.DeepEqual(back, df) {
+			t.Fatalf("round trip drifted: %+v vs %+v", back, df)
+		}
+	})
+}

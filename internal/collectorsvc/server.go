@@ -1,0 +1,533 @@
+package collectorsvc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/unroller/unroller/internal/dataplane"
+	"github.com/unroller/unroller/internal/xhash"
+)
+
+// ServerConfig tunes the collector service. Zero values select the
+// defaults noted per field.
+type ServerConfig struct {
+	// Shards is the number of independent ingest shards, each with its
+	// own queue, lock, dataplane.Controller, dedup state, and quarantine
+	// state. Events are routed by flow hash, so one flow's reports always
+	// land on one shard and its dedup window sees the complete, ordered
+	// hop history. <= 0 selects DefaultShards.
+	Shards int
+	// QueueDepth bounds each shard's ingest queue. When a queue is full,
+	// pushing a new event drops the oldest queued one (counted in
+	// ServerStats.QueueDropped) rather than blocking the connection
+	// reader — backpressure never stalls the accept loop or a socket.
+	// <= 0 selects DefaultQueueDepth.
+	QueueDepth int
+	// Controller configures each shard's controller. The per-shard
+	// configs are identical, so merged stats preserve the admission
+	// identities exactly.
+	Controller dataplane.ControllerConfig
+	// MaxFlows bounds each shard's per-flow dedup map. When the bound is
+	// hit the map is cleared (counted in ServerStats.FlowEvictions): a
+	// report for an evicted flow may then be accepted where a single
+	// unbounded controller would have deduplicated it — bounded memory
+	// is bought with (counted) duplicate admissions, never with loss.
+	// <= 0 selects DefaultMaxFlows.
+	MaxFlows int
+	// AckEvery acknowledges after this many accounted frames even if the
+	// connection stays busy; an ack is always flushed when the reader
+	// goes idle at a batch boundary. <= 0 selects DefaultAckEvery.
+	AckEvery int
+}
+
+// Defaults for ServerConfig's knobs.
+const (
+	DefaultShards     = 4
+	DefaultQueueDepth = 1024
+	DefaultMaxFlows   = 1 << 16
+	DefaultAckEvery   = 64
+)
+
+// ServerStats is a snapshot of the service-level counters (the
+// controller-level counters live in the per-shard ControllerStats).
+// Accounting identity, once queues are drained: Ingested = sum over
+// shards of controller Delivered + QueueDropped.
+type ServerStats struct {
+	// Conns counts connections accepted over the server's lifetime;
+	// ActiveConns is the current count.
+	Conns       uint64 `json:"conns"`
+	ActiveConns int    `json:"active_conns"`
+	// Frames counts every well-formed frame read; BadFrames counts
+	// decode failures (each kills its connection).
+	Frames    uint64 `json:"frames"`
+	BadFrames uint64 `json:"bad_frames"`
+	// Dupes counts transport duplicates: frames whose sequence number
+	// was already accounted for this client (retransmissions after a
+	// connection kill). They are acknowledged but not re-ingested.
+	Dupes uint64 `json:"dupes"`
+	// Ingested counts unique report frames accepted into shard queues;
+	// Ticks counts unique tick frames applied.
+	Ingested uint64 `json:"ingested"`
+	Ticks    uint64 `json:"ticks"`
+	// QueueDropped counts events evicted from full shard queues
+	// (drop-oldest), FlowEvictions the dedup-map clears.
+	QueueDropped  uint64 `json:"queue_dropped"`
+	FlowEvictions uint64 `json:"flow_evictions"`
+}
+
+// Server is the collector service: an accept loop, one reader goroutine
+// per connection, and one worker goroutine per shard draining that
+// shard's queue into its controller.
+type Server struct {
+	cfg ServerConfig
+
+	shards []*shard
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	clients map[uint64]*clientSeq
+	closed  bool
+
+	connWG  sync.WaitGroup
+	shardWG sync.WaitGroup
+
+	conns64    atomic.Uint64
+	frames     atomic.Uint64
+	badFrames  atomic.Uint64
+	dupes      atomic.Uint64
+	ingested   atomic.Uint64
+	ticks      atomic.Uint64
+	serveErr   error
+	serveEnded chan struct{}
+}
+
+// clientSeq is the per-client exactly-once high-water mark. It survives
+// reconnects (keyed by the hello's client id) and is atomic because a
+// killed connection's reader can linger briefly while the replacement
+// connection is already streaming.
+type clientSeq struct {
+	last atomic.Uint64
+}
+
+// account returns whether seq is new for this client, advancing the
+// high-water mark when it is.
+func (cs *clientSeq) account(seq uint64) bool {
+	for {
+		cur := cs.last.Load()
+		if seq <= cur {
+			return false
+		}
+		if cs.last.CompareAndSwap(cur, seq) {
+			return true
+		}
+	}
+}
+
+// shardItem is one queued unit of work: a report (with its dedup hop)
+// or an epoch tick.
+type shardItem struct {
+	ev   dataplane.LoopEvent
+	hop  int
+	tick bool
+}
+
+// shard is one independent ingest lane: bounded ring queue, controller,
+// and per-flow dedup windows. The queue is guarded by mu; the dedup map
+// is touched only by the shard's worker goroutine.
+type shard struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ring    []shardItem
+	head, n int
+	dropped uint64
+	closed  bool
+
+	ctrl      *dataplane.Controller
+	flows     map[uint32]*dataplane.DedupWindow
+	maxFlows  int
+	evictions atomic.Uint64
+}
+
+func newShard(ctrlCfg dataplane.ControllerConfig, depth, maxFlows int) *shard {
+	sh := &shard{
+		ring:     make([]shardItem, depth),
+		ctrl:     dataplane.NewControllerWithConfig(ctrlCfg),
+		flows:    make(map[uint32]*dataplane.DedupWindow),
+		maxFlows: maxFlows,
+	}
+	sh.cond = sync.NewCond(&sh.mu)
+	return sh
+}
+
+// push enqueues it, evicting the oldest queued item when full. It never
+// blocks: the connection reader must keep draining its socket no matter
+// how far behind the shard worker is.
+func (sh *shard) push(it shardItem) {
+	sh.mu.Lock()
+	if sh.n == len(sh.ring) {
+		sh.ring[sh.head] = it // overwrite the oldest
+		sh.head = (sh.head + 1) % len(sh.ring)
+		sh.dropped++
+	} else {
+		sh.ring[(sh.head+sh.n)%len(sh.ring)] = it
+		sh.n++
+	}
+	sh.mu.Unlock()
+	sh.cond.Signal()
+}
+
+// pop dequeues the oldest item, blocking until one arrives or the shard
+// is closed and drained (ok=false).
+func (sh *shard) pop() (shardItem, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for sh.n == 0 {
+		if sh.closed {
+			return shardItem{}, false
+		}
+		sh.cond.Wait()
+	}
+	it := sh.ring[sh.head]
+	sh.ring[sh.head] = shardItem{}
+	sh.head = (sh.head + 1) % len(sh.ring)
+	sh.n--
+	return it, true
+}
+
+// run is the shard worker: it drains the queue into the controller,
+// replaying each report through the same per-flow dedup path the
+// in-process data plane uses, so the admission totals match a single
+// local controller exactly (for quarantine-free configs; see DESIGN §8
+// for why per-reporter quarantine is a per-shard property).
+func (sh *shard) run() {
+	for {
+		it, ok := sh.pop()
+		if !ok {
+			return
+		}
+		if it.tick {
+			sh.ctrl.Tick()
+			continue
+		}
+		w := sh.flows[it.ev.Flow]
+		if w == nil {
+			if len(sh.flows) >= sh.maxFlows {
+				sh.flows = make(map[uint32]*dataplane.DedupWindow)
+				sh.evictions.Add(1)
+			}
+			w = &dataplane.DedupWindow{}
+			sh.flows[it.ev.Flow] = w
+		}
+		sh.ctrl.DeliverFlow(it.ev, w, it.hop)
+	}
+}
+
+// NewServer returns an idle server; call Serve or Start to run it.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.MaxFlows <= 0 {
+		cfg.MaxFlows = DefaultMaxFlows
+	}
+	if cfg.AckEvery <= 0 {
+		cfg.AckEvery = DefaultAckEvery
+	}
+	s := &Server{
+		cfg:        cfg,
+		conns:      make(map[net.Conn]struct{}),
+		clients:    make(map[uint64]*clientSeq),
+		serveEnded: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, newShard(cfg.Controller, cfg.QueueDepth, cfg.MaxFlows))
+	}
+	for _, sh := range s.shards {
+		sh := sh
+		s.shardWG.Add(1)
+		go func() { defer s.shardWG.Done(); sh.run() }()
+	}
+	return s
+}
+
+// Start listens on addr and serves in the background, returning the
+// bound address (useful with ":0").
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collectorsvc: listen %s: %w", addr, err)
+	}
+	go s.serve(ln)
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections on ln until Shutdown (or a fatal listener
+// error) and blocks until the accept loop ends. Shard draining is
+// completed by Shutdown, not Serve.
+func (s *Server) Serve(ln net.Listener) error {
+	s.serve(ln)
+	return s.serveErr
+}
+
+func (s *Server) serve(ln net.Listener) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		close(s.serveEnded)
+		return
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	defer close(s.serveEnded)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				s.serveErr = fmt.Errorf("collectorsvc: accept: %w", err)
+			}
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.conns64.Add(1)
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// shardFor routes a flow to its shard. The hash is keyed so that flow
+// IDs with structure (the scenarios pack epoch/src/k into them) still
+// spread evenly.
+func (s *Server) shardFor(flow uint32) *shard {
+	return s.shards[int(xhash.Mix32(flow)%uint32(len(s.shards)))]
+}
+
+// handle is the per-connection reader: hello, then a stream of report
+// and tick frames, acknowledged in batches. Any decode error kills the
+// connection (the client reconnects and retransmits unacknowledged
+// frames; sequence accounting absorbs the overlap).
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 1<<15)
+	bw := bufio.NewWriterSize(conn, 1<<10)
+	scratch := make([]byte, 0, 256)
+	ackBuf := make([]byte, 0, lenPrefixSize+frameOverhead+seqBodyLen)
+
+	f, scratch, err := ReadFrame(br, scratch)
+	if err != nil || f.Type != FrameHello {
+		s.badFrames.Add(1)
+		return
+	}
+	cs := s.clientState(f.ClientID)
+
+	var lastSeen, lastAcked uint64
+	pending := 0
+	flushAck := func() bool {
+		if pending == 0 && lastSeen == lastAcked {
+			return true
+		}
+		ackBuf = AppendAck(ackBuf[:0], lastSeen)
+		if _, err := bw.Write(ackBuf); err != nil {
+			return false
+		}
+		if err := bw.Flush(); err != nil {
+			return false
+		}
+		lastAcked = lastSeen
+		pending = 0
+		return true
+	}
+
+	for {
+		f, scratch, err = ReadFrame(br, scratch)
+		if err != nil {
+			if isWireError(err) {
+				s.badFrames.Add(1)
+			}
+			flushAck()
+			return
+		}
+		s.frames.Add(1)
+		switch f.Type {
+		case FrameReport:
+			if f.Seq > lastSeen {
+				lastSeen = f.Seq
+			}
+			if !cs.account(f.Seq) {
+				s.dupes.Add(1)
+			} else {
+				s.ingested.Add(1)
+				s.shardFor(f.Event.Flow).push(shardItem{ev: f.Event, hop: f.Hop})
+			}
+			pending++
+		case FrameTick:
+			if f.Seq > lastSeen {
+				lastSeen = f.Seq
+			}
+			if !cs.account(f.Seq) {
+				s.dupes.Add(1)
+			} else {
+				s.ticks.Add(1)
+				for _, sh := range s.shards {
+					sh.push(shardItem{tick: true})
+				}
+			}
+			pending++
+		case FrameHello:
+			// A repeated hello rebinds the connection (harmless).
+			cs = s.clientState(f.ClientID)
+		default:
+			s.badFrames.Add(1)
+			flushAck()
+			return
+		}
+		// Acknowledge at batch boundaries (socket idle) or every
+		// AckEvery frames, whichever comes first.
+		if pending >= s.cfg.AckEvery || br.Buffered() == 0 {
+			if !flushAck() {
+				return
+			}
+		}
+	}
+}
+
+// isWireError reports whether err is a frame-format error (as opposed
+// to a transport error like EOF or a closed socket).
+func isWireError(err error) bool {
+	return errors.Is(err, ErrBadFrame) || errors.Is(err, ErrBadVersion) || errors.Is(err, ErrOversizeFrame)
+}
+
+// clientState returns (creating on first sight) the exactly-once state
+// for a client identity.
+func (s *Server) clientState(id uint64) *clientSeq {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs := s.clients[id]
+	if cs == nil {
+		cs = &clientSeq{}
+		s.clients[id] = cs
+	}
+	return cs
+}
+
+// DisconnectAll closes every active connection — the fault-injection
+// surface the reconnect tests (and chaos drills) use. Clients are
+// expected to reconnect and retransmit; sequence accounting keeps the
+// ingest exactly-once across the kill.
+func (s *Server) DisconnectAll() {
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Shutdown drains the server gracefully: stop accepting, close active
+// connections, wait for their readers, then flush every shard queue
+// into its controller and stop the workers. After Shutdown returns, the
+// stats are final and the accounting identities hold exactly.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.serveEnded
+		s.connWG.Wait()
+		s.shardWG.Wait()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+		<-s.serveEnded
+	}
+	s.DisconnectAll()
+	s.connWG.Wait()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.closed = true
+		sh.mu.Unlock()
+		sh.cond.Broadcast()
+	}
+	s.shardWG.Wait()
+}
+
+// Stats snapshots the service-level counters.
+func (s *Server) Stats() ServerStats {
+	var st ServerStats
+	st.Conns = s.conns64.Load()
+	st.Frames = s.frames.Load()
+	st.BadFrames = s.badFrames.Load()
+	st.Dupes = s.dupes.Load()
+	st.Ingested = s.ingested.Load()
+	st.Ticks = s.ticks.Load()
+	s.mu.Lock()
+	st.ActiveConns = len(s.conns)
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st.QueueDropped += sh.dropped
+		sh.mu.Unlock()
+		st.FlowEvictions += sh.evictions.Load()
+	}
+	return st
+}
+
+// ShardStats snapshots each shard controller, in shard order.
+func (s *Server) ShardStats() []dataplane.ControllerStats {
+	out := make([]dataplane.ControllerStats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.ctrl.Stats()
+	}
+	return out
+}
+
+// ControllerStats merges the shard controllers into one aggregate
+// snapshot; the admission identities survive the merge exactly (see
+// dataplane.MergeControllerStats).
+func (s *Server) ControllerStats() dataplane.ControllerStats {
+	return dataplane.MergeControllerStats(s.ShardStats()...)
+}
+
+// Events returns the buffered events of every shard, shard order then
+// ring order — the admin endpoint's recent-events view. (There is
+// deliberately no merged TopReporters: sharding is by flow, so one
+// reporter's accept counts scatter across shards and a global ranking
+// would need cross-shard count merging the buffered rings can't
+// support; rank the aggregate from Events or a downstream store.)
+func (s *Server) Events() []dataplane.LoopEvent {
+	var out []dataplane.LoopEvent
+	for _, sh := range s.shards {
+		out = append(out, sh.ctrl.Events()...)
+	}
+	return out
+}

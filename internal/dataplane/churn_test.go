@@ -197,7 +197,7 @@ func TestControllerDeliverResetRace(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			var d dedupState
+			var d DedupWindow
 			for i := 0; i < 5000; i++ {
 				ev := LoopEvent{Node: w, Flow: uint32(i)}
 				ev.Reporter = detect.SwitchID(w*7 + i%13)
@@ -205,10 +205,10 @@ func TestControllerDeliverResetRace(t *testing.T) {
 				if i%2 == 0 {
 					c.DeliverEvent(ev)
 				} else {
-					c.deliverFlow(ev, &d, i)
+					c.DeliverFlow(ev, &d, i)
 				}
 				if i%1000 == 0 {
-					d.reset()
+					d.Reset()
 				}
 			}
 		}(w)

@@ -175,12 +175,15 @@ func (c *Controller) DeliverEvent(ev LoopEvent) {
 // detection resets the in-band state).
 const dedupEntries = 8
 
-// dedupState is the per-flow dedup window. It lives in the sender's
-// scratch (one packet's journey is sequential), so it needs no locking,
-// its memory is bounded per in-flight packet rather than per flow ever
-// seen, and its decisions depend only on the flow's own history — the
-// property that keeps controller aggregates worker-count-invariant.
-type dedupState struct {
+// DedupWindow is the per-flow dedup window. In the emulator it lives in
+// the sender's scratch (one packet's journey is sequential), so it needs
+// no locking, its memory is bounded per in-flight packet rather than per
+// flow ever seen, and its decisions depend only on the flow's own
+// history — the property that keeps controller aggregates
+// worker-count-invariant. A networked collector (internal/collectorsvc)
+// keeps one per flow on the ingesting shard and reproduces the same
+// decisions from the hop counts carried on the wire.
+type DedupWindow struct {
 	n int
 	e [dedupEntries]struct {
 		reporter detect.SwitchID
@@ -188,13 +191,13 @@ type dedupState struct {
 	}
 }
 
-// reset clears the window for a new flow.
-func (d *dedupState) reset() { d.n = 0 }
+// Reset clears the window for a new flow.
+func (d *DedupWindow) Reset() { d.n = 0 }
 
-// deliverFlow is the data-plane delivery path: per-flow dedup against w,
+// DeliverFlow is the data-plane delivery path: per-flow dedup against w,
 // then the shared admission pipeline. hop is the reporting packet's hop
 // count when the report fired. Returns whether the event was accepted.
-func (c *Controller) deliverFlow(ev LoopEvent, w *dedupState, hop int) bool {
+func (c *Controller) DeliverFlow(ev LoopEvent, w *DedupWindow, hop int) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cfg.DedupWindow > 0 {
@@ -384,4 +387,27 @@ func (c *Controller) TopReporters() []detect.SwitchID {
 		return ids[i] < ids[j]
 	})
 	return ids
+}
+
+// MergeControllerStats folds per-shard snapshots into one aggregate.
+// Every monotonic counter sums, so the admission identities survive the
+// merge exactly: delivered = accepted + deduped + quarantined and
+// accepted = buffered + evicted + aged hold for the aggregate whenever
+// they hold per shard. Tick reports the maximum shard clock (shards of
+// one collector tick together; a straggler only lags, never leads).
+func MergeControllerStats(shards ...ControllerStats) ControllerStats {
+	var out ControllerStats
+	for _, s := range shards {
+		out.Delivered += s.Delivered
+		out.Accepted += s.Accepted
+		out.Deduped += s.Deduped
+		out.Quarantined += s.Quarantined
+		out.Evicted += s.Evicted
+		out.Aged += s.Aged
+		out.Buffered += s.Buffered
+		if s.Tick > out.Tick {
+			out.Tick = s.Tick
+		}
+	}
+	return out
 }

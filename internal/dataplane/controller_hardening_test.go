@@ -48,26 +48,26 @@ func TestControllerBoundedUnderMillionFlowChurn(t *testing.T) {
 // window passes, and distinct reporters never dedup against each other.
 func TestControllerDedupWindow(t *testing.T) {
 	c := NewControllerWithConfig(ControllerConfig{DedupWindow: 10})
-	var w dedupState
-	w.reset()
+	var w DedupWindow
+	w.Reset()
 	ev := func(rep detect.SwitchID) LoopEvent {
 		e := LoopEvent{Flow: 1}
 		e.Reporter = rep
 		return e
 	}
-	if !c.deliverFlow(ev(1), &w, 5) {
+	if !c.DeliverFlow(ev(1), &w, 5) {
 		t.Fatal("first report must be accepted")
 	}
-	if c.deliverFlow(ev(1), &w, 8) {
+	if c.DeliverFlow(ev(1), &w, 8) {
 		t.Fatal("repeat within window must dedup")
 	}
-	if c.deliverFlow(ev(1), &w, 14) {
+	if c.DeliverFlow(ev(1), &w, 14) {
 		t.Fatal("anchor is the accepted report at hop 5; hop 14 is still inside its window")
 	}
-	if !c.deliverFlow(ev(1), &w, 15) {
+	if !c.DeliverFlow(ev(1), &w, 15) {
 		t.Fatal("hop 15 is past the window; must be accepted")
 	}
-	if !c.deliverFlow(ev(2), &w, 16) {
+	if !c.DeliverFlow(ev(2), &w, 16) {
 		t.Fatal("a different reporter never dedups against reporter 1")
 	}
 	st := c.Stats()
@@ -82,12 +82,12 @@ func TestControllerDedupWindow(t *testing.T) {
 // suppressing a fresh reporter.
 func TestControllerDedupWindowOverflow(t *testing.T) {
 	c := NewControllerWithConfig(ControllerConfig{DedupWindow: 100})
-	var w dedupState
-	w.reset()
+	var w DedupWindow
+	w.Reset()
 	for i := 0; i < dedupEntries+1; i++ {
 		e := LoopEvent{}
 		e.Reporter = detect.SwitchID(i + 1)
-		if !c.deliverFlow(e, &w, i+1) {
+		if !c.DeliverFlow(e, &w, i+1) {
 			t.Fatalf("distinct reporter %d must be accepted", i+1)
 		}
 	}
@@ -95,7 +95,7 @@ func TestControllerDedupWindowOverflow(t *testing.T) {
 	// repeat inside the nominal window is accepted again.
 	e := LoopEvent{}
 	e.Reporter = 1
-	if !c.deliverFlow(e, &w, 50) {
+	if !c.DeliverFlow(e, &w, 50) {
 		t.Fatal("evicted anchor must not suppress its reporter")
 	}
 }

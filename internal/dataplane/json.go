@@ -1,0 +1,129 @@
+package dataplane
+
+import (
+	"encoding/json"
+
+	"github.com/unroller/unroller/internal/detect"
+)
+
+// This file pins the machine-readable schema shared by every surface
+// that exports controller state: collectord's /statsz admin endpoint,
+// the CLI tools, and any future dashboard all marshal through these
+// methods, so a field rename breaks one golden test instead of silently
+// forking the formats. Switch identifiers render in their operator form
+// ("sw-%08x", matching detect.SwitchID.String) rather than as raw
+// integers: the hex form is what appears in every log line, and a
+// schema whose IDs grep against the logs is worth four bytes per ID.
+
+// jsonControllerStats is the wire shape of ControllerStats. The field
+// set and order are frozen by TestControllerStatsJSONGolden.
+type jsonControllerStats struct {
+	Delivered   uint64 `json:"delivered"`
+	Accepted    uint64 `json:"accepted"`
+	Deduped     uint64 `json:"deduped"`
+	Quarantined uint64 `json:"quarantined"`
+	Evicted     uint64 `json:"evicted"`
+	Aged        uint64 `json:"aged"`
+	Buffered    int    `json:"buffered"`
+	Tick        uint64 `json:"tick"`
+}
+
+// MarshalJSON renders the snapshot with stable lower-case keys; the
+// admission identity delivered = accepted + deduped + quarantined holds
+// over the marshalled fields just as it does over the struct.
+func (s ControllerStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonControllerStats{
+		Delivered:   s.Delivered,
+		Accepted:    s.Accepted,
+		Deduped:     s.Deduped,
+		Quarantined: s.Quarantined,
+		Evicted:     s.Evicted,
+		Aged:        s.Aged,
+		Buffered:    s.Buffered,
+		Tick:        s.Tick,
+	})
+}
+
+// jsonLoopEvent is the wire shape of LoopEvent. Members is always
+// present (empty array for plain detection reports) so consumers can
+// index it unconditionally.
+type jsonLoopEvent struct {
+	Reporter string   `json:"reporter"`
+	Hops     int      `json:"hops"`
+	Node     int      `json:"node"`
+	Flow     uint32   `json:"flow"`
+	Members  []string `json:"members"`
+}
+
+// MarshalJSON renders the event with switch IDs in their log form.
+func (e LoopEvent) MarshalJSON() ([]byte, error) {
+	members := make([]string, len(e.Members))
+	for i, id := range e.Members {
+		members[i] = id.String()
+	}
+	return json.Marshal(jsonLoopEvent{
+		Reporter: e.Reporter.String(),
+		Hops:     e.Hops,
+		Node:     e.Node,
+		Flow:     e.Flow,
+		Members:  members,
+	})
+}
+
+// UnmarshalJSON accepts the schema MarshalJSON emits, so round-tripping
+// an event through a JSON pipeline preserves it.
+func (e *LoopEvent) UnmarshalJSON(b []byte) error {
+	var je jsonLoopEvent
+	if err := json.Unmarshal(b, &je); err != nil {
+		return err
+	}
+	reporter, err := parseSwitchID(je.Reporter)
+	if err != nil {
+		return err
+	}
+	members := make([]detect.SwitchID, 0, len(je.Members))
+	for _, m := range je.Members {
+		id, err := parseSwitchID(m)
+		if err != nil {
+			return err
+		}
+		members = append(members, id)
+	}
+	if len(members) == 0 {
+		members = nil
+	}
+	*e = LoopEvent{
+		Report: detect.Report{Reporter: reporter, Hops: je.Hops},
+		Node:   je.Node,
+		Flow:   je.Flow,
+	}
+	e.Members = members
+	return nil
+}
+
+// parseSwitchID inverts detect.SwitchID.String ("sw-%08x").
+func parseSwitchID(s string) (detect.SwitchID, error) {
+	if len(s) != 11 || s[:3] != "sw-" {
+		return 0, errBadSwitchID(s)
+	}
+	var v uint32
+	for _, c := range s[3:] {
+		var d uint32
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint32(c-'a') + 10
+		default:
+			return 0, errBadSwitchID(s)
+		}
+		v = v<<4 | d
+	}
+	return detect.SwitchID(v), nil
+}
+
+type errBadSwitchID string
+
+func (e errBadSwitchID) Error() string {
+	return "dataplane: malformed switch id " + string(e)
+}

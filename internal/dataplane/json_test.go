@@ -1,0 +1,100 @@
+package dataplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/unroller/unroller/internal/detect"
+)
+
+var updateJSON = flag.Bool("update", false, "rewrite JSON golden files from current output")
+
+// TestControllerJSONGolden pins the machine-readable schema shared by
+// collectord's admin endpoint and the CLI byte-for-byte. Changing a
+// field name, the key order, or the switch-ID rendering is a schema
+// break and must be done deliberately (regenerate with -update).
+func TestControllerJSONGolden(t *testing.T) {
+	stats := ControllerStats{
+		Delivered: 10, Accepted: 6, Deduped: 3, Quarantined: 1,
+		Evicted: 2, Aged: 1, Buffered: 3, Tick: 7,
+	}
+	event := LoopEvent{
+		Report: detect.Report{Reporter: 0xDEADBEEF, Hops: 9},
+		Node:   4,
+		Flow:   1234,
+		Members: []detect.SwitchID{
+			0xDEADBEEF, 0x00C0FFEE,
+		},
+	}
+	plain := LoopEvent{
+		Report: detect.Report{Reporter: 0x01020304, Hops: 2},
+		Node:   0,
+		Flow:   1,
+	}
+
+	var got bytes.Buffer
+	enc := json.NewEncoder(&got)
+	enc.SetIndent("", "  ")
+	for _, v := range []any{stats, event, plain} {
+		if err := enc.Encode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	golden := filepath.Join("testdata", "controller_json.golden")
+	if *updateJSON {
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatalf("updating golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("JSON schema drifted from %s\n--- got ---\n%s--- want ---\n%s", golden, got.String(), want)
+	}
+}
+
+// TestLoopEventJSONRoundTrip checks Unmarshal inverts Marshal, members
+// or not.
+func TestLoopEventJSONRoundTrip(t *testing.T) {
+	events := []LoopEvent{
+		{Report: detect.Report{Reporter: 0xABCD0123, Hops: 17}, Node: 3, Flow: 99,
+			Members: []detect.SwitchID{1, 2, 0xFFFFFFFF}},
+		{Report: detect.Report{Reporter: 1, Hops: 1}},
+	}
+	for _, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back LoopEvent
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if !reflect.DeepEqual(ev, back) {
+			t.Errorf("round trip: got %+v want %+v", back, ev)
+		}
+	}
+}
+
+// TestLoopEventJSONRejectsBadIDs checks malformed switch IDs error
+// rather than silently zeroing.
+func TestLoopEventJSONRejectsBadIDs(t *testing.T) {
+	for _, in := range []string{
+		`{"reporter":"deadbeef","hops":1,"node":0,"flow":0,"members":[]}`,
+		`{"reporter":"sw-XYZ","hops":1,"node":0,"flow":0,"members":[]}`,
+		`{"reporter":"sw-00000001","hops":1,"node":0,"flow":0,"members":["nope"]}`,
+	} {
+		var ev LoopEvent
+		if err := json.Unmarshal([]byte(in), &ev); err == nil {
+			t.Errorf("accepted malformed input %s", in)
+		}
+	}
+}

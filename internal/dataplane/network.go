@@ -59,7 +59,22 @@ type Network struct {
 	// itself be safe for concurrent use before driving the network from
 	// multiple goroutines.
 	OnHop func(node int, sw detect.SwitchID, p *Packet)
+
+	// OnReport, when set, observes every loop report raised in the data
+	// plane — the raw pre-admission stream, fired whether or not the
+	// local Controller accepts the event. hop is the reporting packet's
+	// hop count when the report fired, the context a remote collector
+	// needs to replay per-flow dedup decisions (see
+	// internal/collectorsvc). Called from Send's hop loop, so it must be
+	// safe for concurrent use before driving the network from multiple
+	// goroutines; ev.Members is heap-owned and safe to retain.
+	OnReport ReportHook
 }
+
+// ReportHook observes a loop report leaving the data plane. The
+// emulator's -collector mode installs one that streams events to a
+// remote collectord.
+type ReportHook func(ev LoopEvent, hop int)
 
 // NewNetwork builds switches over g with identifiers from assign, all
 // running the same Unroller configuration.
@@ -357,9 +372,9 @@ type sendScratch struct {
 	// shared atomic counters; the owner merges it via mergeLoads once
 	// its batch completes.
 	loads []uint64
-	// dedup is the per-flow report-dedup window (see dedupState); it is
+	// dedup is the per-flow report-dedup window (see DedupWindow); it is
 	// reset at the start of every journey.
-	dedup dedupState
+	dedup DedupWindow
 }
 
 // Send injects a packet at the network edge (node src) destined to node
@@ -412,7 +427,7 @@ func (n *Network) send(sc *sendScratch, f Flow, tr *Trace) (TraceSummary, error)
 		sc.tel = tel
 		p.Telemetry = tel
 	}
-	sc.dedup.reset()
+	sc.dedup.Reset()
 	cur := f.Src
 	// tainted records that an earlier hop's wire corruption struck this
 	// packet: any later parse or pipeline failure is then the fault
@@ -467,12 +482,16 @@ func (n *Network) send(sc *sendScratch, f Flow, tr *Trace) (TraceSummary, error)
 			if tr != nil && tr.Report == nil {
 				tr.Report = dec.LoopReport
 			}
-			n.Controller.deliverFlow(LoopEvent{
+			ev := LoopEvent{
 				Report:  *dec.LoopReport,
 				Node:    sw.Node,
 				Flow:    f.ID,
 				Members: dec.Members,
-			}, &sc.dedup, sum.Hops)
+			}
+			n.Controller.DeliverFlow(ev, &sc.dedup, sum.Hops)
+			if n.OnReport != nil {
+				n.OnReport(ev, sum.Hops)
+			}
 		}
 		switch dec.Disposition {
 		case Deliver, DropTTL, DropNoRoute, DropLoop, DropLink:

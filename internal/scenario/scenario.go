@@ -61,6 +61,15 @@ type Result struct {
 // count. The returned result is byte-for-byte reproducible from (name,
 // seed) — the worker count only changes how fast it arrives.
 func Run(name string, seed uint64, workers int) (*Result, error) {
+	return RunStreamed(name, seed, workers, nil)
+}
+
+// RunStreamed is Run with a report hook attached: every loop report the
+// data plane delivers to the in-process controller is also handed to
+// hook, which is how the emulator streams a scenario to a collectord.
+// The hook is called from engine worker goroutines concurrently and
+// must be safe for that; a nil hook makes this identical to Run.
+func RunStreamed(name string, seed uint64, workers int, hook dataplane.ReportHook) (*Result, error) {
 	b, ok := scenarios[name]
 	if !ok {
 		return nil, fmt.Errorf("scenario: unknown scenario %q (have %s)", name, strings.Join(Names(), ", "))
@@ -69,6 +78,7 @@ func Run(name string, seed uint64, workers int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	net.OnReport = hook
 	eng := dataplane.NewTrafficEngine(net, workers)
 	churn, err := dataplane.RunChurn(eng, plan, epochs)
 	if err != nil {
