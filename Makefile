@@ -5,8 +5,8 @@
 #   make lint    go vet + the project's own analyzers (unroller-vet)
 #   make race    unit tests under the race detector
 #   make fuzz    smoke run of every fuzz target (bitpack 5s each,
-#                dataplane packet wire format and collectorsvc report
-#                frames 10s each)
+#                dataplane packet wire format, collectorsvc report
+#                frames, and journal segments 10s each)
 #   make bench   full benchmark run with allocation stats
 #   make ci      the full gate (ci.sh): build, vet, unroller-vet,
 #                race tests, fuzz smoke, bench smoke
@@ -33,6 +33,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzWriterRoundTrip$$' -fuzztime 5s ./internal/bitpack
 	$(GO) test -run '^$$' -fuzz '^FuzzPacket$$' -fuzztime 10s ./internal/dataplane
 	$(GO) test -run '^$$' -fuzz '^FuzzReportFrame$$' -fuzztime 10s ./internal/collectorsvc
+	$(GO) test -run '^$$' -fuzz '^FuzzJournalSegment$$' -fuzztime 10s ./internal/collectorsvc
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -601,12 +601,33 @@ func BenchmarkHeaderCodec(b *testing.B) {
 // protocol into a sharded collectord, timed from first enqueue to the
 // last acknowledgement. reports/s is the headline (the rate one switch
 // connection can sustain); ns/op and allocs/op are per report.
-func BenchmarkCollectorIngest(b *testing.B) {
-	srv := collectorsvc.NewServer(collectorsvc.ServerConfig{
+func BenchmarkCollectorIngest(b *testing.B)          { benchCollectorIngest(b, false) }
+func BenchmarkCollectorIngestJournaled(b *testing.B) { benchCollectorIngest(b, true) }
+
+func benchCollectorIngest(b *testing.B, journaled bool) {
+	cfg := collectorsvc.ServerConfig{
 		Shards:     4,
 		QueueDepth: 1 << 14,
 		Controller: dataplane.ControllerConfig{MaxEvents: 1024, DedupWindow: 8},
-	})
+	}
+	var srv *collectorsvc.Server
+	if journaled {
+		// The journaled variant pays the write-ahead commit before every
+		// ack (default fsync-interval policy): the delta against the
+		// plain benchmark is the full durability overhead.
+		j, err := collectorsvc.OpenJournal(collectorsvc.JournalConfig{Dir: b.TempDir()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer j.Close()
+		cfg.Journal = j
+		srv, _, err = collectorsvc.NewRecoveredServer(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	} else {
+		srv = collectorsvc.NewServer(cfg)
+	}
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)

@@ -15,14 +15,24 @@
 #   collector e2e a second, explicit race-enabled run of the collectord
 #                 end-to-end suite (16 concurrent clients streaming a
 #                 scenario through the framed TCP protocol, connection
-#                 kills, exact aggregate accounting) — the service gate
+#                 kills, exact aggregate accounting), including the
+#                 seeded chaosnet gate (latency, fragmented writes,
+#                 mid-frame resets — accounting must stay exact) and the
+#                 in-package journal kill-recover property — the
+#                 service gate
+#   kill-recover  race-enabled run of the process-level crash test: a
+#                 journaled collectord SIGKILLed mid-ingest, restarted
+#                 on the same journal directory, final accounting shows
+#                 every event ingested exactly once
 #   fuzz smoke    5s of each bitpack fuzz target and 10s each of the
-#                 packet wire-format and collector report-frame targets
-#                 (`-fuzz Fuzz` would refuse to run because several
-#                 targets match, so each is invoked by exact name)
-#   bench smoke   one iteration of the traffic-engine and collector
-#                 ingest benchmarks — not a measurement, just proof the
-#                 concurrent injection and ingest paths stay runnable
+#                 packet wire-format, collector report-frame, and
+#                 journal segment targets (`-fuzz Fuzz` would refuse to
+#                 run because several targets match, so each is invoked
+#                 by exact name)
+#   bench smoke   one iteration of the traffic-engine, collector
+#                 ingest (plain and journaled), and journal append
+#                 benchmarks — not a measurement, just proof those
+#                 paths stay runnable
 set -eu
 
 cd "$(dirname "$0")"
@@ -39,8 +49,11 @@ go run ./cmd/unroller-vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> collector e2e under race (16 clients, kills, exact accounting)"
-go test -race -run 'TestCollector' -count 1 ./internal/collectorsvc
+echo "==> collector e2e under race (16 clients, kills, chaosnet, journal recovery, exact accounting)"
+go test -race -run 'TestCollector|TestRecovery' -count 1 ./internal/collectorsvc
+
+echo "==> collectord kill-recover under race (SIGKILL mid-ingest, exactly-once across restart)"
+go test -race -run 'TestCollectordKillRecover' -count 1 ./cmd/unroller-collectord
 
 echo "==> fuzz smoke (internal/bitpack, 5s per target)"
 go test -run '^$' -fuzz '^FuzzReader$' -fuzztime 5s ./internal/bitpack
@@ -52,7 +65,11 @@ go test -run '^$' -fuzz '^FuzzPacket$' -fuzztime 10s ./internal/dataplane
 echo "==> fuzz smoke (internal/collectorsvc report frames, 10s)"
 go test -run '^$' -fuzz '^FuzzReportFrame$' -fuzztime 10s ./internal/collectorsvc
 
+echo "==> fuzz smoke (internal/collectorsvc journal segments, 10s)"
+go test -run '^$' -fuzz '^FuzzJournalSegment$' -fuzztime 10s ./internal/collectorsvc
+
 echo "==> bench smoke (traffic engine + collector ingest, 1 iteration)"
 go test -run '^$' -bench 'TrafficEngine|NetworkSend|CollectorIngest' -benchtime 1x .
+go test -run '^$' -bench 'JournalAppend' -benchtime 1x ./internal/collectorsvc
 
 echo "==> ci.sh: all gates passed"

@@ -13,6 +13,18 @@
 //	                    [-queue 1024] [-dedup 8] [-max-events 4096]
 //	                    [-quarantine-after 0] [-quarantine-ticks 0]
 //	                    [-max-age 0] [-ack-every 64]
+//	                    [-journal DIR] [-fsync interval] [-segment-bytes N]
+//	                    [-retain 8] [-read-timeout 30s] [-write-timeout 10s]
+//	                    [-max-conns 256]
+//
+// With -journal, every accepted frame is committed to a write-ahead
+// journal before it is acknowledged, and a restart on the same
+// directory replays it: sequence high-water marks, dedup state, and the
+// accounting counters all survive a SIGKILL, so clients that reconnect
+// and retransmit are deduplicated instead of double-ingested. -fsync
+// picks the durability point (always | interval | never — see
+// DESIGN.md §9 for the trade-offs). The admin listener additionally
+// serves /healthz (503 once the journal has failed).
 //
 // SIGINT or SIGTERM drains gracefully: stop accepting, close
 // connections, flush every shard queue into its controller, then print
@@ -45,12 +57,22 @@ func main() {
 		qTicks   = flag.Int("quarantine-ticks", 0, "ticks a quarantined reporter stays muted")
 		maxAge   = flag.Int("max-age", 0, "age out buffered events after this many ticks (0 = never)")
 		ackEvery = flag.Int("ack-every", collectorsvc.DefaultAckEvery, "acknowledge at least every N frames")
+		journal  = flag.String("journal", "", "write-ahead journal directory (empty = no journal, no crash recovery)")
+		fsync    = flag.String("fsync", "interval", "journal fsync policy: always | interval | never")
+		segBytes = flag.Int64("segment-bytes", collectorsvc.DefaultSegmentBytes, "journal bytes per segment before rotation")
+		retain   = flag.Int("retain", collectorsvc.DefaultMaxSegments, "journal segments retained after rotation")
+		readTO   = flag.Duration("read-timeout", collectorsvc.DefaultReadTimeout, "per-frame ingest read deadline (idle/dead peers are reaped)")
+		writeTO  = flag.Duration("write-timeout", collectorsvc.DefaultWriteTimeout, "ack write deadline")
+		maxConns = flag.Int("max-conns", collectorsvc.DefaultMaxConns, "concurrent ingest connections before rejecting at accept")
 	)
 	flag.Parse()
 	cfg := collectorsvc.ServerConfig{
-		Shards:     *shards,
-		QueueDepth: *queue,
-		AckEvery:   *ackEvery,
+		Shards:       *shards,
+		QueueDepth:   *queue,
+		AckEvery:     *ackEvery,
+		ReadTimeout:  *readTO,
+		WriteTimeout: *writeTO,
+		MaxConns:     *maxConns,
 		Controller: dataplane.ControllerConfig{
 			MaxEvents:       *maxEv,
 			DedupWindow:     *dedup,
@@ -58,6 +80,20 @@ func main() {
 			QuarantineTicks: *qTicks,
 			MaxAgeTicks:     *maxAge,
 		},
+	}
+	var jcfg *collectorsvc.JournalConfig
+	if *journal != "" {
+		policy, err := collectorsvc.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unroller-collectord: %v\n", err)
+			os.Exit(2)
+		}
+		jcfg = &collectorsvc.JournalConfig{
+			Dir:          *journal,
+			SegmentBytes: *segBytes,
+			MaxSegments:  *retain,
+			Fsync:        policy,
+		}
 	}
 
 	stop := make(chan struct{})
@@ -69,7 +105,7 @@ func main() {
 		close(stop)
 	}()
 
-	if err := run(os.Stdout, cfg, *listen, *admin, stop, nil); err != nil {
+	if err := run(os.Stdout, cfg, jcfg, *listen, *admin, stop, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "unroller-collectord: %v\n", err)
 		os.Exit(1)
 	}
@@ -79,8 +115,28 @@ func main() {
 // prints the final accounting. It is main minus the process concerns:
 // tests drive it with their own stop channel and read the bound
 // addresses from ready (ingest address first, then admin when enabled).
-func run(w io.Writer, cfg collectorsvc.ServerConfig, listen, admin string, stop <-chan struct{}, ready chan<- net.Addr) error {
-	srv := collectorsvc.NewServer(cfg)
+// A non-nil jcfg journals ingest and replays the directory before the
+// listener opens.
+func run(w io.Writer, cfg collectorsvc.ServerConfig, jcfg *collectorsvc.JournalConfig, listen, admin string, stop <-chan struct{}, ready chan<- net.Addr) error {
+	var srv *collectorsvc.Server
+	if jcfg != nil {
+		j, err := collectorsvc.OpenJournal(*jcfg)
+		if err != nil {
+			return err
+		}
+		cfg.Journal = j
+		var rec collectorsvc.RecoveryStats
+		srv, rec, err = collectorsvc.NewRecoveredServer(cfg)
+		if err != nil {
+			j.Close()
+			return err
+		}
+		defer j.Close()
+		fmt.Fprintf(w, "journal: %s (fsync=%s) recovered records=%d snapshots=%d truncated=%d clients=%d flows=%d ingested=%d ticks=%d\n",
+			jcfg.Dir, jcfg.Fsync, rec.Records, rec.Snapshots, rec.TruncatedBytes, rec.Clients, rec.Flows, rec.Ingested, rec.Ticks)
+	} else {
+		srv = collectorsvc.NewServer(cfg)
+	}
 	addr, err := srv.Start(listen)
 	if err != nil {
 		return err
@@ -112,8 +168,13 @@ func run(w io.Writer, cfg collectorsvc.ServerConfig, listen, admin string, stop 
 	srv.Shutdown()
 
 	st := srv.Stats()
-	fmt.Fprintf(w, "final: conns=%d frames=%d bad=%d dupes=%d ingested=%d ticks=%d queue_dropped=%d\n",
-		st.Conns, st.Frames, st.BadFrames, st.Dupes, st.Ingested, st.Ticks, st.QueueDropped)
+	fmt.Fprintf(w, "final: conns=%d frames=%d bad=%d dupes=%d ingested=%d ticks=%d queue_dropped=%d shedded_ticks=%d conns_rejected=%d\n",
+		st.Conns, st.Frames, st.BadFrames, st.Dupes, st.Ingested, st.Ticks, st.QueueDropped, st.SheddedTicks, st.ConnsRejected)
+	if j := srv.Journal(); j != nil {
+		jst := j.Stats()
+		fmt.Fprintf(w, "journal: segments=%d bytes=%d appends=%d append_errors=%d rotations=%d\n",
+			jst.Segments, jst.Bytes, jst.Appends, jst.AppendErrors, jst.Rotations)
+	}
 	fmt.Fprintf(w, "aggregate: %s\n", srv.ControllerStats())
 	for i, cs := range srv.ShardStats() {
 		fmt.Fprintf(w, "shard %d: %s\n", i, cs)

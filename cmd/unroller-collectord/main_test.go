@@ -24,7 +24,7 @@ func TestRunServesAndDrains(t *testing.T) {
 	stop := make(chan struct{})
 	ready := make(chan net.Addr, 2)
 	done := make(chan error, 1)
-	go func() { done <- run(&out, cfg, "127.0.0.1:0", "127.0.0.1:0", stop, ready) }()
+	go func() { done <- run(&out, cfg, nil, "127.0.0.1:0", "127.0.0.1:0", stop, ready) }()
 	addr := <-ready
 	<-ready // admin
 
@@ -66,10 +66,10 @@ func TestRunRejectsBadListenAddrs(t *testing.T) {
 	var out bytes.Buffer
 	stop := make(chan struct{})
 	close(stop)
-	if err := run(&out, collectorsvc.ServerConfig{}, "not-an-address", "", stop, nil); err == nil {
+	if err := run(&out, collectorsvc.ServerConfig{}, nil, "not-an-address", "", stop, nil); err == nil {
 		t.Error("bad ingest address accepted")
 	}
-	if err := run(&out, collectorsvc.ServerConfig{}, "127.0.0.1:0", "not-an-address", stop, nil); err == nil {
+	if err := run(&out, collectorsvc.ServerConfig{}, nil, "127.0.0.1:0", "not-an-address", stop, nil); err == nil {
 		t.Error("bad admin address accepted")
 	}
 }

@@ -58,13 +58,22 @@ func main() {
 		workers   = flag.Int("workers", 0, "bulk/scenario mode: worker goroutines (0 = GOMAXPROCS)")
 		scen      = flag.String("scenario", "", "scenario mode: replay this named churn scenario (see -scenario help)")
 		collector = flag.String("collector", "", "stream loop reports to a collectord at this host:port")
+		heartbeat = flag.Duration("collector-heartbeat", collectorsvc.DefaultHeartbeatEvery, "keep-alive heartbeat interval on an idle collector session")
+		stale     = flag.Duration("collector-stale", collectorsvc.DefaultStaleTimeout, "reconnect when the collector acks nothing for this long")
+		flush     = flag.Duration("collector-flush", collectorsvc.DefaultFlushTimeout, "at exit, wait at most this long to drain pending reports")
 	)
 	flag.Parse()
 	var hook dataplane.ReportHook
 	var client *collectorsvc.Client
 	if *collector != "" {
 		var err error
-		client, err = collectorsvc.NewClient(collectorsvc.ClientConfig{Addr: *collector, Seed: *seed})
+		client, err = collectorsvc.NewClient(collectorsvc.ClientConfig{
+			Addr:           *collector,
+			Seed:           *seed,
+			HeartbeatEvery: *heartbeat,
+			StaleTimeout:   *stale,
+			FlushTimeout:   *flush,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "unroller-emu: %v\n", err)
 			os.Exit(1)

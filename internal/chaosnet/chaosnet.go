@@ -1,0 +1,381 @@
+// Package chaosnet is a seeded fault-injection wrapper around net.Conn
+// and net.Listener: the transport-level counterpart of the churn
+// harness's in-network fault plans (internal/dataplane FaultPlan). The
+// collector pipeline promises exact accounting across "TCP, partial
+// writes, connection kills, slow consumers" (DESIGN §8) — chaosnet makes
+// every one of those failure modes injectable on purpose, with a seed,
+// instead of hoping a loopback test happens to hit them.
+//
+// Fault model (per I/O operation, decided by a seeded generator):
+//
+//   - latency: sleep a bounded, seeded duration before the operation;
+//   - chunked writes: deliver a write as several small underlying writes
+//     (the TCP partial-write behaviour bufio hides), exercising the
+//     peer's frame reassembly;
+//   - mid-frame reset: deliver a strict prefix of a write, then close
+//     the underlying connection and fail the operation — tearing
+//     whatever frame was in flight;
+//   - corruption: flip one byte of a write before it reaches the wire;
+//   - half-open blackhole: the connection stays up but the peer stops
+//     participating — reads and writes block until the deadline set via
+//     SetReadDeadline/SetWriteDeadline expires (or Close), which is
+//     exactly the failure that unarmed deadlines turn into a goroutine
+//     leak.
+//
+// Determinism: every Conn carries two generators (one per direction),
+// derived from (Chaos seed, connection index). A fault schedule is
+// therefore a pure function of the seed and that direction's operation
+// sequence — concurrent readers and writers cannot perturb each other's
+// schedules, and a seeded test replays the same faults every run.
+package chaosnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/unroller/unroller/internal/xhash"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// Config tunes the fault mix. Probabilities are in parts per 65536 per
+// operation (0 = never, 65536 = every operation); the zero value injects
+// nothing and passes every call through.
+type Config struct {
+	// Seed derives every per-connection generator. Two Chaos instances
+	// with the same seed and config produce identical fault schedules
+	// for identical operation sequences.
+	Seed uint64
+	// LatencyProb delays an operation by a seeded duration drawn from
+	// [LatencyMin, LatencyMax].
+	LatencyProb            uint32
+	LatencyMin, LatencyMax time.Duration
+	// ChunkProb splits a write into several underlying writes (TCP
+	// partial-write fragmentation). The full buffer is still delivered.
+	ChunkProb uint32
+	// ResetProb tears the connection mid-operation: a strict prefix of
+	// the buffer is delivered, the underlying connection is closed, and
+	// the operation fails.
+	ResetProb uint32
+	// CorruptProb flips one byte of a written buffer.
+	CorruptProb uint32
+	// BlackholeProb turns the connection half-open before an operation:
+	// from then on reads and writes block until their deadline (or
+	// Close). Writes already half-done are unaffected.
+	BlackholeProb uint32
+	// FaultFreeOps exempts the first N operations in each direction, so
+	// a session can always get past its handshake before chaos begins.
+	FaultFreeOps int
+}
+
+// Stats counts injected faults across every connection of one Chaos.
+type Stats struct {
+	Conns       uint64 `json:"conns"`
+	Delays      uint64 `json:"delays"`
+	Chunks      uint64 `json:"chunks"`
+	Resets      uint64 `json:"resets"`
+	Corruptions uint64 `json:"corruptions"`
+	Blackholes  uint64 `json:"blackholes"`
+}
+
+// Chaos derives deterministic per-connection fault injectors. Safe for
+// concurrent use.
+type Chaos struct {
+	cfg   Config
+	conns atomic.Uint64
+
+	delays      atomic.Uint64
+	chunks      atomic.Uint64
+	resets      atomic.Uint64
+	corruptions atomic.Uint64
+	blackholes  atomic.Uint64
+}
+
+// New returns a Chaos injecting cfg's fault mix.
+func New(cfg Config) *Chaos { return &Chaos{cfg: cfg} }
+
+// Stats snapshots the injected-fault counters.
+func (c *Chaos) Stats() Stats {
+	return Stats{
+		Conns:       c.conns.Load(),
+		Delays:      c.delays.Load(),
+		Chunks:      c.chunks.Load(),
+		Resets:      c.resets.Load(),
+		Corruptions: c.corruptions.Load(),
+		Blackholes:  c.blackholes.Load(),
+	}
+}
+
+// Wrap wraps conn with the next connection index's fault schedule.
+func (c *Chaos) Wrap(conn net.Conn) *Conn {
+	idx := c.conns.Add(1)
+	return &Conn{
+		Conn:  conn,
+		chaos: c,
+		rd:    faultState{rng: xrand.New(xhash.Mix64(c.cfg.Seed ^ 2*idx))},
+		wr:    faultState{rng: xrand.New(xhash.Mix64(c.cfg.Seed ^ (2*idx + 1)))},
+	}
+}
+
+// Dialer wraps dial so every connection it returns carries a chaos
+// schedule. Plugs straight into collectorsvc's ClientConfig.Dial hook.
+func (c *Chaos) Dialer(dial func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		conn, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return c.Wrap(conn), nil
+	}
+}
+
+// Listener wraps ln so every accepted connection carries a chaos
+// schedule (server-side injection).
+func (c *Chaos) Listener(ln net.Listener) net.Listener { return &listener{Listener: ln, chaos: c} }
+
+type listener struct {
+	net.Listener
+	chaos *Chaos
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.chaos.Wrap(conn), nil
+}
+
+// faultState is one direction's seeded schedule. Guarded by mu so a
+// stray concurrent call cannot corrupt the generator, but the schedule
+// itself depends only on this direction's operation count.
+type faultState struct {
+	mu  sync.Mutex
+	rng *xrand.Rand
+	ops int
+}
+
+// Conn is a fault-injecting net.Conn. Reads and writes consult their
+// direction's schedule; deadlines are honoured even while blackholed.
+type Conn struct {
+	net.Conn
+	chaos *Chaos
+	rd    faultState
+	wr    faultState
+
+	mu            sync.Mutex
+	blackholed    bool
+	closed        chan struct{}
+	closeOnce     sync.Once
+	readDeadline  time.Time
+	writeDeadline time.Time
+}
+
+// timeoutError is the net.Error returned when a blackholed operation's
+// deadline expires — indistinguishable, to the caller, from a real
+// kernel timeout.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "chaosnet: i/o timeout (blackholed)" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// plan is one operation's fault decision.
+type plan struct {
+	delay     time.Duration
+	chunk     bool
+	reset     bool
+	corrupt   bool
+	blackhole bool
+}
+
+// next draws the fault plan for the next operation in this direction.
+func (c *Conn) next(fs *faultState) plan {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.ops++
+	if fs.ops <= c.chaos.cfg.FaultFreeOps {
+		return plan{}
+	}
+	cfg := &c.chaos.cfg
+	var p plan
+	roll := func(prob uint32) bool {
+		if prob == 0 {
+			return false
+		}
+		return uint32(fs.rng.Uint64n(1<<16)&0xFFFF) < prob
+	}
+	if roll(cfg.LatencyProb) {
+		span := cfg.LatencyMax - cfg.LatencyMin
+		p.delay = cfg.LatencyMin
+		if span > 0 {
+			p.delay += time.Duration(fs.rng.Uint64n(uint64(span) + 1))
+		}
+	}
+	p.chunk = roll(cfg.ChunkProb)
+	p.reset = roll(cfg.ResetProb)
+	p.corrupt = roll(cfg.CorruptProb)
+	p.blackhole = roll(cfg.BlackholeProb)
+	return p
+}
+
+// enterBlackhole flips the connection half-open.
+func (c *Conn) enterBlackhole() {
+	c.mu.Lock()
+	if !c.blackholed {
+		c.blackholed = true
+		if c.closed == nil {
+			c.closed = make(chan struct{})
+		}
+		c.chaos.blackholes.Add(1)
+	}
+	c.mu.Unlock()
+}
+
+// blockUntil parks a blackholed operation until its deadline or Close.
+// It polls the deadline (which SetReadDeadline/SetWriteDeadline may move
+// at any time) rather than arming a timer against a snapshot of it.
+func (c *Conn) blockUntil(read bool) error {
+	for {
+		c.mu.Lock()
+		d := c.writeDeadline
+		if read {
+			d = c.readDeadline
+		}
+		closed := c.closed
+		c.mu.Unlock()
+		if !d.IsZero() && !time.Now().Before(d) {
+			return timeoutError{}
+		}
+		wait := 500 * time.Microsecond
+		if closed != nil {
+			select {
+			case <-closed:
+				return net.ErrClosed
+			case <-time.After(wait):
+			}
+		} else {
+			time.Sleep(wait)
+		}
+	}
+}
+
+// isBlackholed reports whether the half-open fault has triggered.
+func (c *Conn) isBlackholed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.blackholed
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	pl := c.next(&c.rd)
+	if pl.delay > 0 {
+		c.chaos.delays.Add(1)
+		time.Sleep(pl.delay)
+	}
+	if pl.blackhole {
+		c.enterBlackhole()
+	}
+	if c.isBlackholed() {
+		return 0, c.blockUntil(true)
+	}
+	if pl.reset {
+		c.chaos.resets.Add(1)
+		c.Conn.Close()
+		return 0, fmt.Errorf("chaosnet: injected read reset")
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	pl := c.next(&c.wr)
+	if pl.delay > 0 {
+		c.chaos.delays.Add(1)
+		time.Sleep(pl.delay)
+	}
+	if pl.blackhole {
+		c.enterBlackhole()
+	}
+	if c.isBlackholed() {
+		return 0, c.blockUntil(false)
+	}
+	buf := p
+	if pl.corrupt && len(p) > 0 {
+		c.chaos.corruptions.Add(1)
+		buf = append([]byte(nil), p...)
+		fs := &c.wr
+		fs.mu.Lock()
+		pos := int(fs.rng.Uint64n(uint64(len(buf))))
+		flip := byte(fs.rng.Uint64n(255)) + 1 // never a zero XOR
+		fs.mu.Unlock()
+		buf[pos] ^= flip
+	}
+	if pl.reset {
+		c.chaos.resets.Add(1)
+		n := 0
+		if len(buf) > 1 {
+			c.wr.mu.Lock()
+			n = int(c.wr.rng.Uint64n(uint64(len(buf)))) // strict prefix
+			c.wr.mu.Unlock()
+		}
+		if n > 0 {
+			c.Conn.Write(buf[:n])
+		}
+		c.Conn.Close()
+		return n, fmt.Errorf("chaosnet: injected reset after %d of %d bytes", n, len(p))
+	}
+	if pl.chunk && len(buf) > 1 {
+		c.chaos.chunks.Add(1)
+		c.wr.mu.Lock()
+		pieces := 2 + int(c.wr.rng.Uint64n(3))
+		c.wr.mu.Unlock()
+		size := len(buf)/pieces + 1
+		for off := 0; off < len(buf); off += size {
+			end := off + size
+			if end > len(buf) {
+				end = len(buf)
+			}
+			if _, err := c.Conn.Write(buf[off:end]); err != nil {
+				return off, err
+			}
+		}
+		return len(p), nil
+	}
+	n, err := c.Conn.Write(buf)
+	return n, err
+}
+
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.mu.Lock()
+		if c.closed == nil {
+			c.closed = make(chan struct{})
+		}
+		close(c.closed)
+		c.mu.Unlock()
+	})
+	return c.Conn.Close()
+}
+
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline, c.writeDeadline = t, t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}

@@ -1,0 +1,292 @@
+package chaosnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a connected TCP pair over loopback (net.Pipe has no
+// deadline-free buffering, so real sockets keep the tests honest).
+func pipePair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		client.Close()
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.c.Close() })
+	return client, r.c
+}
+
+// TestPassthroughWhenQuiet: the zero config injects nothing — bytes flow
+// unmodified in both directions.
+func TestPassthroughWhenQuiet(t *testing.T) {
+	a, b := pipePair(t)
+	ch := New(Config{Seed: 1})
+	wrapped := ch.Wrap(a)
+	msg := []byte("the quick brown packet jumps over the lazy switch")
+	if _, err := wrapped.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("payload mutated: %q", got)
+	}
+	st := ch.Stats()
+	if st.Resets+st.Corruptions+st.Chunks+st.Delays+st.Blackholes != 0 {
+		t.Errorf("quiet config injected faults: %+v", st)
+	}
+}
+
+// TestDeterministicSchedule: two Chaos instances with the same seed
+// produce the identical per-operation fault plan sequence.
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{
+		Seed:          42,
+		ChunkProb:     1 << 14,
+		ResetProb:     1 << 13,
+		CorruptProb:   1 << 12,
+		BlackholeProb: 1 << 10,
+	}
+	drawPlans := func() []plan {
+		c := New(cfg).Wrap(nil) // next() never touches the inner conn
+		out := make([]plan, 0, 200)
+		for i := 0; i < 200; i++ {
+			out = append(out, c.next(&c.wr))
+		}
+		return out
+	}
+	a, b := drawPlans(), drawPlans()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: schedules diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// A different seed must actually change the schedule.
+	cfg.Seed = 43
+	c := New(cfg).Wrap(nil)
+	same := true
+	for i := 0; i < 200; i++ {
+		if c.next(&c.wr) != a[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// TestChunkedWriteDeliversEverything: fragmentation changes the syscall
+// pattern, never the bytes.
+func TestChunkedWriteDeliversEverything(t *testing.T) {
+	a, b := pipePair(t)
+	ch := New(Config{Seed: 3, ChunkProb: 1 << 16})
+	wrapped := ch.Wrap(a)
+	msg := make([]byte, 4096)
+	for i := range msg {
+		msg[i] = byte(i % 251)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := wrapped.Write(msg)
+		done <- err
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("chunked write corrupted the payload")
+	}
+	if ch.Stats().Chunks == 0 {
+		t.Error("chunk fault never fired at probability 1")
+	}
+}
+
+// TestResetTearsMidWrite: a reset delivers a strict prefix and then
+// fails both this write and the connection.
+func TestResetTearsMidWrite(t *testing.T) {
+	a, b := pipePair(t)
+	ch := New(Config{Seed: 5, ResetProb: 1 << 16})
+	wrapped := ch.Wrap(a)
+	msg := make([]byte, 1024)
+	n, err := wrapped.Write(msg)
+	if err == nil {
+		t.Fatal("reset write succeeded")
+	}
+	if n >= len(msg) {
+		t.Fatalf("reset delivered %d of %d bytes (not a strict prefix)", n, len(msg))
+	}
+	// The peer sees the prefix then EOF/reset — never the full message.
+	got, _ := io.ReadAll(b)
+	if len(got) >= len(msg) {
+		t.Fatalf("peer received %d bytes after a reset of a %d-byte write", len(got), len(msg))
+	}
+	if ch.Stats().Resets == 0 {
+		t.Error("reset not counted")
+	}
+	if _, err := wrapped.Write(msg); err == nil {
+		t.Error("write after reset succeeded")
+	}
+}
+
+// TestCorruptionFlipsExactlyOneByte at probability 1 with no other
+// faults, the payload arrives with a single byte changed.
+func TestCorruptionFlipsExactlyOneByte(t *testing.T) {
+	a, b := pipePair(t)
+	ch := New(Config{Seed: 7, CorruptProb: 1 << 16})
+	wrapped := ch.Wrap(a)
+	msg := make([]byte, 256)
+	if _, err := wrapped.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != msg[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d bytes differ, want exactly 1", diff)
+	}
+	// The caller's buffer must never be mutated.
+	for i := range msg {
+		if msg[i] != 0 {
+			t.Fatal("corruption mutated the caller's buffer")
+		}
+	}
+}
+
+// TestBlackholeHonoursDeadline: a half-open connection blocks reads
+// until the read deadline expires with a net.Error timeout — the
+// behaviour deadline-armed servers rely on to reap dead peers.
+func TestBlackholeHonoursDeadline(t *testing.T) {
+	a, _ := pipePair(t)
+	ch := New(Config{Seed: 9, BlackholeProb: 1 << 16})
+	wrapped := ch.Wrap(a)
+	wrapped.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, err := wrapped.Read(make([]byte, 16))
+	elapsed := time.Since(start)
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("blackholed read returned %v, want a net.Error timeout", err)
+	}
+	if elapsed < 40*time.Millisecond || elapsed > 5*time.Second {
+		t.Errorf("deadline fired after %v, want ~50ms", elapsed)
+	}
+	if ch.Stats().Blackholes == 0 {
+		t.Error("blackhole not counted")
+	}
+}
+
+// TestBlackholeUnblocksOnClose: Close releases a parked operation even
+// with no deadline armed.
+func TestBlackholeUnblocksOnClose(t *testing.T) {
+	a, _ := pipePair(t)
+	ch := New(Config{Seed: 11, BlackholeProb: 1 << 16})
+	wrapped := ch.Wrap(a)
+	done := make(chan error, 1)
+	go func() {
+		_, err := wrapped.Read(make([]byte, 16))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	wrapped.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("blackholed read succeeded after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blackholed read never returned after Close")
+	}
+}
+
+// TestFaultFreeOps: the handshake exemption passes the first N
+// operations through untouched even at probability 1.
+func TestFaultFreeOps(t *testing.T) {
+	a, b := pipePair(t)
+	ch := New(Config{Seed: 13, ResetProb: 1 << 16, FaultFreeOps: 2})
+	wrapped := ch.Wrap(a)
+	for i := 0; i < 2; i++ {
+		if _, err := wrapped.Write([]byte("ok")); err != nil {
+			t.Fatalf("exempt write %d failed: %v", i, err)
+		}
+	}
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wrapped.Write([]byte("boom")); err == nil {
+		t.Error("op 3 should reset at probability 1")
+	}
+}
+
+// TestDialerAndListenerWrap: both entry points hand out fault-injecting
+// connections and count them.
+func TestDialerAndListenerWrap(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := New(Config{Seed: 17})
+	wl := ch.Listener(ln)
+	defer wl.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := wl.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	dial := ch.Dialer(func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) })
+	conn, err := dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, ok := conn.(*Conn); !ok {
+		t.Errorf("dialer returned %T, want *chaosnet.Conn", conn)
+	}
+	sc := <-accepted
+	defer sc.Close()
+	if _, ok := sc.(*Conn); !ok {
+		t.Errorf("listener accepted %T, want *chaosnet.Conn", sc)
+	}
+	if got := ch.Stats().Conns; got != 2 {
+		t.Errorf("%d connections counted, want 2", got)
+	}
+}

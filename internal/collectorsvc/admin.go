@@ -17,21 +17,39 @@ import (
 // schema pinned by internal/dataplane's MarshalJSON golden test, so the
 // endpoint and the CLI share one schema.
 
-// adminStats is the JSON shape of the admin snapshot.
+// adminStats is the JSON shape of the admin snapshot. Journal is nil
+// (omitted) when ingest is not journaled.
 type adminStats struct {
 	Server    ServerStats                 `json:"server"`
 	Aggregate dataplane.ControllerStats   `json:"aggregate"`
 	Shards    []dataplane.ControllerStats `json:"shards"`
+	Queues    []ShardQueueStats           `json:"queues"`
+	Journal   *JournalStats               `json:"journal,omitempty"`
 }
 
-// AdminHandler returns the /statsz handler.
+// AdminHandler returns the admin mux: /statsz (text and JSON) and
+// /healthz (200 when Healthy, 503 otherwise — readiness, for probes).
 func (s *Server) AdminHandler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Healthy() {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "unhealthy")
+	})
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
 		snap := adminStats{
 			Server:    s.Stats(),
 			Aggregate: s.ControllerStats(),
 			Shards:    s.ShardStats(),
+			Queues:    s.QueueStats(),
+		}
+		if j := s.Journal(); j != nil {
+			jst := j.Stats()
+			snap.Journal = &jst
 		}
 		if r.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
@@ -56,6 +74,13 @@ func renderStatsText(snap adminStats) string {
 	fmt.Fprintf(&b, "aggregate: %s tick=%d\n", snap.Aggregate, snap.Aggregate.Tick)
 	for i, sh := range snap.Shards {
 		fmt.Fprintf(&b, "shard %d: %s tick=%d\n", i, sh, sh.Tick)
+	}
+	for i, q := range snap.Queues {
+		fmt.Fprintf(&b, "queue %d: depth=%d dropped=%d shedded_ticks=%d\n", i, q.Depth, q.Dropped, q.SheddedTicks)
+	}
+	if j := snap.Journal; j != nil {
+		fmt.Fprintf(&b, "journal: segments=%d bytes=%d last_fsync_ms=%d appends=%d append_errors=%d rotations=%d\n",
+			j.Segments, j.Bytes, j.LastFsyncMS, j.Appends, j.AppendErrors, j.Rotations)
 	}
 	return b.String()
 }

@@ -81,6 +81,112 @@ func TestAdminStatsJSON(t *testing.T) {
 	}
 }
 
+// TestAdminStatsJournaledServer pins the journal and queue extensions of
+// the admin schema: a journaled server exposes per-shard queue gauges
+// and the journal gauges in both renderings, and an unjournaled one
+// omits the journal object entirely (the pre-journal JSON shape).
+func TestAdminStatsJournaledServer(t *testing.T) {
+	j, err := OpenJournal(JournalConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	srv, _, err := NewRecoveredServer(ServerConfig{Shards: 2, Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Shutdown)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(ClientConfig{Addr: addr.String(), ID: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Send(dataplane.LoopEvent{Report: detect.Report{Reporter: 9, Hops: 4}, Flow: 31}, 4)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	srv.AdminHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/statsz?format=json", nil))
+	var snap struct {
+		Queues  []map[string]any `json:"queues"`
+		Journal map[string]any   `json:"journal"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, rec.Body.String())
+	}
+	if len(snap.Queues) != 2 {
+		t.Fatalf("%d queue gauges, want one per shard (2): %s", len(snap.Queues), rec.Body.String())
+	}
+	for _, key := range []string{"depth", "dropped", "shedded_ticks"} {
+		if _, ok := snap.Queues[0][key]; !ok {
+			t.Errorf("queue gauge missing %q: %v", key, snap.Queues[0])
+		}
+	}
+	if snap.Journal == nil {
+		t.Fatalf("journaled server omitted the journal object:\n%s", rec.Body.String())
+	}
+	for _, key := range []string{"segments", "bytes", "last_fsync_ms", "appends", "append_errors", "rotations"} {
+		if _, ok := snap.Journal[key]; !ok {
+			t.Errorf("journal gauges missing %q: %v", key, snap.Journal)
+		}
+	}
+	if got := snap.Journal["appends"].(float64); got < 1 {
+		t.Errorf("journal.appends = %v after an ingested report", got)
+	}
+
+	rec = httptest.NewRecorder()
+	srv.AdminHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/statsz", nil))
+	for _, want := range []string{"queue 0: depth=", "queue 1: depth=", "journal: segments="} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("text stats missing %q:\n%s", want, rec.Body.String())
+		}
+	}
+
+	// An unjournaled server must keep the original shape: no journal key.
+	plain := adminFixture(t)
+	rec = httptest.NewRecorder()
+	plain.AdminHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/statsz?format=json", nil))
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["journal"]; ok {
+		t.Errorf("unjournaled server emitted a journal object:\n%s", rec.Body.String())
+	}
+}
+
+// TestAdminHealthz: /healthz tracks Healthy() — 200 while the journal
+// is intact, 503 once durability is gone (or the server is shut down).
+func TestAdminHealthz(t *testing.T) {
+	j, err := OpenJournal(JournalConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	srv, _, err := NewRecoveredServer(ServerConfig{Shards: 1, Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Shutdown)
+	rec := httptest.NewRecorder()
+	srv.AdminHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthy server: status %d body %q", rec.Code, rec.Body.String())
+	}
+	j.mu.Lock()
+	j.failed = true
+	j.mu.Unlock()
+	rec = httptest.NewRecorder()
+	srv.AdminHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("failed journal: status %d, want 503", rec.Code)
+	}
+}
+
 // TestServeAdmin: the admin listener serves over a real socket and
 // shuts down cleanly (listener close is not an error).
 func TestServeAdmin(t *testing.T) {

@@ -45,6 +45,21 @@ type ClientConfig struct {
 	// in-flight window to drain; whatever remains is counted as dropped.
 	// <= 0 selects DefaultFlushTimeout.
 	FlushTimeout time.Duration
+	// HeartbeatEvery is the keep-alive interval on an otherwise idle
+	// connection; each heartbeat elicits an ack, so both the server's
+	// idle reaper and this client's staleness detector see traffic on a
+	// healthy session. <= 0 selects DefaultHeartbeatEvery.
+	HeartbeatEvery time.Duration
+	// StaleTimeout bounds the silence from the server (no acks, no
+	// bytes) before the connection is declared stale and torn down for
+	// a reconnect — the half-open-peer detector. It must exceed
+	// HeartbeatEvery; a value at or below it is raised to three
+	// heartbeat intervals. <= 0 selects DefaultStaleTimeout.
+	StaleTimeout time.Duration
+	// WriteTimeout bounds each socket write, so a peer that stops
+	// reading cannot park the sender mid-flush. <= 0 selects
+	// DefaultClientWriteTimeout.
+	WriteTimeout time.Duration
 	// Seed seeds the backoff jitter (and the derived ID when ID is 0).
 	Seed uint64
 	// Dial overrides the dialer (tests inject failing or proxied
@@ -54,13 +69,16 @@ type ClientConfig struct {
 
 // Defaults for ClientConfig's knobs.
 const (
-	DefaultClientBuffer = 4096
-	DefaultClientBatch  = 128
-	DefaultClientWindow = 1024
-	DefaultMinBackoff   = 50 * time.Millisecond
-	DefaultMaxBackoff   = 5 * time.Second
-	DefaultFlushTimeout = 5 * time.Second
-	defaultDialTimeout  = 5 * time.Second
+	DefaultClientBuffer       = 4096
+	DefaultClientBatch        = 128
+	DefaultClientWindow       = 1024
+	DefaultMinBackoff         = 50 * time.Millisecond
+	DefaultMaxBackoff         = 5 * time.Second
+	DefaultFlushTimeout       = 5 * time.Second
+	DefaultHeartbeatEvery     = 5 * time.Second
+	DefaultStaleTimeout       = 15 * time.Second
+	DefaultClientWriteTimeout = 10 * time.Second
+	defaultDialTimeout        = 5 * time.Second
 )
 
 // ClientStats snapshots the sender's accounting. Once Close returns,
@@ -109,7 +127,9 @@ type Client struct {
 	closing  bool // Close called: drain, then stop
 	aborted  bool // drain deadline hit: count pending as dropped, stop
 	broken   bool // current connection died (reader noticed first)
+	hbDue    bool // heartbeat timer fired; stream owes a keep-alive
 
+	wake chan struct{} // poked by Close/abort to interrupt backoff sleeps
 	done chan struct{} // run goroutine exited
 }
 
@@ -143,6 +163,18 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.FlushTimeout <= 0 {
 		cfg.FlushTimeout = DefaultFlushTimeout
 	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	if cfg.StaleTimeout <= 0 {
+		cfg.StaleTimeout = DefaultStaleTimeout
+	}
+	if cfg.StaleTimeout <= cfg.HeartbeatEvery {
+		cfg.StaleTimeout = 3 * cfg.HeartbeatEvery
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = DefaultClientWriteTimeout
+	}
 	if cfg.ID == 0 {
 		// Instance-unique: wall clock mixed with the seed. The wire
 		// protocol's exactly-once state is keyed by this, so two
@@ -152,6 +184,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	c := &Client{
 		cfg:  cfg,
 		rng:  xrand.New(cfg.Seed),
+		wake: make(chan struct{}, 1),
 		done: make(chan struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
@@ -209,6 +242,10 @@ func (c *Client) Pending() int {
 // Close drains the sender: it keeps (re)connecting and sending until
 // everything enqueued is acknowledged or FlushTimeout elapses, counts
 // whatever remains as dropped, and stops the background goroutine.
+// A backoff sleep in progress is interrupted immediately, so Close
+// never waits out a reconnect timer: with nothing pending it returns at
+// once, and with pending work the drain redial starts now instead of
+// when the backoff would have expired.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closing {
@@ -219,6 +256,7 @@ func (c *Client) Close() error {
 	c.closing = true
 	c.mu.Unlock()
 	c.cond.Broadcast()
+	c.poke()
 
 	select {
 	case <-c.done:
@@ -229,9 +267,19 @@ func (c *Client) Close() error {
 		c.unsent, c.inflight = nil, nil
 		c.mu.Unlock()
 		c.cond.Broadcast()
+		c.poke()
 		<-c.done
 	}
 	return nil
+}
+
+// poke nudges the run loop out of a backoff sleep (non-blocking; the
+// buffered slot coalesces pokes).
+func (c *Client) poke() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
 }
 
 // finished reports whether the run loop should exit: draining is done
@@ -273,19 +321,25 @@ func (c *Client) run() {
 	}
 }
 
-// sleep waits d, returning early (true) when the client aborts.
+// sleep waits d, returning early when poked: true means stop (aborted),
+// false with an early return means Close began and the drain should
+// redial immediately instead of waiting out the backoff.
 func (c *Client) sleep(d time.Duration) bool {
 	deadline := time.NewTimer(d)
 	defer deadline.Stop()
-	poll := time.NewTicker(10 * time.Millisecond)
-	defer poll.Stop()
 	for {
 		select {
 		case <-deadline.C:
 			return c.isAborted()
-		case <-poll.C:
-			if c.isAborted() {
+		case <-c.wake:
+			c.mu.Lock()
+			aborted, closing := c.aborted, c.closing
+			c.mu.Unlock()
+			if aborted {
 				return true
+			}
+			if closing {
+				return false
 			}
 		}
 	}
@@ -299,7 +353,10 @@ func (c *Client) isAborted() bool {
 
 // stream runs one connection: hello, retransmit the in-flight window,
 // then batch unsent items until the connection breaks or draining
-// completes. A reader goroutine consumes acks concurrently.
+// completes. A reader goroutine consumes acks concurrently; its read
+// deadline is the staleness detector (a healthy session always has ack
+// traffic within StaleTimeout, because an idle stream sends heartbeats
+// and every heartbeat elicits an ack). All writes are deadline-armed.
 func (c *Client) stream(conn net.Conn) {
 	bw := bufio.NewWriterSize(conn, 1<<15)
 	buf := make([]byte, 0, 1<<12)
@@ -310,6 +367,7 @@ func (c *Client) stream(conn net.Conn) {
 		br := bufio.NewReaderSize(conn, 1<<10)
 		var scratch []byte
 		for {
+			conn.SetReadDeadline(time.Now().Add(c.cfg.StaleTimeout))
 			f, sc, err := ReadFrame(br, scratch)
 			if err != nil {
 				break
@@ -329,6 +387,22 @@ func (c *Client) stream(conn net.Conn) {
 		<-readerDone
 	}()
 
+	// The heartbeat timer wakes the batch loop instead of writing
+	// itself: one goroutine owns all writes, so frames never interleave
+	// mid-buffer. It re-arms after every flush — heartbeats fill write
+	// silence, they don't add to a busy stream.
+	hbTimer := time.AfterFunc(c.cfg.HeartbeatEvery, func() {
+		c.mu.Lock()
+		c.hbDue = true
+		c.mu.Unlock()
+		c.cond.Broadcast()
+	})
+	defer hbTimer.Stop()
+	c.mu.Lock()
+	c.hbDue = false
+	c.mu.Unlock()
+
+	conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
 	buf = AppendHello(buf[:0], c.cfg.ID)
 	if _, err := bw.Write(buf); err != nil {
 		return
@@ -346,61 +420,84 @@ func (c *Client) stream(conn net.Conn) {
 		if buf, err = appendItem(buf[:0], it); err != nil {
 			return
 		}
+		conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
 		if _, err = bw.Write(buf); err != nil {
 			return
 		}
 	}
+	conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
 	if err = bw.Flush(); err != nil {
 		return
 	}
+	hbTimer.Reset(c.cfg.HeartbeatEvery)
 
 	batch := make([]clientItem, 0, c.cfg.Batch)
 	for {
 		batch = batch[:0]
+		heartbeat := false
 		c.mu.Lock()
 		for {
 			if c.aborted || c.broken {
 				c.mu.Unlock()
 				return
 			}
+			if c.hbDue {
+				c.hbDue = false
+				heartbeat = true
+				break
+			}
 			if len(c.unsent) > 0 && len(c.inflight) < c.cfg.Window {
 				break
 			}
-			if c.closing {
-				if len(c.unsent) == 0 && len(c.inflight) == 0 {
-					c.mu.Unlock()
-					bw.Flush()
-					return
-				}
-				if len(c.unsent) == 0 {
-					// Everything is on the wire; wait for acks.
-					c.cond.Wait()
-					continue
-				}
+			if c.closing && len(c.unsent) == 0 && len(c.inflight) == 0 {
+				c.mu.Unlock()
+				conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+				bw.Flush()
+				return
 			}
+			// Idle, window-full, or drain-waiting-for-acks: sleep until
+			// enqueue/ack/heartbeat/close wakes us.
 			c.cond.Wait()
 		}
-		for len(c.unsent) > 0 && len(batch) < c.cfg.Batch && len(c.inflight) < c.cfg.Window {
-			it := c.unsent[0]
-			c.unsent = c.unsent[1:]
-			c.nextSeq++
-			it.seq = c.nextSeq
-			c.inflight = append(c.inflight, it)
-			batch = append(batch, it)
+		if !heartbeat {
+			for len(c.unsent) > 0 && len(batch) < c.cfg.Batch && len(c.inflight) < c.cfg.Window {
+				it := c.unsent[0]
+				c.unsent = c.unsent[1:]
+				c.nextSeq++
+				it.seq = c.nextSeq
+				c.inflight = append(c.inflight, it)
+				batch = append(batch, it)
+			}
 		}
+		seq := c.nextSeq
 		c.mu.Unlock()
 
+		if heartbeat {
+			conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+			buf = AppendHeartbeat(buf[:0], seq)
+			if _, err = bw.Write(buf); err != nil {
+				return
+			}
+			if err = bw.Flush(); err != nil {
+				return
+			}
+			hbTimer.Reset(c.cfg.HeartbeatEvery)
+			continue
+		}
 		for _, it := range batch {
 			if buf, err = appendItem(buf[:0], it); err != nil {
 				return
 			}
+			conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
 			if _, err = bw.Write(buf); err != nil {
 				return
 			}
 		}
+		conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
 		if err = bw.Flush(); err != nil {
 			return
 		}
+		hbTimer.Reset(c.cfg.HeartbeatEvery)
 	}
 }
 

@@ -71,6 +71,8 @@ func FuzzReportFrame(f *testing.F) {
 			out = AppendTick(nil, df.Seq)
 		case FrameAck:
 			out = AppendAck(nil, df.Seq)
+		case FrameHeartbeat:
+			out = AppendHeartbeat(nil, df.Seq)
 		default:
 			t.Fatalf("decoder produced unknown type %d", df.Type)
 		}

@@ -1,0 +1,283 @@
+package collectorsvc
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestServerReapsSilentPeer is the regression test for the unarmed-
+// deadline bug: a peer that says hello and then goes silent used to
+// park its reader goroutine (and buffers) forever. With ReadTimeout
+// armed, the server reaps it.
+func TestServerReapsSilentPeer(t *testing.T) {
+	s := NewServer(ServerConfig{Shards: 1, ReadTimeout: 100 * time.Millisecond})
+	defer s.Shutdown()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(AppendHello(nil, 42)); err != nil {
+		t.Fatal(err)
+	}
+	// ...and now say nothing. The server must close the connection on
+	// its own; without deadlines this read would block forever.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	buf := make([]byte, 64)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break // server hung up (possibly after a final ack)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("server took %v to reap a silent peer (ReadTimeout=100ms)", elapsed)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().ActiveConns != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("silent peer still counted as an active connection")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerReapsHelloLessPeer: a connection that never even says hello
+// is reaped on the same deadline.
+func TestServerReapsHelloLessPeer(t *testing.T) {
+	s := NewServer(ServerConfig{Shards: 1, ReadTimeout: 100 * time.Millisecond})
+	defer s.Shutdown()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server wrote to a hello-less peer")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("server took %v to reap a hello-less peer", elapsed)
+	}
+}
+
+// TestServerCapsConnections: MaxConns excess connections are closed at
+// accept and counted, and existing sessions are unaffected.
+func TestServerCapsConnections(t *testing.T) {
+	s := NewServer(ServerConfig{Shards: 1, MaxConns: 2})
+	defer s.Shutdown()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var held []net.Conn
+	defer func() {
+		for _, c := range held {
+			c.Close()
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		conn, err := net.Dial("tcp", addr.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, conn)
+		if _, err := conn.Write(AppendHello(nil, uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().ActiveConns != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached 2 active conns: %+v", s.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The third connection must be rejected promptly.
+	extra, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer extra.Close()
+	extra.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := extra.Read(make([]byte, 1)); err == nil {
+		t.Fatal("over-cap connection received data")
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for s.Stats().ConnsRejected == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("rejection not counted: %+v", s.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestClientClosePromptDuringBackoff is the regression test for Close
+// waiting out a sleeping backoff timer: with an unreachable collector,
+// a huge backoff, and nothing pending, Close must return immediately.
+func TestClientClosePromptDuringBackoff(t *testing.T) {
+	dialTried := make(chan struct{}, 16)
+	c, err := NewClient(ClientConfig{
+		Addr:       "127.0.0.1:1",
+		ID:         1,
+		MinBackoff: 30 * time.Second,
+		MaxBackoff: 30 * time.Second,
+		Seed:       1,
+		Dial: func(addr string) (net.Conn, error) {
+			select {
+			case dialTried <- struct{}{}:
+			default:
+			}
+			return nil, net.ErrClosed
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first dial failure so the run loop is inside its
+	// 30-second backoff sleep when Close lands.
+	select {
+	case <-dialTried:
+	case <-time.After(5 * time.Second):
+		t.Fatal("dialer never invoked")
+	}
+	time.Sleep(20 * time.Millisecond)
+	start := time.Now()
+	c.Close()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Close took %v during a 30s backoff with nothing pending", elapsed)
+	}
+}
+
+// TestClientClosePendingRespectsFlushTimeout: with pending events and a
+// dead collector, Close gives up at FlushTimeout (not at the backoff
+// timer) and the accounting identity still holds.
+func TestClientClosePendingRespectsFlushTimeout(t *testing.T) {
+	c, err := NewClient(ClientConfig{
+		Addr:         "127.0.0.1:1",
+		ID:           1,
+		MinBackoff:   30 * time.Second,
+		MaxBackoff:   30 * time.Second,
+		FlushTimeout: 200 * time.Millisecond,
+		Seed:         1,
+		Dial:         func(addr string) (net.Conn, error) { return nil, net.ErrClosed },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		c.Tick()
+	}
+	start := time.Now()
+	c.Close()
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("Close took %v, want ~FlushTimeout (200ms)", elapsed)
+	}
+	st := c.Stats()
+	if st.Enqueued != st.Acked+st.Dropped {
+		t.Fatalf("identity broken after abandoned drain: %+v", st)
+	}
+	if st.Dropped != 5 {
+		t.Fatalf("%d dropped, want all 5", st.Dropped)
+	}
+}
+
+// TestClientStalenessReconnects: a server that accepts and reads but
+// never acks is a half-open peer from the client's point of view; the
+// heartbeat-driven read deadline must declare the session stale and
+// reconnect instead of trusting it forever.
+func TestClientStalenessReconnects(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) { // swallow frames, never ack
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	c, err := NewClient(ClientConfig{
+		Addr:           ln.Addr().String(),
+		ID:             1,
+		HeartbeatEvery: 40 * time.Millisecond,
+		StaleTimeout:   150 * time.Millisecond,
+		MinBackoff:     10 * time.Millisecond,
+		MaxBackoff:     20 * time.Millisecond,
+		FlushTimeout:   100 * time.Millisecond,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Tick()
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Stats().Connects < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("client never declared the ack-less session stale: %+v", c.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestHeartbeatKeepsIdleSessionAlive: an idle but healthy session must
+// survive both the server's idle reaper and the client's staleness
+// detector — heartbeats and their acks are the keep-alive traffic.
+func TestHeartbeatKeepsIdleSessionAlive(t *testing.T) {
+	s := NewServer(ServerConfig{Shards: 1, ReadTimeout: 150 * time.Millisecond})
+	defer s.Shutdown()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(ClientConfig{
+		Addr:           addr.String(),
+		ID:             1,
+		HeartbeatEvery: 40 * time.Millisecond,
+		StaleTimeout:   150 * time.Millisecond,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Connects == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("client never connected")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Idle for several multiples of both timeout windows.
+	time.Sleep(600 * time.Millisecond)
+	if st := c.Stats(); st.Connects != 1 {
+		t.Fatalf("idle session reconnected %d times; heartbeats failed to keep it alive", st.Connects)
+	}
+	if st := s.Stats(); st.ActiveConns != 1 {
+		t.Fatalf("server reaped a heartbeating session: %+v", st)
+	}
+}

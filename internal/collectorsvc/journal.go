@@ -1,0 +1,795 @@
+package collectorsvc
+
+// The write-ahead journal: what makes collectord's exactly-once promise
+// survive a SIGKILL of the *process*, not just a kill of a connection.
+//
+// Layout: a directory of fixed-prefix segment files
+// (journal-00000001.wal, journal-00000002.wal, ...). Every record is
+//
+//	[payload len u32][crc32(payload) u32][payload]
+//
+// big-endian, CRC-32 (IEEE) over the payload bytes. Payloads are typed:
+//
+//	jrecReport   [type u8][client u64][seq u64][hop u32][flow u32]
+//	             [reporter u32][hops u32][node u32][count u16][members u32×n]
+//	jrecTick     [type u8][client u64][seq u64]
+//	jrecSnapshot [type u8][ver u8][server counters][controller baseline]
+//	             [client seq table][per-flow dedup windows]
+//
+// Every segment *starts* with a snapshot record, so any suffix of the
+// segment list is self-contained: replay applies the oldest retained
+// segment's head snapshot and then re-delivers every record after it.
+// That is what makes bounded retention safe — dropping the oldest
+// segments never orphans the records that remain.
+//
+// Torn tails: a crash can leave a half-written record at the end of the
+// last segment. Replay stops at the first record whose length prefix
+// overruns the file or whose CRC mismatches, and Open truncates the file
+// back to the last valid boundary before appending. A tear anywhere but
+// the final segment means the journal was corrupted at rest (not by a
+// crash mid-append) and is surfaced as an error instead of silently
+// skipped.
+//
+// Durability model: records are buffered in userspace and always flushed
+// to the OS before the server acknowledges a frame (Commit), so a
+// process kill — SIGKILL included — loses nothing that was acked. What
+// fsync policy buys is *machine*-crash durability: FsyncAlways syncs
+// before every ack, FsyncInterval (default) syncs on a timer, FsyncNever
+// leaves it to the OS entirely.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FsyncPolicy selects when the journal calls File.Sync.
+type FsyncPolicy int
+
+const (
+	// FsyncInterval syncs on a background timer (FsyncEvery): bounded
+	// data-at-risk on machine crash, near-zero per-ack latency. The
+	// default.
+	FsyncInterval FsyncPolicy = iota
+	// FsyncAlways syncs before every acknowledgement: no acked record is
+	// ever lost, even to a power cut, at the cost of one fsync per ack
+	// batch.
+	FsyncAlways
+	// FsyncNever never syncs explicitly: process kills still lose
+	// nothing (the OS has every acked byte), machine crashes may.
+	FsyncNever
+)
+
+// ParseFsyncPolicy maps the -fsync flag values to a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "interval", "":
+		return FsyncInterval, nil
+	case "always":
+		return FsyncAlways, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("collectorsvc: unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+// String renders the policy as its flag value.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+// JournalConfig tunes the write-ahead journal. Zero values select the
+// defaults noted per field.
+type JournalConfig struct {
+	// Dir is the journal directory, created if absent. Required.
+	Dir string
+	// SegmentBytes rotates the active segment once it exceeds this size.
+	// Rotation writes a fresh snapshot, so larger segments mean longer
+	// replays and smaller ones mean more frequent snapshot barriers.
+	// <= 0 selects DefaultSegmentBytes.
+	SegmentBytes int64
+	// MaxSegments bounds retention: after a rotation, only the newest
+	// MaxSegments segments (including the new active one) are kept.
+	// Every segment starts with a snapshot, so dropping old segments
+	// never loses accounting — it only trims how far back the replayable
+	// event history reaches. <= 0 selects DefaultMaxSegments.
+	MaxSegments int
+	// Fsync selects the sync policy (see FsyncPolicy).
+	Fsync FsyncPolicy
+	// FsyncEvery is the FsyncInterval timer period. <= 0 selects
+	// DefaultFsyncEvery.
+	FsyncEvery time.Duration
+}
+
+// Defaults for JournalConfig's knobs.
+const (
+	DefaultSegmentBytes = 8 << 20
+	DefaultMaxSegments  = 8
+	DefaultFsyncEvery   = 100 * time.Millisecond
+)
+
+// Journal record types.
+const (
+	jrecSnapshot = 1
+	jrecReport   = 2
+	jrecTick     = 3
+)
+
+// journalRecHeader is [len u32][crc u32].
+const journalRecHeader = 8
+
+// snapshotVersion versions the snapshot payload layout.
+const snapshotVersion = 1
+
+// ErrJournalCorrupt marks a tear or CRC failure outside the final
+// segment's tail — corruption at rest, which recovery refuses to paper
+// over.
+var ErrJournalCorrupt = errors.New("collectorsvc: journal corrupt")
+
+// JournalStats is a snapshot of the journal gauges served on /statsz.
+type JournalStats struct {
+	// Segments and Bytes size the on-disk journal right now.
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+	// LastFsyncMS is the age of the last fsync in milliseconds (-1
+	// before the first).
+	LastFsyncMS int64 `json:"last_fsync_ms"`
+	// Appends counts records written; AppendErrors counts failed writes
+	// (durability degraded, never in-process delivery).
+	Appends      uint64 `json:"appends"`
+	AppendErrors uint64 `json:"append_errors"`
+	// Rotations counts segment rotations (each writes a snapshot).
+	Rotations uint64 `json:"rotations"`
+	// RecoveredRecords / RecoveredSnapshots count what Replay applied;
+	// TruncatedBytes is the torn tail discarded at open.
+	RecoveredRecords   uint64 `json:"recovered_records"`
+	RecoveredSnapshots uint64 `json:"recovered_snapshots"`
+	TruncatedBytes     int64  `json:"truncated_bytes"`
+}
+
+// Journal is a segmented, CRC-checksummed write-ahead log. The zero
+// value is not usable; OpenJournal both creates and recovers one.
+//
+// Locking: mu serializes appends, rotation, and sync. The server's
+// ingest path holds mu across its account-append-enqueue sequence so a
+// rotation snapshot always sees a consistent cut (see Server.handle).
+type Journal struct {
+	cfg JournalConfig
+
+	mu       sync.Mutex
+	f        *os.File
+	bw       *bufio.Writer
+	segIndex uint64   // active segment number
+	segSize  int64    // bytes in the active segment
+	segs     []uint64 // live segment numbers, ascending (includes active)
+	dirty    bool     // bytes flushed to OS since the last sync
+	failed   bool     // an append or sync failed; durability degraded
+
+	lastSync     time.Time
+	appends      uint64
+	appendErrs   uint64
+	rotations    uint64
+	replayedRecs uint64
+	replayedSnap uint64
+	truncated    int64
+
+	closeOnce sync.Once
+	stopSync  chan struct{}
+	syncDone  chan struct{}
+}
+
+// segName renders a segment file name; indices are 1-based.
+func segName(idx uint64) string { return fmt.Sprintf("journal-%08d.wal", idx) }
+
+// OpenJournal opens (creating if needed) the journal in cfg.Dir and
+// positions it for appending: existing segments are scanned, the final
+// segment's torn tail (if any) is truncated to the last valid record
+// boundary, and the background fsync timer starts for FsyncInterval.
+// The caller replays history with Replay before appending new records.
+func OpenJournal(cfg JournalConfig) (*Journal, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("collectorsvc: journal dir is required")
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = DefaultSegmentBytes
+	}
+	if cfg.MaxSegments <= 0 {
+		cfg.MaxSegments = DefaultMaxSegments
+	}
+	if cfg.FsyncEvery <= 0 {
+		cfg.FsyncEvery = DefaultFsyncEvery
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("collectorsvc: journal dir: %w", err)
+	}
+	j := &Journal{cfg: cfg, stopSync: make(chan struct{}), syncDone: make(chan struct{})}
+	if err := j.scanSegments(); err != nil {
+		return nil, err
+	}
+	if len(j.segs) == 0 {
+		// Genesis: segment 1 opens with an empty-state snapshot so the
+		// self-contained-suffix invariant holds from the first byte.
+		if err := j.openSegmentLocked(1, encodeSnapshot(nil, emptySnapshot())); err != nil {
+			return nil, err
+		}
+	} else {
+		last := j.segs[len(j.segs)-1]
+		valid, total, err := validPrefixLen(filepath.Join(cfg.Dir, segName(last)))
+		if err != nil {
+			return nil, err
+		}
+		if valid < total {
+			if err := os.Truncate(filepath.Join(cfg.Dir, segName(last)), valid); err != nil {
+				return nil, fmt.Errorf("collectorsvc: truncating torn journal tail: %w", err)
+			}
+			j.truncated = total - valid
+		}
+		f, err := os.OpenFile(filepath.Join(cfg.Dir, segName(last)), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("collectorsvc: reopening journal segment: %w", err)
+		}
+		j.f = f
+		j.bw = bufio.NewWriterSize(f, 1<<16)
+		j.segIndex = last
+		j.segSize = valid
+	}
+	go j.syncLoop()
+	return j, nil
+}
+
+// scanSegments lists the live segment numbers in ascending order.
+func (j *Journal) scanSegments() error {
+	entries, err := os.ReadDir(j.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("collectorsvc: scanning journal dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "journal-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		var idx uint64
+		if _, err := fmt.Sscanf(name, "journal-%d.wal", &idx); err != nil || idx == 0 {
+			continue
+		}
+		j.segs = append(j.segs, idx)
+	}
+	sort.Slice(j.segs, func(a, b int) bool { return j.segs[a] < j.segs[b] })
+	return nil
+}
+
+// validPrefixLen scans one segment and returns the byte length of its
+// valid record prefix and the file's total length.
+func validPrefixLen(path string) (valid, total int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("collectorsvc: reading journal segment: %w", err)
+	}
+	n := int64(scanRecords(data, nil))
+	return n, int64(len(data)), nil
+}
+
+// scanRecords walks buf record by record, calling fn (when non-nil) with
+// each valid payload, and returns the byte offset of the first invalid
+// record (== len(buf) when every byte parses).
+func scanRecords(buf []byte, fn func(payload []byte)) int {
+	off := 0
+	for {
+		rest := buf[off:]
+		if len(rest) < journalRecHeader {
+			return off
+		}
+		n := int(binary.BigEndian.Uint32(rest))
+		if n < 1 || n > len(rest)-journalRecHeader {
+			return off
+		}
+		payload := rest[journalRecHeader : journalRecHeader+n]
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(rest[4:]) {
+			return off
+		}
+		if fn != nil {
+			fn(payload)
+		}
+		off += journalRecHeader + n
+	}
+}
+
+// openSegmentLocked creates segment idx, writes head (the snapshot
+// record) into it, and makes it the active segment.
+func (j *Journal) openSegmentLocked(idx uint64, headSnapshot []byte) error {
+	path := filepath.Join(j.cfg.Dir, segName(idx))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("collectorsvc: creating journal segment: %w", err)
+	}
+	j.f = f
+	j.bw = bufio.NewWriterSize(f, 1<<16)
+	j.segIndex = idx
+	j.segSize = 0
+	j.segs = append(j.segs, idx)
+	j.appendLocked(headSnapshot)
+	if err := j.bw.Flush(); err != nil {
+		return fmt.Errorf("collectorsvc: writing segment snapshot: %w", err)
+	}
+	return nil
+}
+
+// appendLocked writes one record (header + payload). Errors mark the
+// journal failed and are counted, not returned: a disk failure degrades
+// durability but must never block in-process delivery (the caller still
+// enqueues the event; /healthz turns unready).
+func (j *Journal) appendLocked(payload []byte) {
+	var hdr [journalRecHeader]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	j.appends++
+	if _, err := j.bw.Write(hdr[:]); err != nil {
+		j.appendErrs++
+		j.failed = true
+		return
+	}
+	if _, err := j.bw.Write(payload); err != nil {
+		j.appendErrs++
+		j.failed = true
+		return
+	}
+	j.segSize += int64(journalRecHeader + len(payload))
+	j.dirty = true
+}
+
+// needsRotateLocked reports whether the active segment is over size.
+func (j *Journal) needsRotateLocked() bool {
+	return j.segSize >= j.cfg.SegmentBytes
+}
+
+// rotateLocked finishes the active segment, opens the next one with
+// snapshot at its head, and enforces retention. The caller (the server's
+// ingest path) is responsible for quiescing the shards so snapshot is a
+// consistent cut.
+func (j *Journal) rotateLocked(snapshot []byte) {
+	if err := j.bw.Flush(); err != nil {
+		j.failed = true
+	}
+	if j.cfg.Fsync != FsyncNever {
+		if err := j.f.Sync(); err != nil {
+			j.failed = true
+		}
+		j.lastSync = time.Now()
+	}
+	j.f.Close()
+	if err := j.openSegmentLocked(j.segIndex+1, snapshot); err != nil {
+		j.failed = true
+		j.appendErrs++
+		return
+	}
+	j.rotations++
+	j.dirty = false
+	// Retention: every segment starts with a snapshot, so the newest
+	// MaxSegments are always self-contained.
+	for len(j.segs) > j.cfg.MaxSegments {
+		os.Remove(filepath.Join(j.cfg.Dir, segName(j.segs[0])))
+		j.segs = j.segs[1:]
+	}
+}
+
+// commitLocked makes everything appended so far crash-safe per policy:
+// flush to the OS always, fsync when the policy says so. Called before
+// each acknowledgement batch.
+func (j *Journal) commitLocked() {
+	if !j.dirty {
+		return
+	}
+	if err := j.bw.Flush(); err != nil {
+		j.failed = true
+		j.appendErrs++
+		return
+	}
+	if j.cfg.Fsync == FsyncAlways {
+		if err := j.f.Sync(); err != nil {
+			j.failed = true
+			return
+		}
+		j.lastSync = time.Now()
+	}
+	j.dirty = false
+}
+
+// Commit makes everything appended so far crash-safe per policy — the
+// server calls it before flushing an acknowledgement batch.
+func (j *Journal) Commit() {
+	j.mu.Lock()
+	j.commitLocked()
+	j.mu.Unlock()
+}
+
+// syncLoop is the FsyncInterval timer: flush + sync whenever appends
+// happened since the last pass.
+func (j *Journal) syncLoop() {
+	defer close(j.syncDone)
+	if j.cfg.Fsync != FsyncInterval {
+		<-j.stopSync
+		return
+	}
+	t := time.NewTicker(j.cfg.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.stopSync:
+			return
+		case <-t.C:
+			j.mu.Lock()
+			if j.bw != nil {
+				if err := j.bw.Flush(); err != nil {
+					j.failed = true
+				} else if err := j.f.Sync(); err != nil {
+					j.failed = true
+				} else {
+					j.lastSync = time.Now()
+				}
+			}
+			j.mu.Unlock()
+		}
+	}
+}
+
+// journalRecord is one replayed record, decoded.
+type journalRecord struct {
+	kind     uint8
+	clientID uint64
+	seq      uint64
+	hop      int
+	ev       LoopEventRecord
+	snap     *journalSnapshot
+}
+
+// LoopEventRecord mirrors dataplane.LoopEvent's journaled fields.
+// (Defined locally so the journal codec is self-contained for fuzzing.)
+type LoopEventRecord struct {
+	Flow     uint32
+	Reporter uint32
+	Hops     int
+	Node     int
+	Members  []uint32
+}
+
+// Replay iterates every retained segment in order, decoding each record
+// and passing it to apply. A decode failure mid-history (any segment but
+// the last, or before the last segment's final record run) returns
+// ErrJournalCorrupt; the torn tail of the final segment was already
+// truncated at open.
+func (j *Journal) Replay(apply func(rec *journalRecord) error) error {
+	j.mu.Lock()
+	segs := append([]uint64(nil), j.segs...)
+	j.mu.Unlock()
+	for i, idx := range segs {
+		path := filepath.Join(j.cfg.Dir, segName(idx))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("collectorsvc: replaying journal: %w", err)
+		}
+		var applyErr error
+		end := scanRecords(data, func(payload []byte) {
+			if applyErr != nil {
+				return
+			}
+			rec, err := decodeJournalPayload(payload)
+			if err != nil {
+				applyErr = err
+				return
+			}
+			j.mu.Lock()
+			j.replayedRecs++
+			if rec.kind == jrecSnapshot {
+				j.replayedSnap++
+			}
+			j.mu.Unlock()
+			applyErr = apply(rec)
+		})
+		if applyErr != nil {
+			return applyErr
+		}
+		if end != len(data) && i != len(segs)-1 {
+			return fmt.Errorf("%w: segment %s torn at byte %d of %d", ErrJournalCorrupt, segName(idx), end, len(data))
+		}
+	}
+	return nil
+}
+
+// Close flushes, syncs, and stops the background timer. Idempotent;
+// the journal is unusable afterwards.
+func (j *Journal) Close() error {
+	j.closeOnce.Do(func() { close(j.stopSync) })
+	<-j.syncDone
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var err error
+	if j.bw != nil {
+		err = j.bw.Flush()
+		if j.cfg.Fsync != FsyncNever {
+			if serr := j.f.Sync(); err == nil {
+				err = serr
+			}
+		}
+		if cerr := j.f.Close(); err == nil {
+			err = cerr
+		}
+		j.bw, j.f = nil, nil
+	}
+	if err != nil {
+		return fmt.Errorf("collectorsvc: closing journal: %w", err)
+	}
+	return nil
+}
+
+// Failed reports whether an append or sync has failed (durability
+// degraded); /healthz turns unready on it.
+func (j *Journal) Failed() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.failed
+}
+
+// Stats snapshots the journal gauges.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JournalStats{
+		Segments:           len(j.segs),
+		Appends:            j.appends,
+		AppendErrors:       j.appendErrs,
+		Rotations:          j.rotations,
+		RecoveredRecords:   j.replayedRecs,
+		RecoveredSnapshots: j.replayedSnap,
+		TruncatedBytes:     j.truncated,
+		LastFsyncMS:        -1,
+	}
+	if !j.lastSync.IsZero() {
+		st.LastFsyncMS = time.Since(j.lastSync).Milliseconds()
+	}
+	// The active segment size is tracked exactly; closed segments
+	// rotated at ~SegmentBytes, so the gauge avoids a stat() per scrape.
+	if n := len(j.segs); n > 0 {
+		st.Bytes = int64(n-1)*j.cfg.SegmentBytes + j.segSize
+	}
+	return st
+}
+
+// --- record payload codecs ---
+
+// appendJournalReport encodes a report record payload.
+func appendJournalReport(dst []byte, clientID, seq uint64, ev LoopEventRecord, hop int) []byte {
+	dst = append(dst, jrecReport)
+	dst = binary.BigEndian.AppendUint64(dst, clientID)
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(hop))
+	dst = binary.BigEndian.AppendUint32(dst, ev.Flow)
+	dst = binary.BigEndian.AppendUint32(dst, ev.Reporter)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(ev.Hops))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(ev.Node))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(ev.Members)))
+	for _, m := range ev.Members {
+		dst = binary.BigEndian.AppendUint32(dst, m)
+	}
+	return dst
+}
+
+// appendJournalTick encodes a tick record payload.
+func appendJournalTick(dst []byte, clientID, seq uint64) []byte {
+	dst = append(dst, jrecTick)
+	dst = binary.BigEndian.AppendUint64(dst, clientID)
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	return dst
+}
+
+// journalSnapshot is the decoded snapshot payload: the consistent cut a
+// recovery resumes from. Counter baselines are cumulative totals at the
+// cut; client seqs are the exactly-once high-water marks; dedup windows
+// are the per-flow admission context, stored flat (flow-keyed) so the
+// snapshot is valid for any shard count.
+type journalSnapshot struct {
+	// Server counter baselines, in ServerStats order.
+	Conns, Frames, BadFrames, Dupes uint64
+	Ingested, Ticks                 uint64
+	QueueDropped, FlowEvictions     uint64
+	// Aggregate controller baseline. Buffered is always folded into
+	// Evicted at capture (a crash discards the buffered ring, so the
+	// snapshot accounts those events as evicted-by-recovery).
+	Delivered, Accepted, Deduped         uint64
+	Quarantined, Evicted, Aged, CtrlTick uint64
+	// Client exactly-once high-water marks, ascending by ID.
+	Clients []clientSeqEntry
+	// Per-flow dedup windows, ascending by flow.
+	Flows []flowWindowEntry
+}
+
+type clientSeqEntry struct {
+	ID  uint64
+	Seq uint64
+}
+
+type flowWindowEntry struct {
+	Flow    uint32
+	Entries []windowEntry
+}
+
+type windowEntry struct {
+	Reporter uint32
+	Hop      uint32
+}
+
+// emptySnapshot is the genesis state.
+func emptySnapshot() *journalSnapshot { return &journalSnapshot{} }
+
+// encodeSnapshot appends the snapshot record payload.
+func encodeSnapshot(dst []byte, s *journalSnapshot) []byte {
+	dst = append(dst, jrecSnapshot, snapshotVersion)
+	for _, v := range []uint64{
+		s.Conns, s.Frames, s.BadFrames, s.Dupes, s.Ingested, s.Ticks,
+		s.QueueDropped, s.FlowEvictions,
+		s.Delivered, s.Accepted, s.Deduped, s.Quarantined, s.Evicted,
+		s.Aged, s.CtrlTick,
+	} {
+		dst = binary.BigEndian.AppendUint64(dst, v)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s.Clients)))
+	for _, c := range s.Clients {
+		dst = binary.BigEndian.AppendUint64(dst, c.ID)
+		dst = binary.BigEndian.AppendUint64(dst, c.Seq)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s.Flows)))
+	for _, f := range s.Flows {
+		dst = binary.BigEndian.AppendUint32(dst, f.Flow)
+		dst = append(dst, byte(len(f.Entries)))
+		for _, e := range f.Entries {
+			dst = binary.BigEndian.AppendUint32(dst, e.Reporter)
+			dst = binary.BigEndian.AppendUint32(dst, e.Hop)
+		}
+	}
+	return dst
+}
+
+// errBadJournalRecord mirrors ErrBadFrame for the journal codec.
+var errBadJournalRecord = errors.New("collectorsvc: malformed journal record")
+
+// decodeJournalPayload parses one record payload (CRC already checked).
+func decodeJournalPayload(p []byte) (*journalRecord, error) {
+	if len(p) < 1 {
+		return nil, fmt.Errorf("%w: empty payload", errBadJournalRecord)
+	}
+	rec := &journalRecord{kind: p[0]}
+	body := p[1:]
+	switch rec.kind {
+	case jrecReport:
+		const fixed = 8 + 8 + 4 + 4 + 4 + 4 + 4 + 2
+		if len(body) < fixed {
+			return nil, fmt.Errorf("%w: report record of %d bytes, want at least %d", errBadJournalRecord, len(body), fixed)
+		}
+		rec.clientID = binary.BigEndian.Uint64(body)
+		rec.seq = binary.BigEndian.Uint64(body[8:])
+		rec.hop = int(binary.BigEndian.Uint32(body[16:]))
+		rec.ev.Flow = binary.BigEndian.Uint32(body[20:])
+		rec.ev.Reporter = binary.BigEndian.Uint32(body[24:])
+		rec.ev.Hops = int(binary.BigEndian.Uint32(body[28:]))
+		rec.ev.Node = int(binary.BigEndian.Uint32(body[32:]))
+		count := int(binary.BigEndian.Uint16(body[36:]))
+		if count > MaxMembers {
+			return nil, fmt.Errorf("%w: %d members exceeds cap %d", errBadJournalRecord, count, MaxMembers)
+		}
+		if len(body) != fixed+4*count {
+			return nil, fmt.Errorf("%w: report record of %d bytes for %d members", errBadJournalRecord, len(body), count)
+		}
+		if count > 0 {
+			rec.ev.Members = make([]uint32, count)
+			for i := range rec.ev.Members {
+				rec.ev.Members[i] = binary.BigEndian.Uint32(body[fixed+4*i:])
+			}
+		}
+	case jrecTick:
+		if len(body) != 16 {
+			return nil, fmt.Errorf("%w: tick record of %d bytes, want 16", errBadJournalRecord, len(body))
+		}
+		rec.clientID = binary.BigEndian.Uint64(body)
+		rec.seq = binary.BigEndian.Uint64(body[8:])
+	case jrecSnapshot:
+		snap, err := decodeSnapshot(body)
+		if err != nil {
+			return nil, err
+		}
+		rec.snap = snap
+	default:
+		return nil, fmt.Errorf("%w: unknown record type %d", errBadJournalRecord, rec.kind)
+	}
+	return rec, nil
+}
+
+// decodeSnapshot parses a snapshot payload body (after the type byte).
+func decodeSnapshot(body []byte) (*journalSnapshot, error) {
+	if len(body) < 1 || body[0] != snapshotVersion {
+		return nil, fmt.Errorf("%w: unknown snapshot version", errBadJournalRecord)
+	}
+	body = body[1:]
+	const counters = 15
+	if len(body) < counters*8+8 {
+		return nil, fmt.Errorf("%w: snapshot of %d bytes too short", errBadJournalRecord, len(body))
+	}
+	s := &journalSnapshot{}
+	for i, dst := range []*uint64{
+		&s.Conns, &s.Frames, &s.BadFrames, &s.Dupes, &s.Ingested, &s.Ticks,
+		&s.QueueDropped, &s.FlowEvictions,
+		&s.Delivered, &s.Accepted, &s.Deduped, &s.Quarantined, &s.Evicted,
+		&s.Aged, &s.CtrlTick,
+	} {
+		*dst = binary.BigEndian.Uint64(body[8*i:])
+	}
+	body = body[counters*8:]
+	nClients := int(binary.BigEndian.Uint32(body))
+	body = body[4:]
+	if nClients < 0 || len(body) < nClients*16 {
+		return nil, fmt.Errorf("%w: snapshot client table overruns payload", errBadJournalRecord)
+	}
+	if nClients > 0 {
+		s.Clients = make([]clientSeqEntry, nClients)
+		for i := range s.Clients {
+			s.Clients[i].ID = binary.BigEndian.Uint64(body[16*i:])
+			s.Clients[i].Seq = binary.BigEndian.Uint64(body[16*i+8:])
+		}
+	}
+	body = body[nClients*16:]
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: snapshot flow table missing", errBadJournalRecord)
+	}
+	nFlows := int(binary.BigEndian.Uint32(body))
+	body = body[4:]
+	if nFlows > 0 {
+		s.Flows = make([]flowWindowEntry, 0, min(nFlows, 1<<16))
+		for i := 0; i < nFlows; i++ {
+			if len(body) < 5 {
+				return nil, fmt.Errorf("%w: snapshot flow entry overruns payload", errBadJournalRecord)
+			}
+			fe := flowWindowEntry{Flow: binary.BigEndian.Uint32(body)}
+			n := int(body[4])
+			body = body[5:]
+			if len(body) < n*8 {
+				return nil, fmt.Errorf("%w: snapshot window overruns payload", errBadJournalRecord)
+			}
+			if n > 0 {
+				fe.Entries = make([]windowEntry, n)
+				for k := range fe.Entries {
+					fe.Entries[k].Reporter = binary.BigEndian.Uint32(body[8*k:])
+					fe.Entries[k].Hop = binary.BigEndian.Uint32(body[8*k+4:])
+				}
+			}
+			body = body[n*8:]
+			s.Flows = append(s.Flows, fe)
+		}
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing snapshot bytes", errBadJournalRecord, len(body))
+	}
+	return s, nil
+}
+
+// appendJournalRecord encodes a full record (header + payload) into
+// dst — the framing appendLocked writes, exposed for tests and fuzzing.
+func appendJournalRecord(dst, payload []byte) []byte {
+	var hdr [journalRecHeader]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}

@@ -1,0 +1,236 @@
+package collectorsvc
+
+// Snapshot capture and journal replay: the two halves of crash
+// recovery. Capture runs at segment rotation and freezes a consistent
+// cut of the server (counters, per-client sequence high-water marks,
+// per-flow dedup windows, aggregate controller totals); replay rebuilds
+// that cut at boot and then re-delivers every record journaled after
+// it. Both sides are deliberately single-threaded and shard-count
+// agnostic: the snapshot keys dedup state by flow, not by shard, and
+// replay re-routes each flow through shardFor, so a recovered server
+// may run a different -shards value than the one that crashed.
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/unroller/unroller/internal/dataplane"
+	"github.com/unroller/unroller/internal/detect"
+)
+
+// eventToRecord converts a live event to its journal representation.
+func eventToRecord(ev dataplane.LoopEvent) LoopEventRecord {
+	rec := LoopEventRecord{
+		Flow:     ev.Flow,
+		Reporter: uint32(ev.Reporter),
+		Hops:     ev.Hops,
+		Node:     ev.Node,
+	}
+	if len(ev.Members) > 0 {
+		rec.Members = make([]uint32, len(ev.Members))
+		for i, m := range ev.Members {
+			rec.Members[i] = uint32(m)
+		}
+	}
+	return rec
+}
+
+// recordToEvent is the inverse of eventToRecord.
+func recordToEvent(rec LoopEventRecord) dataplane.LoopEvent {
+	var ev dataplane.LoopEvent
+	ev.Flow = rec.Flow
+	ev.Reporter = detect.SwitchID(rec.Reporter)
+	ev.Hops = rec.Hops
+	ev.Node = rec.Node
+	if len(rec.Members) > 0 {
+		ev.Members = make([]detect.SwitchID, len(rec.Members))
+		for i, m := range rec.Members {
+			ev.Members[i] = detect.SwitchID(m)
+		}
+	}
+	return ev
+}
+
+// rotateWithSnapshotLocked rotates the journal segment with a
+// consistent snapshot at the new segment's head. Called from the ingest
+// path with j.mu held, which blocks every other account/append/enqueue;
+// it then quiesces the shard workers with barrier items so the queues
+// drain and the flow maps and controller stats stop moving. Lock order
+// is j.mu → s.mu → sh.mu, the same everywhere.
+func (s *Server) rotateWithSnapshotLocked(j *Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Shutdown sets closed before it stops the workers, but it cannot
+	// stop them until this connection's reader returns (connWG), so the
+	// barrier below is always drained. The closed check only skips
+	// pointless rotations once shutdown has begun.
+	if s.closed {
+		return
+	}
+	b := &shardBarrier{
+		reached: make(chan struct{}, len(s.shards)),
+		resume:  make(chan struct{}),
+	}
+	for _, sh := range s.shards {
+		sh.push(shardItem{barrier: b})
+	}
+	for range s.shards {
+		<-b.reached
+	}
+	snap := s.captureSnapshotLocked()
+	j.rotateLocked(encodeSnapshot(nil, snap))
+	close(b.resume)
+}
+
+// captureSnapshotLocked freezes the server state. Preconditions: j.mu
+// and s.mu held, every shard worker parked on a barrier (so sh.flows
+// and sh.ctrl are quiescent).
+func (s *Server) captureSnapshotLocked() *journalSnapshot {
+	snap := &journalSnapshot{
+		Conns:         s.conns64.Load(),
+		Frames:        s.frames.Load(),
+		BadFrames:     s.badFrames.Load(),
+		Dupes:         s.dupes.Load(),
+		Ingested:      s.ingested.Load(),
+		Ticks:         s.ticks.Load(),
+		QueueDropped:  s.queueDropBase,
+		FlowEvictions: s.flowEvictBase,
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		snap.QueueDropped += sh.dropped
+		sh.mu.Unlock()
+		snap.FlowEvictions += sh.evictions.Load()
+	}
+	// Aggregate controller totals, cumulative across prior recoveries.
+	// Buffered folds into Evicted: a crash discards the in-memory event
+	// rings, so the snapshot accounts their contents as evicted — the
+	// admission identity (accepted = buffered + evicted + aged) then
+	// holds exactly in the recovered process.
+	agg := dataplane.MergeControllerStats(s.ShardStats()...)
+	snap.Delivered = s.ctrlBase.Delivered + agg.Delivered
+	snap.Accepted = s.ctrlBase.Accepted + agg.Accepted
+	snap.Deduped = s.ctrlBase.Deduped + agg.Deduped
+	snap.Quarantined = s.ctrlBase.Quarantined + agg.Quarantined
+	snap.Evicted = s.ctrlBase.Evicted + agg.Evicted + uint64(agg.Buffered)
+	snap.Aged = s.ctrlBase.Aged + agg.Aged
+	snap.CtrlTick = s.ctrlBase.Tick + agg.Tick
+
+	snap.Clients = make([]clientSeqEntry, 0, len(s.clients))
+	for id, cs := range s.clients {
+		snap.Clients = append(snap.Clients, clientSeqEntry{ID: id, Seq: cs.last.Load()})
+	}
+	sort.Slice(snap.Clients, func(a, b int) bool { return snap.Clients[a].ID < snap.Clients[b].ID })
+
+	for _, sh := range s.shards {
+		for flow, w := range sh.flows {
+			entries := w.Entries()
+			fe := flowWindowEntry{Flow: flow}
+			if len(entries) > 0 {
+				fe.Entries = make([]windowEntry, len(entries))
+				for i, e := range entries {
+					fe.Entries[i] = windowEntry{Reporter: uint32(e.Reporter), Hop: uint32(e.Hop)}
+				}
+			}
+			snap.Flows = append(snap.Flows, fe)
+		}
+	}
+	sort.Slice(snap.Flows, func(a, b int) bool { return snap.Flows[a].Flow < snap.Flows[b].Flow })
+	return snap
+}
+
+// recoverFromJournal replays the journal into a freshly built server.
+// Runs before startWorkers, so everything here is single-threaded:
+// records apply in journal order regardless of the shard count, which
+// is what makes recovery deterministic and worker-count invariant.
+func (s *Server) recoverFromJournal() error {
+	j := s.journal
+	err := j.Replay(func(rec *journalRecord) error {
+		switch rec.kind {
+		case jrecSnapshot:
+			s.applySnapshot(rec.snap)
+		case jrecReport:
+			cs := s.clientState(rec.clientID)
+			if !cs.account(rec.seq) {
+				// Records are only appended for newly accounted frames,
+				// so a replayed duplicate means the journal and the
+				// snapshot disagree — refuse rather than double-count.
+				return fmt.Errorf("%w: replayed report seq %d for client %d at or below high-water mark", ErrJournalCorrupt, rec.seq, rec.clientID)
+			}
+			s.ingested.Add(1)
+			ev := recordToEvent(rec.ev)
+			s.shardFor(ev.Flow).deliver(ev, rec.hop)
+		case jrecTick:
+			cs := s.clientState(rec.clientID)
+			if !cs.account(rec.seq) {
+				return fmt.Errorf("%w: replayed tick seq %d for client %d at or below high-water mark", ErrJournalCorrupt, rec.seq, rec.clientID)
+			}
+			s.ticks.Add(1)
+			for _, sh := range s.shards {
+				sh.ctrl.Tick()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	jst := j.Stats()
+	s.recoveryReport = RecoveryStats{
+		Records:        jst.RecoveredRecords,
+		Snapshots:      jst.RecoveredSnapshots,
+		TruncatedBytes: jst.TruncatedBytes,
+		Clients:        len(s.clients),
+		Ingested:       s.ingested.Load(),
+		Ticks:          s.ticks.Load(),
+	}
+	for _, sh := range s.shards {
+		s.recoveryReport.Flows += len(sh.flows)
+	}
+	return nil
+}
+
+// applySnapshot resets the server to a snapshot's cut. Each snapshot in
+// the replay stream supersedes everything before it (its baselines are
+// cumulative), so state rebuilt from earlier records is discarded:
+// shard controllers restart fresh and the snapshot's aggregate totals
+// become the baseline.
+func (s *Server) applySnapshot(snap *journalSnapshot) {
+	s.conns64.Store(snap.Conns)
+	s.frames.Store(snap.Frames)
+	s.badFrames.Store(snap.BadFrames)
+	s.dupes.Store(snap.Dupes)
+	s.ingested.Store(snap.Ingested)
+	s.ticks.Store(snap.Ticks)
+	s.queueDropBase = snap.QueueDropped
+	s.flowEvictBase = snap.FlowEvictions
+	s.ctrlBase = dataplane.ControllerStats{
+		Delivered:   snap.Delivered,
+		Accepted:    snap.Accepted,
+		Deduped:     snap.Deduped,
+		Quarantined: snap.Quarantined,
+		Evicted:     snap.Evicted,
+		Aged:        snap.Aged,
+		Tick:        snap.CtrlTick,
+	}
+	s.clients = make(map[uint64]*clientSeq, len(snap.Clients))
+	for _, c := range snap.Clients {
+		cs := &clientSeq{}
+		cs.last.Store(c.Seq)
+		s.clients[c.ID] = cs
+	}
+	for _, sh := range s.shards {
+		sh.ctrl = dataplane.NewControllerWithConfig(s.cfg.Controller)
+		sh.flows = make(map[uint32]*dataplane.DedupWindow)
+		sh.evictions.Store(0)
+	}
+	for _, fe := range snap.Flows {
+		entries := make([]dataplane.DedupEntry, len(fe.Entries))
+		for i, e := range fe.Entries {
+			entries[i] = dataplane.DedupEntry{Reporter: detect.SwitchID(e.Reporter), Hop: int(e.Hop)}
+		}
+		w := &dataplane.DedupWindow{}
+		w.Restore(entries)
+		s.shardFor(fe.Flow).flows[fe.Flow] = w
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/unroller/unroller/internal/dataplane"
 	"github.com/unroller/unroller/internal/xhash"
@@ -42,14 +43,39 @@ type ServerConfig struct {
 	// connection stays busy; an ack is always flushed when the reader
 	// goes idle at a batch boundary. <= 0 selects DefaultAckEvery.
 	AckEvery int
+	// Journal, when non-nil, makes ingest crash-safe: every accounted
+	// frame is appended (and flushed to the OS before it is
+	// acknowledged), and segment rotation writes a consistent snapshot
+	// of the sequence/dedup state. Open the journal with OpenJournal and
+	// build the server with NewRecoveredServer so prior history replays;
+	// the caller closes the journal after Shutdown.
+	Journal *Journal
+	// ReadTimeout bounds the silence between frames on a connection.
+	// A peer that sends nothing — not even a heartbeat — for this long
+	// is reaped, which is both dead-peer detection and idle-connection
+	// reaping (healthy idle clients heartbeat well inside it). <= 0
+	// selects DefaultReadTimeout.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each acknowledgement flush; a peer that stops
+	// reading cannot park the reader goroutine forever. <= 0 selects
+	// DefaultWriteTimeout.
+	WriteTimeout time.Duration
+	// MaxConns caps concurrent connections. Per-connection buffers are
+	// bounded (read 32 KiB, write 1 KiB, frame bodies MaxFrameBody), so
+	// this cap bounds total connection memory. Excess connections are
+	// closed at accept and counted. <= 0 selects DefaultMaxConns.
+	MaxConns int
 }
 
 // Defaults for ServerConfig's knobs.
 const (
-	DefaultShards     = 4
-	DefaultQueueDepth = 1024
-	DefaultMaxFlows   = 1 << 16
-	DefaultAckEvery   = 64
+	DefaultShards       = 4
+	DefaultQueueDepth   = 1024
+	DefaultMaxFlows     = 1 << 16
+	DefaultAckEvery     = 64
+	DefaultReadTimeout  = 30 * time.Second
+	DefaultWriteTimeout = 10 * time.Second
+	DefaultMaxConns     = 256
 )
 
 // ServerStats is a snapshot of the service-level counters (the
@@ -62,7 +88,10 @@ type ServerStats struct {
 	Conns       uint64 `json:"conns"`
 	ActiveConns int    `json:"active_conns"`
 	// Frames counts every well-formed frame read; BadFrames counts
-	// decode failures (each kills its connection).
+	// protocol violations — malformed or oversize frames, wrong
+	// versions, unexpected frame types (each kills its connection).
+	// Peers that vanish mid-frame or before their hello are connection
+	// failures, not violations, and are not counted here.
 	Frames    uint64 `json:"frames"`
 	BadFrames uint64 `json:"bad_frames"`
 	// Dupes counts transport duplicates: frames whose sequence number
@@ -73,10 +102,16 @@ type ServerStats struct {
 	// Ticks counts unique tick frames applied.
 	Ingested uint64 `json:"ingested"`
 	Ticks    uint64 `json:"ticks"`
-	// QueueDropped counts events evicted from full shard queues
-	// (drop-oldest), FlowEvictions the dedup-map clears.
+	// QueueDropped counts events evicted from full shard queues,
+	// FlowEvictions the dedup-map clears. Overload shedding prefers
+	// evicting queued ticks over loop reports; SheddedTicks counts the
+	// QueueDropped subset that were ticks.
 	QueueDropped  uint64 `json:"queue_dropped"`
+	SheddedTicks  uint64 `json:"shedded_ticks"`
 	FlowEvictions uint64 `json:"flow_evictions"`
+	// ConnsRejected counts connections closed at accept because
+	// MaxConns was reached.
+	ConnsRejected uint64 `json:"conns_rejected"`
 }
 
 // Server is the collector service: an accept loop, one reader goroutine
@@ -96,14 +131,41 @@ type Server struct {
 	connWG  sync.WaitGroup
 	shardWG sync.WaitGroup
 
-	conns64    atomic.Uint64
-	frames     atomic.Uint64
-	badFrames  atomic.Uint64
-	dupes      atomic.Uint64
-	ingested   atomic.Uint64
-	ticks      atomic.Uint64
-	serveErr   error
-	serveEnded chan struct{}
+	conns64       atomic.Uint64
+	connsRejected atomic.Uint64
+	frames        atomic.Uint64
+	badFrames     atomic.Uint64
+	dupes         atomic.Uint64
+	ingested      atomic.Uint64
+	ticks         atomic.Uint64
+	serveErr      error
+	serveEnded    chan struct{}
+
+	// Recovery baselines: cumulative totals carried over from the last
+	// journal snapshot for the counters that live in shard state (which
+	// is rebuilt fresh on recovery). The service counters above are
+	// Store()d directly from the snapshot instead.
+	journal        *Journal
+	queueDropBase  uint64
+	flowEvictBase  uint64
+	ctrlBase       dataplane.ControllerStats
+	recoveryReport RecoveryStats
+}
+
+// RecoveryStats summarizes what a journal replay restored — what
+// collectord prints at boot after a crash.
+type RecoveryStats struct {
+	// Records and Snapshots are the journal records applied.
+	Records   uint64 `json:"records"`
+	Snapshots uint64 `json:"snapshots"`
+	// TruncatedBytes is the torn tail discarded from the final segment.
+	TruncatedBytes int64 `json:"truncated_bytes"`
+	// Clients and Flows size the restored exactly-once and dedup state.
+	Clients int `json:"clients"`
+	Flows   int `json:"flows"`
+	// Ingested and Ticks are the recovered cumulative totals.
+	Ingested uint64 `json:"ingested"`
+	Ticks    uint64 `json:"ticks"`
 }
 
 // clientSeq is the per-client exactly-once high-water mark. It survives
@@ -128,24 +190,37 @@ func (cs *clientSeq) account(seq uint64) bool {
 	}
 }
 
-// shardItem is one queued unit of work: a report (with its dedup hop)
-// or an epoch tick.
+// shardItem is one queued unit of work: a report (with its dedup hop),
+// an epoch tick, or a snapshot barrier.
 type shardItem struct {
-	ev   dataplane.LoopEvent
-	hop  int
-	tick bool
+	ev      dataplane.LoopEvent
+	hop     int
+	tick    bool
+	barrier *shardBarrier
+}
+
+// shardBarrier quiesces the shard workers for a snapshot: each worker
+// acks on reached when it dequeues the barrier (its queue prefix fully
+// delivered) and then parks until resume closes. While every worker is
+// parked, shard flows maps and controller stats are a consistent cut.
+// Barriers are only pushed while the journal mutex serializes all
+// ingest, so no later push can race one out of the queue.
+type shardBarrier struct {
+	reached chan struct{}
+	resume  chan struct{}
 }
 
 // shard is one independent ingest lane: bounded ring queue, controller,
 // and per-flow dedup windows. The queue is guarded by mu; the dedup map
 // is touched only by the shard's worker goroutine.
 type shard struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	ring    []shardItem
-	head, n int
-	dropped uint64
-	closed  bool
+	mu           sync.Mutex
+	cond         *sync.Cond
+	ring         []shardItem
+	head, n      int
+	dropped      uint64
+	sheddedTicks uint64
+	closed       bool
 
 	ctrl      *dataplane.Controller
 	flows     map[uint32]*dataplane.DedupWindow
@@ -164,21 +239,51 @@ func newShard(ctrlCfg dataplane.ControllerConfig, depth, maxFlows int) *shard {
 	return sh
 }
 
-// push enqueues it, evicting the oldest queued item when full. It never
-// blocks: the connection reader must keep draining its socket no matter
-// how far behind the shard worker is.
+// push enqueues it, evicting a queued item when full. It never blocks:
+// the connection reader must keep draining its socket no matter how far
+// behind the shard worker is. Overload shedding prefers evicting a
+// queued tick (the controller clock advancing late is recoverable;
+// a lost loop report is the one thing the paper's pipeline exists to
+// deliver); only when no tick is queued does it drop the oldest report.
 func (sh *shard) push(it shardItem) {
 	sh.mu.Lock()
 	if sh.n == len(sh.ring) {
-		sh.ring[sh.head] = it // overwrite the oldest
-		sh.head = (sh.head + 1) % len(sh.ring)
-		sh.dropped++
-	} else {
-		sh.ring[(sh.head+sh.n)%len(sh.ring)] = it
-		sh.n++
+		if !sh.shedTickLocked() {
+			sh.ring[sh.head] = shardItem{} // drop the oldest
+			sh.head = (sh.head + 1) % len(sh.ring)
+			sh.n--
+			sh.dropped++
+		}
 	}
+	sh.ring[(sh.head+sh.n)%len(sh.ring)] = it
+	sh.n++
 	sh.mu.Unlock()
 	sh.cond.Signal()
+}
+
+// shedTickLocked evicts the oldest queued tick, preserving the order of
+// everything else, and reports whether one was found. O(n) in the queue
+// depth, but only on overflow and only while a tick is actually queued.
+func (sh *shard) shedTickLocked() bool {
+	at := -1
+	for i := 0; i < sh.n; i++ {
+		idx := (sh.head + i) % len(sh.ring)
+		if sh.ring[idx].tick {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		return false
+	}
+	for i := at; i < sh.n-1; i++ {
+		sh.ring[(sh.head+i)%len(sh.ring)] = sh.ring[(sh.head+i+1)%len(sh.ring)]
+	}
+	sh.ring[(sh.head+sh.n-1)%len(sh.ring)] = shardItem{}
+	sh.n--
+	sh.dropped++
+	sh.sheddedTicks++
+	return true
 }
 
 // pop dequeues the oldest item, blocking until one arrives or the shard
@@ -210,25 +315,63 @@ func (sh *shard) run() {
 		if !ok {
 			return
 		}
+		if it.barrier != nil {
+			it.barrier.reached <- struct{}{}
+			<-it.barrier.resume
+			continue
+		}
 		if it.tick {
 			sh.ctrl.Tick()
 			continue
 		}
-		w := sh.flows[it.ev.Flow]
-		if w == nil {
-			if len(sh.flows) >= sh.maxFlows {
-				sh.flows = make(map[uint32]*dataplane.DedupWindow)
-				sh.evictions.Add(1)
-			}
-			w = &dataplane.DedupWindow{}
-			sh.flows[it.ev.Flow] = w
-		}
-		sh.ctrl.DeliverFlow(it.ev, w, it.hop)
+		sh.deliver(it.ev, it.hop)
 	}
 }
 
+// deliver runs one report through the per-flow dedup path into the
+// controller — the worker's delivery step, also called directly (and
+// single-threaded) by journal replay so recovery is worker-count
+// invariant.
+func (sh *shard) deliver(ev dataplane.LoopEvent, hop int) {
+	w := sh.flows[ev.Flow]
+	if w == nil {
+		if len(sh.flows) >= sh.maxFlows {
+			sh.flows = make(map[uint32]*dataplane.DedupWindow)
+			sh.evictions.Add(1)
+		}
+		w = &dataplane.DedupWindow{}
+		sh.flows[ev.Flow] = w
+	}
+	sh.ctrl.DeliverFlow(ev, w, hop)
+}
+
 // NewServer returns an idle server; call Serve or Start to run it.
+// When cfg.Journal is set, new ingest is journaled but prior history is
+// NOT replayed — use NewRecoveredServer for crash recovery.
 func NewServer(cfg ServerConfig) *Server {
+	s := buildServer(cfg)
+	s.startWorkers()
+	return s
+}
+
+// NewRecoveredServer builds a server and replays cfg.Journal into it
+// before any worker or connection exists, so recovery is deterministic
+// and worker-count invariant: records apply single-threaded, in journal
+// order, through the same per-flow dedup path as live delivery. It
+// returns what was restored; cfg.Journal must be set.
+func NewRecoveredServer(cfg ServerConfig) (*Server, RecoveryStats, error) {
+	if cfg.Journal == nil {
+		return nil, RecoveryStats{}, errors.New("collectorsvc: NewRecoveredServer requires a journal")
+	}
+	s := buildServer(cfg)
+	if err := s.recoverFromJournal(); err != nil {
+		return nil, RecoveryStats{}, err
+	}
+	s.startWorkers()
+	return s, s.recoveryReport, nil
+}
+
+func buildServer(cfg ServerConfig) *Server {
 	if cfg.Shards <= 0 {
 		cfg.Shards = DefaultShards
 	}
@@ -241,8 +384,18 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.AckEvery <= 0 {
 		cfg.AckEvery = DefaultAckEvery
 	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = DefaultReadTimeout
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = DefaultMaxConns
+	}
 	s := &Server{
 		cfg:        cfg,
+		journal:    cfg.Journal,
 		conns:      make(map[net.Conn]struct{}),
 		clients:    make(map[uint64]*clientSeq),
 		serveEnded: make(chan struct{}),
@@ -250,12 +403,15 @@ func NewServer(cfg ServerConfig) *Server {
 	for i := 0; i < cfg.Shards; i++ {
 		s.shards = append(s.shards, newShard(cfg.Controller, cfg.QueueDepth, cfg.MaxFlows))
 	}
+	return s
+}
+
+func (s *Server) startWorkers() {
 	for _, sh := range s.shards {
 		sh := sh
 		s.shardWG.Add(1)
 		go func() { defer s.shardWG.Done(); sh.run() }()
 	}
-	return s
 }
 
 // Start listens on addr and serves in the background, returning the
@@ -302,6 +458,12 @@ func (s *Server) serve(ln net.Listener) {
 			conn.Close()
 			return
 		}
+		if len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			conn.Close()
+			s.connsRejected.Add(1)
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.conns64.Add(1)
@@ -323,7 +485,10 @@ func (s *Server) shardFor(flow uint32) *shard {
 // handle is the per-connection reader: hello, then a stream of report
 // and tick frames, acknowledged in batches. Any decode error kills the
 // connection (the client reconnects and retransmits unacknowledged
-// frames; sequence accounting absorbs the overlap).
+// frames; sequence accounting absorbs the overlap). Every read and
+// write is deadline-armed: a peer that goes silent for ReadTimeout or
+// stops reading acks for WriteTimeout is reaped instead of parking this
+// goroutine and its buffers forever.
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -336,19 +501,49 @@ func (s *Server) handle(conn net.Conn) {
 	scratch := make([]byte, 0, 256)
 	ackBuf := make([]byte, 0, lenPrefixSize+frameOverhead+seqBodyLen)
 
-	f, scratch, err := ReadFrame(br, scratch)
-	if err != nil || f.Type != FrameHello {
+	readFrame := func() (Frame, error) {
+		// The deadline re-arms per frame, so it bounds inter-frame
+		// silence, not connection lifetime. br may hold buffered frames
+		// from the last read; those never touch the socket.
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		f, sc, err := ReadFrame(br, scratch)
+		scratch = sc
+		return f, err
+	}
+
+	// A peer that connects and disappears before its hello is read —
+	// a port probe, a half-open casualty, or a clean client racing
+	// Shutdown — is not a protocol violation; only malformed bytes or
+	// a well-formed non-hello frame count against badFrames, the same
+	// policy the mid-stream loop applies.
+	f, err := readFrame()
+	if err != nil {
+		if isWireError(err) {
+			s.badFrames.Add(1)
+		}
+		return
+	}
+	if f.Type != FrameHello {
 		s.badFrames.Add(1)
 		return
 	}
 	cs := s.clientState(f.ClientID)
+	clientID := f.ClientID
 
 	var lastSeen, lastAcked uint64
 	pending := 0
+	force := false
 	flushAck := func() bool {
-		if pending == 0 && lastSeen == lastAcked {
+		if pending == 0 && lastSeen == lastAcked && !force {
 			return true
 		}
+		// Nothing is acknowledged before the journal has flushed it to
+		// the OS (and synced it, under FsyncAlways) — the ack is the
+		// client's licence to forget, so it must not outrun durability.
+		if s.journal != nil {
+			s.journal.Commit()
+		}
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		ackBuf = AppendAck(ackBuf[:0], lastSeen)
 		if _, err := bw.Write(ackBuf); err != nil {
 			return false
@@ -358,11 +553,12 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		lastAcked = lastSeen
 		pending = 0
+		force = false
 		return true
 	}
 
 	for {
-		f, scratch, err = ReadFrame(br, scratch)
+		f, err = readFrame()
 		if err != nil {
 			if isWireError(err) {
 				s.badFrames.Add(1)
@@ -376,29 +572,23 @@ func (s *Server) handle(conn net.Conn) {
 			if f.Seq > lastSeen {
 				lastSeen = f.Seq
 			}
-			if !cs.account(f.Seq) {
-				s.dupes.Add(1)
-			} else {
-				s.ingested.Add(1)
-				s.shardFor(f.Event.Flow).push(shardItem{ev: f.Event, hop: f.Hop})
-			}
+			s.ingestReport(cs, clientID, f)
 			pending++
 		case FrameTick:
 			if f.Seq > lastSeen {
 				lastSeen = f.Seq
 			}
-			if !cs.account(f.Seq) {
-				s.dupes.Add(1)
-			} else {
-				s.ticks.Add(1)
-				for _, sh := range s.shards {
-					sh.push(shardItem{tick: true})
-				}
-			}
+			s.ingestTick(cs, clientID, f.Seq)
 			pending++
+		case FrameHeartbeat:
+			// Not sequence-accounted; answer with the current high-water
+			// mark so an idle session has ack traffic inside the
+			// client's staleness window.
+			force = true
 		case FrameHello:
 			// A repeated hello rebinds the connection (harmless).
 			cs = s.clientState(f.ClientID)
+			clientID = f.ClientID
 		default:
 			s.badFrames.Add(1)
 			flushAck()
@@ -411,6 +601,55 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		}
+	}
+}
+
+// ingestReport accounts one report frame and, when new, journals it and
+// queues it for delivery. With a journal, account+append+enqueue happen
+// atomically under the journal mutex: a rotation snapshot therefore
+// always sees either none or all three effects of a frame, which is
+// what makes the snapshot a consistent cut.
+func (s *Server) ingestReport(cs *clientSeq, clientID uint64, f Frame) {
+	j := s.journal
+	if j != nil {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+	}
+	if !cs.account(f.Seq) {
+		s.dupes.Add(1)
+		return
+	}
+	s.ingested.Add(1)
+	if j != nil {
+		j.appendLocked(appendJournalReport(nil, clientID, f.Seq, eventToRecord(f.Event), f.Hop))
+	}
+	s.shardFor(f.Event.Flow).push(shardItem{ev: f.Event, hop: f.Hop})
+	if j != nil && j.needsRotateLocked() {
+		s.rotateWithSnapshotLocked(j)
+	}
+}
+
+// ingestTick accounts one tick frame and, when new, journals it and
+// fans it out to every shard.
+func (s *Server) ingestTick(cs *clientSeq, clientID uint64, seq uint64) {
+	j := s.journal
+	if j != nil {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+	}
+	if !cs.account(seq) {
+		s.dupes.Add(1)
+		return
+	}
+	s.ticks.Add(1)
+	if j != nil {
+		j.appendLocked(appendJournalTick(nil, clientID, seq))
+	}
+	for _, sh := range s.shards {
+		sh.push(shardItem{tick: true})
+	}
+	if j != nil && j.needsRotateLocked() {
+		s.rotateWithSnapshotLocked(j)
 	}
 }
 
@@ -481,10 +720,13 @@ func (s *Server) Shutdown() {
 	s.shardWG.Wait()
 }
 
-// Stats snapshots the service-level counters.
+// Stats snapshots the service-level counters. After a recovery, the
+// shard-resident counters (queue drops, flow evictions) include the
+// baselines carried over from the journal snapshot.
 func (s *Server) Stats() ServerStats {
 	var st ServerStats
 	st.Conns = s.conns64.Load()
+	st.ConnsRejected = s.connsRejected.Load()
 	st.Frames = s.frames.Load()
 	st.BadFrames = s.badFrames.Load()
 	st.Dupes = s.dupes.Load()
@@ -492,15 +734,56 @@ func (s *Server) Stats() ServerStats {
 	st.Ticks = s.ticks.Load()
 	s.mu.Lock()
 	st.ActiveConns = len(s.conns)
+	st.QueueDropped = s.queueDropBase
+	st.FlowEvictions = s.flowEvictBase
 	s.mu.Unlock()
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		st.QueueDropped += sh.dropped
+		st.SheddedTicks += sh.sheddedTicks
 		sh.mu.Unlock()
 		st.FlowEvictions += sh.evictions.Load()
 	}
 	return st
 }
+
+// ShardQueueStats is one shard's live queue gauge set for /statsz.
+type ShardQueueStats struct {
+	Depth        int    `json:"depth"`
+	Dropped      uint64 `json:"dropped"`
+	SheddedTicks uint64 `json:"shedded_ticks"`
+}
+
+// QueueStats snapshots each shard's queue gauges, in shard order.
+func (s *Server) QueueStats() []ShardQueueStats {
+	out := make([]ShardQueueStats, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		out[i] = ShardQueueStats{Depth: sh.n, Dropped: sh.dropped, SheddedTicks: sh.sheddedTicks}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Healthy is the /healthz readiness predicate: the server is accepting
+// and, when journaled, durability is intact (no append or sync has
+// failed).
+func (s *Server) Healthy() bool {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return false
+	}
+	return s.journal == nil || !s.journal.Failed()
+}
+
+// Journal returns the attached journal (nil when ingest is not
+// journaled) — the admin endpoint reads its gauges from here.
+func (s *Server) Journal() *Journal { return s.journal }
+
+// Recovery returns what the journal replay restored (zero without one).
+func (s *Server) Recovery() RecoveryStats { return s.recoveryReport }
 
 // ShardStats snapshots each shard controller, in shard order.
 func (s *Server) ShardStats() []dataplane.ControllerStats {
@@ -513,9 +796,24 @@ func (s *Server) ShardStats() []dataplane.ControllerStats {
 
 // ControllerStats merges the shard controllers into one aggregate
 // snapshot; the admission identities survive the merge exactly (see
-// dataplane.MergeControllerStats).
+// dataplane.MergeControllerStats). After a recovery it includes the
+// aggregate baseline from the journal snapshot: live shard controllers
+// restart from zero, and the baseline restores the cumulative totals
+// (with the crash-discarded buffered ring folded into Evicted, and
+// Tick as baseline + live since replay re-ticks from zero).
 func (s *Server) ControllerStats() dataplane.ControllerStats {
-	return dataplane.MergeControllerStats(s.ShardStats()...)
+	m := dataplane.MergeControllerStats(s.ShardStats()...)
+	s.mu.Lock()
+	base := s.ctrlBase
+	s.mu.Unlock()
+	m.Delivered += base.Delivered
+	m.Accepted += base.Accepted
+	m.Deduped += base.Deduped
+	m.Quarantined += base.Quarantined
+	m.Evicted += base.Evicted
+	m.Aged += base.Aged
+	m.Tick += base.Tick
+	return m
 }
 
 // Events returns the buffered events of every shard, shard order then

@@ -53,6 +53,7 @@ import (
 //	             members (4 each)
 //	FrameTick    seq (8)
 //	FrameAck     seq (8)
+//	FrameHeartbeat  seq (8, the client's highest sent seq; informational)
 //
 // Field encodings reuse the conventions of internal/frames and the
 // emulator frame: big-endian fixed-width integers, switch IDs as their
@@ -96,6 +97,11 @@ const (
 	// FrameAck is the server→client acknowledgement of the highest
 	// accounted sequence number.
 	FrameAck = 4
+	// FrameHeartbeat is a client keep-alive. It is not sequence-accounted
+	// (the seq field is informational); the server answers with an ack of
+	// its current high-water mark, so an idle but healthy session always
+	// has traffic inside both sides' timeout windows.
+	FrameHeartbeat = 5
 )
 
 // Errors returned by the decoders.
@@ -180,6 +186,14 @@ func AppendAck(dst []byte, seq uint64) []byte {
 	return patchLen(dst, off)
 }
 
+// AppendHeartbeat appends a keep-alive frame carrying the client's
+// highest sent sequence (informational only).
+func AppendHeartbeat(dst []byte, seq uint64) []byte {
+	dst, off := appendPrefix(dst, FrameHeartbeat)
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	return patchLen(dst, off)
+}
+
 // DecodeFrame parses one frame from the front of buf, returning the
 // frame and the bytes consumed. It never allocates proportionally to
 // the length prefix — only to the member count, which is validated
@@ -218,7 +232,7 @@ func decodeBody(f *Frame, b []byte) error {
 			return fmt.Errorf("%w: hello body of %d bytes, want %d", ErrBadFrame, len(body), helloBodyLen)
 		}
 		f.ClientID = binary.BigEndian.Uint64(body)
-	case FrameTick, FrameAck:
+	case FrameTick, FrameAck, FrameHeartbeat:
 		if len(body) != seqBodyLen {
 			return fmt.Errorf("%w: type-%d body of %d bytes, want %d", ErrBadFrame, f.Type, len(body), seqBodyLen)
 		}

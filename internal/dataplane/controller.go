@@ -194,6 +194,40 @@ type DedupWindow struct {
 // Reset clears the window for a new flow.
 func (d *DedupWindow) Reset() { d.n = 0 }
 
+// DedupEntry is one externally-visible window slot — the serialization
+// surface the collector's write-ahead journal snapshots through.
+type DedupEntry struct {
+	Reporter detect.SwitchID
+	Hop      int
+}
+
+// Entries returns the window's live slots in insertion order.
+func (d *DedupWindow) Entries() []DedupEntry {
+	if d.n == 0 {
+		return nil
+	}
+	out := make([]DedupEntry, d.n)
+	for i := 0; i < d.n; i++ {
+		out[i] = DedupEntry{Reporter: d.e[i].reporter, Hop: d.e[i].hop}
+	}
+	return out
+}
+
+// Restore rebuilds the window from previously captured entries,
+// truncating to capacity. Entries(); Restore() is the identity for any
+// window the controller can produce.
+func (d *DedupWindow) Restore(entries []DedupEntry) {
+	d.n = 0
+	for _, e := range entries {
+		if d.n == len(d.e) {
+			return
+		}
+		d.e[d.n].reporter = e.Reporter
+		d.e[d.n].hop = e.Hop
+		d.n++
+	}
+}
+
 // DeliverFlow is the data-plane delivery path: per-flow dedup against w,
 // then the shared admission pipeline. hop is the reporting packet's hop
 // count when the report fired. Returns whether the event was accepted.
