@@ -3,6 +3,9 @@
 #   make build   compile everything
 #   make test    unit tests
 #   make lint    go vet + the project's own analyzers (unroller-vet)
+#   make vet-json  the analyzer suite with machine-readable findings
+#   make vettool rebuild unroller-vet and run it under `go vet`
+#                (unitchecker mode, incremental + cached)
 #   make race    unit tests under the race detector
 #   make fuzz    smoke run of every fuzz target (bitpack 5s each,
 #                dataplane packet wire format, collectorsvc report
@@ -13,7 +16,7 @@
 
 GO ?= go
 
-.PHONY: build test lint race fuzz bench ci
+.PHONY: build test lint vet-json vettool race fuzz bench ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +27,13 @@ test:
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/unroller-vet ./...
+
+vet-json:
+	$(GO) run ./cmd/unroller-vet -json ./...
+
+vettool:
+	$(GO) build -o bin/unroller-vet ./cmd/unroller-vet
+	$(GO) vet -vettool=bin/unroller-vet ./...
 
 race:
 	$(GO) test -race ./...

@@ -6,7 +6,12 @@
 #   vet           go vet ./...
 #   unroller-vet  the project's own analyzers (see internal/analysis):
 #                 determinism, hotpath, wirewidth, errctx, nodeps,
-#                 directive — exit 1 on findings, 2 on load errors
+#                 lockscope, deadline, commitorder, atomicfield,
+#                 directive — exit 1 on findings, 2 on load errors.
+#                 Run three ways: the module driver (text), the driver's
+#                 -json mode checked against the stable empty shape, and
+#                 as a `go vet -vettool=` unitchecker so the fact
+#                 transport through .vetx files stays honest
 #   race tests    go test -race ./...  (includes the concurrency
 #                 regression tests in internal/core and
 #                 internal/dataplane, and the churn/scenario suite —
@@ -32,7 +37,10 @@
 #   bench smoke   one iteration of the traffic-engine, collector
 #                 ingest (plain and journaled), and journal append
 #                 benchmarks — not a measurement, just proof those
-#                 paths stay runnable
+#                 paths stay runnable. The traffic-engine and
+#                 collector-ingest lines are appended to the checked-in
+#                 BENCH_collector.json via cmd/unroller-benchlog so the
+#                 perf log never silently stops growing
 set -eu
 
 cd "$(dirname "$0")"
@@ -43,8 +51,22 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> unroller-vet ./..."
+echo "==> unroller-vet ./... (module driver)"
 go run ./cmd/unroller-vet ./...
+
+echo "==> unroller-vet -json ./... (stable empty shape)"
+vet_json="$(go run ./cmd/unroller-vet -json ./...)"
+if [ "$vet_json" != "$(printf '{\n  "findings": []\n}')" ]; then
+	echo "unroller-vet -json: findings or unstable shape:" >&2
+	echo "$vet_json" >&2
+	exit 1
+fi
+
+echo "==> go vet -vettool (unitchecker mode, facts via .vetx)"
+vettool_dir="$(mktemp -d)"
+trap 'rm -rf "$vettool_dir"' EXIT
+go build -o "$vettool_dir/unroller-vet" ./cmd/unroller-vet
+go vet -vettool="$vettool_dir/unroller-vet" ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
@@ -68,8 +90,10 @@ go test -run '^$' -fuzz '^FuzzReportFrame$' -fuzztime 10s ./internal/collectorsv
 echo "==> fuzz smoke (internal/collectorsvc journal segments, 10s)"
 go test -run '^$' -fuzz '^FuzzJournalSegment$' -fuzztime 10s ./internal/collectorsvc
 
-echo "==> bench smoke (traffic engine + collector ingest, 1 iteration)"
-go test -run '^$' -bench 'TrafficEngine|NetworkSend|CollectorIngest' -benchtime 1x .
+echo "==> bench smoke (traffic engine + collector ingest, 1 iteration, logged)"
+bench_out="$vettool_dir/bench.out"
+go test -run '^$' -bench 'TrafficEngine|NetworkSend|CollectorIngest' -benchtime 1x . | tee "$bench_out"
 go test -run '^$' -bench 'JournalAppend' -benchtime 1x ./internal/collectorsvc
+go run ./cmd/unroller-benchlog -o BENCH_collector.json "$bench_out"
 
 echo "==> ci.sh: all gates passed"

@@ -1,0 +1,201 @@
+// Command unroller-benchlog turns raw `go test -bench` output into an
+// append-only JSON performance log. CI's bench smoke pipes its output
+// through this tool, so BENCH_collector.json accumulates one record per
+// run: headline throughput in Mpps (derived from the benchmarks' own
+// pkts/s and reports/s metrics) and allocation counts for the traffic
+// engine and collector ingest paths. The log is checked in; a perf
+// regression shows up as a diff, not a vanished number.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'TrafficEngine|CollectorIngest' . | unroller-benchlog -o BENCH_collector.json
+//
+// Exit status: 0 on success, 1 if no selected benchmark appears in the
+// input (a smoke run that silently benched nothing is a CI bug), 2 on
+// usage errors.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	Mpps        float64            `json:"mpps,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchRun is one invocation's record in the log.
+type benchRun struct {
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// benchLog is the whole checked-in file.
+type benchLog struct {
+	Runs []benchRun `json:"runs"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stderr io.Writer) int {
+	fs := flag.NewFlagSet("unroller-benchlog", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "BENCH_collector.json", "log file to append the run to")
+	match := fs.String("match", "BenchmarkTrafficEngine,BenchmarkCollectorIngest",
+		"comma-separated benchmark name prefixes to record")
+	date := fs.String("date", "", "run date override (default: today, UTC)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	input := stdin
+	if rest := fs.Args(); len(rest) == 1 {
+		f, err := os.Open(rest[0])
+		if err != nil {
+			fmt.Fprintln(stderr, "unroller-benchlog:", err)
+			return 2
+		}
+		defer f.Close()
+		input = f
+	} else if len(rest) > 1 {
+		fmt.Fprintln(stderr, "unroller-benchlog: at most one input file")
+		return 2
+	}
+
+	prefixes := strings.Split(*match, ",")
+	results, err := parseBenchOutput(input, prefixes)
+	if err != nil {
+		fmt.Fprintln(stderr, "unroller-benchlog:", err)
+		return 2
+	}
+	if len(results) == 0 {
+		fmt.Fprintf(stderr, "unroller-benchlog: no benchmark matching %q in input\n", *match)
+		return 1
+	}
+
+	day := *date
+	if day == "" {
+		day = time.Now().UTC().Format("2006-01-02")
+	}
+	logDoc := benchLog{Runs: []benchRun{}}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &logDoc); err != nil {
+			fmt.Fprintf(stderr, "unroller-benchlog: %s is not a benchlog file: %v\n", *out, err)
+			return 2
+		}
+	}
+	logDoc.Runs = append(logDoc.Runs, benchRun{
+		Date:       day,
+		GoVersion:  runtime.Version(),
+		Benchmarks: results,
+	})
+	enc, err := json.MarshalIndent(logDoc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "unroller-benchlog:", err)
+		return 2
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintln(stderr, "unroller-benchlog:", err)
+		return 2
+	}
+	return 0
+}
+
+// parseBenchOutput extracts the selected benchmark lines from go test
+// output. A benchmark line is
+//
+//	BenchmarkName[/sub][-procs]  N  <value unit>...
+//
+// where the value/unit pairs carry ns/op, B/op, allocs/op, and any
+// custom ReportMetric units (pkts/s, reports/s, …).
+func parseBenchOutput(r io.Reader, prefixes []string) ([]benchResult, error) {
+	var results []benchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if !matchesAny(fields[0], prefixes) {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a PASS/ok line or column header, not a result
+		}
+		res := benchResult{
+			Name:       trimProcSuffix(fields[0]),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("unroller-benchlog: bad value %q on line %q", fields[i], sc.Text())
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = val
+			case "B/op":
+				res.BytesPerOp = val
+			case "allocs/op":
+				res.AllocsPerOp = val
+			case "pkts/s", "reports/s":
+				// The headline rate, normalized to millions per second so
+				// the log lines up with the paper's Mpps axis.
+				res.Mpps = val / 1e6
+				res.Metrics[unit] = val
+			default:
+				res.Metrics[unit] = val
+			}
+		}
+		if len(res.Metrics) == 0 {
+			res.Metrics = nil
+		}
+		results = append(results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+func matchesAny(name string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if p = strings.TrimSpace(p); p != "" && strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// trimProcSuffix drops the trailing -GOMAXPROCS marker ("-8") so log
+// entries compare across machines with different core counts.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

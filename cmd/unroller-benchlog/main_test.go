@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/unroller/unroller
+cpu: whatever
+BenchmarkTrafficEngine/workers=1-8         	       3	 400000000 ns/op	  1280000 pkts/s	    2048 B/op	      12 allocs/op
+BenchmarkTrafficEngine/workers=8-8         	      12	 100000000 ns/op	  5120000 pkts/s	    2048 B/op	      12 allocs/op
+BenchmarkCollectorIngest-8                 	  250000	      4000 ns/op	  250000 reports/s	      96 B/op	       2 allocs/op
+BenchmarkCollectorIngestJournaled-8        	  120000	      8000 ns/op	  125000 reports/s	     128 B/op	       3 allocs/op
+BenchmarkHeaderCodec-8                     	 9000000	       130 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	github.com/unroller/unroller	12.3s
+`
+
+// TestParseBenchOutput covers selection, unit parsing, Mpps
+// normalization, and the -procs suffix strip.
+func TestParseBenchOutput(t *testing.T) {
+	results, err := parseBenchOutput(strings.NewReader(sampleOutput),
+		[]string{"BenchmarkTrafficEngine", "BenchmarkCollectorIngest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("want 4 selected results (HeaderCodec excluded), got %d: %+v", len(results), results)
+	}
+	byName := map[string]benchResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	eng, ok := byName["BenchmarkTrafficEngine/workers=8"]
+	if !ok {
+		t.Fatalf("missing workers=8 entry (procs suffix not stripped?): %+v", results)
+	}
+	if eng.Mpps != 5.12 {
+		t.Errorf("TrafficEngine Mpps = %v, want 5.12", eng.Mpps)
+	}
+	if eng.AllocsPerOp != 12 || eng.BytesPerOp != 2048 {
+		t.Errorf("TrafficEngine allocs = %v B = %v", eng.AllocsPerOp, eng.BytesPerOp)
+	}
+	ing := byName["BenchmarkCollectorIngest"]
+	if ing.Mpps != 0.25 || ing.NsPerOp != 4000 || ing.AllocsPerOp != 2 {
+		t.Errorf("CollectorIngest parsed wrong: %+v", ing)
+	}
+	if _, leaked := byName["BenchmarkHeaderCodec"]; leaked {
+		t.Error("unselected benchmark leaked into results")
+	}
+}
+
+// TestAppendLog covers the end-to-end append path: a fresh file gets a
+// runs array; a second invocation appends without losing the first.
+func TestAppendLog(t *testing.T) {
+	logFile := filepath.Join(t.TempDir(), "BENCH_collector.json")
+	var errb bytes.Buffer
+	args := []string{"-o", logFile, "-date", "2026-08-08"}
+	if code := run(args, strings.NewReader(sampleOutput), &errb); code != 0 {
+		t.Fatalf("first run exit %d: %s", code, errb.String())
+	}
+	if code := run(args, strings.NewReader(sampleOutput), &errb); code != 0 {
+		t.Fatalf("second run exit %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(logFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchLog
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("log is not valid JSON: %v\n%s", err, data)
+	}
+	if len(doc.Runs) != 2 {
+		t.Fatalf("want 2 runs after 2 appends, got %d", len(doc.Runs))
+	}
+	if doc.Runs[0].Date != "2026-08-08" || len(doc.Runs[0].Benchmarks) != 4 {
+		t.Errorf("first run malformed: %+v", doc.Runs[0])
+	}
+}
+
+// TestNoMatchExitsOne pins the smoke-run guard: bench output with none
+// of the selected benchmarks is a failure, not an empty append.
+func TestNoMatchExitsOne(t *testing.T) {
+	logFile := filepath.Join(t.TempDir(), "log.json")
+	var errb bytes.Buffer
+	code := run([]string{"-o", logFile, "-match", "BenchmarkNoSuch"},
+		strings.NewReader(sampleOutput), &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if _, err := os.Stat(logFile); !os.IsNotExist(err) {
+		t.Error("log file written despite no matches")
+	}
+}
+
+// TestRejectsCorruptLog covers the refuse-to-clobber path: an existing
+// file that is not a benchlog must not be overwritten.
+func TestRejectsCorruptLog(t *testing.T) {
+	logFile := filepath.Join(t.TempDir(), "log.json")
+	if err := os.WriteFile(logFile, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var errb bytes.Buffer
+	code := run([]string{"-o", logFile}, strings.NewReader(sampleOutput), &errb)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, errb.String())
+	}
+	data, _ := os.ReadFile(logFile)
+	if string(data) != "not json" {
+		t.Error("corrupt log was clobbered")
+	}
+}

@@ -2,12 +2,14 @@
 // (internal/analysis) over module packages. It is the machine-checked
 // half of the repo's invariants: determinism of everything feeding
 // reproducible output, allocation-freedom of per-hop code, explicit
-// width masks in wire-format code, package-prefixed errors, and the
-// stdlib-only dependency posture.
+// width masks in wire-format code, package-prefixed errors, the
+// stdlib-only dependency posture, and the collector stack's concurrency
+// and durability contracts (lockscope, deadline, commitorder,
+// atomicfield).
 //
 // Usage:
 //
-//	unroller-vet [-list] [-module dir] [packages]
+//	unroller-vet [-list] [-json] [-module dir] [packages]
 //
 // Packages default to ./... (the whole module). Exit status: 0 clean,
 // 1 findings, 2 usage or load failure. Findings print one per line as
@@ -15,15 +17,28 @@
 //	path:line:col: analyzer: message
 //
 // with paths relative to the module root, stably sorted, so the output
-// diffs cleanly in CI and is covered by a golden-file test.
+// diffs cleanly in CI and is covered by a golden-file test. With -json,
+// the same findings are emitted as a stable JSON document instead.
+//
+// The binary also speaks the go vet unitchecker protocol: when invoked
+// by the go tool as
+//
+//	go vet -vettool=$(which unroller-vet) ./...
+//
+// it receives a single *.cfg argument per package unit (plus -V=full
+// and -flags probes) and runs the suite with cross-package facts
+// carried through .vetx files. See unitchecker.go.
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"github.com/unroller/unroller/internal/analysis"
 )
@@ -32,19 +47,46 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// finding is the JSON shape of one diagnostic: flat, stable field
+// order, module-relative slash paths — the contract `make vet-json`
+// and the CI golden file pin.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("unroller-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON on stdout")
 	moduleDir := fs.String("module", "", "module root (default: nearest go.mod above the working directory)")
+	version := fs.String("V", "", "print version information (go vet tool protocol; -V=full)")
+	flagsProbe := fs.Bool("flags", false, "describe flags as JSON (go vet tool protocol)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	// The go tool probes -V=full (for the build cache key) and -flags
+	// (to learn which flags the tool accepts) before sending any units.
+	if *version != "" {
+		return printVersion(stdout)
+	}
+	if *flagsProbe {
+		return printFlagDefs(stdout)
 	}
 	if *list {
 		for _, a := range analysis.All() {
 			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	// A single *.cfg argument means the go tool is driving us as a
+	// vettool: one package unit per invocation, facts via .vetx files.
+	if cfgArgs := fs.Args(); len(cfgArgs) == 1 && strings.HasSuffix(cfgArgs[0], ".cfg") {
+		return runUnitchecker(cfgArgs[0], stderr)
 	}
 	root := *moduleDir
 	if root == "" {
@@ -70,7 +112,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	suite := analysis.All()
-	found := false
 	for _, pkg := range pkgs {
 		if len(pkg.TypeErrors) > 0 {
 			fmt.Fprintf(stderr, "unroller-vet: %s does not type-check:\n", pkg.Path)
@@ -79,7 +120,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			return 2
 		}
-		diags, err := analysis.RunAnalyzers(pkg, suite)
+	}
+	// Fact phase first, over every package the loader touched — the
+	// requested set plus its dependencies — so cross-package contracts
+	// (a field marked atomic in one package, touched plainly in
+	// another) are visible when the requested packages run.
+	facts := analysis.NewFacts()
+	for _, pkg := range loader.Cached() {
+		if len(pkg.TypeErrors) > 0 {
+			continue
+		}
+		if err := analysis.GenerateFacts(pkg, suite, facts); err != nil {
+			fmt.Fprintln(stderr, "unroller-vet:", err)
+			return 2
+		}
+	}
+	findings := []finding{}
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzersWithFacts(pkg, suite, facts)
 		if err != nil {
 			fmt.Fprintln(stderr, "unroller-vet:", err)
 			return 2
@@ -89,13 +147,60 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if rerr != nil {
 				rel = d.Pos.Filename
 			}
-			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", filepath.ToSlash(rel), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
-			found = true
+			findings = append(findings, finding{
+				File:     filepath.ToSlash(rel),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
 		}
 	}
-	if found {
+	if *jsonOut {
+		enc, err := json.MarshalIndent(struct {
+			Findings []finding `json:"findings"`
+		}{findings}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "unroller-vet:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "%s\n", enc)
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
 		return 1
 	}
+	return 0
+}
+
+// printVersion answers the go tool's -V=full probe. The output feeds
+// the build cache key, so it must change whenever the binary does: we
+// hash our own executable, the same scheme the standard vet tool uses.
+func printVersion(stdout io.Writer) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(stdout, "unroller-vet version devel\n")
+		return 0
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		fmt.Fprintf(stdout, "unroller-vet version devel\n")
+		return 0
+	}
+	sum := sha256.Sum256(data)
+	fmt.Fprintf(stdout, "unroller-vet version devel comments-go-here buildID=%02x\n", sum)
+	return 0
+}
+
+// printFlagDefs answers the go tool's -flags probe: a JSON array of
+// the flags the tool accepts on a unit invocation, so `go vet` can
+// split its own command line into tool flags and package patterns.
+// Unit runs take no tuning flags, so the list is empty.
+func printFlagDefs(stdout io.Writer) int {
+	fmt.Fprintln(stdout, "[]")
 	return 0
 }
 

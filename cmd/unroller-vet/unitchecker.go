@@ -1,0 +1,213 @@
+// Unitchecker mode: the go vet driver protocol, stdlib-only.
+//
+// `go vet -vettool=unroller-vet ./...` does not hand the tool package
+// patterns. Instead the go tool plans the build, then invokes the tool
+// once per package unit with a single JSON config file argument:
+//
+//	unroller-vet $WORK/b042/vet.cfg
+//
+// The config names the unit's source files, maps import paths to
+// compiler export data (so the unit type-checks without loading any
+// dependency source), and maps dependency import paths to .vetx fact
+// files written by earlier invocations. The tool must always write its
+// own .vetx output — the go tool caches and feeds it to dependents —
+// and print diagnostics to stderr with a nonzero exit when it finds
+// problems. Dependency-only units set VetxOnly and want facts, not
+// diagnostics.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/unroller/unroller/internal/analysis"
+)
+
+// vetConfig mirrors the JSON the go tool writes for each unit. Fields
+// the suite does not need (NonGoFiles, module version, …) are listed
+// anyway so the decode is self-documenting; unknown fields are ignored.
+type vetConfig struct {
+	ID                        string            // package ID, e.g. "fmt" or "fmt [fmt.test]"
+	Compiler                  string            // "gc" or "gccgo"
+	Dir                       string            // package directory
+	ImportPath                string            // import path of the unit
+	GoVersion                 string            // minimum Go version, e.g. "go1.24"
+	GoFiles                   []string          // absolute paths of Go sources
+	NonGoFiles                []string          // .s, .c, … (unused)
+	IgnoredFiles              []string          // build-tag-excluded files (unused)
+	ModulePath                string            // module containing the package
+	ModuleVersion             string            // (unused)
+	ImportMap                 map[string]string // import path → canonical package ID
+	PackageFile               map[string]string // package ID → export data file
+	Standard                  map[string]bool   // package ID → is stdlib (unused)
+	PackageVetx               map[string]string // package ID → dependency .vetx file
+	VetxOnly                  bool              // facts only, no diagnostics
+	VetxOutput                string            // where to write this unit's facts
+	SucceedOnTypecheckFailure bool              // exit 0 on type errors (compiler reports them)
+}
+
+// runUnitchecker analyzes one package unit described by cfgPath.
+// Diagnostics go to stderr (the go tool relays them); the exit code is
+// 0 clean, 1 findings, 2 protocol or type-check failure.
+func runUnitchecker(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "unroller-vet:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "unroller-vet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	suite := analysis.All()
+
+	// Import the facts every direct dependency exported. Transitive
+	// facts arrive too: each unit re-exports everything it decoded, so
+	// the closure accumulates along the import DAG.
+	facts := analysis.NewFacts()
+	depVetx := make([]string, 0, len(cfg.PackageVetx))
+	for _, f := range cfg.PackageVetx {
+		depVetx = append(depVetx, f)
+	}
+	sort.Strings(depVetx)
+	for _, f := range depVetx {
+		enc, err := os.ReadFile(f)
+		if err != nil {
+			// A dependency analyzed by an older binary may have no
+			// vetx; its facts are simply unavailable.
+			continue
+		}
+		if err := analysis.DecodeFactsInto(facts, enc); err != nil {
+			fmt.Fprintf(stderr, "unroller-vet: decoding facts %s: %v\n", f, err)
+			return 2
+		}
+	}
+
+	// The suite analyzes production code only. Test units ("p [p.test]"
+	// and "p_test [p.test]") share export data with their dependencies,
+	// so they still type-check after the _test.go sources are dropped;
+	// an external test unit drops to zero files and exports bare facts.
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			goFiles = append(goFiles, f)
+		}
+	}
+	if len(goFiles) == 0 {
+		return writeVetx(cfg, facts, stderr)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(cfg, facts, stderr)
+			}
+			fmt.Fprintln(stderr, "unroller-vet:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	// Export-data importer: resolve the import path through ImportMap
+	// to its canonical unit, then read that unit's export data file.
+	// ("unsafe" is special-cased inside the importer itself.)
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	tconf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	if cfg.GoVersion != "" {
+		tconf.GoVersion = cfg.GoVersion
+	}
+	tpkg, _ := tconf.Check(cfg.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg, facts, stderr)
+		}
+		for _, terr := range typeErrs {
+			fmt.Fprintln(stderr, "unroller-vet:", terr)
+		}
+		return 2
+	}
+
+	pkg := &analysis.Package{
+		Path:       cfg.ImportPath,
+		Dir:        cfg.Dir,
+		ModulePath: cfg.ModulePath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	if err := analysis.GenerateFacts(pkg, suite, facts); err != nil {
+		fmt.Fprintln(stderr, "unroller-vet:", err)
+		return 2
+	}
+	// Facts must be on disk before any diagnostic exit: dependents read
+	// the .vetx even when this unit fails the check.
+	if code := writeVetx(cfg, facts, stderr); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	diags, err := analysis.RunAnalyzersWithFacts(pkg, suite, facts)
+	if err != nil {
+		fmt.Fprintln(stderr, "unroller-vet:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s:%d:%d: %s: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// writeVetx persists the accumulated fact table (dependency facts plus
+// this unit's own) to the path the go tool expects. An empty table
+// still writes a file: a missing .vetx would poison the cache entry.
+func writeVetx(cfg vetConfig, facts *analysis.Facts, stderr io.Writer) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	if err := os.WriteFile(cfg.VetxOutput, facts.Encode(), 0o666); err != nil {
+		fmt.Fprintln(stderr, "unroller-vet:", err)
+		return 2
+	}
+	return 0
+}

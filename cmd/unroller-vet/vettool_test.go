@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestJSONGolden pins the -json output shape over the same fixture as
+// the text golden: stable field order, sorted findings, trailing
+// newline — so the CI step can diff it byte-for-byte.
+func TestJSONGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "./cmd/unroller-vet/testdata/src/stats"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	var doc struct {
+		Findings []finding `json:"findings"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(doc.Findings) == 0 {
+		t.Fatal("-json reported no findings on the dirty fixture")
+	}
+	golden := filepath.Join("testdata", "golden.json")
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatalf("updating golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("-json output differs from golden file\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}
+
+// TestJSONCleanIsEmptyArray pins the clean-run shape: an empty findings
+// array (never null), exit 0.
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "./internal/xrand"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), `"findings": []`) {
+		t.Errorf("clean -json run should emit an empty array:\n%s", out.String())
+	}
+}
+
+// TestDriverCrossPackageFacts exercises the driver's whole-module fact
+// phase: atomicuse's plain accesses are only visible through facts
+// generated from its dependency atomicdef, which the loader pulls in
+// implicitly.
+func TestDriverCrossPackageFacts(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"./internal/analysis/testdata/src/atomicuse"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if got := strings.Count(out.String(), "atomicdef.Gauge.Raw"); got != 2 {
+		t.Errorf("want 2 cross-package atomicfield findings, got %d:\n%s", got, out.String())
+	}
+}
+
+// buildVettool compiles the command once per test binary and returns
+// the executable path.
+func buildVettool(t *testing.T) string {
+	t.Helper()
+	exe := filepath.Join(t.TempDir(), "unroller-vet")
+	cmd := exec.Command("go", "build", "-o", exe, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return exe
+}
+
+// TestVettoolProtocol drives the built binary through the real go tool:
+// `go vet -vettool=` must succeed on a clean package, fail with our
+// diagnostics on a dirty one, and carry facts across package boundaries
+// via .vetx files.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and runs go vet")
+	}
+	exe := buildVettool(t)
+	root := moduleRoot(t)
+
+	vet := func(pattern string) (string, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+exe, pattern)
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	if out, err := vet("./internal/xrand"); err != nil {
+		t.Fatalf("go vet on clean package failed: %v\n%s", err, out)
+	}
+
+	out, err := vet("./cmd/unroller-vet/testdata/src/stats")
+	if err == nil {
+		t.Fatalf("go vet on dirty fixture succeeded; want failure\n%s", out)
+	}
+	for _, wantSub := range []string{"determinism", "errctx", "lacks the package prefix"} {
+		if !strings.Contains(out, wantSub) {
+			t.Errorf("go vet output missing %q:\n%s", wantSub, out)
+		}
+	}
+
+	// Cross-package facts through the unitchecker transport: atomicdef
+	// is analyzed as a VetxOnly dependency unit, its facts land in a
+	// .vetx file, and the atomicuse unit reads them back.
+	out, err = vet("./internal/analysis/testdata/src/atomicuse")
+	if err == nil {
+		t.Fatalf("go vet on atomicuse succeeded; want cross-package findings\n%s", out)
+	}
+	if got := strings.Count(out, "atomicdef.Gauge.Raw"); got != 2 {
+		t.Errorf("want 2 cross-package findings through vetx, got %d:\n%s", got, out)
+	}
+}
+
+// TestVersionProbe pins the -V=full handshake the go tool uses for its
+// build cache key.
+func TestVersionProbe(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-V=full"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if !strings.HasPrefix(out.String(), "unroller-vet version ") {
+		t.Errorf("-V=full output malformed: %q", out.String())
+	}
+}
+
+// TestFlagsProbe pins the -flags handshake.
+func TestFlagsProbe(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-flags"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	var defs []struct{ Name string }
+	if err := json.Unmarshal(out.Bytes(), &defs); err != nil {
+		t.Errorf("-flags output is not a JSON array: %v\n%s", err, out.String())
+	}
+}

@@ -40,6 +40,10 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description shown by `unroller-vet -list`.
 	Doc string
+	// FactGen, when set, runs before any Run pass and publishes package
+	// facts (see facts.go) other packages' Run passes may consult. It
+	// must not report diagnostics.
+	FactGen func(pass *Pass) error
 	// Run inspects one package and reports findings via pass.Reportf.
 	Run func(pass *Pass) error
 }
@@ -65,6 +69,10 @@ type Pass struct {
 	ModulePath string
 	Info       *types.Info
 	Dirs       *Directives
+	// Facts is the merged fact table: this package's own FactGen output
+	// plus whatever the driver (whole-module phase) or unitchecker
+	// (.vetx files) imported from dependencies.
+	Facts *Facts
 
 	diags *[]Diagnostic
 }
@@ -83,7 +91,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the full suite in the order the driver runs it.
+// All returns the full suite in the order the driver runs it. The v1
+// analyzers froze the determinism and wire-format invariants; the v2
+// generation (lockscope, deadline, commitorder, atomicfield) freezes
+// the concurrency and durability contracts of the collector stack.
 func All() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
@@ -91,6 +102,10 @@ func All() []*Analyzer {
 		WirewidthAnalyzer,
 		ErrctxAnalyzer,
 		NodepsAnalyzer,
+		LockscopeAnalyzer,
+		DeadlineAnalyzer,
+		CommitorderAnalyzer,
+		AtomicfieldAnalyzer,
 		DirectiveAnalyzer,
 	}
 }
@@ -106,28 +121,70 @@ var allowableChecks = map[string]bool{
 	"wirewidth":   true,
 	"errctx":      true,
 	"nodeps":      true,
+	"lockscope":   true,
+	"deadline":    true,
+	"commitorder": true,
+	"atomicfield": true,
+}
+
+// GenerateFacts runs every analyzer's FactGen over pkg, merging what it
+// publishes into facts. The driver calls this for every loaded package
+// (dependencies included) before any Run pass, so cross-package checks
+// like atomicfield see the whole module; the unitchecker calls it for
+// the one package unit it was handed and persists the result to a .vetx
+// file.
+func GenerateFacts(pkg *Package, suite []*Analyzer, facts *Facts) error {
+	dirs := parseDirectives(pkg.Fset, pkg.Files)
+	for _, a := range suite {
+		if a.FactGen == nil {
+			continue
+		}
+		pass := newPass(a, pkg, dirs, facts, nil)
+		if err := a.FactGen(pass); err != nil {
+			return fmt.Errorf("analysis: %s facts on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	return nil
+}
+
+func newPass(a *Analyzer, pkg *Package, dirs *Directives, facts *Facts, diags *[]Diagnostic) *Pass {
+	return &Pass{
+		Analyzer:   a,
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		PkgPath:    pkg.Path,
+		ModulePath: pkg.ModulePath,
+		Info:       pkg.Info,
+		Dirs:       dirs,
+		Facts:      facts,
+		diags:      diags,
+	}
 }
 
 // RunAnalyzers applies every analyzer in suite to the package and returns
-// the surviving diagnostics sorted by position. Stale //unroller:allow
-// directives — ones that suppressed nothing across the whole suite — are
-// reported under the directive analyzer's name, so allowlist entries
-// cannot outlive the finding they were written for.
+// the surviving diagnostics sorted by position. Facts visibility is the
+// package's own FactGen output only — callers that need cross-package
+// facts run GenerateFacts over every package first and use
+// RunAnalyzersWithFacts. Stale //unroller:allow directives — ones that
+// suppressed nothing across the whole suite — are reported under the
+// directive analyzer's name, so allowlist entries cannot outlive the
+// finding they were written for.
 func RunAnalyzers(pkg *Package, suite []*Analyzer) ([]Diagnostic, error) {
+	facts := NewFacts()
+	if err := GenerateFacts(pkg, suite, facts); err != nil {
+		return nil, err
+	}
+	return RunAnalyzersWithFacts(pkg, suite, facts)
+}
+
+// RunAnalyzersWithFacts is RunAnalyzers with an externally prepared fact
+// table (typically the whole-module merge, or .vetx imports).
+func RunAnalyzersWithFacts(pkg *Package, suite []*Analyzer, facts *Facts) ([]Diagnostic, error) {
 	dirs := parseDirectives(pkg.Fset, pkg.Files)
 	var diags []Diagnostic
 	for _, a := range suite {
-		pass := &Pass{
-			Analyzer:   a,
-			Fset:       pkg.Fset,
-			Files:      pkg.Files,
-			Pkg:        pkg.Types,
-			PkgPath:    pkg.Path,
-			ModulePath: pkg.ModulePath,
-			Info:       pkg.Info,
-			Dirs:       dirs,
-			diags:      &diags,
-		}
+		pass := newPass(a, pkg, dirs, facts, &diags)
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 		}

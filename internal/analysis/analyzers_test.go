@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -32,6 +33,116 @@ func TestNodepsAnalyzer(t *testing.T) {
 
 func TestDirectiveAnalyzer(t *testing.T) {
 	runFixture(t, All(), "directives", false)
+}
+
+func TestLockscopeAnalyzer(t *testing.T) {
+	runFixture(t, []*Analyzer{LockscopeAnalyzer}, "lockscope", false)
+}
+
+func TestDeadlineAnalyzer(t *testing.T) {
+	// The fixture's package basename is collectorsvc, which puts it under
+	// the deadline contract (the same scoping trick as the "sim" fixture).
+	runFixture(t, []*Analyzer{DeadlineAnalyzer}, "collectorsvc", false)
+}
+
+func TestCommitorderAnalyzer(t *testing.T) {
+	runFixture(t, []*Analyzer{CommitorderAnalyzer}, "commitorder", false)
+}
+
+func TestAtomicfieldAnalyzer(t *testing.T) {
+	runFixture(t, []*Analyzer{AtomicfieldAnalyzer}, "atomicfield", false)
+}
+
+// TestAtomicfieldCrossPackage exercises the facts transport: atomicuse
+// touches fields plainly that only atomicdef (its dependency) marks
+// atomic. Without the dependency's facts the plain accesses are
+// invisible; with them, both are reported.
+func TestAtomicfieldCrossPackage(t *testing.T) {
+	root := moduleRootDir(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load(
+		"./internal/analysis/testdata/src/atomicdef",
+		"./internal/analysis/testdata/src/atomicuse",
+	)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var def, use *Package
+	for _, p := range pkgs {
+		switch pkgBase(p.Path) {
+		case "atomicdef":
+			def = p
+		case "atomicuse":
+			use = p
+		}
+	}
+	if def == nil || use == nil {
+		t.Fatalf("fixture packages missing: %v", pkgs)
+	}
+
+	// Own-package facts only: the defining package's atomics are unknown,
+	// so the plain accesses pass — this is the blind spot facts exist for.
+	diags, err := RunAnalyzers(use, []*Analyzer{AtomicfieldAnalyzer})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("atomicuse reported without dependency facts: %v", diags)
+	}
+
+	// Whole-module fact phase, then the same run: both plain accesses
+	// (g.Raw read in Snapshot, g.Raw write in Reset) are caught; g.Name
+	// and g.Typed.Store stay clean.
+	facts := NewFacts()
+	for _, p := range []*Package{def, use} {
+		if err := GenerateFacts(p, []*Analyzer{AtomicfieldAnalyzer}, facts); err != nil {
+			t.Fatalf("GenerateFacts(%s): %v", p.Path, err)
+		}
+	}
+	if facts.Len() < 2 {
+		t.Fatalf("expected at least 2 facts from atomicdef, got %d", facts.Len())
+	}
+	diags, err = RunAnalyzersWithFacts(use, []*Analyzer{AtomicfieldAnalyzer}, facts)
+	if err != nil {
+		t.Fatalf("RunAnalyzersWithFacts: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want 2 cross-package findings, got %d: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "atomicdef.Gauge.Raw") {
+			t.Errorf("finding does not name the field: %s", d)
+		}
+	}
+}
+
+// TestFactsRoundTrip pins the vetx wire format: sorted, line-oriented,
+// and stable through Encode/Decode.
+func TestFactsRoundTrip(t *testing.T) {
+	f := NewFacts()
+	f.Set("atomicfield", "pkg.T.n", "atomic")
+	f.Set("commitorder", "(*pkg.J).Commit", "commitpoint")
+	f.Set("atomicfield", "pkg.T.m", "value with\ttab and\nnewline")
+	enc := f.Encode()
+	g := NewFacts()
+	if err := DecodeFactsInto(g, enc); err != nil {
+		t.Fatalf("DecodeFactsInto: %v", err)
+	}
+	if g.Len() != f.Len() {
+		t.Fatalf("round-trip lost facts: %d != %d", g.Len(), f.Len())
+	}
+	if v, ok := g.Get("atomicfield", "pkg.T.m"); !ok || v != "value with\ttab and\nnewline" {
+		t.Fatalf("escaped value corrupted: %q %v", v, ok)
+	}
+	if string(enc) != string(g.Encode()) {
+		t.Fatalf("re-encoding is not byte-stable:\n%q\n%q", enc, g.Encode())
+	}
+	if bad := []byte("only\ttwo\n"); DecodeFactsInto(NewFacts(), bad) == nil {
+		t.Fatal("malformed fact line not rejected")
+	}
 }
 
 // TestDeterministicScopeSkipsOtherPackages pins that the determinism

@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicfieldAnalyzer enforces the all-or-nothing rule of atomics: a
+// struct field accessed through sync/atomic — either by address
+// (atomic.AddUint64(&s.n, 1)) or as a typed atomic (atomic.Uint64 field)
+// — must never also be accessed plainly. A single plain load next to
+// atomic stores is a data race the race detector only sees when the
+// schedule cooperates; the analyzer sees it on every build. Fields are
+// identified as "pkg/path.Struct.Field" and published as package facts
+// by FactGen, so a field made atomic in its home package is protected
+// against plain access from every other package in the module — the
+// cross-file, cross-package case that per-file review misses.
+//
+// Sanctioned accesses: &s.f as an argument to a sync/atomic function,
+// and s.f.Load()-style method calls whose method belongs to
+// sync/atomic. Everything else — plain reads, assignments, copying the
+// struct field, passing &s.f to a non-atomic helper — is reported.
+// atomicfieldName is the analyzer's name as a constant, usable from its
+// own Run/FactGen without an initialization cycle through the var.
+const atomicfieldName = "atomicfield"
+
+var AtomicfieldAnalyzer = &Analyzer{
+	Name:    atomicfieldName,
+	Doc:     "forbid plain access to struct fields that are accessed via sync/atomic anywhere",
+	FactGen: genAtomicFieldFacts,
+	Run:     runAtomicField,
+}
+
+// genAtomicFieldFacts records which fields are atomic, from two sources:
+// address-taken use in a sync/atomic call, and field declarations whose
+// type is a sync/atomic typed atomic.
+func genAtomicFieldFacts(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !isAtomicPkgCall(pass, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || ue.Op.String() != "&" {
+						continue
+					}
+					if sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr); ok {
+						if key, ok := atomicFieldKey(pass, sel); ok {
+							pass.Facts.Set(atomicfieldName, key, "atomic")
+						}
+					}
+				}
+			case *ast.TypeSpec:
+				st, ok := n.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, fld := range st.Fields.List {
+					t := pass.Info.TypeOf(fld.Type)
+					if t == nil || !isTypedAtomic(t) {
+						continue
+					}
+					for _, name := range fld.Names {
+						key := pass.PkgPath + "." + n.Name.Name + "." + name.Name
+						pass.Facts.Set(atomicfieldName, key, "typed")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func runAtomicField(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Pass 1: collect the sanctioned selector nodes — the &s.f inside
+		// sync/atomic calls, and the s.f receiver of a typed atomic's
+		// method call.
+		sanctioned := make(map[*ast.SelectorExpr]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isAtomicPkgCall(pass, call) {
+				for _, arg := range call.Args {
+					if ue, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && ue.Op.String() == "&" {
+						if sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr); ok {
+							sanctioned[sel] = true
+						}
+					}
+				}
+			}
+			if msel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := pass.Info.Uses[msel.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+					if sel, ok := ast.Unparen(msel.X).(*ast.SelectorExpr); ok {
+						sanctioned[sel] = true
+					}
+				}
+			}
+			return true
+		})
+		// Pass 2: every other selector resolving to an atomic field is a
+		// plain access.
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			key, ok := atomicFieldKey(pass, sel)
+			if !ok {
+				return true
+			}
+			kind, isAtomic := pass.Facts.Get(atomicfieldName, key)
+			if !isAtomic {
+				return true
+			}
+			how := "with sync/atomic calls"
+			if kind == "typed" {
+				how = "through its atomic.<T> methods"
+			}
+			pass.Reportf(sel.Pos(), "plain access to %s, which is accessed atomically elsewhere (%s): mixing plain and atomic access is a data race", key, how)
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicPkgCall reports whether call targets a sync/atomic
+// package-level function (AddUint64, LoadInt64, CompareAndSwap...).
+func isAtomicPkgCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	// Package-level function, not a typed atomic's method.
+	return fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's typed atomics
+// (atomic.Uint64, atomic.Int32, atomic.Bool, atomic.Pointer[T], ...).
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// atomicFieldKey renders the "pkg/path.Struct.Field" identity of a field
+// selection, the same form FactGen publishes.
+func atomicFieldKey(pass *Pass, sel *ast.SelectorExpr) (string, bool) {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	// The owning struct is the receiver type with pointers stripped; only
+	// named structs participate (an anonymous struct has no stable path).
+	recv := s.Recv()
+	for {
+		ptr, ok := recv.Underlying().(*types.Pointer)
+		if !ok {
+			break
+		}
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		// Embedded promotion can leave an alias/pointer chain; handle
+		// *T spelled as a named pointer elem.
+		if ptr, isPtr := recv.(*types.Pointer); isPtr {
+			named, ok = ptr.Elem().(*types.Named)
+		}
+		if !ok {
+			return "", false
+		}
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", false
+	}
+	// Fields promoted from an embedded struct resolve through the
+	// outermost receiver; use the field's declaring struct when it can be
+	// identified so inner and outer spellings agree on one key.
+	fld := s.Obj()
+	key := obj.Pkg().Path() + "." + obj.Name() + "." + fld.Name()
+	if len(s.Index()) > 1 {
+		// Promoted: fall back to a path-qualified field name so both
+		// spellings (s.Inner.n and s.n) map to the same declaring struct
+		// when the embedded type is named.
+		if inner := declaringStruct(named, s.Index()); inner != "" {
+			key = fld.Pkg().Path() + "." + inner + "." + fld.Name()
+		}
+	}
+	return key, true
+}
+
+// declaringStruct resolves the named type that declares the field at the
+// end of a promotion index chain.
+func declaringStruct(outer *types.Named, index []int) string {
+	t := types.Type(outer)
+	for _, idx := range index[:len(index)-1] {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return ""
+		}
+		ft := st.Field(idx).Type()
+		for {
+			if ptr, ok := ft.Underlying().(*types.Pointer); ok {
+				ft = ptr.Elem()
+				continue
+			}
+			break
+		}
+		t = ft
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+		return named.Obj().Name()
+	}
+	return ""
+}

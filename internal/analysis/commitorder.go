@@ -1,0 +1,286 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CommitorderAnalyzer enforces the commit-before-ack durability rule
+// (DESIGN §9): an acknowledgement is the client's licence to forget, so
+// no path may reach an ack write without the journal commit that makes
+// the acknowledged frames crash-safe. The roles are declared, not
+// guessed: //unroller:commitpoint tags the durability step
+// ((*Journal).Commit) and //unroller:ackpoint tags the ack write, and
+// both tags are exported as package facts so a caller in any package is
+// checked against them.
+//
+// The check is an intra-function must-dataflow over the CFG: "a commit
+// dominates this point" starts false, branches merge with AND, a loop
+// body is checked within one iteration, and reaching an ackpoint call
+// consumes the commit (the next ack needs its own commit — one Commit
+// cannot license a whole batch of later acks after more appends).
+// One shape gets special treatment: an if-without-else whose body
+// commits and does not ack is a *guarded commit arm* — the
+// `if s.journal != nil { s.journal.Commit() }` idiom, where the
+// fall-through path has no journal and therefore nothing to commit —
+// and counts as committing on both paths.
+// commitorderName is the analyzer's name as a constant, usable from its
+// own Run/FactGen without an initialization cycle through the var.
+const commitorderName = "commitorder"
+
+var CommitorderAnalyzer = &Analyzer{
+	Name:    commitorderName,
+	Doc:     "require a //unroller:commitpoint call to dominate every //unroller:ackpoint call",
+	FactGen: genCommitorderFacts,
+	Run:     runCommitorder,
+}
+
+// genCommitorderFacts publishes the commitpoint/ackpoint role of every
+// tagged function under its *types.Func full name.
+func genCommitorderFacts(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			var role string
+			switch {
+			case pass.Dirs.isCommitpoint(fn):
+				role = "commitpoint"
+			case pass.Dirs.isAckpoint(fn):
+				role = "ackpoint"
+			default:
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+				pass.Facts.Set(commitorderName, obj.FullName(), role)
+			}
+		}
+	}
+	return nil
+}
+
+func runCommitorder(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// A tagged function is a role, not a caller under check: the
+			// ackpoint's own body is the ack write.
+			if pass.Dirs.isCommitpoint(fn) || pass.Dirs.isAckpoint(fn) {
+				continue
+			}
+			w := &commitWalker{pass: pass}
+			committed := false
+			w.walkStmts(fn.Body.List, &committed)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				w := &commitWalker{pass: pass}
+				committed := false
+				w.walkStmts(lit.Body.List, &committed)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type commitWalker struct {
+	pass *Pass
+}
+
+// callRole resolves a call's target against the commitorder facts.
+func (w *commitWalker) callRole(call *ast.CallExpr) string {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = w.pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = w.pass.Info.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	role, _ := w.pass.Facts.Get(commitorderName, fn.FullName())
+	return role
+}
+
+// scanStmtCalls processes the calls of one statement in source order:
+// commits set the flag, acks check and consume it. Function literals are
+// separate scopes and are skipped.
+func (w *commitWalker) scanStmtCalls(n ast.Node, committed *bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch w.callRole(call) {
+		case "commitpoint":
+			*committed = true
+		case "ackpoint":
+			if !*committed {
+				w.pass.Reportf(call.Pos(), "ack write is not dominated by a journal commit on every path (commit-before-ack, DESIGN §9): call the //unroller:commitpoint function first")
+			}
+			// The ack consumed the commit; a later ack needs a fresh one.
+			*committed = false
+		}
+		return true
+	})
+}
+
+// containsAckCall reports whether the subtree calls an ackpoint
+// (function literals excluded).
+func (w *commitWalker) containsAckCall(stmts []ast.Stmt) bool {
+	found := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && w.callRole(call) == "ackpoint" {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+func (w *commitWalker) walkStmts(stmts []ast.Stmt, committed *bool) bool {
+	for _, s := range stmts {
+		if w.walkStmt(s, committed) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *commitWalker) walkStmt(stmt ast.Stmt, committed *bool) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanStmtCalls(e, committed)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, committed)
+		}
+		w.scanStmtCalls(s.Cond, committed)
+		entry := *committed
+		thenC := entry
+		thenTerm := w.walkStmts(s.Body.List, &thenC)
+		if s.Else == nil {
+			// Guarded commit arm: the branch commits, acks nothing, and
+			// falls through — the condition guards whether there is
+			// anything to commit at all, so both paths count as committed.
+			if !thenTerm && thenC && !entry && !w.containsAckCall(s.Body.List) {
+				*committed = true
+				return false
+			}
+			if thenTerm {
+				*committed = entry
+			} else {
+				*committed = entry && thenC
+			}
+			return false
+		}
+		elseC := entry
+		elseTerm := w.walkStmt(s.Else, &elseC)
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*committed = elseC
+		case elseTerm:
+			*committed = thenC
+		default:
+			*committed = thenC && elseC
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, committed)
+		}
+		w.scanStmtCalls(s.Cond, committed)
+		bodyC := *committed
+		w.walkStmts(s.Body.List, &bodyC)
+		// Zero-iteration possibility: the body's commits do not count
+		// downstream.
+	case *ast.RangeStmt:
+		w.scanStmtCalls(s.X, committed)
+		bodyC := *committed
+		w.walkStmts(s.Body.List, &bodyC)
+	case *ast.SelectStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		w.walkCases(stmt, committed)
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, committed)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, committed)
+	case *ast.GoStmt, *ast.DeferStmt:
+		// Separate scopes / post-return execution: a deferred ack cannot
+		// be ordered against this body's commits, so it is checked as its
+		// own (initially uncommitted) scope via the FuncLit walk.
+	default:
+		w.scanStmtCalls(stmt, committed)
+	}
+	return false
+}
+
+// walkCases forks the flag per case clause and re-merges with AND over
+// the non-terminating clauses.
+func (w *commitWalker) walkCases(stmt ast.Stmt, committed *bool) {
+	var clauses []ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, committed)
+		}
+		w.scanStmtCalls(s.Tag, committed)
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, committed)
+		}
+		clauses = s.Body.List
+	}
+	entry := *committed
+	merged := entry
+	first := true
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			body = cc.Body
+		case *ast.CommClause:
+			body = cc.Body
+		default:
+			continue
+		}
+		caseC := entry
+		if !w.walkStmts(body, &caseC) {
+			if first {
+				merged, first = caseC, false
+			} else {
+				merged = merged && caseC
+			}
+		}
+	}
+	if !first {
+		*committed = merged
+	}
+}

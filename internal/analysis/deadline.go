@@ -1,0 +1,357 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeadlineAnalyzer enforces the deadline-armed I/O rule in
+// internal/collectorsvc (PR 5's hardening contract): every read or write
+// that can touch a socket must be dominated by a SetReadDeadline /
+// SetWriteDeadline arm in the same scope, so a silent or stalled peer is
+// reaped by the kernel timer instead of parking a goroutine and its
+// buffers forever. The kill-recover and chaosnet e2e suites observe the
+// symptom (a wedged connection) when fault timing cooperates; this check
+// proves the arm is on every path.
+//
+// Socket I/O is recognized in two forms: a method call on any value
+// whose type satisfies net.Conn (Read/Write), and — because the
+// collector always wraps its conns — operations on bufio readers and
+// writers constructed from a conn, including passing such a
+// reader/writer to a helper (ReadFrame(br, ...) is a conn read). Arming
+// is tracked as a per-scope must-dominate dataflow: branches merge with
+// AND, loop bodies must arm before the I/O within the same iteration,
+// and each function literal starts un-armed (a closure cannot rely on
+// its creator having armed the conn at some earlier time — deadlines
+// are absolute points in time and must be re-armed near the I/O they
+// bound).
+var DeadlineAnalyzer = &Analyzer{
+	Name: "deadline",
+	Doc:  "require SetRead/SetWriteDeadline to dominate every conn read/write in collectorsvc",
+	Run:  runDeadline,
+}
+
+// deadlinePkgs are the packages under the deadline-armed I/O contract.
+// Only the collector service speaks TCP with adversarial peers; the
+// chaosnet fault injector deliberately manipulates raw conns and the
+// emulator has no sockets at all.
+var deadlinePkgs = map[string]bool{
+	"collectorsvc": true,
+}
+
+func runDeadline(pass *Pass) error {
+	if !deadlinePkgs[pkgBase(pass.PkgPath)] {
+		return nil
+	}
+	connIface := netConnInterface(pass)
+	if connIface == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// Taint is resolved per top-level function: bufio wrappers are
+			// identified by their construction site, and the objects are
+			// shared with every closure in the body (Info.Uses resolves a
+			// captured identifier to the same object).
+			taint := connBufWrappers(pass, fn.Body, connIface)
+			w := &deadlineWalker{pass: pass, conn: connIface, taint: taint}
+			w.walkStmts(fn.Body.List, &armState{})
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					w.walkStmts(lit.Body.List, &armState{})
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// connBufWrappers finds `r := bufio.NewReader(conn)`-style constructions
+// over net.Conn values and returns the wrapped objects with their role.
+func connBufWrappers(pass *Pass, body *ast.BlockStmt, connIface *types.Interface) map[types.Object]string {
+	taint := make(map[types.Object]string)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				continue
+			}
+			name, ok := pkgFuncCall(pass, call, "bufio")
+			if !ok {
+				continue
+			}
+			var role string
+			switch name {
+			case "NewReader", "NewReaderSize":
+				role = "reader"
+			case "NewWriter", "NewWriterSize":
+				role = "writer"
+			default:
+				continue
+			}
+			if t := pass.Info.TypeOf(call.Args[0]); t == nil || !types.Implements(t, connIface) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := identObject(pass, id); obj != nil {
+					taint[obj] = role
+				}
+			}
+		}
+		return true
+	})
+	return taint
+}
+
+func identObject(pass *Pass, id *ast.Ident) types.Object {
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id]
+}
+
+// armState is the must-armed dataflow value at one program point.
+type armState struct {
+	read, write bool
+}
+
+func (a *armState) clone() *armState { c := *a; return &c }
+
+// and merges an alternative branch: armed only if armed on both.
+func (a *armState) and(b *armState) {
+	a.read = a.read && b.read
+	a.write = a.write && b.write
+}
+
+type deadlineWalker struct {
+	pass  *Pass
+	conn  *types.Interface
+	taint map[types.Object]string
+}
+
+func (w *deadlineWalker) walkStmts(stmts []ast.Stmt, st *armState) bool {
+	for _, s := range stmts {
+		if w.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *deadlineWalker) walkStmt(stmt ast.Stmt, st *armState) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e, st)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.scanExpr(s.Cond, st)
+		thenSt := st.clone()
+		thenTerm := w.walkStmts(s.Body.List, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.walkStmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*st = *elseSt
+		case elseTerm:
+			*st = *thenSt
+		default:
+			*st = *thenSt
+			st.and(elseSt)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, st)
+		}
+		bodySt := st.clone()
+		w.walkStmts(s.Body.List, bodySt)
+		// The loop may run zero times: whatever the body armed does not
+		// count downstream.
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, st)
+		bodySt := st.clone()
+		w.walkStmts(s.Body.List, bodySt)
+	case *ast.SelectStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		w.walkBranchBodies(stmt, st)
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	case *ast.GoStmt, *ast.DeferStmt:
+		// Function literals inside are walked as their own scopes by the
+		// caller; a bare `defer conn.Close()` has no deadline obligation.
+	default:
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if e, ok := n.(ast.Expr); ok {
+				w.scanCall(e, st)
+			}
+			return true
+		})
+	}
+	return false
+}
+
+// walkBranchBodies forks st per case clause and re-merges with AND.
+func (w *deadlineWalker) walkBranchBodies(stmt ast.Stmt, st *armState) {
+	var clauses []ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, st)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		clauses = s.Body.List
+	}
+	merged := st.clone()
+	first := true
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			body = cc.Body
+		case *ast.CommClause:
+			body = cc.Body
+		default:
+			continue
+		}
+		caseSt := st.clone()
+		if !w.walkStmts(body, caseSt) {
+			if first {
+				merged = caseSt
+				first = false
+			} else {
+				merged.and(caseSt)
+			}
+		}
+	}
+	if !first {
+		*st = *merged
+	}
+}
+
+// scanExpr inspects one expression subtree for conn I/O and arming,
+// skipping nested function literals.
+func (w *deadlineWalker) scanExpr(expr ast.Expr, st *armState) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok {
+			w.scanCall(e, st)
+		}
+		return true
+	})
+}
+
+// scanCall classifies one expression node: arming flips the state, I/O
+// checks it.
+func (w *deadlineWalker) scanCall(e ast.Expr, st *armState) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if recvT := w.pass.Info.TypeOf(sel.X); recvT != nil && types.Implements(recvT, w.conn) {
+			switch sel.Sel.Name {
+			case "SetDeadline":
+				st.read, st.write = true, true
+				return
+			case "SetReadDeadline":
+				st.read = true
+				return
+			case "SetWriteDeadline":
+				st.write = true
+				return
+			case "Read":
+				if !st.read {
+					w.pass.Reportf(call.Pos(), "conn read not dominated by SetReadDeadline in this scope: a silent peer parks this goroutine forever")
+				}
+				return
+			case "Write":
+				if !st.write {
+					w.pass.Reportf(call.Pos(), "conn write not dominated by SetWriteDeadline in this scope: a stalled peer parks this goroutine forever")
+				}
+				return
+			}
+		}
+		// bufio wrapper method on a conn-backed reader/writer.
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if role, tainted := w.taint[identObject(w.pass, id)]; tainted {
+				switch role {
+				case "reader":
+					switch sel.Sel.Name {
+					case "Read", "ReadByte", "ReadRune", "ReadString", "ReadBytes", "ReadSlice", "Peek", "Discard":
+						if !st.read {
+							w.pass.Reportf(call.Pos(), "read from conn-backed bufio.Reader %s not dominated by SetReadDeadline in this scope", id.Name)
+						}
+						return
+					}
+				case "writer":
+					switch sel.Sel.Name {
+					case "Write", "WriteByte", "WriteRune", "WriteString", "Flush", "ReadFrom":
+						if !st.write {
+							w.pass.Reportf(call.Pos(), "write to conn-backed bufio.Writer %s not dominated by SetWriteDeadline in this scope", id.Name)
+						}
+						return
+					}
+				}
+			}
+		}
+	}
+	// A conn-backed reader/writer handed to a helper is that helper doing
+	// the I/O on our behalf (ReadFrame(br, ...), writeAck(bw, ...)).
+	for _, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch w.taint[identObject(w.pass, id)] {
+		case "reader":
+			if !st.read {
+				w.pass.Reportf(call.Pos(), "call passes conn-backed bufio.Reader %s without SetReadDeadline dominating it in this scope", id.Name)
+			}
+		case "writer":
+			if !st.write {
+				w.pass.Reportf(call.Pos(), "call passes conn-backed bufio.Writer %s without SetWriteDeadline dominating it in this scope", id.Name)
+			}
+		}
+	}
+}

@@ -11,9 +11,11 @@ import (
 // complementary failure: a well-formed allow whose finding has since
 // been fixed). It flags:
 //
-//   - unknown verbs (only "hotpath" and "allow" exist)
+//   - unknown verbs (only "hotpath", "commitpoint", "ackpoint", and
+//     "allow" exist)
 //   - allow directives naming no check, or an unknown check
-//   - //unroller:hotpath outside a function's doc comment
+//   - //unroller:hotpath, :commitpoint, :ackpoint outside a function's
+//     doc comment
 //   - "// unroller:" with interior space — a directive that the Go
 //     convention (and this suite) treats as an ordinary comment
 var DirectiveAnalyzer = &Analyzer{
@@ -47,12 +49,12 @@ func runDirective(pass *Pass) error {
 					continue
 				}
 				switch verb {
-				case "hotpath":
+				case "hotpath", "commitpoint", "ackpoint":
 					if !inFuncDoc[c] {
-						pass.Reportf(c.Pos(), "//unroller:hotpath must be in a function's doc comment")
+						pass.Reportf(c.Pos(), "//unroller:%s must be in a function's doc comment", verb)
 					}
 					if args != "" {
-						pass.Reportf(c.Pos(), "//unroller:hotpath takes no arguments, got %q", args)
+						pass.Reportf(c.Pos(), "//unroller:%s takes no arguments, got %q", verb, args)
 					}
 				case "allow":
 					checks := splitAllowChecks(args)
@@ -61,13 +63,13 @@ func runDirective(pass *Pass) error {
 					}
 					for _, name := range checks {
 						if !known[name] {
-							pass.Reportf(c.Pos(), "//unroller:allow names unknown check %q (known: determinism, errctx, hotpath, nodeps, wirewidth)", name)
+							pass.Reportf(c.Pos(), "//unroller:allow names unknown check %q (known: atomicfield, commitorder, deadline, determinism, errctx, hotpath, lockscope, nodeps, wirewidth)", name)
 						}
 					}
 				case "":
-					pass.Reportf(c.Pos(), "empty //unroller: directive; known verbs: hotpath, allow")
+					pass.Reportf(c.Pos(), "empty //unroller: directive; known verbs: hotpath, commitpoint, ackpoint, allow")
 				default:
-					pass.Reportf(c.Pos(), "unknown //unroller: verb %q; known verbs: hotpath, allow", verb)
+					pass.Reportf(c.Pos(), "unknown //unroller: verb %q; known verbs: hotpath, commitpoint, ackpoint, allow", verb)
 				}
 			}
 		}

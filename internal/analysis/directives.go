@@ -18,6 +18,16 @@ import (
 //	    immediately above a statement it covers that line and the next.
 //	    The reason after "--" is free text and is strongly encouraged.
 //
+//	//unroller:commitpoint
+//	//unroller:ackpoint
+//	    In a function's doc comment: marks the function as the durability
+//	    commit step / the client-visible acknowledgement step of the
+//	    commit-before-ack protocol (DESIGN §9). The commitorder analyzer
+//	    checks that every path to an ackpoint call passes a commitpoint
+//	    call first. Both tags are exported as package facts, so a
+//	    commitpoint in internal/collectorsvc is visible to callers in any
+//	    package.
+//
 // Directives follow the Go toolchain convention (//go:noinline): no space
 // between "//" and "unroller:". A stale allow — one that suppresses no
 // diagnostic across a full suite run — is itself reported.
@@ -38,6 +48,10 @@ type Directives struct {
 	allows []*allowDirective
 	// hotpath maps *ast.FuncDecl nodes tagged //unroller:hotpath.
 	hotpath map[*ast.FuncDecl]bool
+	// commitpoint / ackpoint map *ast.FuncDecl nodes tagged with the
+	// commit-before-ack protocol roles.
+	commitpoint map[*ast.FuncDecl]bool
+	ackpoint    map[*ast.FuncDecl]bool
 }
 
 // staleAllow identifies an allow directive that never fired.
@@ -50,7 +64,12 @@ type staleAllow struct {
 // directive table. Grammar errors are left in place for the directive
 // analyzer to report; this parser only collects well-formed entries.
 func parseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
-	d := &Directives{fset: fset, hotpath: make(map[*ast.FuncDecl]bool)}
+	d := &Directives{
+		fset:        fset,
+		hotpath:     make(map[*ast.FuncDecl]bool),
+		commitpoint: make(map[*ast.FuncDecl]bool),
+		ackpoint:    make(map[*ast.FuncDecl]bool),
+	}
 	for _, f := range files {
 		// Function-scoped directives: doc comments on declarations.
 		for _, decl := range f.Decls {
@@ -61,6 +80,10 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 					switch verb {
 					case "hotpath":
 						d.hotpath[fn] = true
+					case "commitpoint":
+						d.commitpoint[fn] = true
+					case "ackpoint":
+						d.ackpoint[fn] = true
 					case "allow":
 						from := fset.Position(fn.Pos()).Line
 						to := fset.Position(fn.End()).Line
@@ -114,17 +137,36 @@ func (d *Directives) addAllows(c *ast.Comment, args string, from, to int) {
 }
 
 // allowed reports whether a diagnostic from check at position is
-// suppressed, marking the covering directive as used.
+// suppressed, marking the covering directive as used. When several
+// directives cover the same line, only the most specific one — the
+// narrowest line span, closest to the finding — gets the credit:
+// crediting every cover would let a redundant function-wide allow hide
+// behind a line-scoped one forever without ever being reported stale.
 func (d *Directives) allowed(check string, position token.Position) bool {
-	hit := false
+	var best *allowDirective
 	for _, a := range d.allows {
 		if a.check == check && a.file == position.Filename &&
 			a.fromLine <= position.Line && position.Line <= a.toLine {
-			a.suppressd = true
-			hit = true
+			if best == nil || narrowerAllow(a, best) {
+				best = a
+			}
 		}
 	}
-	return hit
+	if best == nil {
+		return false
+	}
+	best.suppressd = true
+	return true
+}
+
+// narrowerAllow reports whether a is a more specific cover than b:
+// smaller line span, ties broken toward the later (closer) start line.
+func narrowerAllow(a, b *allowDirective) bool {
+	spanA, spanB := a.toLine-a.fromLine, b.toLine-b.fromLine
+	if spanA != spanB {
+		return spanA < spanB
+	}
+	return a.fromLine > b.fromLine
 }
 
 // stale returns every allow directive that suppressed nothing.
@@ -140,6 +182,12 @@ func (d *Directives) stale() []staleAllow {
 
 // isHotpath reports whether fn carries the //unroller:hotpath tag.
 func (d *Directives) isHotpath(fn *ast.FuncDecl) bool { return d.hotpath[fn] }
+
+// isCommitpoint reports whether fn carries //unroller:commitpoint.
+func (d *Directives) isCommitpoint(fn *ast.FuncDecl) bool { return d.commitpoint[fn] }
+
+// isAckpoint reports whether fn carries //unroller:ackpoint.
+func (d *Directives) isAckpoint(fn *ast.FuncDecl) bool { return d.ackpoint[fn] }
 
 // splitDirective parses a comment's text into directive verb and argument
 // string. Non-directive comments return verb "".

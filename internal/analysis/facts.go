@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Package facts let an analyzer publish what it learned about one
+// package's declarations so checks in *other* packages can consult it —
+// the mechanism behind atomicfield (a field atomically accessed in its
+// home package must not be touched plainly anywhere) and commitorder
+// (commitpoint/ackpoint tags on exported functions are visible to every
+// caller). Facts are deliberately primitive: string key → string value,
+// where the key is a stable, position-independent object path
+// ("pkg/path.Type.Field" or a *types.Func FullName). Two transports
+// share the format:
+//
+//   - the driver runs a whole-module fact phase in one process and
+//     hands every Run pass the merged table;
+//   - the unitchecker (go vet -vettool) serializes facts to the .vetx
+//     file the go command threads between package units (see
+//     cmd/unroller-vet).
+//
+// The wire encoding is line-oriented and sorted, so vetx files are
+// byte-stable for identical inputs and diff cleanly:
+//
+//	analyzer\tobject\tvalue\n
+
+// Facts is a merged analyzer→object→value table. The zero value is not
+// usable; call NewFacts.
+type Facts struct {
+	m map[factKey]string
+}
+
+type factKey struct {
+	analyzer string
+	object   string
+}
+
+// NewFacts returns an empty fact table.
+func NewFacts() *Facts { return &Facts{m: make(map[factKey]string)} }
+
+// Set records one fact. Re-setting the same key overwrites — analyzers
+// publish idempotent observations, not counters.
+func (f *Facts) Set(analyzer, object, value string) {
+	f.m[factKey{analyzer, object}] = value
+}
+
+// Get looks one fact up.
+func (f *Facts) Get(analyzer, object string) (string, bool) {
+	v, ok := f.m[factKey{analyzer, object}]
+	return v, ok
+}
+
+// Len reports the number of facts (diagnostic aid for tests and -debug
+// output).
+func (f *Facts) Len() int { return len(f.m) }
+
+// Encode renders the table in the sorted line format. Tabs and newlines
+// cannot appear in keys (object paths are Go identifiers and import
+// paths); values are escaped defensively.
+func (f *Facts) Encode() []byte {
+	lines := make([]string, 0, len(f.m))
+	for k, v := range f.m {
+		lines = append(lines, k.analyzer+"\t"+k.object+"\t"+escapeFactValue(v)+"\n")
+	}
+	sort.Strings(lines)
+	return []byte(strings.Join(lines, ""))
+}
+
+// DecodeFactsInto parses data (the Encode format) and merges every fact
+// into f.
+func DecodeFactsInto(f *Facts, data []byte) error {
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return fmt.Errorf("analysis: malformed fact line %q", line)
+		}
+		f.Set(parts[0], parts[1], unescapeFactValue(parts[2]))
+	}
+	return nil
+}
+
+func escapeFactValue(s string) string {
+	s = strings.ReplaceAll(s, "\\", `\\`)
+	s = strings.ReplaceAll(s, "\t", `\t`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func unescapeFactValue(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i+1])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -206,7 +208,8 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 	var names []string
 	for _, e := range entries {
 		name := e.Name()
-		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+			fileMatchesPlatform(name) && fileBuildTagsSatisfied(filepath.Join(abs, name)) {
 			names = append(names, name)
 		}
 	}
@@ -245,6 +248,117 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 	pkg.Types, _ = conf.Check(pkg.Path, l.Fset, files, pkg.Info)
 	l.cache[abs] = pkg
 	return pkg, nil
+}
+
+// Cached returns every package the loader has type-checked so far —
+// the requested ones plus their transitive module-internal dependencies
+// — sorted by import path. The driver's whole-module fact phase runs
+// over this set so facts from dependency packages exist before any
+// requested package's Run pass consults them.
+func (l *Loader) Cached() []*Package {
+	pkgs := make([]*Package, 0, len(l.cache))
+	for _, p := range l.cache {
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs
+}
+
+// knownGOOS / knownGOARCH back the filename-suffix build constraints
+// (foo_linux.go, foo_amd64.go). The lists mirror go/build's unexported
+// ones; an unknown suffix is treated as an ordinary name, matching the
+// go tool.
+var knownGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownGOARCH = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// fileMatchesPlatform applies the _GOOS/_GOARCH filename rules:
+// name_linux.go only builds on linux, name_amd64.go only on amd64,
+// name_linux_amd64.go needs both.
+func fileMatchesPlatform(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	if len(parts) < 2 {
+		return true
+	}
+	last := parts[len(parts)-1]
+	if knownGOARCH[last] {
+		if last != runtime.GOARCH {
+			return false
+		}
+		if len(parts) >= 3 && knownGOOS[parts[len(parts)-2]] {
+			return parts[len(parts)-2] == runtime.GOOS
+		}
+		return true
+	}
+	if knownGOOS[last] {
+		return last == runtime.GOOS
+	}
+	return true
+}
+
+// fileBuildTagsSatisfied evaluates a leading //go:build line (or legacy
+// // +build lines) against the current platform, so a file excluded from
+// the real build is excluded from analysis too — analyzing a plan9-only
+// file on linux would report findings the compiler never sees.
+func fileBuildTagsSatisfied(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return true // let the parser produce the real error
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "//") {
+			if constraint.IsGoBuild(trimmed) || constraint.IsPlusBuild(trimmed) {
+				expr, err := constraint.Parse(trimmed)
+				if err != nil {
+					continue
+				}
+				if !expr.Eval(buildTagSatisfied) {
+					return false
+				}
+			}
+			continue
+		}
+		break // package clause or code: the constraint block is over
+	}
+	return true
+}
+
+// buildTagSatisfied reports whether one build tag holds for this
+// analysis run: the host platform, the gc toolchain, and every release
+// tag up to the running Go version.
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	}
+	if rest, ok := strings.CutPrefix(tag, "go1."); ok {
+		// All go1.N tags up to the toolchain's own minor version hold.
+		have := strings.TrimPrefix(runtime.Version(), "go1.")
+		if i := strings.IndexByte(have, '.'); i >= 0 {
+			have = have[:i]
+		}
+		var want, cur int
+		if _, err := fmt.Sscanf(rest, "%d", &want); err != nil {
+			return false
+		}
+		if _, err := fmt.Sscanf(have, "%d", &cur); err != nil {
+			return false
+		}
+		return want <= cur
+	}
+	return false
 }
 
 // importPathFor maps an absolute directory to its import path.

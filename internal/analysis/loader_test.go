@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestLoaderBuildConstraints proves excluded files stay excluded: the
+// tagged fixture's sibling files redeclare Width behind impossible
+// constraints (a //go:build line and a _plan9 filename suffix), so a
+// clean single-file load is the only passing outcome.
+func TestLoaderBuildConstraints(t *testing.T) {
+	root := moduleRootDir(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load("./internal/analysis/testdata/src/tagged")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	pkg := pkgs[0]
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("constrained files leaked into the load: %v", pkg.TypeErrors[0])
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("want 1 file after constraint filtering, got %d", len(pkg.Files))
+	}
+}
+
+// TestFileMatchesPlatform covers the _GOOS/_GOARCH suffix table.
+func TestFileMatchesPlatform(t *testing.T) {
+	cases := map[string]bool{
+		"plain.go":                       true,
+		"name_" + runtime.GOOS + ".go":   true,
+		"name_" + runtime.GOARCH + ".go": true,
+		"name_plan9.go":                  false,
+		"name_plan9_mips64.go":           false,
+		"name_mips64.go":                 false,
+		// An unknown suffix is an ordinary name, not a constraint.
+		"name_widget.go": true,
+		// GOOS must be second-to-last when GOARCH is last.
+		"name_plan9_" + runtime.GOARCH + ".go":                false,
+		"name_" + runtime.GOOS + "_" + runtime.GOARCH + ".go": true,
+	}
+	for name, want := range cases {
+		if got := fileMatchesPlatform(name); got != want {
+			t.Errorf("fileMatchesPlatform(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestBuildTagSatisfied covers the tag predicate the //go:build
+// evaluator uses: platform tags, the gc toolchain, and release tags.
+func TestBuildTagSatisfied(t *testing.T) {
+	for tag, want := range map[string]bool{
+		runtime.GOOS:   true,
+		runtime.GOARCH: true,
+		"gc":           true,
+		"go1.1":        true,
+		"go1.21":       true,
+		"go1.99":       false,
+		"plan9":        false,
+		"purego":       false,
+	} {
+		if got := buildTagSatisfied(tag); got != want {
+			t.Errorf("buildTagSatisfied(%q) = %v, want %v", tag, got, want)
+		}
+	}
+}
+
+// TestLoaderRefusesCgo pins the pure-Go posture at the loader layer:
+// an import of "C" is a type error, never a silent skip.
+func TestLoaderRefusesCgo(t *testing.T) {
+	root := moduleRootDir(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load("./internal/analysis/testdata/src/cgouser")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	pkg := pkgs[0]
+	if len(pkg.TypeErrors) == 0 {
+		t.Fatal("cgo import type-checked; the loader must refuse it")
+	}
+	if !strings.Contains(pkg.TypeErrors[0].Error(), "cgo") {
+		t.Errorf("refusal does not mention cgo: %v", pkg.TypeErrors[0])
+	}
+}
+
+// TestLoadErrorPropagates pins the failure mode the driver turns into
+// exit status 2: a pattern naming no directory is an error from Load,
+// not an empty result.
+func TestLoadErrorPropagates(t *testing.T) {
+	root := moduleRootDir(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if _, err := loader.Load("./no/such/dir"); err == nil {
+		t.Fatal("Load of a nonexistent pattern succeeded")
+	}
+}
+
+// TestCachedIncludesDependencies pins the contract the driver's fact
+// phase relies on: loading a package pulls its module-internal
+// dependencies into the cache, and Cached returns all of them sorted.
+func TestCachedIncludesDependencies(t *testing.T) {
+	root := moduleRootDir(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if _, err := loader.Load("./internal/analysis/testdata/src/atomicuse"); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	cached := loader.Cached()
+	var sawDef, sawUse bool
+	for i, p := range cached {
+		if i > 0 && cached[i-1].Path >= p.Path {
+			t.Errorf("Cached not sorted: %q before %q", cached[i-1].Path, p.Path)
+		}
+		switch pkgBase(p.Path) {
+		case "atomicdef":
+			sawDef = true
+		case "atomicuse":
+			sawUse = true
+		}
+	}
+	if !sawDef || !sawUse {
+		t.Errorf("Cached missing packages (def=%v use=%v): %d cached", sawDef, sawUse, len(cached))
+	}
+}

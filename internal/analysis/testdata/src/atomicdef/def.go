@@ -1,0 +1,20 @@
+// Package atomicdef declares structs whose fields are atomic — by
+// declared type and by address-taken sync/atomic use — for the
+// cross-package atomicfield test: package atomicuse imports this and
+// touches the fields plainly, which only the facts mechanism can catch.
+package atomicdef
+
+import "sync/atomic"
+
+// Gauge mixes an address-style atomic counter with a typed one.
+type Gauge struct {
+	Raw   uint64        // atomic via atomic.AddUint64 below
+	Typed atomic.Uint64 // typed atomic by declaration
+	Name  string        // plain field, freely accessible
+}
+
+// Bump is the sanctioned home-package access.
+func Bump(g *Gauge) {
+	atomic.AddUint64(&g.Raw, 1)
+	g.Typed.Add(1)
+}

@@ -1,0 +1,40 @@
+// Package atomicfield is the atomicfield analyzer's fixture: one struct
+// whose fields are touched atomically — by address and as typed
+// atomics — and every way of then touching them plainly.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits   uint64        // atomic via atomic.AddUint64(&c.hits, ...)
+	misses atomic.Uint64 // typed atomic
+	plain  uint64        // never atomic: free to access directly
+}
+
+// bump is the sanctioned access pattern for every field.
+func bump(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+	c.misses.Add(1)
+	c.plain++
+}
+
+// read mixes a plain load of hits in with legal accesses.
+func read(c *counters) uint64 {
+	h := c.hits // want "mixing plain and atomic access is a data race"
+	return h + atomic.LoadUint64(&c.hits) + c.misses.Load() + c.plain
+}
+
+// reset writes both atomic fields plainly.
+func reset(c *counters) {
+	c.hits = 0 // want "plain access to"
+	var fresh atomic.Uint64
+	c.misses = fresh // want "plain access to"
+	atomic.StoreUint64(&c.hits, 0)
+	c.misses.Store(0)
+}
+
+// leak hands out the raw address — every use through the alias is
+// invisible to the analyzer, so the escape itself is the finding.
+func leak(c *counters) *uint64 {
+	return &c.hits // want "plain access to"
+}

@@ -1,0 +1,21 @@
+// Package atomicuse accesses atomicdef's atomic fields plainly. Every
+// finding here depends on facts imported from the defining package —
+// nothing in this file alone marks the fields atomic — so this fixture
+// only reports under a facts-aware run (the driver's whole-module phase
+// or the unitchecker's vetx imports), which is exactly what
+// TestAtomicfieldCrossPackage asserts.
+package atomicuse
+
+import "github.com/unroller/unroller/internal/analysis/testdata/src/atomicdef"
+
+// Snapshot reads both atomic fields without atomics.
+func Snapshot(g *atomicdef.Gauge) (uint64, string) {
+	raw := g.Raw // plain access, reported cross-package
+	return raw, g.Name
+}
+
+// Reset clears the typed atomic by value-assignment.
+func Reset(g *atomicdef.Gauge) {
+	g.Typed.Store(0) // sanctioned: typed atomic method
+	g.Raw = 0        // plain access, reported cross-package
+}

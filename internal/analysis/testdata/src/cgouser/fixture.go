@@ -1,0 +1,9 @@
+// Package cgouser imports "C": the loader must refuse to resolve it
+// (the module is pure Go), surfacing a type error instead of silently
+// producing a half-checked package.
+package cgouser
+
+import "C"
+
+// Length uses the cgo pseudo-package so the import is not unused.
+var Length = C.int(0)

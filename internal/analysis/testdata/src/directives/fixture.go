@@ -3,6 +3,8 @@
 // nothing are reported stale.
 package directives
 
+import "errors"
+
 // Tagged is a correctly tagged function: the positive case.
 //
 //unroller:hotpath
@@ -35,3 +37,16 @@ func Tagged() int { return 1 }
 //
 //unroller:hotpath with arguments
 func MisTagged() int { return 2 }
+
+// Shadowed has a function-wide allow made redundant by the line-scoped
+// one inside: only the most specific covering directive is credited for
+// a suppression, so the broad duplicate is reported stale instead of
+// hiding behind the narrow one forever.
+//
+// want "stale //unroller:allow"
+//
+//unroller:allow errctx -- redundant: the line-scoped allow below already covers it
+func Shadowed() error {
+	//unroller:allow errctx -- fixture: demonstrates line-scoped suppression winning the credit
+	return errors.New("oops")
+}

@@ -1,0 +1,13 @@
+// Package tagged exists to prove the loader honors build constraints:
+// the sibling files redeclare Width behind constraints that can never
+// hold together with this file's platform, so loading them would be a
+// duplicate-declaration type error. A clean load means they were
+// excluded.
+package tagged
+
+// Width is redeclared (with different values) by every excluded file.
+const Width = 1
+
+// Excluded reports which constrained files leaked into the build; the
+// loader test asserts it stays empty.
+var Excluded []string

@@ -1,0 +1,10 @@
+//go:build plan9 && mips64
+
+// This file's constraint can never hold on a platform the tests run
+// on; if the loader ignored //go:build lines, Width would collide with
+// fixture.go's declaration.
+package tagged
+
+const Width = 2
+
+func init() { Excluded = append(Excluded, "gobuild") }

@@ -1,0 +1,7 @@
+// Excluded by the _plan9 filename suffix rule: no //go:build line is
+// needed for the loader to drop this file on any other GOOS.
+package tagged
+
+const Width = 3
+
+func init() { Excluded = append(Excluded, "suffix") }

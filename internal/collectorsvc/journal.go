@@ -410,7 +410,12 @@ func (j *Journal) commitLocked() {
 }
 
 // Commit makes everything appended so far crash-safe per policy — the
-// server calls it before flushing an acknowledgement batch.
+// server calls it before flushing an acknowledgement batch. It is the
+// commit step of the commit-before-ack protocol (DESIGN §9): the
+// commitorder analyzer requires a call to it on every path that reaches
+// the ack write.
+//
+//unroller:commitpoint
 func (j *Journal) Commit() {
 	j.mu.Lock()
 	j.commitLocked()
@@ -436,6 +441,7 @@ func (j *Journal) syncLoop() {
 			if j.bw != nil {
 				if err := j.bw.Flush(); err != nil {
 					j.failed = true
+					//unroller:allow lockscope -- interval fsync must serialize with appends; j.mu is the append lock and ingest tolerates the pause (FsyncInterval trades it for batched durability)
 				} else if err := j.f.Sync(); err != nil {
 					j.failed = true
 				} else {
@@ -521,6 +527,7 @@ func (j *Journal) Close() error {
 	if j.bw != nil {
 		err = j.bw.Flush()
 		if j.cfg.Fsync != FsyncNever {
+			//unroller:allow lockscope -- shutdown-only final sync; the sync loop has already stopped and no ingest path can contend for j.mu after closeOnce fires
 			if serr := j.f.Sync(); err == nil {
 				err = serr
 			}

@@ -75,6 +75,7 @@ func (s *Server) rotateWithSnapshotLocked(j *Journal) {
 		sh.push(shardItem{barrier: b})
 	}
 	for range s.shards {
+		//unroller:allow lockscope -- the barrier receive under s.mu IS the quiescence protocol: workers always drain it (Shutdown cannot stop them before this reader returns), and holding s.mu is what freezes the snapshot
 		<-b.reached
 	}
 	snap := s.captureSnapshotLocked()

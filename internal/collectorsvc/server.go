@@ -544,11 +544,8 @@ func (s *Server) handle(conn net.Conn) {
 			s.journal.Commit()
 		}
 		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		ackBuf = AppendAck(ackBuf[:0], lastSeen)
-		if _, err := bw.Write(ackBuf); err != nil {
-			return false
-		}
-		if err := bw.Flush(); err != nil {
+		var err error
+		if ackBuf, err = writeAck(bw, ackBuf, lastSeen); err != nil {
 			return false
 		}
 		lastAcked = lastSeen
@@ -602,6 +599,21 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		}
 	}
+}
+
+// writeAck flushes one acknowledgement frame for seq to the peer. The
+// ack is the client's licence to forget the acknowledged frames, so the
+// commit-before-ack rule (DESIGN §9) requires a Journal.Commit on every
+// path into this function — the commitorder analyzer enforces that
+// statically at each call site.
+//
+//unroller:ackpoint
+func writeAck(bw *bufio.Writer, ackBuf []byte, seq uint64) ([]byte, error) {
+	ackBuf = AppendAck(ackBuf[:0], seq)
+	if _, err := bw.Write(ackBuf); err != nil {
+		return ackBuf, err
+	}
+	return ackBuf, bw.Flush()
 }
 
 // ingestReport accounts one report frame and, when new, journals it and
