@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"github.com/unroller/unroller/internal/baseline"
 	"github.com/unroller/unroller/internal/collectorsvc"
@@ -650,11 +651,17 @@ func benchCollectorIngest(b *testing.B, journaled bool) {
 		Members: []detect.SwitchID{1, 2, 3, 4},
 	}
 	drained := func(st collectorsvc.ClientStats) bool { return st.Acked+st.Dropped == st.Enqueued }
+	// The wait loops sleep instead of spinning on runtime.Gosched():
+	// on GOMAXPROCS=1 a Gosched spin starves the netpoller (goroutines
+	// unblocked by socket readiness are only injected by sysmon every
+	// ~10ms), which would measure the scheduler's starvation floor
+	// instead of the ingest pipeline.
+	wait := func() { time.Sleep(20 * time.Microsecond) }
 	// Warm up the connection so the timed region measures streaming, not
 	// the dial.
 	c.Send(ev, 12)
 	for !drained(c.Stats()) {
-		runtime.Gosched()
+		wait()
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -662,13 +669,13 @@ func benchCollectorIngest(b *testing.B, journaled bool) {
 		// Pace the producer to the pipe: the sender never blocks, so an
 		// unpaced loop would just overflow the buffer and measure drops.
 		for c.Pending() >= buffer-1 {
-			runtime.Gosched()
+			wait()
 		}
 		ev.Flow = uint32(i)
 		c.Send(ev, 12)
 	}
 	for !drained(c.Stats()) {
-		runtime.Gosched()
+		wait()
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reports/s")

@@ -34,13 +34,15 @@
 #                 journal segment targets (`-fuzz Fuzz` would refuse to
 #                 run because several targets match, so each is invoked
 #                 by exact name)
-#   bench smoke   one iteration of the traffic-engine, collector
-#                 ingest (plain and journaled), and journal append
-#                 benchmarks — not a measurement, just proof those
-#                 paths stay runnable. The traffic-engine and
-#                 collector-ingest lines are appended to the checked-in
-#                 BENCH_collector.json via cmd/unroller-benchlog so the
-#                 perf log never silently stops growing
+#   bench smoke   one iteration of the traffic-engine and journal
+#                 append benchmarks (proof those paths stay runnable)
+#                 plus a 2000-iteration collector-ingest run (plain and
+#                 journaled) that IS a measurement. The traffic-engine
+#                 and collector-ingest lines are appended to the
+#                 checked-in BENCH_collector.json via
+#                 cmd/unroller-benchlog, which fails the gate if the
+#                 collector-ingest entry is missing or its Mpps
+#                 regressed >20% against the last checked-in entry
 set -eu
 
 cd "$(dirname "$0")"
@@ -90,10 +92,16 @@ go test -run '^$' -fuzz '^FuzzReportFrame$' -fuzztime 10s ./internal/collectorsv
 echo "==> fuzz smoke (internal/collectorsvc journal segments, 10s)"
 go test -run '^$' -fuzz '^FuzzJournalSegment$' -fuzztime 10s ./internal/collectorsvc
 
-echo "==> bench smoke (traffic engine + collector ingest, 1 iteration, logged)"
+echo "==> bench smoke (traffic engine 1x + collector ingest 2000x, logged + gated)"
 bench_out="$vettool_dir/bench.out"
-go test -run '^$' -bench 'TrafficEngine|NetworkSend|CollectorIngest' -benchtime 1x . | tee "$bench_out"
+go test -run '^$' -bench 'TrafficEngine|NetworkSend' -benchtime 1x . | tee "$bench_out"
+# Collector ingest runs long enough to measure steady-state batching:
+# at 1x the number is dial + warmup noise, and the regression gate
+# below would compare garbage against garbage.
+go test -run '^$' -bench 'CollectorIngest' -benchtime 2000x . | tee -a "$bench_out"
 go test -run '^$' -bench 'JournalAppend' -benchtime 1x ./internal/collectorsvc
-go run ./cmd/unroller-benchlog -o BENCH_collector.json "$bench_out"
+# benchlog exits 1 if the run lacks a collector-ingest entry or its
+# Mpps fell >20% below the last checked-in BENCH_collector.json entry.
+go run ./cmd/unroller-benchlog -gate 'BenchmarkCollectorIngest=20' -o BENCH_collector.json "$bench_out"
 
 echo "==> ci.sh: all gates passed"

@@ -10,9 +10,16 @@
 //
 //	go test -run '^$' -bench 'TrafficEngine|CollectorIngest' . | unroller-benchlog -o BENCH_collector.json
 //
+// -gate NAME=PCT turns the log into a regression gate: the new run's
+// Mpps for every benchmark prefixed NAME is compared against the most
+// recent prior run that recorded it, and the exit status is 1 if the
+// new number is more than PCT percent below the old one — or if the
+// gated benchmark is missing from the new run entirely. The run is
+// appended to the log either way, so the regression itself is recorded.
+//
 // Exit status: 0 on success, 1 if no selected benchmark appears in the
-// input (a smoke run that silently benched nothing is a CI bug), 2 on
-// usage errors.
+// input (a smoke run that silently benched nothing is a CI bug) or a
+// -gate check fails, 2 on usage errors.
 package main
 
 import (
@@ -62,7 +69,14 @@ func run(args []string, stdin io.Reader, stderr io.Writer) int {
 	match := fs.String("match", "BenchmarkTrafficEngine,BenchmarkCollectorIngest",
 		"comma-separated benchmark name prefixes to record")
 	date := fs.String("date", "", "run date override (default: today, UTC)")
+	gate := fs.String("gate", "",
+		"NAME=PCT: exit 1 if benchmark NAME's Mpps fell more than PCT% below its last logged run")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	gateName, gatePct, err := parseGate(*gate)
+	if err != nil {
+		fmt.Fprintln(stderr, "unroller-benchlog:", err)
 		return 2
 	}
 	input := stdin
@@ -101,6 +115,10 @@ func run(args []string, stdin io.Reader, stderr io.Writer) int {
 			return 2
 		}
 	}
+	// Gate against the history as it stood BEFORE this run is appended,
+	// but append regardless of the verdict: a regression should fail CI
+	// and still leave its number in the log for the post-mortem diff.
+	gateErrs := checkGate(logDoc.Runs, results, gateName, gatePct)
 	logDoc.Runs = append(logDoc.Runs, benchRun{
 		Date:       day,
 		GoVersion:  runtime.Version(),
@@ -115,7 +133,74 @@ func run(args []string, stdin io.Reader, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "unroller-benchlog:", err)
 		return 2
 	}
+	if len(gateErrs) > 0 {
+		for _, e := range gateErrs {
+			fmt.Fprintln(stderr, "unroller-benchlog: gate:", e)
+		}
+		return 1
+	}
 	return 0
+}
+
+// parseGate splits a -gate NAME=PCT argument. An empty argument
+// disables gating (empty name, 0).
+func parseGate(s string) (string, float64, error) {
+	if s == "" {
+		return "", 0, nil
+	}
+	name, pctStr, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return "", 0, fmt.Errorf("bad -gate %q: want NAME=PCT", s)
+	}
+	pct, err := strconv.ParseFloat(pctStr, 64)
+	if err != nil || pct < 0 || pct >= 100 {
+		return "", 0, fmt.Errorf("bad -gate %q: PCT must be a percentage in [0,100)", s)
+	}
+	return name, pct, nil
+}
+
+// checkGate compares the new run's Mpps against the most recent prior
+// run for every benchmark prefixed gateName. It returns one message per
+// violation: a throughput drop beyond gatePct percent, or a previously
+// logged gated benchmark missing from the new run.
+func checkGate(prior []benchRun, results []benchResult, gateName string, gatePct float64) []string {
+	if gateName == "" {
+		return nil
+	}
+	// Latest prior Mpps per gated benchmark name, scanning newest-first.
+	last := map[string]float64{}
+	for i := len(prior) - 1; i >= 0; i-- {
+		for _, b := range prior[i].Benchmarks {
+			if strings.HasPrefix(b.Name, gateName) && b.Mpps > 0 {
+				if _, seen := last[b.Name]; !seen {
+					last[b.Name] = b.Mpps
+				}
+			}
+		}
+	}
+	now := map[string]float64{}
+	for _, b := range results {
+		if strings.HasPrefix(b.Name, gateName) {
+			now[b.Name] = b.Mpps
+		}
+	}
+	var errs []string
+	if len(now) == 0 {
+		errs = append(errs, fmt.Sprintf("no benchmark matching %q in this run", gateName))
+	}
+	for name, old := range last {
+		cur, ok := now[name]
+		if !ok {
+			errs = append(errs, fmt.Sprintf("%s: logged previously but missing from this run", name))
+			continue
+		}
+		floor := old * (1 - gatePct/100)
+		if cur < floor {
+			errs = append(errs, fmt.Sprintf("%s: %.6f Mpps is %.1f%% below last logged %.6f (floor %.6f)",
+				name, cur, 100*(1-cur/old), old, floor))
+		}
+	}
+	return errs
 }
 
 // parseBenchOutput extracts the selected benchmark lines from go test

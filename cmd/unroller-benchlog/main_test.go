@@ -99,6 +99,66 @@ func TestNoMatchExitsOne(t *testing.T) {
 	}
 }
 
+// TestGate covers the regression gate: a run within the tolerance
+// passes, a run below it exits 1 but is still appended, and a gated
+// benchmark that vanishes from the run is itself a failure.
+func TestGate(t *testing.T) {
+	logFile := filepath.Join(t.TempDir(), "log.json")
+	var errb bytes.Buffer
+	base := []string{"-o", logFile, "-date", "2026-08-08", "-gate", "BenchmarkCollectorIngest=20"}
+	if code := run(base, strings.NewReader(sampleOutput), &errb); code != 0 {
+		t.Fatalf("seed run exit %d: %s", code, errb.String())
+	}
+	// 250000 → 210000 reports/s is a 16% drop: inside the 20% tolerance.
+	okOutput := strings.ReplaceAll(sampleOutput, "250000 reports/s", "210000 reports/s")
+	if code := run(base, strings.NewReader(okOutput), &errb); code != 0 {
+		t.Fatalf("within-tolerance run exit %d: %s", code, errb.String())
+	}
+	// 210000 → 100000 is a 52% drop: the gate must trip, and the run
+	// must still land in the log.
+	badOutput := strings.ReplaceAll(sampleOutput, "250000 reports/s", "100000 reports/s")
+	errb.Reset()
+	if code := run(base, strings.NewReader(badOutput), &errb); code != 1 {
+		t.Fatalf("regressed run exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "gate:") {
+		t.Errorf("no gate diagnostic on stderr: %s", errb.String())
+	}
+	data, err := os.ReadFile(logFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchLog
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 3 {
+		t.Fatalf("regressed run not appended: %d runs, want 3", len(doc.Runs))
+	}
+	// A run that drops the gated benchmark entirely must also fail, even
+	// though other matched benchmarks keep the no-match guard quiet.
+	noIngest := strings.NewReader(`BenchmarkTrafficEngine/workers=8-8  12  100000000 ns/op  5120000 pkts/s  2048 B/op  12 allocs/op`)
+	errb.Reset()
+	if code := run(base, noIngest, &errb); code != 1 {
+		t.Fatalf("missing-benchmark run exit %d, want 1; stderr: %s", code, errb.String())
+	}
+}
+
+// TestParseGate pins the NAME=PCT syntax checks.
+func TestParseGate(t *testing.T) {
+	if name, pct, err := parseGate("BenchmarkX=20"); err != nil || name != "BenchmarkX" || pct != 20 {
+		t.Errorf("parseGate(BenchmarkX=20) = %q, %v, %v", name, pct, err)
+	}
+	if _, _, err := parseGate(""); err != nil {
+		t.Errorf("empty -gate should disable gating, got %v", err)
+	}
+	for _, bad := range []string{"NoEquals", "=20", "X=abc", "X=-5", "X=100"} {
+		if _, _, err := parseGate(bad); err == nil {
+			t.Errorf("parseGate(%q) accepted", bad)
+		}
+	}
+}
+
 // TestRejectsCorruptLog covers the refuse-to-clobber path: an existing
 // file that is not a benchlog must not be overwritten.
 func TestRejectsCorruptLog(t *testing.T) {

@@ -12,7 +12,7 @@
 //	unroller-collectord [-listen :7777] [-admin :7778] [-shards 4]
 //	                    [-queue 1024] [-dedup 8] [-max-events 4096]
 //	                    [-quarantine-after 0] [-quarantine-ticks 0]
-//	                    [-max-age 0] [-ack-every 64]
+//	                    [-max-age 0] [-ack-every 64] [-batch 256]
 //	                    [-journal DIR] [-fsync interval] [-segment-bytes N]
 //	                    [-retain 8] [-read-timeout 30s] [-write-timeout 10s]
 //	                    [-max-conns 256]
@@ -57,6 +57,7 @@ func main() {
 		qTicks   = flag.Int("quarantine-ticks", 0, "ticks a quarantined reporter stays muted")
 		maxAge   = flag.Int("max-age", 0, "age out buffered events after this many ticks (0 = never)")
 		ackEvery = flag.Int("ack-every", collectorsvc.DefaultAckEvery, "acknowledge at least every N frames")
+		batch    = flag.Int("batch", collectorsvc.DefaultBatch, "frames ingested per batch: one coalesced read, one journal-lock hold, one commit per ack batch")
 		journal  = flag.String("journal", "", "write-ahead journal directory (empty = no journal, no crash recovery)")
 		fsync    = flag.String("fsync", "interval", "journal fsync policy: always | interval | never")
 		segBytes = flag.Int64("segment-bytes", collectorsvc.DefaultSegmentBytes, "journal bytes per segment before rotation")
@@ -70,6 +71,7 @@ func main() {
 		Shards:       *shards,
 		QueueDepth:   *queue,
 		AckEvery:     *ackEvery,
+		Batch:        *batch,
 		ReadTimeout:  *readTO,
 		WriteTimeout: *writeTO,
 		MaxConns:     *maxConns,

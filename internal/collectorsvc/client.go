@@ -410,20 +410,23 @@ func (c *Client) stream(conn net.Conn) {
 
 	// Retransmit the in-flight window (frames sent on the previous
 	// connection whose acks never arrived). The server discards the
-	// already-accounted prefix by sequence number.
+	// already-accounted prefix by sequence number. The whole window is
+	// encoded into one buffer and written in one deadline-armed call —
+	// the same coalescing the batch loop below uses.
 	c.mu.Lock()
 	resend := append([]clientItem(nil), c.inflight...)
 	c.stats.Retransmits += uint64(len(resend))
 	c.mu.Unlock()
 	var err error
+	buf = buf[:0]
 	for _, it := range resend {
-		if buf, err = appendItem(buf[:0], it); err != nil {
+		if buf, err = appendItem(buf, it); err != nil {
 			return
 		}
-		conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
-		if _, err = bw.Write(buf); err != nil {
-			return
-		}
+	}
+	conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+	if _, err = bw.Write(buf); err != nil {
+		return
 	}
 	conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
 	if err = bw.Flush(); err != nil {
@@ -452,7 +455,18 @@ func (c *Client) stream(conn net.Conn) {
 			if c.closing && len(c.unsent) == 0 && len(c.inflight) == 0 {
 				c.mu.Unlock()
 				conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
-				bw.Flush()
+				if err := bw.Flush(); err != nil {
+					// Surface the failure like every other flush site: mark
+					// the connection broken and return to the run loop (the
+					// reconnect path) instead of pretending the buffered
+					// bytes went out. Everything enqueued is already
+					// acknowledged here, so the loop exits once it confirms
+					// that — but it must not exit *believing* a write
+					// succeeded that didn't.
+					c.mu.Lock()
+					c.broken = true
+					c.mu.Unlock()
+				}
 				return
 			}
 			// Idle, window-full, or drain-waiting-for-acks: sleep until
@@ -484,14 +498,18 @@ func (c *Client) stream(conn net.Conn) {
 			hbTimer.Reset(c.cfg.HeartbeatEvery)
 			continue
 		}
+		// Encode the whole batch into one buffer and write it with one
+		// deadline arm: the connection's write-path syscalls and deadline
+		// churn scale with batches, not frames.
+		buf = buf[:0]
 		for _, it := range batch {
-			if buf, err = appendItem(buf[:0], it); err != nil {
+			if buf, err = appendItem(buf, it); err != nil {
 				return
 			}
-			conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
-			if _, err = bw.Write(buf); err != nil {
-				return
-			}
+		}
+		conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+		if _, err = bw.Write(buf); err != nil {
+			return
 		}
 		conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
 		if err = bw.Flush(); err != nil {

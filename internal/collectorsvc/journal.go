@@ -179,6 +179,7 @@ type Journal struct {
 	segs     []uint64 // live segment numbers, ascending (includes active)
 	dirty    bool     // bytes flushed to OS since the last sync
 	failed   bool     // an append or sync failed; durability degraded
+	scratch  []byte   // reusable record-encode buffer for batch appends
 
 	lastSync     time.Time
 	appends      uint64
@@ -350,6 +351,24 @@ func (j *Journal) appendLocked(payload []byte) {
 	}
 	j.segSize += int64(journalRecHeader + len(payload))
 	j.dirty = true
+}
+
+// appendReportLocked encodes and appends one report record through the
+// journal's reusable scratch buffer — the batch-append API: the
+// server's ingest loop calls it once per new frame while holding mu
+// across the whole batch, so a batch costs zero encode allocations and
+// one Commit (one flush, and under FsyncAlways one fsync) covers every
+// record in it.
+func (j *Journal) appendReportLocked(clientID, seq uint64, ev LoopEventRecord, hop int) {
+	j.scratch = appendJournalReport(j.scratch[:0], clientID, seq, ev, hop)
+	j.appendLocked(j.scratch)
+}
+
+// appendTickLocked encodes and appends one tick record through the
+// shared scratch; see appendReportLocked.
+func (j *Journal) appendTickLocked(clientID, seq uint64) {
+	j.scratch = appendJournalTick(j.scratch[:0], clientID, seq)
+	j.appendLocked(j.scratch)
 }
 
 // needsRotateLocked reports whether the active segment is over size.

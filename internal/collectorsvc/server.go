@@ -43,6 +43,14 @@ type ServerConfig struct {
 	// connection stays busy; an ack is always flushed when the reader
 	// goes idle at a batch boundary. <= 0 selects DefaultAckEvery.
 	AckEvery int
+	// Batch caps the frames a connection reader ingests as one unit: one
+	// read coalesces every complete frame already buffered on the socket
+	// (up to this cap), and the whole batch is accounted, journaled, and
+	// handed to the shard queues under a single journal-lock acquisition
+	// with one queue push per touched shard. Larger batches amortize
+	// locks and syscalls; smaller ones bound ack latency under sustained
+	// load. <= 0 selects DefaultBatch.
+	Batch int
 	// Journal, when non-nil, makes ingest crash-safe: every accounted
 	// frame is appended (and flushed to the OS before it is
 	// acknowledged), and segment rotation writes a consistent snapshot
@@ -73,6 +81,7 @@ const (
 	DefaultQueueDepth   = 1024
 	DefaultMaxFlows     = 1 << 16
 	DefaultAckEvery     = 64
+	DefaultBatch        = 256
 	DefaultReadTimeout  = 30 * time.Second
 	DefaultWriteTimeout = 10 * time.Second
 	DefaultMaxConns     = 256
@@ -247,6 +256,28 @@ func newShard(ctrlCfg dataplane.ControllerConfig, depth, maxFlows int) *shard {
 // deliver); only when no tick is queued does it drop the oldest report.
 func (sh *shard) push(it shardItem) {
 	sh.mu.Lock()
+	sh.pushLocked(it)
+	sh.mu.Unlock()
+	sh.cond.Signal()
+}
+
+// pushBatch enqueues a slice of items with one lock acquisition and one
+// worker wakeup — the batched hand-off the connection readers use so
+// queue-lock traffic scales with batches, not frames. Eviction
+// semantics per item are identical to push.
+func (sh *shard) pushBatch(items []shardItem) {
+	if len(items) == 0 {
+		return
+	}
+	sh.mu.Lock()
+	for _, it := range items {
+		sh.pushLocked(it)
+	}
+	sh.mu.Unlock()
+	sh.cond.Signal()
+}
+
+func (sh *shard) pushLocked(it shardItem) {
 	if sh.n == len(sh.ring) {
 		if !sh.shedTickLocked() {
 			sh.ring[sh.head] = shardItem{} // drop the oldest
@@ -257,8 +288,6 @@ func (sh *shard) push(it shardItem) {
 	}
 	sh.ring[(sh.head+sh.n)%len(sh.ring)] = it
 	sh.n++
-	sh.mu.Unlock()
-	sh.cond.Signal()
 }
 
 // shedTickLocked evicts the oldest queued tick, preserving the order of
@@ -286,63 +315,98 @@ func (sh *shard) shedTickLocked() bool {
 	return true
 }
 
-// pop dequeues the oldest item, blocking until one arrives or the shard
-// is closed and drained (ok=false).
-func (sh *shard) pop() (shardItem, bool) {
+// popBatch dequeues up to cap(dst)-len(dst) items into dst with one
+// lock acquisition, blocking until at least one arrives or the shard is
+// closed and drained (ok=false).
+func (sh *shard) popBatch(dst []shardItem) ([]shardItem, bool) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for sh.n == 0 {
 		if sh.closed {
-			return shardItem{}, false
+			return dst, false
 		}
 		sh.cond.Wait()
 	}
-	it := sh.ring[sh.head]
-	sh.ring[sh.head] = shardItem{}
-	sh.head = (sh.head + 1) % len(sh.ring)
-	sh.n--
-	return it, true
+	for len(dst) < cap(dst) && sh.n > 0 {
+		dst = append(dst, sh.ring[sh.head])
+		sh.ring[sh.head] = shardItem{}
+		sh.head = (sh.head + 1) % len(sh.ring)
+		sh.n--
+	}
+	return dst, true
 }
+
+// shardDrainBatch caps the items a worker drains per queue-lock
+// acquisition (and per controller-lock acquisition for a report run).
+const shardDrainBatch = 256
 
 // run is the shard worker: it drains the queue into the controller,
 // replaying each report through the same per-flow dedup path the
 // in-process data plane uses, so the admission totals match a single
 // local controller exactly (for quarantine-free configs; see DESIGN §8
-// for why per-reporter quarantine is a per-shard property).
+// for why per-reporter quarantine is a per-shard property). Draining is
+// batched end to end: one queue-lock acquisition pops up to
+// shardDrainBatch items, and each run of consecutive reports between
+// ticks/barriers is delivered under one controller-lock acquisition.
+// Delivery order — and therefore every admission decision — is
+// identical to popping one item at a time.
 func (sh *shard) run() {
+	buf := make([]shardItem, 0, shardDrainBatch)
+	fds := make([]dataplane.FlowDelivery, 0, shardDrainBatch)
 	for {
-		it, ok := sh.pop()
+		var ok bool
+		buf, ok = sh.popBatch(buf[:0])
 		if !ok {
 			return
 		}
-		if it.barrier != nil {
-			it.barrier.reached <- struct{}{}
-			<-it.barrier.resume
-			continue
+		fds = fds[:0]
+		flush := func() {
+			if len(fds) > 0 {
+				sh.ctrl.DeliverFlowBatch(fds)
+				fds = fds[:0]
+			}
 		}
-		if it.tick {
-			sh.ctrl.Tick()
-			continue
+		for i := range buf {
+			it := &buf[i]
+			if it.barrier != nil {
+				flush()
+				it.barrier.reached <- struct{}{}
+				<-it.barrier.resume
+				continue
+			}
+			if it.tick {
+				flush()
+				sh.ctrl.Tick()
+				continue
+			}
+			fds = append(fds, dataplane.FlowDelivery{Ev: it.ev, W: sh.window(it.ev.Flow), Hop: it.hop})
+			buf[i] = shardItem{} // release the event's member slice
 		}
-		sh.deliver(it.ev, it.hop)
+		flush()
 	}
 }
 
-// deliver runs one report through the per-flow dedup path into the
-// controller — the worker's delivery step, also called directly (and
-// single-threaded) by journal replay so recovery is worker-count
-// invariant.
-func (sh *shard) deliver(ev dataplane.LoopEvent, hop int) {
-	w := sh.flows[ev.Flow]
+// window returns (creating if needed) the flow's dedup window, applying
+// the bounded-map eviction policy.
+func (sh *shard) window(flow uint32) *dataplane.DedupWindow {
+	w := sh.flows[flow]
 	if w == nil {
 		if len(sh.flows) >= sh.maxFlows {
 			sh.flows = make(map[uint32]*dataplane.DedupWindow)
 			sh.evictions.Add(1)
 		}
 		w = &dataplane.DedupWindow{}
-		sh.flows[ev.Flow] = w
+		sh.flows[flow] = w
 	}
-	sh.ctrl.DeliverFlow(ev, w, hop)
+	return w
+}
+
+// deliver runs one report through the per-flow dedup path into the
+// controller — called directly (and single-threaded) by journal replay
+// so recovery is worker-count invariant: replay resolves windows and
+// delivers in exactly the order the live batched worker would.
+func (sh *shard) deliver(ev dataplane.LoopEvent, hop int) {
+	sh.ctrl.DeliverFlow(ev, sh.window(ev.Flow), hop)
 }
 
 // NewServer returns an idle server; call Serve or Start to run it.
@@ -383,6 +447,9 @@ func buildServer(cfg ServerConfig) *Server {
 	}
 	if cfg.AckEvery <= 0 {
 		cfg.AckEvery = DefaultAckEvery
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = DefaultBatch
 	}
 	if cfg.ReadTimeout <= 0 {
 		cfg.ReadTimeout = DefaultReadTimeout
@@ -475,11 +542,26 @@ func (s *Server) serve(ln net.Listener) {
 	}
 }
 
-// shardFor routes a flow to its shard. The hash is keyed so that flow
-// IDs with structure (the scenarios pack epoch/src/k into them) still
-// spread evenly.
+// shardIndex routes a flow to its shard index. The hash is keyed so
+// that flow IDs with structure (the scenarios pack epoch/src/k into
+// them) still spread evenly.
+func (s *Server) shardIndex(flow uint32) int {
+	return int(xhash.Mix32(flow) % uint32(len(s.shards)))
+}
+
+// shardFor routes a flow to its shard.
 func (s *Server) shardFor(flow uint32) *shard {
-	return s.shards[int(xhash.Mix32(flow)%uint32(len(s.shards)))]
+	return s.shards[s.shardIndex(flow)]
+}
+
+// batchItem is one decoded report or tick frame parked in a
+// connection's ingest batch between the coalesced read and the batched
+// account/journal/enqueue step.
+type batchItem struct {
+	seq  uint64
+	ev   dataplane.LoopEvent
+	hop  int
+	tick bool
 }
 
 // handle is the per-connection reader: hello, then a stream of report
@@ -489,6 +571,13 @@ func (s *Server) shardFor(flow uint32) *shard {
 // write is deadline-armed: a peer that goes silent for ReadTimeout or
 // stops reading acks for WriteTimeout is reaped instead of parking this
 // goroutine and its buffers forever.
+//
+// Reads are coalesced: one blocking read is followed by a drain of
+// every complete frame the socket already delivered (frames are decoded
+// in place from the 32 KiB read buffer, never copied out), so the
+// syscall count scales with batches. The decoded batch is then
+// accounted, journaled, and handed to the shard queues as one unit by
+// ingestBatch, and one ack — covered by one journal Commit — closes it.
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -498,25 +587,15 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 	br := bufio.NewReaderSize(conn, 1<<15)
 	bw := bufio.NewWriterSize(conn, 1<<10)
-	scratch := make([]byte, 0, 256)
 	ackBuf := make([]byte, 0, lenPrefixSize+frameOverhead+seqBodyLen)
-
-	readFrame := func() (Frame, error) {
-		// The deadline re-arms per frame, so it bounds inter-frame
-		// silence, not connection lifetime. br may hold buffered frames
-		// from the last read; those never touch the socket.
-		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
-		f, sc, err := ReadFrame(br, scratch)
-		scratch = sc
-		return f, err
-	}
 
 	// A peer that connects and disappears before its hello is read —
 	// a port probe, a half-open casualty, or a clean client racing
 	// Shutdown — is not a protocol violation; only malformed bytes or
 	// a well-formed non-hello frame count against badFrames, the same
 	// policy the mid-stream loop applies.
-	f, err := readFrame()
+	conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	f, err := ReadFrameBuffered(br)
 	if err != nil {
 		if isWireError(err) {
 			s.badFrames.Add(1)
@@ -542,6 +621,14 @@ func (s *Server) handle(conn net.Conn) {
 		// client's licence to forget, so it must not outrun durability.
 		if s.journal != nil {
 			s.journal.Commit()
+			if s.journal.Failed() {
+				// The commit could not make the batch durable: withhold
+				// the ack and kill the connection, so the client keeps
+				// retransmitting instead of forgetting frames that never
+				// reached the journal. /healthz turns unready on the same
+				// flag (Server.Healthy), which is the operator's signal.
+				return false
+			}
 		}
 		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		var err error
@@ -554,8 +641,21 @@ func (s *Server) handle(conn net.Conn) {
 		return true
 	}
 
+	batch := make([]batchItem, 0, s.cfg.Batch)
+	groups := make([][]shardItem, len(s.shards))
+	ingest := func() {
+		if len(batch) > 0 {
+			s.ingestBatch(cs, clientID, batch, groups)
+			batch = batch[:0]
+		}
+	}
+
 	for {
-		f, err = readFrame()
+		// The deadline re-arms per blocking read, so it bounds
+		// inter-frame silence, not connection lifetime; the drained
+		// frames below are already buffered and never touch the socket.
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		f, err = ReadFrameBuffered(br)
 		if err != nil {
 			if isWireError(err) {
 				s.badFrames.Add(1)
@@ -563,36 +663,70 @@ func (s *Server) handle(conn net.Conn) {
 			flushAck()
 			return
 		}
-		s.frames.Add(1)
-		switch f.Type {
-		case FrameReport:
-			if f.Seq > lastSeen {
-				lastSeen = f.Seq
+		frames := uint64(1)
+	drain:
+		for {
+			switch f.Type {
+			case FrameReport:
+				if f.Seq > lastSeen {
+					lastSeen = f.Seq
+				}
+				batch = append(batch, batchItem{seq: f.Seq, ev: f.Event, hop: f.Hop})
+				pending++
+			case FrameTick:
+				if f.Seq > lastSeen {
+					lastSeen = f.Seq
+				}
+				batch = append(batch, batchItem{seq: f.Seq, tick: true})
+				pending++
+			case FrameHeartbeat:
+				// Not sequence-accounted; answer with the current
+				// high-water mark so an idle session has ack traffic
+				// inside the client's staleness window.
+				force = true
+			case FrameHello:
+				// A repeated hello with the same identity is a harmless
+				// keep of the binding. A *different* identity rebinds the
+				// connection: the old client's frames are ingested and
+				// acknowledged first, then the ack state resets — lastSeen
+				// and lastAcked are per-client sequence numbers, and
+				// carrying them across the rebind would acknowledge
+				// sequences the new client never sent.
+				if f.ClientID != clientID {
+					ingest()
+					if !flushAck() {
+						s.frames.Add(frames)
+						return
+					}
+					cs = s.clientState(f.ClientID)
+					clientID = f.ClientID
+					lastSeen, lastAcked, pending = 0, 0, 0
+				}
+			default:
+				s.badFrames.Add(1)
+				s.frames.Add(frames)
+				ingest()
+				flushAck()
+				return
 			}
-			s.ingestReport(cs, clientID, f)
-			pending++
-		case FrameTick:
-			if f.Seq > lastSeen {
-				lastSeen = f.Seq
+			if len(batch) >= s.cfg.Batch || !frameBuffered(br) {
+				break drain
 			}
-			s.ingestTick(cs, clientID, f.Seq)
-			pending++
-		case FrameHeartbeat:
-			// Not sequence-accounted; answer with the current high-water
-			// mark so an idle session has ack traffic inside the
-			// client's staleness window.
-			force = true
-		case FrameHello:
-			// A repeated hello rebinds the connection (harmless).
-			cs = s.clientState(f.ClientID)
-			clientID = f.ClientID
-		default:
-			s.badFrames.Add(1)
-			flushAck()
-			return
+			if f, err = ReadFrameBuffered(br); err != nil {
+				// The frame was fully buffered, so this is a frame-format
+				// error, not a transport one.
+				s.badFrames.Add(1)
+				s.frames.Add(frames)
+				ingest()
+				flushAck()
+				return
+			}
+			frames++
 		}
-		// Acknowledge at batch boundaries (socket idle) or every
-		// AckEvery frames, whichever comes first.
+		s.frames.Add(frames)
+		ingest()
+		// Acknowledge at batch boundaries (socket idle) or once at least
+		// AckEvery frames are pending, whichever comes first.
 		if pending >= s.cfg.AckEvery || br.Buffered() == 0 {
 			if !flushAck() {
 				return
@@ -616,52 +750,80 @@ func writeAck(bw *bufio.Writer, ackBuf []byte, seq uint64) ([]byte, error) {
 	return ackBuf, bw.Flush()
 }
 
-// ingestReport accounts one report frame and, when new, journals it and
-// queues it for delivery. With a journal, account+append+enqueue happen
-// atomically under the journal mutex: a rotation snapshot therefore
-// always sees either none or all three effects of a frame, which is
-// what makes the snapshot a consistent cut.
-func (s *Server) ingestReport(cs *clientSeq, clientID uint64, f Frame) {
+// ingestBatch accounts a batch of report/tick frames and, for the new
+// ones, journals them and hands them to the shard queues. With a
+// journal, the whole batch's account+append+enqueue runs under one
+// journal-mutex acquisition: a rotation snapshot therefore always sees
+// either none or all three effects of each frame (the §9 consistent-cut
+// argument, now at batch grain — rotation is checked once per batch, so
+// a segment may overshoot SegmentBytes by at most one batch of
+// records). Journal records are encoded through the journal's shared
+// scratch, so a batch appends without per-report allocations, and the
+// caller's single Commit (in flushAck) makes all of them durable at
+// once.
+//
+// groups is the caller's reusable per-shard staging area: new reports
+// are bucketed by shard and pushed as one slice per shard, so queue
+// locks and worker wakeups are per batch, not per report. Ticks fan out
+// to every shard and act as sub-batch boundaries — grouped reports are
+// flushed first, so each shard's queue sees reports and ticks in
+// arrival order, and a journal replay (which applies records one at a
+// time, in order) reproduces the exact same delivery sequence.
+func (s *Server) ingestBatch(cs *clientSeq, clientID uint64, batch []batchItem, groups [][]shardItem) {
 	j := s.journal
 	if j != nil {
 		j.mu.Lock()
 		defer j.mu.Unlock()
 	}
-	if !cs.account(f.Seq) {
-		s.dupes.Add(1)
-		return
+	var ingested, ticks, dupes uint64
+	for i := range batch {
+		it := &batch[i]
+		if !cs.account(it.seq) {
+			dupes++
+			continue
+		}
+		if it.tick {
+			ticks++
+			if j != nil {
+				j.appendTickLocked(clientID, it.seq)
+			}
+			flushShardGroups(s.shards, groups)
+			for _, sh := range s.shards {
+				sh.push(shardItem{tick: true})
+			}
+			continue
+		}
+		ingested++
+		if j != nil {
+			j.appendReportLocked(clientID, it.seq, eventToRecord(it.ev), it.hop)
+		}
+		idx := s.shardIndex(it.ev.Flow)
+		groups[idx] = append(groups[idx], shardItem{ev: it.ev, hop: it.hop})
 	}
-	s.ingested.Add(1)
-	if j != nil {
-		j.appendLocked(appendJournalReport(nil, clientID, f.Seq, eventToRecord(f.Event), f.Hop))
+	flushShardGroups(s.shards, groups)
+	if dupes > 0 {
+		s.dupes.Add(dupes)
 	}
-	s.shardFor(f.Event.Flow).push(shardItem{ev: f.Event, hop: f.Hop})
+	if ingested > 0 {
+		s.ingested.Add(ingested)
+	}
+	if ticks > 0 {
+		s.ticks.Add(ticks)
+	}
 	if j != nil && j.needsRotateLocked() {
 		s.rotateWithSnapshotLocked(j)
 	}
 }
 
-// ingestTick accounts one tick frame and, when new, journals it and
-// fans it out to every shard.
-func (s *Server) ingestTick(cs *clientSeq, clientID uint64, seq uint64) {
-	j := s.journal
-	if j != nil {
-		j.mu.Lock()
-		defer j.mu.Unlock()
-	}
-	if !cs.account(seq) {
-		s.dupes.Add(1)
-		return
-	}
-	s.ticks.Add(1)
-	if j != nil {
-		j.appendLocked(appendJournalTick(nil, clientID, seq))
-	}
-	for _, sh := range s.shards {
-		sh.push(shardItem{tick: true})
-	}
-	if j != nil && j.needsRotateLocked() {
-		s.rotateWithSnapshotLocked(j)
+// flushShardGroups pushes each shard's staged report slice and resets
+// the groups for reuse (pushBatch copies items into the ring, so the
+// backing arrays are safe to recycle).
+func flushShardGroups(shards []*shard, groups [][]shardItem) {
+	for i, g := range groups {
+		if len(g) > 0 {
+			shards[i].pushBatch(g)
+			groups[i] = g[:0]
+		}
 	}
 }
 

@@ -269,6 +269,59 @@ func decodeBody(f *Frame, b []byte) error {
 	return nil
 }
 
+// ReadFrameBuffered reads one frame from br without copying the body
+// out of br's internal buffer: the frame is peeked in place, decoded,
+// and discarded. br's buffer must be at least lenPrefixSize +
+// MaxFrameBody + frameOverhead bytes (the server's 32 KiB reader is),
+// so any valid frame fits and Peek never fails on size. io.EOF is
+// returned verbatim at a clean frame boundary; a stream truncated
+// mid-frame surfaces as io.ErrUnexpectedEOF.
+func ReadFrameBuffered(br *bufio.Reader) (Frame, error) {
+	var f Frame
+	prefix, err := br.Peek(lenPrefixSize)
+	if err != nil {
+		if errors.Is(err, io.EOF) && len(prefix) > 0 {
+			return f, fmt.Errorf("%w: truncated length prefix", ErrShortFrame)
+		}
+		return f, err
+	}
+	n := int(binary.BigEndian.Uint32(prefix))
+	if n > MaxFrameBody {
+		return f, fmt.Errorf("%w: length prefix %d exceeds cap %d", ErrOversizeFrame, n, MaxFrameBody)
+	}
+	if n < frameOverhead {
+		return f, fmt.Errorf("%w: length prefix %d below the %d-byte version+type", ErrBadFrame, n, frameOverhead)
+	}
+	whole, err := br.Peek(lenPrefixSize + n)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return f, io.ErrUnexpectedEOF
+		}
+		return f, err
+	}
+	if err := decodeBody(&f, whole[lenPrefixSize:]); err != nil {
+		return f, err
+	}
+	br.Discard(lenPrefixSize + n)
+	return f, nil
+}
+
+// frameBuffered reports whether a complete frame is already sitting in
+// br's buffer, so the next ReadFrameBuffered cannot block on the
+// socket. A buffered-but-invalid length prefix also reports true: the
+// reader will surface the wire error without blocking.
+func frameBuffered(br *bufio.Reader) bool {
+	if br.Buffered() < lenPrefixSize {
+		return false
+	}
+	prefix, _ := br.Peek(lenPrefixSize)
+	n := int(binary.BigEndian.Uint32(prefix))
+	if n > MaxFrameBody || n < frameOverhead {
+		return true
+	}
+	return br.Buffered() >= lenPrefixSize+n
+}
+
 // ReadFrame reads one frame from br, using scratch as the body buffer
 // (grown as needed, returned for reuse). The length prefix is validated
 // against MaxFrameBody before any body allocation. io.EOF is returned

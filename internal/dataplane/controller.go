@@ -234,6 +234,38 @@ func (d *DedupWindow) Restore(entries []DedupEntry) {
 func (c *Controller) DeliverFlow(ev LoopEvent, w *DedupWindow, hop int) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.deliverFlowLocked(ev, w, hop)
+}
+
+// FlowDelivery is one unit of a batched delivery: an event with its
+// flow's dedup window and the reporting packet's hop count.
+type FlowDelivery struct {
+	Ev  LoopEvent
+	W   *DedupWindow
+	Hop int
+}
+
+// DeliverFlowBatch runs a batch through the same per-flow dedup and
+// admission pipeline as DeliverFlow, in order, under one lock
+// acquisition — the collector's shard workers use it so the controller
+// mutex is taken per drained batch rather than per report. Entries may
+// share a window (consecutive reports of one flow); decisions are
+// identical to delivering them one at a time. Returns the number
+// accepted.
+func (c *Controller) DeliverFlowBatch(batch []FlowDelivery) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, d := range batch {
+		if c.deliverFlowLocked(d.Ev, d.W, d.Hop) {
+			n++
+		}
+	}
+	return n
+}
+
+// deliverFlowLocked is DeliverFlow's body. Caller holds mu.
+func (c *Controller) deliverFlowLocked(ev LoopEvent, w *DedupWindow, hop int) bool {
 	if c.cfg.DedupWindow > 0 {
 		for i := 0; i < w.n; i++ {
 			if w.e[i].reporter == ev.Reporter && hop-w.e[i].hop < c.cfg.DedupWindow {
