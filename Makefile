@@ -9,14 +9,19 @@
 #   make race    unit tests under the race detector
 #   make fuzz    smoke run of every fuzz target (bitpack 5s each,
 #                dataplane packet wire format, collectorsvc report
-#                frames, and journal segments 10s each)
+#                frames, journal segments, and the static FIB verifier
+#                10s each)
+#   make oracle  the cross-plane verification gate under -race: all
+#                four scenarios at 1/4/16 workers reconciled against
+#                static FIB ground truth, plus the multi-seed property
+#                sweep
 #   make bench   full benchmark run with allocation stats
 #   make ci      the full gate (ci.sh): build, vet, unroller-vet,
-#                race tests, fuzz smoke, bench smoke
+#                race tests, oracle gate, fuzz smoke, bench smoke
 
 GO ?= go
 
-.PHONY: build test lint vet-json vettool race fuzz bench ci
+.PHONY: build test lint vet-json vettool race fuzz oracle bench ci
 
 build:
 	$(GO) build ./...
@@ -44,6 +49,10 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzPacket$$' -fuzztime 10s ./internal/dataplane
 	$(GO) test -run '^$$' -fuzz '^FuzzReportFrame$$' -fuzztime 10s ./internal/collectorsvc
 	$(GO) test -run '^$$' -fuzz '^FuzzJournalSegment$$' -fuzztime 10s ./internal/collectorsvc
+	$(GO) test -run '^$$' -fuzz '^FuzzVerifyFIB$$' -fuzztime 10s ./internal/verify
+
+oracle:
+	$(GO) test -race -run 'TestOracle' -count 1 ./internal/scenario
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -29,11 +29,20 @@
 #                 journaled collectord SIGKILLed mid-ingest, restarted
 #                 on the same journal directory, final accounting shows
 #                 every event ingested exactly once
+#   oracle gate   the cross-plane verification oracle under -race: all
+#                 four scenarios at 1/4/16 workers, reconciling every
+#                 Unroller detection against static FIB ground truth —
+#                 zero unexplained false positives, zero missed loops
+#                 in telemetry-carrying corruption-free epochs,
+#                 confusion matrices identical at every worker count —
+#                 plus the multi-seed property sweep (Theorem 1 bound
+#                 on every confirmed detection, incremental FIB mirror
+#                 ≡ from-scratch snapshot at every epoch)
 #   fuzz smoke    5s of each bitpack fuzz target and 10s each of the
-#                 packet wire-format, collector report-frame, and
-#                 journal segment targets (`-fuzz Fuzz` would refuse to
-#                 run because several targets match, so each is invoked
-#                 by exact name)
+#                 packet wire-format, collector report-frame, journal
+#                 segment, and static FIB verifier targets (`-fuzz
+#                 Fuzz` would refuse to run because several targets
+#                 match, so each is invoked by exact name)
 #   bench smoke   one iteration of the traffic-engine and journal
 #                 append benchmarks (proof those paths stay runnable)
 #                 plus a 2000-iteration collector-ingest run (plain and
@@ -79,6 +88,9 @@ go test -race -run 'TestCollector|TestRecovery' -count 1 ./internal/collectorsvc
 echo "==> collectord kill-recover under race (SIGKILL mid-ingest, exactly-once across restart)"
 go test -race -run 'TestCollectordKillRecover' -count 1 ./cmd/unroller-collectord
 
+echo "==> oracle gate under race (4 scenarios x 1/4/16 workers + multi-seed property sweep)"
+go test -race -run 'TestOracle' -count 1 ./internal/scenario
+
 echo "==> fuzz smoke (internal/bitpack, 5s per target)"
 go test -run '^$' -fuzz '^FuzzReader$' -fuzztime 5s ./internal/bitpack
 go test -run '^$' -fuzz '^FuzzWriterRoundTrip$' -fuzztime 5s ./internal/bitpack
@@ -91,6 +103,9 @@ go test -run '^$' -fuzz '^FuzzReportFrame$' -fuzztime 10s ./internal/collectorsv
 
 echo "==> fuzz smoke (internal/collectorsvc journal segments, 10s)"
 go test -run '^$' -fuzz '^FuzzJournalSegment$' -fuzztime 10s ./internal/collectorsvc
+
+echo "==> fuzz smoke (internal/verify static FIB classifier vs naive reference, 10s)"
+go test -run '^$' -fuzz '^FuzzVerifyFIB$' -fuzztime 10s ./internal/verify
 
 echo "==> bench smoke (traffic engine 1x + collector ingest 2000x, logged + gated)"
 bench_out="$vettool_dir/bench.out"

@@ -24,6 +24,17 @@
 //	unroller-emu -scenario microloop -seed 7
 //	unroller-emu -scenario linkflap -seed 3 -workers 16
 //
+// Scenario runs carry the cross-plane verification oracle by default
+// (-oracle=false disables it): at every quiesced epoch boundary a
+// static Boufkhad-style verifier over the mirrored FIBs computes the
+// exact looping (destination, start) pairs and reconciles them against
+// the in-band detections — the report ends with per-epoch confusion
+// matrices for Unroller and for the baseline detector selected with
+// -baseline (default aesop, the Brent-style hop-limit-free scheme):
+//
+//	unroller-emu -scenario microloop -seed 7 -baseline aesop
+//	unroller-emu -scenario restart -oracle=false
+//
 // Any mode can additionally stream its loop reports to a running
 // unroller-collectord over the collectorsvc frame protocol; the sender
 // reconnects with backoff and never blocks the data plane:
@@ -39,6 +50,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/unroller/unroller/internal/baseline"
 	"github.com/unroller/unroller/internal/collectorsvc"
 	"github.com/unroller/unroller/internal/core"
 	"github.com/unroller/unroller/internal/dataplane"
@@ -57,6 +69,8 @@ func main() {
 		flows     = flag.Int("flows", 0, "bulk mode: inject this many random flows through the traffic engine")
 		workers   = flag.Int("workers", 0, "bulk/scenario mode: worker goroutines (0 = GOMAXPROCS)")
 		scen      = flag.String("scenario", "", "scenario mode: replay this named churn scenario (see -scenario help)")
+		oracle    = flag.Bool("oracle", true, "scenario mode: reconcile detections against the static cross-plane verifier (confusion matrix per epoch)")
+		baseName  = flag.String("baseline", "aesop", "scenario mode: baseline detector the oracle scores alongside unroller (aesop, int, or none)")
 		collector = flag.String("collector", "", "stream loop reports to a collectord at this host:port")
 		heartbeat = flag.Duration("collector-heartbeat", collectorsvc.DefaultHeartbeatEvery, "keep-alive heartbeat interval on an idle collector session")
 		stale     = flag.Duration("collector-stale", collectorsvc.DefaultStaleTimeout, "reconnect when the collector acks nothing for this long")
@@ -83,7 +97,7 @@ func main() {
 	var err error
 	switch {
 	case *scen != "":
-		err = runScenario(os.Stdout, *scen, *seed, *workers, hook)
+		err = runScenario(os.Stdout, *scen, *seed, *workers, hook, *oracle, *baseName)
 	case *flows > 0:
 		err = runBulk(*topo, *seed, *policy, *flows, *workers, hook)
 	default:
@@ -102,13 +116,24 @@ func main() {
 }
 
 // runScenario replays a named churn scenario and renders its replayable
-// summary; "help" (or "list") prints the catalogue.
-func runScenario(w io.Writer, name string, seed uint64, workers int, hook dataplane.ReportHook) error {
+// summary; "help" (or "list") prints the catalogue. With oracle set the
+// run carries the static cross-plane verifier, and baseName picks the
+// baseline detector it scores alongside unroller ("" or "none" for
+// none).
+func runScenario(w io.Writer, name string, seed uint64, workers int, hook dataplane.ReportHook, oracle bool, baseName string) error {
 	if name == "help" || name == "list" {
 		fmt.Fprintf(w, "available scenarios: %s\n", strings.Join(scenario.Names(), ", "))
 		return nil
 	}
-	res, err := scenario.RunStreamed(name, seed, workers, hook)
+	opts := scenario.RunOpts{Workers: workers, Hook: hook, Oracle: oracle}
+	if oracle && baseName != "" && baseName != "none" {
+		det, ok := baseline.ByName(baseName)
+		if !ok {
+			return fmt.Errorf("unknown baseline %q (have %s, or none)", baseName, strings.Join(baseline.Names(), ", "))
+		}
+		opts.Baseline = det
+	}
+	res, err := scenario.RunWithOpts(name, seed, opts)
 	if err != nil {
 		return err
 	}

@@ -24,7 +24,7 @@ func TestScenarioGolden(t *testing.T) {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			var out bytes.Buffer
-			if err := runScenario(&out, name, 7, 4, nil); err != nil {
+			if err := runScenario(&out, name, 7, 4, nil, true, "aesop"); err != nil {
 				t.Fatal(err)
 			}
 			golden := filepath.Join("testdata", name+".golden")
@@ -49,10 +49,10 @@ func TestScenarioGolden(t *testing.T) {
 // contract that -workers tunes speed, never results.
 func TestScenarioGoldenWorkerInvariant(t *testing.T) {
 	var w1, w16 bytes.Buffer
-	if err := runScenario(&w1, "linkflap", 7, 1, nil); err != nil {
+	if err := runScenario(&w1, "linkflap", 7, 1, nil, true, "aesop"); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScenario(&w16, "linkflap", 7, 16, nil); err != nil {
+	if err := runScenario(&w16, "linkflap", 7, 16, nil, true, "aesop"); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(w1.Bytes(), w16.Bytes()) {
@@ -60,10 +60,33 @@ func TestScenarioGoldenWorkerInvariant(t *testing.T) {
 	}
 }
 
+// TestScenarioGoldenUpdateRoundTrip pins the determinism of the oracle
+// report itself: two fresh runs of every scenario must render identical
+// bytes, so a `-update` refresh followed by a second run round-trips the
+// golden files byte-identically instead of churning them.
+func TestScenarioGoldenUpdateRoundTrip(t *testing.T) {
+	for _, name := range scenario.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var first, second bytes.Buffer
+			if err := runScenario(&first, name, 7, 4, nil, true, "aesop"); err != nil {
+				t.Fatal(err)
+			}
+			if err := runScenario(&second, name, 7, 4, nil, true, "aesop"); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Errorf("two runs of %s rendered different bytes:\n--- first ---\n%s--- second ---\n%s",
+					name, first.String(), second.String())
+			}
+		})
+	}
+}
+
 // TestScenarioList checks the help path names every scenario.
 func TestScenarioList(t *testing.T) {
 	var out bytes.Buffer
-	if err := runScenario(&out, "list", 7, 1, nil); err != nil {
+	if err := runScenario(&out, "list", 7, 1, nil, true, "aesop"); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range scenario.Names() {
@@ -76,7 +99,7 @@ func TestScenarioList(t *testing.T) {
 // TestScenarioUnknown checks the error path surfaces the options.
 func TestScenarioUnknown(t *testing.T) {
 	var out bytes.Buffer
-	err := runScenario(&out, "bogus", 7, 1, nil)
+	err := runScenario(&out, "bogus", 7, 1, nil, true, "aesop")
 	if err == nil {
 		t.Fatal("unknown scenario accepted")
 	}

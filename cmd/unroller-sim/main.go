@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		figure = flag.String("figure", "all", "figure to regenerate: 2, 3, 4, 5a, 5b, 6a, 6b, 7, or all")
+		figure = flag.String("figure", "all", "figure to regenerate: 2, 3, 4, 5a, 5b, 6a, 6b, 7, aesop (baseline comparison), or all")
 		runs   = flag.Int("runs", 200000, "Monte Carlo runs per data point (paper: 3000000)")
 		seed   = flag.Uint64("seed", 1, "experiment seed")
 		lstep  = flag.Int("lstep", 1, "step of the L axis")
@@ -45,7 +45,7 @@ func main() {
 		sort.Strings(ids)
 	} else {
 		if registry[*figure] == nil {
-			fmt.Fprintf(os.Stderr, "unroller-sim: unknown figure %q (have 2, 3, 4, 5a, 5b, 6a, 6b, 7)\n", *figure)
+			fmt.Fprintf(os.Stderr, "unroller-sim: unknown figure %q (have 2, 3, 4, 5a, 5b, 6a, 6b, 7, aesop)\n", *figure)
 			os.Exit(2)
 		}
 		ids = []string{*figure}

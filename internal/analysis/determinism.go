@@ -18,6 +18,10 @@ var deterministicPkgs = map[string]bool{
 	"experiments": true,
 	"topology":    true,
 	"stats":       true,
+	// verify is the cross-plane oracle: its confusion matrices land in
+	// scenario golden files, so its iteration order must never depend on
+	// map order or the clock.
+	"verify": true,
 }
 
 // forbiddenTimeFuncs read the wall clock; any of their outputs reaching a

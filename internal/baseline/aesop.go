@@ -1,0 +1,86 @@
+package baseline
+
+import "github.com/unroller/unroller/internal/detect"
+
+// Aesop is the hop-limit-free in-band loop detector of Mosko et al.,
+// "An Aesop Fable for Network Loops": the packet carries one stored
+// switch identifier plus a step counter, every switch compares its own
+// identifier against the stored one, and the stored identifier is
+// replaced on a power-of-two doubling schedule — Brent's cycle-finding
+// algorithm run in the packet header. Like Unroller it needs no
+// per-flow switch state and no TTL ceiling, and with full-width
+// identifiers it is exact (a loop verdict always means a revisit); its
+// price is the fixed comparison-free window after each replacement,
+// which bounds detection at roughly 2·max(B+1, L) + L hops instead of
+// Unroller's tighter phase schedule.
+type Aesop struct{}
+
+// Name implements detect.Detector.
+func (Aesop) Name() string { return "aesop" }
+
+// BitOverhead implements detect.Detector: the stored 32-bit identifier,
+// a step counter wide enough to count to the doubling window (≤ maxHops
+// hops), and the window exponent (the window is always a power of two,
+// so only its log need travel).
+func (Aesop) BitOverhead(maxHops int) int {
+	counter := bitsFor(maxHops)
+	return 32 + counter + bitsFor(counter)
+}
+
+// bitsFor returns the width of an unsigned field that can hold n.
+func bitsFor(n int) int {
+	b := 0
+	for v := uint(n); v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// NewState implements detect.Detector.
+func (Aesop) NewState() detect.State { return &aesopState{power: 1} }
+
+// aesopState is the packet-carried header: Brent's teleporting tortoise.
+type aesopState struct {
+	stored detect.SwitchID
+	has    bool
+	power  uint32 // current doubling window
+	lam    uint32 // steps taken inside the window
+}
+
+// Visit implements detect.State. Arriving at a switch whose identifier
+// matches the stored one is a revisit — with distinct full-width
+// identifiers there is no other way the match can happen, so the verdict
+// has no false positives. Otherwise the step counter advances, and when
+// it fills the window the switch writes its own identifier into the
+// header, zeroes the counter, and doubles the window: the stored
+// identifier teleports to hops 1, 3, 7, 15, …, so some window both
+// starts inside the loop and spans a full lap, which is when the revisit
+// fires.
+func (s *aesopState) Visit(id detect.SwitchID) detect.Verdict {
+	if s.has && id == s.stored {
+		return detect.Loop
+	}
+	s.lam++
+	if s.lam >= s.power {
+		s.stored = id
+		s.has = true
+		s.lam = 0
+		s.power <<= 1
+	}
+	return detect.Continue
+}
+
+// ByName resolves a baseline detector by its CLI name. Names returns
+// the recognised set, sorted.
+func ByName(name string) (detect.Detector, bool) {
+	switch name {
+	case "aesop":
+		return Aesop{}, true
+	case "int":
+		return INT{}, true
+	}
+	return nil, false
+}
+
+// Names lists the detectors ByName recognises.
+func Names() []string { return []string{"aesop", "int"} }

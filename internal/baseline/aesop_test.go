@@ -1,0 +1,110 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"github.com/unroller/unroller/internal/baseline"
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/sim"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// aesopBound is the Brent-schedule detection bound: the stored
+// identifier teleports to hops 2^k − 1, so the first store that is both
+// past the prefix (2^k ≥ B+2) and whose window spans a lap (2^k ≥ L)
+// happens by hop 2·max(L, B+2) − 1, and the revisit lands at most L
+// hops later.
+func aesopBound(B, L int) int {
+	m := L
+	if B+2 > m {
+		m = B + 2
+	}
+	return 2*m - 1 + L
+}
+
+// TestAesopDetectsWithinBound sweeps walk shapes: detection must always
+// fire, never as a false positive, and within the Brent bound — the
+// hop-limit-free claim is that none of this needs a TTL.
+func TestAesopDetectsWithinBound(t *testing.T) {
+	rng := xrand.New(11)
+	for B := 0; B <= 14; B++ {
+		for L := 1; L <= 14; L++ {
+			w := sim.RandomWalk(B, L, rng)
+			out := sim.Run(baseline.Aesop{}, w, 8*(B+L)+32)
+			if !out.Detected {
+				t.Fatalf("B=%d L=%d: no detection", B, L)
+			}
+			if out.FalsePositive {
+				t.Fatalf("B=%d L=%d: false positive at hop %d", B, L, out.Hops)
+			}
+			if bound := aesopBound(B, L); out.Hops > bound {
+				t.Errorf("B=%d L=%d: detected at hop %d > Brent bound %d", B, L, out.Hops, bound)
+			}
+		}
+	}
+}
+
+// TestAesopNoFalsePositives drives loop-free walks: with full-width
+// exact comparisons Aesop must never report.
+func TestAesopNoFalsePositives(t *testing.T) {
+	rng := xrand.New(5)
+	for B := 1; B <= 64; B++ {
+		w := sim.RandomWalk(B, 0, rng)
+		if out := sim.Run(baseline.Aesop{}, w, 0); out.Detected {
+			t.Fatalf("loop-free walk of %d hops reported at hop %d", B, out.Hops)
+		}
+	}
+}
+
+// TestAesopSchedule pins the doubling schedule on a hand-drawn walk:
+// stores at hops 1, 3, 7, …; a self loop at the head detects on hop 2.
+func TestAesopSchedule(t *testing.T) {
+	st := baseline.Aesop{}.NewState()
+	if st.Visit(detect.SwitchID(0xA)) != detect.Continue {
+		t.Fatal("first hop reported")
+	}
+	if st.Visit(detect.SwitchID(0xA)) != detect.Loop {
+		t.Fatal("revisit of the stored identifier not reported")
+	}
+
+	// 3-loop with no prefix: a, b, c, a, b, c — store a@1, c@3, detect
+	// c@6.
+	st = baseline.Aesop{}.NewState()
+	seq := []detect.SwitchID{1, 2, 3, 1, 2, 3}
+	for i, id := range seq[:5] {
+		if st.Visit(id) != detect.Continue {
+			t.Fatalf("hop %d reported early", i+1)
+		}
+	}
+	if st.Visit(seq[5]) != detect.Loop {
+		t.Fatal("3-loop not detected at hop 6")
+	}
+}
+
+// TestAesopBitOverhead checks the header is constant in the path apart
+// from counter widths: 32-bit identifier + step counter + window
+// exponent.
+func TestAesopBitOverhead(t *testing.T) {
+	if got := (baseline.Aesop{}).BitOverhead(255); got != 32+8+4 {
+		t.Errorf("BitOverhead(255) = %d, want 44", got)
+	}
+	if got, giant := (baseline.Aesop{}).BitOverhead(255), (baseline.Aesop{}).BitOverhead(1<<20); giant-got > 16 {
+		t.Errorf("overhead grew from %d to %d over a 4000x longer path — not constant-ish", got, giant)
+	}
+}
+
+// TestByName pins the CLI registry.
+func TestByName(t *testing.T) {
+	for _, name := range baseline.Names() {
+		det, ok := baseline.ByName(name)
+		if !ok || det.Name() == "" {
+			t.Errorf("baseline.ByName(%q) = %v, %v", name, det, ok)
+		}
+	}
+	if det, ok := baseline.ByName("aesop"); !ok || det.Name() != "aesop" {
+		t.Errorf("aesop lookup = %v, %v", det, ok)
+	}
+	if _, ok := baseline.ByName("bogus"); ok {
+		t.Error("bogus baseline resolved")
+	}
+}

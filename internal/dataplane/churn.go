@@ -60,6 +60,23 @@ func (r *ChurnResult) Table() string {
 	return b.String()
 }
 
+// ChurnObserver watches a churn run at its quiesced epoch boundaries —
+// the only instants where the network's shared state is stable and an
+// external view of it is sound. EpochStart fires after the epoch's
+// faults have been applied and before any traffic moves; EpochEnd fires
+// after the epoch's traffic has fully drained (sums is empty for
+// fault-only epochs) and before the controller tick. Both run with
+// traffic quiesced, so the observer may read any network state without
+// synchronisation. A non-nil error aborts the run.
+//
+// The cross-plane verification oracle (internal/verify) implements this
+// to compute static ground truth per epoch and reconcile it against the
+// detections carried in the summaries.
+type ChurnObserver interface {
+	EpochStart(epoch int, events []FaultEvent) error
+	EpochEnd(epoch int, sums []TraceSummary) error
+}
+
 // RunChurn drives the engine through the fault plan: epoch e applies
 // plan.At(e), injects epochs[e].Flows (when present), then ticks the
 // controller clock. The run spans max(len(epochs), plan.Epochs()) epochs,
@@ -67,6 +84,12 @@ func (r *ChurnResult) Table() string {
 // fault application errors do too (a plan referencing a missing link is a
 // scenario bug, not a network condition).
 func RunChurn(eng *TrafficEngine, plan *FaultPlan, epochs []ChurnEpoch) (*ChurnResult, error) {
+	return RunChurnObserved(eng, plan, epochs, nil)
+}
+
+// RunChurnObserved is RunChurn with a ChurnObserver attached at every
+// epoch boundary; a nil observer makes it identical to RunChurn.
+func RunChurnObserved(eng *TrafficEngine, plan *FaultPlan, epochs []ChurnEpoch, obs ChurnObserver) (*ChurnResult, error) {
 	net := eng.Network()
 	total := len(epochs)
 	if plan != nil && plan.Epochs() > total {
@@ -74,17 +97,26 @@ func RunChurn(eng *TrafficEngine, plan *FaultPlan, epochs []ChurnEpoch) (*ChurnR
 	}
 	res := &ChurnResult{Epochs: total}
 	for e := 0; e < total; e++ {
+		var events []FaultEvent
 		if plan != nil {
-			for _, ev := range plan.At(e) {
+			events = plan.At(e)
+			for _, ev := range events {
 				if err := net.ApplyFault(ev); err != nil {
 					return res, fmt.Errorf("dataplane: epoch %d fault %q: %w", e, ev.String(), err)
 				}
 				res.Log = append(res.Log, fmt.Sprintf("[epoch %d] fault: %s", e, ev))
 			}
 		}
+		if obs != nil {
+			if err := obs.EpochStart(e, events); err != nil {
+				return res, fmt.Errorf("dataplane: epoch %d observer: %w", e, err)
+			}
+		}
 		es := EpochSummary{Epoch: e}
+		var sums []TraceSummary
 		if e < len(epochs) && len(epochs[e].Flows) > 0 {
-			sums, err := eng.SendMany(epochs[e].Flows)
+			var err error
+			sums, err = eng.SendMany(epochs[e].Flows)
 			if err != nil {
 				return res, err
 			}
@@ -94,6 +126,11 @@ func RunChurn(eng *TrafficEngine, plan *FaultPlan, epochs []ChurnEpoch) (*ChurnR
 				es.Hops += uint64(s.Hops)
 				es.Reports += uint64(s.Reports)
 				es.Dispositions[s.Final]++
+			}
+		}
+		if obs != nil {
+			if err := obs.EpochEnd(e, sums); err != nil {
+				return res, fmt.Errorf("dataplane: epoch %d observer: %w", e, err)
 			}
 		}
 		res.Flows += es.Flows

@@ -354,9 +354,17 @@ type TraceSummary struct {
 	// Rerouted records whether the packet was deflected at least once.
 	Rerouted bool
 	// Reports counts loop reports raised along the journey; Reporter
-	// identifies the switch that raised the first one.
-	Reports  int
-	Reporter detect.SwitchID
+	// identifies the switch that raised the first one and ReportHop is
+	// the 1-based hop at which it fired — the quantity Theorem 1 bounds,
+	// preserved here so the cross-plane oracle (internal/verify) can
+	// check every detection against the bound without per-hop traces.
+	Reports   int
+	Reporter  detect.SwitchID
+	ReportHop int
+	// Telemetry echoes whether the flow carried the in-band header; a
+	// blind flow can never report, and the oracle classifies its missed
+	// loops separately.
+	Telemetry bool
 }
 
 // sendScratch holds the per-in-flight-packet reusable state of the hop
@@ -408,7 +416,7 @@ func (n *Network) SendFlow(f Flow) (TraceSummary, error) {
 // heap allocation in this loop (the telemetry re-encode in
 // Switch.Process writes in place via AppendHeader(p.Telemetry[:0])).
 func (n *Network) send(sc *sendScratch, f Flow, tr *Trace) (TraceSummary, error) {
-	sum := TraceSummary{Flow: f.ID, Src: f.Src, Dst: f.Dst}
+	sum := TraceSummary{Flow: f.ID, Src: f.Src, Dst: f.Dst, Telemetry: f.Telemetry}
 	if f.Src < 0 || f.Src >= n.Graph.N() || f.Dst < 0 || f.Dst >= n.Graph.N() {
 		return sum, fmt.Errorf("dataplane: flow %d endpoints (%d, %d) out of range (graph has %d nodes)", f.ID, f.Src, f.Dst, n.Graph.N())
 	}
@@ -478,6 +486,7 @@ func (n *Network) send(sc *sendScratch, f Flow, tr *Trace) (TraceSummary, error)
 			sum.Reports++
 			if sum.Reports == 1 {
 				sum.Reporter = dec.LoopReport.Reporter
+				sum.ReportHop = sum.Hops
 			}
 			if tr != nil && tr.Report == nil {
 				tr.Report = dec.LoopReport

@@ -126,7 +126,7 @@ func TestFigure7Shape(t *testing.T) {
 // TestFiguresRegistry: every figure id resolves and produces rows.
 func TestFiguresRegistry(t *testing.T) {
 	reg := Figures()
-	want := []string{"2", "3", "4", "5a", "5b", "6a", "6b", "7"}
+	want := []string{"2", "3", "4", "5a", "5b", "6a", "6b", "7", "aesop"}
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries", len(reg))
 	}

@@ -3,7 +3,9 @@ package experiments
 import (
 	"fmt"
 
+	"github.com/unroller/unroller/internal/baseline"
 	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/detect"
 	"github.com/unroller/unroller/internal/sim"
 	"github.com/unroller/unroller/internal/sweep"
 )
@@ -229,16 +231,48 @@ func Figure7(o Options) *Table {
 	return t
 }
 
+// FigureAesop — the §5-style comparison the paper never ran: average
+// detection time of Unroller (b = 4) against the Aesop/Brent
+// hop-limit-free baseline and the INT full-path encoder, varying L at
+// B = 5. INT is the optimum (exactly X hops, at linear header cost);
+// Aesop's doubling windows cost roughly one extra loop traversal plus
+// the teleport latency; Unroller's phase schedule sits between them at
+// constant header size. The emulator-side counterpart is the churn
+// oracle's per-scenario confusion matrices (unroller-emu -scenario ...
+// -baseline aesop).
+func FigureAesop(o Options) *Table {
+	o = o.normalise()
+	t := &Table{
+		ID:      "aesop",
+		Caption: "Avg detection time (#hops/X): unroller b=4 vs aesop (Brent) vs INT; B=5, z=32",
+		Headers: []string{"L", "unroller", "aesop", "int"},
+	}
+	avgDet := func(det detect.Detector, L int) string {
+		res := sim.MonteCarlo(sim.Fixed(det), 5, L, o.mc())
+		return fmt.Sprintf("%.3f", res.Time.Mean())
+	}
+	for _, L := range sweep.Ints(1, 30, o.LStep) {
+		t.AddRow(
+			fmt.Sprintf("%d", L),
+			avgTime(core.DefaultConfig(), 5, L, o),
+			avgDet(baseline.Aesop{}, L),
+			avgDet(baseline.INT{}, L),
+		)
+	}
+	return t
+}
+
 // Figures maps figure IDs to drivers, for the CLI.
 func Figures() map[string]func(Options) *Table {
 	return map[string]func(Options) *Table{
-		"2":  Figure2,
-		"3":  Figure3,
-		"4":  Figure4,
-		"5a": Figure5a,
-		"5b": Figure5b,
-		"6a": Figure6a,
-		"6b": Figure6b,
-		"7":  Figure7,
+		"2":     Figure2,
+		"3":     Figure3,
+		"4":     Figure4,
+		"5a":    Figure5a,
+		"5b":    Figure5b,
+		"6a":    Figure6a,
+		"6b":    Figure6b,
+		"7":     Figure7,
+		"aesop": FigureAesop,
 	}
 }

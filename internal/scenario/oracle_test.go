@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/unroller/unroller/internal/baseline"
+)
+
+// TestOracleGate is the CI oracle gate: every scenario, at every worker
+// count, must reconcile cleanly — zero unexplained false positives,
+// zero missed loops in telemetry-carrying corruption-free epochs, zero
+// mirror divergences — and the confusion matrices must be identical
+// across worker counts (epoch-quantised churn makes truth and
+// detections worker-invariant; a divergence here means a detection
+// raced an epoch boundary).
+func TestOracleGate(t *testing.T) {
+	const seed = 7
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var ref *Result
+			for _, workers := range []int{1, 4, 16} {
+				r, err := RunWithOpts(name, seed, RunOpts{Workers: workers, Oracle: true, Baseline: baseline.Aesop{}})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if r.Oracle == nil {
+					t.Fatalf("workers=%d: no oracle attached", workers)
+				}
+				if r.Oracle.Unexplained() {
+					for _, v := range r.Oracle.Violations() {
+						t.Errorf("workers=%d: violation: %s", workers, v)
+					}
+					for _, d := range r.Oracle.Divergences() {
+						t.Errorf("workers=%d: divergence: %s", workers, d)
+					}
+					t.Fatalf("workers=%d: oracle total %+v has unexplained findings", workers, r.Oracle.Total())
+				}
+				if ref == nil {
+					ref = r
+					continue
+				}
+				if !reflect.DeepEqual(r.Oracle.Matrices(), ref.Oracle.Matrices()) {
+					t.Errorf("workers=%d: confusion matrices differ from workers=1:\n got %+v\nwant %+v",
+						workers, r.Oracle.Matrices(), ref.Oracle.Matrices())
+				}
+				if !reflect.DeepEqual(r.Oracle.Total(), ref.Oracle.Total()) {
+					t.Errorf("workers=%d: totals differ from workers=1: got %+v want %+v",
+						workers, r.Oracle.Total(), ref.Oracle.Total())
+				}
+			}
+		})
+	}
+}
+
+// TestOracleProperty sweeps seeds: for every scenario and seed, (a) any
+// oracle-confirmed loop that was detected must have been detected
+// within Theorem 1's worst-case bound, and (b) any missed loop must be
+// explained — blind flow, corruption taint, or a transient that the
+// within-epoch walk budget provably covers (in which case the oracle
+// records it as a violation carrying the (seed, epoch, flow) triple).
+// Both are enforced inside the oracle; this test's job is breadth.
+func TestOracleProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range []uint64{1, 2, 3, 7, 11} {
+				r, err := RunWithOpts(name, seed, RunOpts{Oracle: true, Baseline: baseline.Aesop{}})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				for _, v := range r.Oracle.Violations() {
+					t.Errorf("seed %d: %s", seed, v)
+				}
+				for _, d := range r.Oracle.Divergences() {
+					t.Errorf("seed %d: incremental mirror diverged from from-scratch FIB snapshot: %s", seed, d)
+				}
+				total := r.Oracle.Total()
+				if total.FalsePositive != 0 {
+					t.Errorf("seed %d: %d unexplained false positives", seed, total.FalsePositive)
+				}
+				if total.MissedPersistent != 0 || total.MissedTransient != 0 {
+					t.Errorf("seed %d: missed loops despite telemetry: transient=%d persistent=%d",
+						seed, total.MissedTransient, total.MissedPersistent)
+				}
+			}
+		})
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"github.com/unroller/unroller/internal/detect"
 	"github.com/unroller/unroller/internal/routing"
 	"github.com/unroller/unroller/internal/topology"
+	"github.com/unroller/unroller/internal/verify"
 	"github.com/unroller/unroller/internal/xrand"
 )
 
@@ -49,19 +50,40 @@ func Names() []string {
 	return names
 }
 
-// Result is one completed scenario run.
+// Result is one completed scenario run. Oracle is non-nil when the run
+// carried the cross-plane verification oracle (see RunOpts).
 type Result struct {
-	Name  string
-	Seed  uint64
-	Churn *dataplane.ChurnResult
-	Net   *dataplane.Network
+	Name   string
+	Seed   uint64
+	Churn  *dataplane.ChurnResult
+	Net    *dataplane.Network
+	Oracle *verify.Oracle
+}
+
+// RunOpts shapes a scenario run beyond (name, seed). The zero value is
+// a plain run: GOMAXPROCS workers, no report hook, no oracle.
+type RunOpts struct {
+	// Workers is the traffic-engine worker count (0 = GOMAXPROCS). It
+	// never influences results, only how fast they arrive.
+	Workers int
+	// Hook receives every loop report leaving the data plane (see
+	// RunStreamed); called concurrently from worker goroutines.
+	Hook dataplane.ReportHook
+	// Oracle attaches the static cross-plane verifier: every epoch
+	// boundary computes ground truth from the mirrored FIBs and
+	// reconciles it against the detections, filling Result.Oracle.
+	Oracle bool
+	// Baseline, when non-nil (requires Oracle), is replayed over every
+	// telemetry-carrying flow's static walk so the oracle scores it in
+	// its own confusion matrix next to the live detector.
+	Baseline detect.Detector
 }
 
 // Run executes the named scenario with the given seed and engine worker
 // count. The returned result is byte-for-byte reproducible from (name,
 // seed) — the worker count only changes how fast it arrives.
 func Run(name string, seed uint64, workers int) (*Result, error) {
-	return RunStreamed(name, seed, workers, nil)
+	return RunWithOpts(name, seed, RunOpts{Workers: workers})
 }
 
 // RunStreamed is Run with a report hook attached: every loop report the
@@ -70,21 +92,40 @@ func Run(name string, seed uint64, workers int) (*Result, error) {
 // The hook is called from engine worker goroutines concurrently and
 // must be safe for that; a nil hook makes this identical to Run.
 func RunStreamed(name string, seed uint64, workers int, hook dataplane.ReportHook) (*Result, error) {
+	return RunWithOpts(name, seed, RunOpts{Workers: workers, Hook: hook})
+}
+
+// RunWithOpts is the fully optioned runner behind Run and RunStreamed.
+func RunWithOpts(name string, seed uint64, opts RunOpts) (*Result, error) {
 	b, ok := scenarios[name]
 	if !ok {
 		return nil, fmt.Errorf("scenario: unknown scenario %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	if opts.Baseline != nil && !opts.Oracle {
+		return nil, fmt.Errorf("scenario: baseline scoring requires the oracle")
 	}
 	net, plan, epochs, err := b(seed)
 	if err != nil {
 		return nil, err
 	}
-	net.OnReport = hook
-	eng := dataplane.NewTrafficEngine(net, workers)
-	churn, err := dataplane.RunChurn(eng, plan, epochs)
+	net.OnReport = opts.Hook
+	var oracle *verify.Oracle
+	var obs dataplane.ChurnObserver
+	if opts.Oracle {
+		// The mirror must snapshot the fully built network — after route
+		// installation and loop injection, before the first fault.
+		oracle = verify.NewOracle(net, seed, opts.Baseline)
+		obs = oracle
+	}
+	eng := dataplane.NewTrafficEngine(net, opts.Workers)
+	churn, err := dataplane.RunChurnObserved(eng, plan, epochs, obs)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Name: name, Seed: seed, Churn: churn, Net: net}, nil
+	if oracle != nil {
+		oracle.Finalize()
+	}
+	return &Result{Name: name, Seed: seed, Churn: churn, Net: net, Oracle: oracle}, nil
 }
 
 // Render writes the run as stable text: header, event log, disposition
@@ -113,6 +154,9 @@ func (r *Result) Render(w io.Writer) {
 		fmt.Fprintf(w, " %v", id)
 	}
 	fmt.Fprintln(w)
+	if r.Oracle != nil {
+		r.Oracle.Render(w)
+	}
 }
 
 // flowsTo builds the epoch's traffic: perNode flows from every node

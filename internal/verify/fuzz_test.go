@@ -1,0 +1,137 @@
+package verify
+
+import (
+	"testing"
+)
+
+// naiveDst is the O(n²) reference classifier: from every start, walk
+// hop by hop with an explicit visited set until delivery, a dead end, or
+// a revisit. No sharing, no colouring — slow and obviously correct.
+type naiveVerdict struct {
+	outcome Outcome
+	entry   int
+	loopLen int
+}
+
+func naiveDst(s *State, dst int) []naiveVerdict {
+	n := s.N()
+	out := make([]naiveVerdict, n)
+	for start := 0; start < n; start++ {
+		var walk []int
+		at := make(map[int]int, n)
+		u := start
+		for {
+			if u == dst {
+				out[start] = naiveVerdict{outcome: OutcomeDeliver}
+				break
+			}
+			if pos, dup := at[u]; dup {
+				out[start] = naiveVerdict{outcome: OutcomeLoop, entry: pos, loopLen: len(walk) - pos}
+				break
+			}
+			at[u] = len(walk)
+			walk = append(walk, u)
+			v := s.Next(dst, u)
+			if v < 0 {
+				out[start] = naiveVerdict{outcome: OutcomeNoRoute}
+				break
+			}
+			if !s.LinkUp(u, v) {
+				out[start] = naiveVerdict{outcome: OutcomeLinkDown}
+				break
+			}
+			u = v
+		}
+	}
+	return out
+}
+
+// applyOps decodes the fuzz input's operation stream into state
+// mutations: route installs, withdrawals (the partial/cleared tables
+// routing.Delta produces), node wipes, and link toggles. It returns the
+// ops so a fresh state can replay them (incremental ≡ rebuilt).
+type fuzzOp struct{ kind, a, b, c byte }
+
+func decodeOps(data []byte) (n int, ops []fuzzOp) {
+	if len(data) == 0 {
+		return 0, nil
+	}
+	n = int(data[0]%15) + 2
+	for i := 1; i+3 < len(data); i += 4 {
+		ops = append(ops, fuzzOp{data[i], data[i+1], data[i+2], data[i+3]})
+	}
+	return n, ops
+}
+
+func applyOp(s *State, op fuzzOp) {
+	n := s.N()
+	a, b, c := int(op.a)%n, int(op.b)%n, int(op.c)%n
+	switch op.kind % 5 {
+	case 0:
+		s.SetNext(a, b, c)
+	case 1:
+		s.SetNext(a, b, -1) // withdrawal
+	case 2:
+		s.ClearNode(a) // restart
+	case 3:
+		s.SetLink(a, b, false)
+	case 4:
+		s.SetLink(a, b, true)
+	}
+}
+
+// FuzzVerifyFIB hammers the classifier with arbitrary partial tables:
+// it must terminate (the test itself hangs otherwise), never panic, and
+// agree exactly with the naive walk reference on outcome, entry
+// distance, and loop length for every (destination, start) pair — after
+// every prefix-replay of the mutation stream the incremental state must
+// also match a freshly built one.
+func FuzzVerifyFIB(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 1, 1, 0})                                  // self loop
+	f.Add([]byte{5, 0, 0, 1, 2, 0, 0, 2, 1, 1, 0, 1, 0})          // 2-cycle then clear
+	f.Add([]byte{7, 0, 0, 1, 2, 0, 0, 2, 3, 0, 0, 3, 1, 3, 1, 2}) // 3-cycle + link down
+	f.Add([]byte{4, 0, 1, 2, 3, 2, 2, 0, 0, 0, 1, 2, 3, 4, 1, 2}) // wipe then reinstall
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, ops := decodeOps(data)
+		if n == 0 {
+			return
+		}
+		s := NewState(n)
+		for _, op := range ops {
+			applyOp(s, op)
+		}
+		// Incremental ≡ rebuilt: replaying the same ops on a fresh state
+		// must land on an identical table.
+		r := NewState(n)
+		for _, op := range ops {
+			applyOp(r, op)
+		}
+		if !s.Equal(r) {
+			t.Fatal("replaying the op stream produced a different state")
+		}
+		for dst := 0; dst < n; dst++ {
+			fast := s.ClassifyDst(dst)
+			slow := naiveDst(s, dst)
+			for u := 0; u < n; u++ {
+				if fast.Outcome[u] != slow[u].outcome {
+					t.Fatalf("dst %d start %d: classifier %v, naive %v", dst, u, fast.Outcome[u], slow[u].outcome)
+				}
+				if fast.Outcome[u] != OutcomeLoop {
+					continue
+				}
+				if int(fast.Entry[u]) != slow[u].entry || int(fast.LoopLen[u]) != slow[u].loopLen {
+					t.Fatalf("dst %d start %d: classifier entry/len %d/%d, naive %d/%d",
+						dst, u, fast.Entry[u], fast.LoopLen[u], slow[u].entry, slow[u].loopLen)
+				}
+				// WalkPath must agree with the classification it derives
+				// from.
+				path, cycle := s.WalkPath(dst, u)
+				if len(path) != int(fast.Entry[u]) || len(cycle) != int(fast.LoopLen[u]) {
+					t.Fatalf("dst %d start %d: walk path/cycle %d/%d vs entry/len %d/%d",
+						dst, u, len(path), len(cycle), fast.Entry[u], fast.LoopLen[u])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,211 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/unroller/unroller/internal/core"
+	"github.com/unroller/unroller/internal/dataplane"
+	"github.com/unroller/unroller/internal/detect"
+	"github.com/unroller/unroller/internal/topology"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// testNet builds a ring network with shortest paths installed towards
+// dst 0 — the minimal live network the mirror can track.
+func testNet(t *testing.T, nodes int) *dataplane.Network {
+	t.Helper()
+	g, err := topology.Ring(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := dataplane.NewNetwork(g, topology.NewAssignment(g, xrand.New(1)), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.InstallShortestPaths(0); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestMirrorClearThenReinstallSameBatch is the regression for the
+// staleness bug class routing.Delta exposes: one FaultRoutes batch may
+// Clear a (node, dst) route and re-install it later in the same batch,
+// and the mirror must apply the updates strictly in order — any
+// per-batch coalescing (dedup by key, Clears processed as their own
+// pass) leaves the incremental view stale where the network ends up
+// routed.
+func TestMirrorClearThenReinstallSameBatch(t *testing.T) {
+	net := testNet(t, 6)
+	m := NewMirror(net)
+	dstID := net.Assign.ID(0)
+	port, ok := net.Switch(3).Route(dstID)
+	if !ok {
+		t.Fatal("node 3 has no route to dst 0")
+	}
+	peer := net.Switch(3).Peer(port)
+
+	ev := dataplane.FaultEvent{Kind: dataplane.FaultRoutes, Routes: []dataplane.RouteUpdate{
+		{Node: 3, Dst: dstID, Clear: true},
+		{Node: 3, Dst: dstID, Port: port},
+	}}
+	if err := net.ApplyFault(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(ev); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.State().Next(0, 3); got != peer {
+		t.Errorf("clear+reinstall in one batch: mirror next = %d, want %d (stale view)", got, peer)
+	}
+	if !m.State().Equal(SnapshotState(net)) {
+		t.Error("mirror diverged from from-scratch snapshot after clear+reinstall batch")
+	}
+
+	// The mirrored order also matters the other way: install then clear
+	// must end cleared.
+	ev = dataplane.FaultEvent{Kind: dataplane.FaultRoutes, Routes: []dataplane.RouteUpdate{
+		{Node: 3, Dst: dstID, Port: port},
+		{Node: 3, Dst: dstID, Clear: true},
+	}}
+	if err := net.ApplyFault(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(ev); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.State().Next(0, 3); got != -1 {
+		t.Errorf("install+clear in one batch: mirror next = %d, want -1", got)
+	}
+	if !m.State().Equal(SnapshotState(net)) {
+		t.Error("mirror diverged from from-scratch snapshot after install+clear batch")
+	}
+}
+
+// TestMirrorTracksEventSequence pins incremental ≡ from-scratch after
+// every kind of fault event, applied to network and mirror in lockstep.
+func TestMirrorTracksEventSequence(t *testing.T) {
+	net := testNet(t, 8)
+	m := NewMirror(net)
+	if !m.State().Equal(SnapshotState(net)) {
+		t.Fatal("fresh mirror diverges from snapshot")
+	}
+	dstID := net.Assign.ID(0)
+	portTo := func(u, v int) dataplane.PortID {
+		p, err := net.PortTo(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	events := []dataplane.FaultEvent{
+		{Kind: dataplane.FaultLinkDown, U: 0, V: 1},
+		{Kind: dataplane.FaultRoutes, Routes: []dataplane.RouteUpdate{
+			{Node: 1, Dst: dstID, Port: portTo(1, 2)}, // stale detour: 1 points away from 0
+			{Node: 2, Dst: dstID, Port: portTo(2, 1)}, // closing a {1,2} loop
+		}},
+		{Kind: dataplane.FaultRestart, Node: 4},
+		{Kind: dataplane.FaultLinkUp, U: 0, V: 1},
+		{Kind: dataplane.FaultRoutes, Routes: []dataplane.RouteUpdate{
+			{Node: 1, Dst: dstID, Port: portTo(1, 0)},
+			{Node: 2, Dst: dstID, Clear: true},
+		}},
+		{Kind: dataplane.FaultCorruption, Prob: 0.5, Seed: 9},
+		{Kind: dataplane.FaultControllerReset},
+	}
+	for i, ev := range events {
+		if err := net.ApplyFault(ev); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if err := m.Apply(ev); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if !m.State().Equal(SnapshotState(net)) {
+			t.Fatalf("after event %d (%s): mirror diverged from from-scratch snapshot", i, ev)
+		}
+		if i == 1 {
+			// The loop the detour batch just closed must be visible.
+			r := m.State().ClassifyDst(0)
+			if r.Outcome[1] != OutcomeLoop || r.Outcome[2] != OutcomeLoop || r.LoopLen[1] != 2 {
+				t.Errorf("detour loop not classified: node1=%v node2=%v len=%d", r.Outcome[1], r.Outcome[2], r.LoopLen[1])
+			}
+		}
+	}
+	// After the healing batch the loop is gone: node 1 delivers, node 2
+	// has no route.
+	r := m.State().ClassifyDst(0)
+	if r.Outcome[1] != OutcomeDeliver || r.Outcome[2] != OutcomeNoRoute {
+		t.Errorf("healed state misclassified: node1=%v node2=%v", r.Outcome[1], r.Outcome[2])
+	}
+}
+
+// TestOracleConfirmsInjectedLoop runs a minimal churn by hand: a loop
+// injected at epoch 0 traffic must reconcile as confirmed, and a blind
+// flow over the same loop as missed-blind.
+func TestOracleConfirmsInjectedLoop(t *testing.T) {
+	net := testNet(t, 6)
+	net.SetLoopPolicy(dataplane.ActionDrop)
+	if err := net.InjectLoop(0, topology.Cycle{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	oracle := NewOracle(net, 42, Aesoplike{})
+	eng := dataplane.NewTrafficEngine(net, 2)
+	epochs := []dataplane.ChurnEpoch{{Flows: []dataplane.Flow{
+		{Src: 2, Dst: 0, ID: 1, TTL: dataplane.InitialTTL, Telemetry: true},
+		{Src: 2, Dst: 0, ID: 2, TTL: dataplane.InitialTTL, Telemetry: false},
+		{Src: 5, Dst: 0, ID: 3, TTL: dataplane.InitialTTL, Telemetry: true},
+	}}}
+	if _, err := dataplane.RunChurnObserved(eng, nil, epochs, oracle); err != nil {
+		t.Fatal(err)
+	}
+	oracle.Finalize()
+	total := oracle.Total()
+	if total.Confirmed != 1 || total.MissedBlind != 1 || total.Clean != 1 {
+		t.Errorf("matrix = %+v, want confirmed=1 missed-blind=1 clean=1", total)
+	}
+	if total.BaseConfirmed != 1 || total.BaseBlind != 1 {
+		t.Errorf("baseline columns = confirmed %d blind %d, want 1/1", total.BaseConfirmed, total.BaseBlind)
+	}
+	if len(oracle.Violations()) != 0 {
+		t.Errorf("violations: %v", oracle.Violations())
+	}
+	if len(oracle.Divergences()) != 0 {
+		t.Errorf("divergences: %v", oracle.Divergences())
+	}
+	if oracle.Unexplained() {
+		t.Error("clean run flagged unexplained")
+	}
+	var b strings.Builder
+	oracle.Render(&b)
+	for _, want := range []string{"oracle (static truth", "bound violations: 0", "mirror divergences: 0", "baseline"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// Aesoplike is a minimal exact in-band detector for oracle tests: it
+// remembers the first switch visited and reports when it reappears —
+// enough to confirm any loop entered on the first hop.
+type Aesoplike struct{}
+
+func (Aesoplike) Name() string                { return "first-id" }
+func (Aesoplike) BitOverhead(maxHops int) int { return 32 }
+func (Aesoplike) NewState() detect.State      { return &firstIDState{} }
+
+type firstIDState struct {
+	first detect.SwitchID
+	has   bool
+}
+
+func (s *firstIDState) Visit(id detect.SwitchID) detect.Verdict {
+	if s.has && id == s.first {
+		return detect.Loop
+	}
+	if !s.has {
+		s.first = id
+		s.has = true
+	}
+	return detect.Continue
+}
