@@ -11,17 +11,20 @@
 #                dataplane packet wire format, collectorsvc report
 #                frames, journal segments, and the static FIB verifier
 #                10s each)
-#   make oracle  the cross-plane verification gate under -race: all
-#                four scenarios at 1/4/16 workers reconciled against
+#   make oracle  the cross-plane verification gate under -race:
+#                every named scenario at 1/4/16 workers reconciled against
 #                static FIB ground truth, plus the multi-seed property
 #                sweep
+#   make cluster the collectord cluster gate under -race: membership
+#                convergence, asymmetric/full partitions, node kill +
+#                journal-reconciled rejoin, exactly-once cluster-wide
 #   make bench   full benchmark run with allocation stats
 #   make ci      the full gate (ci.sh): build, vet, unroller-vet,
 #                race tests, oracle gate, fuzz smoke, bench smoke
 
 GO ?= go
 
-.PHONY: build test lint vet-json vettool race fuzz oracle bench ci
+.PHONY: build test lint vet-json vettool race fuzz oracle cluster bench ci
 
 build:
 	$(GO) build ./...
@@ -53,6 +56,9 @@ fuzz:
 
 oracle:
 	$(GO) test -race -run 'TestOracle' -count 1 ./internal/scenario
+
+cluster:
+	$(GO) test -race -count 1 ./internal/cluster
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

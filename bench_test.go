@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/unroller/unroller/internal/baseline"
+	"github.com/unroller/unroller/internal/cluster"
 	"github.com/unroller/unroller/internal/collectorsvc"
 	"github.com/unroller/unroller/internal/core"
 	"github.com/unroller/unroller/internal/dataplane"
@@ -668,6 +669,80 @@ func benchCollectorIngest(b *testing.B, journaled bool) {
 	for i := 0; i < b.N; i++ {
 		// Pace the producer to the pipe: the sender never blocks, so an
 		// unpaced loop would just overflow the buffer and measure drops.
+		for c.Pending() >= buffer-1 {
+			wait()
+		}
+		ev.Flow = uint32(i)
+		c.Send(ev, 12)
+	}
+	for !drained(c.Stats()) {
+		wait()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+	if st := c.Stats(); st.Dropped != 0 {
+		b.Fatalf("paced run still dropped %d reports (stats %+v)", st.Dropped, st)
+	}
+}
+
+// BenchmarkClusterIngest — the collectord cluster end to end over
+// loopback: three nodes joined by the membership layer, a
+// cluster-routing client hashing each report to its partition's owner.
+// reports/s is the headline; the delta against BenchmarkCollectorIngest
+// is the cost of partition routing spread over three ingest servers.
+func BenchmarkClusterIngest(b *testing.B) {
+	const seed = 42
+	var peers []string
+	nodes := make([]*cluster.Node, 3)
+	for i := range nodes {
+		n, err := cluster.StartNode(cluster.NodeConfig{
+			ID:    fmt.Sprintf("n%d", i+1),
+			Peers: append([]string(nil), peers...),
+			Seed:  seed,
+			Server: collectorsvc.ServerConfig{
+				Shards:     2,
+				QueueDepth: 1 << 14,
+				Controller: dataplane.ControllerConfig{MaxEvents: 1024, DedupWindow: 8},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer n.Stop()
+		nodes[i] = n
+		peers = []string{nodes[0].ClusterAddr()}
+	}
+	seeds := []string{nodes[0].ClusterAddr(), nodes[1].ClusterAddr(), nodes[2].ClusterAddr()}
+	const buffer = 1 << 14
+	c, err := cluster.NewClient(cluster.ClientConfig{
+		Seeds:  seeds,
+		ID:     1,
+		Seed:   seed,
+		Buffer: buffer,
+		Window: 1 << 12,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	ev := dataplane.LoopEvent{
+		Report:  detect.Report{Reporter: 0xBEEF, Hops: 12},
+		Node:    3,
+		Members: []detect.SwitchID{1, 2, 3, 4},
+	}
+	drained := func(st cluster.ClientStats) bool { return st.Acked+st.Dropped == st.Enqueued }
+	// Sleep, not Gosched, for the same netpoller-starvation reason as
+	// benchCollectorIngest.
+	wait := func() { time.Sleep(20 * time.Microsecond) }
+	c.Send(ev, 12)
+	for !drained(c.Stats()) {
+		wait()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The buffer bound is per partition sender; pacing on the summed
+		// backlog keeps every sender inside its own buffer.
 		for c.Pending() >= buffer-1 {
 			wait()
 		}

@@ -29,8 +29,16 @@
 #                 journaled collectord SIGKILLed mid-ingest, restarted
 #                 on the same journal directory, final accounting shows
 #                 every event ingested exactly once
-#   oracle gate   the cross-plane verification oracle under -race: all
-#                 four scenarios at 1/4/16 workers, reconciling every
+#   cluster e2e   race-enabled run of the collectord cluster suite
+#                 (internal/cluster): 3 journaled nodes under seeded
+#                 SWIM membership, a node killed mid-churn plus an
+#                 asymmetric partition, the killed node restarted on
+#                 its journal and reconciled against the peers that
+#                 took over its partitions — the cluster-wide
+#                 exactly-once identity (sent = ingested + dropped,
+#                 no double-counting) must hold exactly
+#   oracle gate   the cross-plane verification oracle under -race:
+#                 every named scenario at 1/4/16 workers, reconciling every
 #                 Unroller detection against static FIB ground truth —
 #                 zero unexplained false positives, zero missed loops
 #                 in telemetry-carrying corruption-free epochs,
@@ -45,13 +53,14 @@
 #                 match, so each is invoked by exact name)
 #   bench smoke   one iteration of the traffic-engine and journal
 #                 append benchmarks (proof those paths stay runnable)
-#                 plus a 2000-iteration collector-ingest run (plain and
-#                 journaled) that IS a measurement. The traffic-engine
-#                 and collector-ingest lines are appended to the
+#                 plus 2000-iteration collector-ingest (plain and
+#                 journaled) and cluster-ingest runs that ARE
+#                 measurements. The traffic-engine, collector-ingest,
+#                 and cluster-ingest lines are appended to the
 #                 checked-in BENCH_collector.json via
-#                 cmd/unroller-benchlog, which fails the gate if the
-#                 collector-ingest entry is missing or its Mpps
-#                 regressed >20% against the last checked-in entry
+#                 cmd/unroller-benchlog, which fails the gate if a
+#                 gated entry is missing or its Mpps regressed >20%
+#                 against the last checked-in entry
 set -eu
 
 cd "$(dirname "$0")"
@@ -88,7 +97,10 @@ go test -race -run 'TestCollector|TestRecovery' -count 1 ./internal/collectorsvc
 echo "==> collectord kill-recover under race (SIGKILL mid-ingest, exactly-once across restart)"
 go test -race -run 'TestCollectordKillRecover' -count 1 ./cmd/unroller-collectord
 
-echo "==> oracle gate under race (4 scenarios x 1/4/16 workers + multi-seed property sweep)"
+echo "==> cluster e2e under race (3 nodes, node kill + asymmetric partition, reshard, exactly-once cluster-wide)"
+go test -race -run 'TestCluster|TestAgents|TestAsymmetric|TestFullPartition' -count 1 ./internal/cluster
+
+echo "==> oracle gate under race (every scenario x 1/4/16 workers + multi-seed property sweep)"
 go test -race -run 'TestOracle' -count 1 ./internal/scenario
 
 echo "==> fuzz smoke (internal/bitpack, 5s per target)"
@@ -113,10 +125,10 @@ go test -run '^$' -bench 'TrafficEngine|NetworkSend' -benchtime 1x . | tee "$ben
 # Collector ingest runs long enough to measure steady-state batching:
 # at 1x the number is dial + warmup noise, and the regression gate
 # below would compare garbage against garbage.
-go test -run '^$' -bench 'CollectorIngest' -benchtime 2000x . | tee -a "$bench_out"
+go test -run '^$' -bench 'CollectorIngest|ClusterIngest' -benchtime 2000x . | tee -a "$bench_out"
 go test -run '^$' -bench 'JournalAppend' -benchtime 1x ./internal/collectorsvc
-# benchlog exits 1 if the run lacks a collector-ingest entry or its
-# Mpps fell >20% below the last checked-in BENCH_collector.json entry.
-go run ./cmd/unroller-benchlog -gate 'BenchmarkCollectorIngest=20' -o BENCH_collector.json "$bench_out"
+# benchlog exits 1 if the run lacks a gated entry or its Mpps fell
+# >20% below the last checked-in BENCH_collector.json entry.
+go run ./cmd/unroller-benchlog -gate 'BenchmarkCollectorIngest=20,BenchmarkClusterIngest=20' -o BENCH_collector.json "$bench_out"
 
 echo "==> ci.sh: all gates passed"

@@ -10,12 +10,13 @@
 //
 //	go test -run '^$' -bench 'TrafficEngine|CollectorIngest' . | unroller-benchlog -o BENCH_collector.json
 //
-// -gate NAME=PCT turns the log into a regression gate: the new run's
-// Mpps for every benchmark prefixed NAME is compared against the most
-// recent prior run that recorded it, and the exit status is 1 if the
-// new number is more than PCT percent below the old one — or if the
-// gated benchmark is missing from the new run entirely. The run is
-// appended to the log either way, so the regression itself is recorded.
+// -gate NAME=PCT[,NAME=PCT...] turns the log into a regression gate:
+// for each entry, the new run's Mpps for every benchmark prefixed NAME
+// is compared against the most recent prior run that recorded it, and
+// the exit status is 1 if the new number is more than PCT percent below
+// the old one — or if the gated benchmark is missing from the new run
+// entirely. The run is appended to the log either way, so the
+// regression itself is recorded.
 //
 // Exit status: 0 on success, 1 if no selected benchmark appears in the
 // input (a smoke run that silently benched nothing is a CI bug) or a
@@ -66,15 +67,15 @@ func run(args []string, stdin io.Reader, stderr io.Writer) int {
 	fs := flag.NewFlagSet("unroller-benchlog", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("o", "BENCH_collector.json", "log file to append the run to")
-	match := fs.String("match", "BenchmarkTrafficEngine,BenchmarkCollectorIngest",
+	match := fs.String("match", "BenchmarkTrafficEngine,BenchmarkCollectorIngest,BenchmarkClusterIngest",
 		"comma-separated benchmark name prefixes to record")
 	date := fs.String("date", "", "run date override (default: today, UTC)")
 	gate := fs.String("gate", "",
-		"NAME=PCT: exit 1 if benchmark NAME's Mpps fell more than PCT% below its last logged run")
+		"comma-separated NAME=PCT entries: exit 1 if benchmark NAME's Mpps fell more than PCT% below its last logged run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	gateName, gatePct, err := parseGate(*gate)
+	gates, err := parseGate(*gate)
 	if err != nil {
 		fmt.Fprintln(stderr, "unroller-benchlog:", err)
 		return 2
@@ -118,7 +119,7 @@ func run(args []string, stdin io.Reader, stderr io.Writer) int {
 	// Gate against the history as it stood BEFORE this run is appended,
 	// but append regardless of the verdict: a regression should fail CI
 	// and still leave its number in the log for the post-mortem diff.
-	gateErrs := checkGate(logDoc.Runs, results, gateName, gatePct)
+	gateErrs := checkGate(logDoc.Runs, results, gates)
 	logDoc.Runs = append(logDoc.Runs, benchRun{
 		Date:       day,
 		GoVersion:  runtime.Version(),
@@ -142,62 +143,78 @@ func run(args []string, stdin io.Reader, stderr io.Writer) int {
 	return 0
 }
 
-// parseGate splits a -gate NAME=PCT argument. An empty argument
-// disables gating (empty name, 0).
-func parseGate(s string) (string, float64, error) {
+// gateSpec is one parsed NAME=PCT gate entry.
+type gateSpec struct {
+	name string
+	pct  float64
+}
+
+// parseGate splits a -gate argument: a comma-separated list of NAME=PCT
+// entries. An empty argument disables gating (nil).
+func parseGate(s string) ([]gateSpec, error) {
 	if s == "" {
-		return "", 0, nil
+		return nil, nil
 	}
-	name, pctStr, ok := strings.Cut(s, "=")
-	if !ok || name == "" {
-		return "", 0, fmt.Errorf("bad -gate %q: want NAME=PCT", s)
+	var gates []gateSpec
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, pctStr, ok := strings.Cut(entry, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -gate entry %q: want NAME=PCT", entry)
+		}
+		pct, err := strconv.ParseFloat(pctStr, 64)
+		if err != nil || pct < 0 || pct >= 100 {
+			return nil, fmt.Errorf("bad -gate entry %q: PCT must be a percentage in [0,100)", entry)
+		}
+		gates = append(gates, gateSpec{name: name, pct: pct})
 	}
-	pct, err := strconv.ParseFloat(pctStr, 64)
-	if err != nil || pct < 0 || pct >= 100 {
-		return "", 0, fmt.Errorf("bad -gate %q: PCT must be a percentage in [0,100)", s)
+	if len(gates) == 0 {
+		return nil, fmt.Errorf("bad -gate %q: no NAME=PCT entries", s)
 	}
-	return name, pct, nil
+	return gates, nil
 }
 
 // checkGate compares the new run's Mpps against the most recent prior
-// run for every benchmark prefixed gateName. It returns one message per
-// violation: a throughput drop beyond gatePct percent, or a previously
-// logged gated benchmark missing from the new run.
-func checkGate(prior []benchRun, results []benchResult, gateName string, gatePct float64) []string {
-	if gateName == "" {
-		return nil
-	}
-	// Latest prior Mpps per gated benchmark name, scanning newest-first.
-	last := map[string]float64{}
-	for i := len(prior) - 1; i >= 0; i-- {
-		for _, b := range prior[i].Benchmarks {
-			if strings.HasPrefix(b.Name, gateName) && b.Mpps > 0 {
-				if _, seen := last[b.Name]; !seen {
-					last[b.Name] = b.Mpps
+// run for every benchmark prefixed by a gate's name. It returns one
+// message per violation: a throughput drop beyond that gate's percent,
+// or a previously logged gated benchmark missing from the new run.
+func checkGate(prior []benchRun, results []benchResult, gates []gateSpec) []string {
+	var errs []string
+	for _, g := range gates {
+		// Latest prior Mpps per gated benchmark name, scanning newest-first.
+		last := map[string]float64{}
+		for i := len(prior) - 1; i >= 0; i-- {
+			for _, b := range prior[i].Benchmarks {
+				if strings.HasPrefix(b.Name, g.name) && b.Mpps > 0 {
+					if _, seen := last[b.Name]; !seen {
+						last[b.Name] = b.Mpps
+					}
 				}
 			}
 		}
-	}
-	now := map[string]float64{}
-	for _, b := range results {
-		if strings.HasPrefix(b.Name, gateName) {
-			now[b.Name] = b.Mpps
+		now := map[string]float64{}
+		for _, b := range results {
+			if strings.HasPrefix(b.Name, g.name) {
+				now[b.Name] = b.Mpps
+			}
 		}
-	}
-	var errs []string
-	if len(now) == 0 {
-		errs = append(errs, fmt.Sprintf("no benchmark matching %q in this run", gateName))
-	}
-	for name, old := range last {
-		cur, ok := now[name]
-		if !ok {
-			errs = append(errs, fmt.Sprintf("%s: logged previously but missing from this run", name))
-			continue
+		if len(now) == 0 {
+			errs = append(errs, fmt.Sprintf("no benchmark matching %q in this run", g.name))
 		}
-		floor := old * (1 - gatePct/100)
-		if cur < floor {
-			errs = append(errs, fmt.Sprintf("%s: %.6f Mpps is %.1f%% below last logged %.6f (floor %.6f)",
-				name, cur, 100*(1-cur/old), old, floor))
+		for name, old := range last {
+			cur, ok := now[name]
+			if !ok {
+				errs = append(errs, fmt.Sprintf("%s: logged previously but missing from this run", name))
+				continue
+			}
+			floor := old * (1 - g.pct/100)
+			if cur < floor {
+				errs = append(errs, fmt.Sprintf("%s: %.6f Mpps is %.1f%% below last logged %.6f (floor %.6f)",
+					name, cur, 100*(1-cur/old), old, floor))
+			}
 		}
 	}
 	return errs

@@ -144,18 +144,47 @@ func TestGate(t *testing.T) {
 	}
 }
 
-// TestParseGate pins the NAME=PCT syntax checks.
+// TestParseGate pins the NAME=PCT[,NAME=PCT...] syntax checks.
 func TestParseGate(t *testing.T) {
-	if name, pct, err := parseGate("BenchmarkX=20"); err != nil || name != "BenchmarkX" || pct != 20 {
-		t.Errorf("parseGate(BenchmarkX=20) = %q, %v, %v", name, pct, err)
+	gates, err := parseGate("BenchmarkX=20")
+	if err != nil || len(gates) != 1 || gates[0] != (gateSpec{name: "BenchmarkX", pct: 20}) {
+		t.Errorf("parseGate(BenchmarkX=20) = %+v, %v", gates, err)
 	}
-	if _, _, err := parseGate(""); err != nil {
-		t.Errorf("empty -gate should disable gating, got %v", err)
+	gates, err = parseGate("BenchmarkX=20, BenchmarkY=5,")
+	if err != nil || len(gates) != 2 ||
+		gates[0] != (gateSpec{name: "BenchmarkX", pct: 20}) ||
+		gates[1] != (gateSpec{name: "BenchmarkY", pct: 5}) {
+		t.Errorf("parseGate multi = %+v, %v", gates, err)
 	}
-	for _, bad := range []string{"NoEquals", "=20", "X=abc", "X=-5", "X=100"} {
-		if _, _, err := parseGate(bad); err == nil {
+	if gates, err := parseGate(""); err != nil || gates != nil {
+		t.Errorf("empty -gate should disable gating, got %+v, %v", gates, err)
+	}
+	for _, bad := range []string{"NoEquals", "=20", "X=abc", "X=-5", "X=100", ",", "X=20,Bad"} {
+		if _, err := parseGate(bad); err == nil {
 			t.Errorf("parseGate(%q) accepted", bad)
 		}
+	}
+}
+
+// TestGateMultiple covers independent tolerances per gate entry: one
+// benchmark regressing beyond its own tolerance trips the gate even
+// when the other stays healthy.
+func TestGateMultiple(t *testing.T) {
+	logFile := filepath.Join(t.TempDir(), "log.json")
+	var errb bytes.Buffer
+	base := []string{"-o", logFile, "-date", "2026-08-08",
+		"-gate", "BenchmarkCollectorIngest=20,BenchmarkTrafficEngine=20"}
+	if code := run(base, strings.NewReader(sampleOutput), &errb); code != 0 {
+		t.Fatalf("seed run exit %d: %s", code, errb.String())
+	}
+	// Ingest holds steady; traffic drops 52% — the second gate trips.
+	badTraffic := strings.ReplaceAll(sampleOutput, "5120000 pkts/s", "2400000 pkts/s")
+	errb.Reset()
+	if code := run(base, strings.NewReader(badTraffic), &errb); code != 1 {
+		t.Fatalf("regressed-traffic run exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "BenchmarkTrafficEngine") {
+		t.Errorf("gate diagnostic does not name the regressed benchmark: %s", errb.String())
 	}
 }
 

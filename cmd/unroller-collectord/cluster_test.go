@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/unroller/unroller/internal/cluster"
+	"github.com/unroller/unroller/internal/collectorsvc"
+	"github.com/unroller/unroller/internal/dataplane"
+	"github.com/unroller/unroller/internal/scenario"
+)
+
+// TestRunClusterServesAndDrains boots three cluster-mode daemons on
+// ephemeral ports, streams a scenario through the cluster-routing
+// client, and checks that every report is acknowledged exactly once
+// across the fleet.
+func TestRunClusterServesAndDrains(t *testing.T) {
+	cfg := collectorsvc.ServerConfig{
+		Shards:     2,
+		QueueDepth: 1 << 14,
+		Controller: dataplane.ControllerConfig{MaxEvents: 1024, DedupWindow: 8},
+	}
+	const seed = 42
+	type inst struct {
+		out  bytes.Buffer
+		stop chan struct{}
+		done chan error
+	}
+	nodes := make([]*inst, 3)
+	var clusterAddrs []string
+	var peers []string
+	for i := range nodes {
+		n := &inst{stop: make(chan struct{}), done: make(chan error, 1)}
+		nodes[i] = n
+		ncfg := cluster.NodeConfig{
+			ID:            []string{"n1", "n2", "n3"}[i],
+			ClusterListen: "127.0.0.1:0",
+			IngestListen:  "127.0.0.1:0",
+			Peers:         append([]string(nil), peers...),
+			Seed:          seed,
+			Server:        cfg,
+		}
+		ready := make(chan string, 3)
+		go func() { n.done <- runCluster(&n.out, ncfg, nil, "127.0.0.1:0", n.stop, ready) }()
+		<-ready // ingest
+		clusterAddrs = append(clusterAddrs, <-ready)
+		<-ready // admin
+		peers = clusterAddrs[:1]
+	}
+
+	c, err := cluster.NewClient(cluster.ClientConfig{Seeds: clusterAddrs, ID: 9, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scenario.RunStreamed("microloop", 7, 4, func(ev dataplane.LoopEvent, hop int) {
+		c.Send(ev, hop)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Acked == 0 || st.Enqueued != st.Acked+st.Dropped || st.Dropped != 0 {
+		t.Fatalf("client stats %+v", st)
+	}
+
+	var wg sync.WaitGroup
+	for _, n := range nodes {
+		close(n.stop)
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := <-n.done; err != nil {
+				t.Errorf("node exited with %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, n := range nodes {
+		text := n.out.String()
+		for _, want := range []string{"node n", "cluster on", "admin on", "final:", "cluster: id="} {
+			if !strings.Contains(text, want) {
+				t.Errorf("node %d output missing %q:\n%s", i, want, text)
+			}
+		}
+	}
+}

@@ -16,6 +16,19 @@
 //	                    [-journal DIR] [-fsync interval] [-segment-bytes N]
 //	                    [-retain 8] [-read-timeout 30s] [-write-timeout 10s]
 //	                    [-max-conns 256]
+//	                    [-node-id ID -cluster-listen :7779 -peers HOST:PORT,...]
+//	                    [-partitions 32] [-vnodes 16] [-seed N]
+//
+// With -node-id the daemon runs as one member of a collectord cluster
+// (internal/cluster): it joins the membership layer through -peers,
+// owns the flow partitions the seeded hash ring assigns it, and — when
+// journaled — reconciles a restart against the live peers that covered
+// its partitions while it was down, discarding already-ingested frames
+// (counted as cross_dupes) instead of double-ingesting them.
+// -partitions, -vnodes, and -seed fix the ring geometry and must match
+// on every node and client. The admin endpoint gains a cluster stanza
+// on /statsz, and /healthz answers "degraded" while the node is
+// isolated from every peer.
 //
 // With -journal, every accepted frame is committed to a write-ahead
 // journal before it is acknowledged, and a restart on the same
@@ -37,10 +50,13 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
+	"github.com/unroller/unroller/internal/cluster"
 	"github.com/unroller/unroller/internal/collectorsvc"
 	"github.com/unroller/unroller/internal/dataplane"
 )
@@ -65,6 +81,13 @@ func main() {
 		readTO   = flag.Duration("read-timeout", collectorsvc.DefaultReadTimeout, "per-frame ingest read deadline (idle/dead peers are reaped)")
 		writeTO  = flag.Duration("write-timeout", collectorsvc.DefaultWriteTimeout, "ack write deadline")
 		maxConns = flag.Int("max-conns", collectorsvc.DefaultMaxConns, "concurrent ingest connections before rejecting at accept")
+
+		nodeID   = flag.String("node-id", "", "stable cluster node identity (enables cluster mode)")
+		clusterL = flag.String("cluster-listen", ":7779", "cluster membership/handoff listener (cluster mode)")
+		peers    = flag.String("peers", "", "comma-separated cluster addresses of peers to join through")
+		parts    = flag.Int("partitions", cluster.DefaultPartitions, "flow partitions on the ring (must match cluster-wide)")
+		vnodes   = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per member on the ring (must match cluster-wide)")
+		seed     = flag.Uint64("seed", 0, "ring layout and probe-schedule seed (must match cluster-wide)")
 	)
 	flag.Parse()
 	cfg := collectorsvc.ServerConfig{
@@ -107,10 +130,44 @@ func main() {
 		close(stop)
 	}()
 
+	if *nodeID != "" {
+		ncfg := cluster.NodeConfig{
+			ID:            *nodeID,
+			ClusterListen: *clusterL,
+			IngestListen:  *listen,
+			Peers:         splitPeers(*peers),
+			Partitions:    *parts,
+			VNodes:        *vnodes,
+			Seed:          *seed,
+			Server:        cfg,
+		}
+		if err := runCluster(os.Stdout, ncfg, jcfg, *admin, stop, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "unroller-collectord: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *peers != "" {
+		fmt.Fprintln(os.Stderr, "unroller-collectord: -peers requires -node-id (cluster mode)")
+		os.Exit(2)
+	}
+
 	if err := run(os.Stdout, cfg, jcfg, *listen, *admin, stop, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "unroller-collectord: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// splitPeers parses the comma-separated -peers list, dropping empty
+// entries so a trailing comma is harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // run starts the service and blocks until stop closes, then drains and
@@ -181,5 +238,67 @@ func run(w io.Writer, cfg collectorsvc.ServerConfig, jcfg *collectorsvc.JournalC
 	for i, cs := range srv.ShardStats() {
 		fmt.Fprintf(w, "shard %d: %s\n", i, cs)
 	}
+	return nil
+}
+
+// runCluster is run's cluster-mode twin: it boots one cluster node
+// (membership agent + ingest server + recovery handoff) and blocks
+// until stop closes. ready, when non-nil, receives the bound ingest
+// address, then the cluster address, then the admin address (when
+// enabled). A non-nil jcfg journals ingest; the restart path then
+// reconciles against live peers before serving.
+func runCluster(w io.Writer, ncfg cluster.NodeConfig, jcfg *collectorsvc.JournalConfig, admin string, stop <-chan struct{}, ready chan<- string) error {
+	if jcfg != nil {
+		j, err := collectorsvc.OpenJournal(*jcfg)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		ncfg.Server.Journal = j
+	}
+	node, err := cluster.StartNode(ncfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "node %s: ingest on %s, cluster on %s (partitions=%d vnodes=%d seed=%d peers=%d)\n",
+		node.ID(), node.IngestAddr(), node.ClusterAddr(), ncfg.Partitions, ncfg.VNodes, ncfg.Seed, len(ncfg.Peers))
+	if jcfg != nil {
+		rec := node.Server().Recovery()
+		fmt.Fprintf(w, "journal: %s (fsync=%s) recovered records=%d ingested=%d cross_dupes=%d\n",
+			jcfg.Dir, jcfg.Fsync, rec.Records, rec.Ingested, rec.CrossDupes)
+	}
+	if ready != nil {
+		ready <- node.IngestAddr()
+		ready <- node.ClusterAddr()
+	}
+
+	var adminLn net.Listener
+	if admin != "" {
+		adminLn, err = net.Listen("tcp", admin)
+		if err != nil {
+			node.Stop()
+			return fmt.Errorf("admin listen %s: %w", admin, err)
+		}
+		fmt.Fprintf(w, "admin on http://%s/statsz\n", adminLn.Addr())
+		if ready != nil {
+			ready <- adminLn.Addr().String()
+		}
+		go http.Serve(adminLn, node.AdminHandler())
+	}
+
+	<-stop
+	if adminLn != nil {
+		adminLn.Close()
+	}
+	node.Stop()
+
+	srv := node.Server()
+	st := srv.Stats()
+	fmt.Fprintf(w, "final: conns=%d frames=%d bad=%d dupes=%d ingested=%d ticks=%d cross_dupes=%d queue_dropped=%d\n",
+		st.Conns, st.Frames, st.BadFrames, st.Dupes, st.Ingested, st.Ticks, st.CrossDupes, st.QueueDropped)
+	ci := node.Info()
+	fmt.Fprintf(w, "cluster: id=%s version=%d isolated=%v partitions=%d owned=%d members=%d\n",
+		ci.ID, ci.Version, ci.Isolated, ci.Partitions, ci.Owned, len(ci.Members))
+	fmt.Fprintf(w, "aggregate: %s\n", srv.ControllerStats())
 	return nil
 }

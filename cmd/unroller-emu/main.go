@@ -40,6 +40,15 @@
 // reconnects with backoff and never blocks the data plane:
 //
 //	unroller-emu -scenario restart -collector 127.0.0.1:7777
+//
+// Giving -collector a comma-separated list of cluster addresses
+// switches to cluster routing (internal/cluster): membership is
+// resolved from the listed seeds, each report hashes to a flow
+// partition owned by one node, and reports follow partitions when
+// nodes join, die, or rejoin. -collector-seed must match the cluster's
+// -seed for ring agreement:
+//
+//	unroller-emu -scenario restart -collector 10.0.0.1:7779,10.0.0.2:7779
 package main
 
 import (
@@ -51,6 +60,7 @@ import (
 	"time"
 
 	"github.com/unroller/unroller/internal/baseline"
+	"github.com/unroller/unroller/internal/cluster"
 	"github.com/unroller/unroller/internal/collectorsvc"
 	"github.com/unroller/unroller/internal/core"
 	"github.com/unroller/unroller/internal/dataplane"
@@ -71,7 +81,8 @@ func main() {
 		scen      = flag.String("scenario", "", "scenario mode: replay this named churn scenario (see -scenario help)")
 		oracle    = flag.Bool("oracle", true, "scenario mode: reconcile detections against the static cross-plane verifier (confusion matrix per epoch)")
 		baseName  = flag.String("baseline", "aesop", "scenario mode: baseline detector the oracle scores alongside unroller (aesop, int, or none)")
-		collector = flag.String("collector", "", "stream loop reports to a collectord at this host:port")
+		collector = flag.String("collector", "", "stream loop reports to a collectord: one ingest host:port, or a comma-separated cluster seed list")
+		ringSeed  = flag.Uint64("collector-seed", 0, "cluster mode: ring seed, must match the collectord nodes' -seed")
 		heartbeat = flag.Duration("collector-heartbeat", collectorsvc.DefaultHeartbeatEvery, "keep-alive heartbeat interval on an idle collector session")
 		stale     = flag.Duration("collector-stale", collectorsvc.DefaultStaleTimeout, "reconnect when the collector acks nothing for this long")
 		flush     = flag.Duration("collector-flush", collectorsvc.DefaultFlushTimeout, "at exit, wait at most this long to drain pending reports")
@@ -79,10 +90,11 @@ func main() {
 	flag.Parse()
 	var hook dataplane.ReportHook
 	var client *collectorsvc.Client
-	if *collector != "" {
+	var cclient *cluster.Client
+	if targets := splitList(*collector); len(targets) == 1 {
 		var err error
 		client, err = collectorsvc.NewClient(collectorsvc.ClientConfig{
-			Addr:           *collector,
+			Addr:           targets[0],
 			Seed:           *seed,
 			HeartbeatEvery: *heartbeat,
 			StaleTimeout:   *stale,
@@ -93,6 +105,20 @@ func main() {
 			os.Exit(1)
 		}
 		hook = client.Send
+	} else if len(targets) > 1 {
+		var err error
+		cclient, err = cluster.NewClient(cluster.ClientConfig{
+			Seeds:          targets,
+			Seed:           *ringSeed,
+			HeartbeatEvery: *heartbeat,
+			StaleTimeout:   *stale,
+			FlushTimeout:   *flush,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unroller-emu: %v\n", err)
+			os.Exit(1)
+		}
+		hook = cclient.Send
 	}
 	var err error
 	switch {
@@ -109,10 +135,28 @@ func main() {
 		fmt.Printf("collector %s: enqueued=%d acked=%d dropped=%d retransmits=%d connects=%d dial_failures=%d\n",
 			*collector, st.Enqueued, st.Acked, st.Dropped, st.Retransmits, st.Connects, st.DialFailures)
 	}
+	if cclient != nil {
+		cclient.Close()
+		st := cclient.Stats()
+		fmt.Printf("collector cluster %s: enqueued=%d acked=%d dropped=%d retransmits=%d resolves=%d rebinds=%d\n",
+			*collector, st.Enqueued, st.Acked, st.Dropped, st.Retransmits, st.Resolves, st.Rebinds)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "unroller-emu: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// splitList parses a comma-separated address list, dropping empty
+// entries so a trailing comma is harmless.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // runScenario replays a named churn scenario and renders its replayable

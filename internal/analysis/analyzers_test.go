@@ -45,6 +45,12 @@ func TestDeadlineAnalyzer(t *testing.T) {
 	runFixture(t, []*Analyzer{DeadlineAnalyzer}, "collectorsvc", false)
 }
 
+func TestDeadlineAnalyzerClusterScope(t *testing.T) {
+	// The cluster membership layer is under the same contract: its
+	// fixture pins that the package scope list includes it.
+	runFixture(t, []*Analyzer{DeadlineAnalyzer}, "cluster", false)
+}
+
 func TestCommitorderAnalyzer(t *testing.T) {
 	runFixture(t, []*Analyzer{CommitorderAnalyzer}, "commitorder", false)
 }

@@ -32,11 +32,14 @@ var DeadlineAnalyzer = &Analyzer{
 }
 
 // deadlinePkgs are the packages under the deadline-armed I/O contract.
-// Only the collector service speaks TCP with adversarial peers; the
-// chaosnet fault injector deliberately manipulates raw conns and the
-// emulator has no sockets at all.
+// The collector service and the cluster membership layer both speak
+// TCP with peers that may stall at any point; the chaosnet fault
+// injector deliberately manipulates raw conns and the emulator has no
+// sockets at all. (The lockscope contract needs no such list — it runs
+// on every package.)
 var deadlinePkgs = map[string]bool{
 	"collectorsvc": true,
+	"cluster":      true,
 }
 
 func runDeadline(pass *Pass) error {

@@ -1,0 +1,26 @@
+// Package cluster is the deadline analyzer's second fixture: the
+// membership layer's package basename is under the same deadline-armed
+// I/O contract as collectorsvc, so a gossip RPC that reads or writes a
+// peer socket unarmed must be flagged here too.
+package cluster
+
+import (
+	"net"
+	"time"
+)
+
+// rpcUnarmed is a one-shot gossip exchange with no deadline: a stalled
+// peer parks the probe goroutine forever and the failure detector
+// stops detecting failures.
+func rpcUnarmed(c net.Conn, req, resp []byte) {
+	c.Write(req) // want "conn write not dominated by SetWriteDeadline"
+	c.Read(resp) // want "conn read not dominated by SetReadDeadline"
+}
+
+// rpcArmed is the contract the real wire.go follows: one SetDeadline
+// bounds the whole exchange.
+func rpcArmed(c net.Conn, req, resp []byte) {
+	c.SetDeadline(time.Now().Add(time.Second))
+	c.Write(req)
+	c.Read(resp)
+}

@@ -1,0 +1,170 @@
+package chaosnet
+
+// Directional partition gates: the transport-level model of a network
+// partition. Where Chaos injects per-connection fault schedules, a Net
+// gates whole directions between named endpoints — A can lose its path
+// to B while B still reaches A (an asymmetric partition), which is the
+// exact regime a SWIM-style failure detector must not misread as a dead
+// peer (the cluster membership tests drive this). A blocked direction
+// fails new dials fast and parks I/O on established connections
+// half-open (deadline-honouring) until the edge heals.
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// DialFunc matches the dial hooks collectorsvc and cluster expose.
+type DialFunc func(addr string) (net.Conn, error)
+
+// edge is one gated direction: the dialing endpoint's name → the
+// address it dials.
+type edge struct {
+	from, to string
+}
+
+// Net is a set of directional blackhole rules. Endpoints are named at
+// Dialer time (the test's node names); rules key on (name, dialed
+// address). Connections already established when a rule lands are gated
+// too: every subsequent Read/Write on them blocks while the edge is
+// blocked and proceeds once healed.
+type Net struct {
+	mu      sync.Mutex
+	blocked map[edge]bool
+}
+
+// NewNet returns a gate with every direction open.
+func NewNet() *Net {
+	return &Net{blocked: make(map[edge]bool)}
+}
+
+// Block blackholes the from→to direction (to is the dialed address).
+func (n *Net) Block(from, to string) { n.set(from, to, true) }
+
+// Heal reopens the from→to direction.
+func (n *Net) Heal(from, to string) { n.set(from, to, false) }
+
+func (n *Net) set(from, to string, v bool) {
+	n.mu.Lock()
+	if v {
+		n.blocked[edge{from, to}] = true
+	} else {
+		delete(n.blocked, edge{from, to})
+	}
+	n.mu.Unlock()
+}
+
+func (n *Net) isBlocked(from, to string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.blocked[edge{from, to}]
+}
+
+// Dialer names an endpoint and returns its gated dialer. A dial into a
+// blocked edge fails immediately with a timeout error (the caller's
+// backoff machinery treats it like any unreachable peer); a dial into
+// an open edge succeeds and returns a connection that re-checks the
+// edge on every operation, so a partition that starts mid-connection
+// parks the established traffic too. dial nil selects a 5s-timeout TCP
+// dial.
+func (n *Net) Dialer(from string, dial DialFunc) DialFunc {
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	return func(addr string) (net.Conn, error) {
+		if n.isBlocked(from, addr) {
+			return nil, timeoutError{}
+		}
+		conn, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return &gatedConn{Conn: conn, net: n, from: from, to: addr, closed: make(chan struct{})}, nil
+	}
+}
+
+// gatedConn wraps a connection with the per-operation edge check.
+// Deadlines are tracked locally (in addition to being passed through)
+// so a parked operation still honours them, exactly like chaosnet's
+// half-open blackhole.
+type gatedConn struct {
+	net.Conn
+	net      *Net
+	from, to string
+
+	mu            sync.Mutex
+	readDeadline  time.Time
+	writeDeadline time.Time
+	closeOnce     sync.Once
+	closed        chan struct{}
+}
+
+// waitOpen parks while the edge is blocked, returning a timeout error
+// when the tracked deadline expires first or net.ErrClosed on Close.
+// nil means the edge is open and the operation may proceed. The 500µs
+// poll mirrors Conn.blockUntil: deadlines can be moved concurrently, so
+// the loop re-reads them instead of arming a timer against a snapshot.
+func (c *gatedConn) waitOpen(read bool) error {
+	for {
+		if !c.net.isBlocked(c.from, c.to) {
+			return nil
+		}
+		c.mu.Lock()
+		d := c.writeDeadline
+		if read {
+			d = c.readDeadline
+		}
+		c.mu.Unlock()
+		if !d.IsZero() && !time.Now().Before(d) {
+			return timeoutError{}
+		}
+		select {
+		case <-c.closed:
+			return net.ErrClosed
+		case <-time.After(500 * time.Microsecond):
+		}
+	}
+}
+
+func (c *gatedConn) Read(p []byte) (int, error) {
+	if err := c.waitOpen(true); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *gatedConn) Write(p []byte) (int, error) {
+	if err := c.waitOpen(false); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *gatedConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+func (c *gatedConn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline, c.writeDeadline = t, t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *gatedConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *gatedConn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}

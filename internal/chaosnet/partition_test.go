@@ -1,0 +1,175 @@
+package chaosnet
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// echoListener accepts connections and echoes bytes back until closed.
+func echoListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 256)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln
+}
+
+func TestNetBlockedDialFailsFast(t *testing.T) {
+	ln := echoListener(t)
+	addr := ln.Addr().String()
+	gate := NewNet()
+	dial := gate.Dialer("a", nil)
+
+	gate.Block("a", addr)
+	start := time.Now()
+	if _, err := dial(addr); err == nil {
+		t.Fatal("dial into a blocked edge succeeded")
+	} else if nerr, ok := err.(net.Error); !ok || !nerr.Timeout() {
+		t.Fatalf("blocked dial error = %v, want a timeout net.Error", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("blocked dial took %v, want fast failure", d)
+	}
+
+	// The rule is directional: another endpoint dialing the same address
+	// is unaffected.
+	conn, err := gate.Dialer("b", nil)(addr)
+	if err != nil {
+		t.Fatalf("unrelated endpoint blocked too: %v", err)
+	}
+	conn.Close()
+
+	gate.Heal("a", addr)
+	conn, err = dial(addr)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	conn.Close()
+}
+
+// A partition landing mid-connection parks established traffic and
+// releases it on heal, rather than surfacing a connection error.
+func TestNetGatesEstablishedConn(t *testing.T) {
+	ln := echoListener(t)
+	addr := ln.Addr().String()
+	gate := NewNet()
+	conn, err := gate.Dialer("a", nil)(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Fatalf("write before block: %v", err)
+	}
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("read before block: %v", err)
+	}
+
+	gate.Block("a", addr)
+	released := make(chan error, 1)
+	go func() {
+		_, err := conn.Write([]byte("y"))
+		released <- err
+	}()
+	select {
+	case err := <-released:
+		t.Fatalf("write completed through a blocked edge (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	gate.Heal("a", addr)
+	select {
+	case err := <-released:
+		if err != nil {
+			t.Fatalf("write after heal: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked write never released after heal")
+	}
+	if _, err := conn.Read(buf); err != nil || buf[0] != 'y' {
+		t.Fatalf("read after heal = (%q, %v), want y", buf[0], err)
+	}
+}
+
+// A parked operation must still honour its deadline — otherwise every
+// timeout-driven retry loop above the gate would hang for the duration
+// of the partition.
+func TestNetParkedOpHonoursDeadline(t *testing.T) {
+	ln := echoListener(t)
+	addr := ln.Addr().String()
+	gate := NewNet()
+	conn, err := gate.Dialer("a", nil)(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+
+	gate.Block("a", addr)
+	defer gate.Heal("a", addr)
+	conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, err = conn.Read(make([]byte, 1))
+	if err == nil {
+		t.Fatal("parked read returned data through a blocked edge")
+	}
+	nerr, ok := err.(net.Error)
+	if !ok || !nerr.Timeout() {
+		t.Fatalf("parked read error = %v, want timeout", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("deadline honoured after %v, want ~50ms", d)
+	}
+
+	// Close must release a parked operation too.
+	conn2, err := gate.Dialer("a", nil)(addr)
+	if err == nil {
+		t.Fatal("dial succeeded while edge blocked")
+	}
+	_ = conn2
+	gate.Heal("a", addr)
+	conn2, err = gate.Dialer("a", nil)(addr)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	gate.Block("a", addr)
+	parked := make(chan error, 1)
+	go func() {
+		_, err := conn2.Read(make([]byte, 1))
+		parked <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	conn2.Close()
+	select {
+	case err := <-parked:
+		if err != net.ErrClosed {
+			t.Fatalf("parked read after Close = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not release the parked read")
+	}
+}

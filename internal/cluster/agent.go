@@ -1,0 +1,450 @@
+package cluster
+
+import (
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/unroller/unroller/internal/collectorsvc"
+	"github.com/unroller/unroller/internal/xhash"
+	"github.com/unroller/unroller/internal/xrand"
+)
+
+// AgentConfig tunes one node's membership agent. Zero values select the
+// defaults noted per field.
+type AgentConfig struct {
+	// ID is this node's identity — stable across restarts (a restarted
+	// node re-asserts itself by outbidding stale death rumours with a
+	// fresher incarnation).
+	ID string
+	// ClusterAddr is the advertised membership/handoff address (what
+	// peers dial); IngestAddr is the advertised report-ingest address
+	// carried in gossip so clients can route partitions.
+	ClusterAddr string
+	IngestAddr  string
+	// Peers seeds the join: cluster addresses probed whenever the local
+	// view holds no live peer (bootstrap and total-isolation recovery).
+	Peers []string
+	// ProbeEvery is the failure-detector round interval. <= 0 selects
+	// 200ms.
+	ProbeEvery time.Duration
+	// ProbeTimeout bounds each RPC (dial + write + read). <= 0 selects
+	// ProbeEvery.
+	ProbeTimeout time.Duration
+	// SuspectAfter is how long a member stays suspect before it is
+	// declared dead — the refutation window. It also bounds the
+	// self-isolation detector (Isolated). <= 0 selects 10×ProbeEvery.
+	SuspectAfter time.Duration
+	// IndirectK is how many helpers relay an indirect probe when a
+	// direct one fails. <= 0 selects 2.
+	IndirectK int
+	// Seed drives the probe-order permutation and helper choice, so a
+	// seeded test replays the exact probe schedule.
+	Seed uint64
+	// Dial overrides the dialer (chaosnet partition gates inject here);
+	// nil uses a ProbeTimeout-bounded TCP dial.
+	Dial DialFunc
+	// Ranges, when set, serves a rejoining peer's recovery handoff: the
+	// accounted sequence ranges this node holds, plus whether the
+	// answer is usable (a node mid-recovery must answer false). nil
+	// answers false — an agent with no ingest state behind it.
+	Ranges func() ([]collectorsvc.ClientRange, bool)
+	// OnUpdate, when set, is called (without the agent lock) after any
+	// change to the membership view, with the new version.
+	OnUpdate func(version uint64)
+}
+
+// Agent is the SWIM-style failure detector and gossip endpoint for one
+// node. Start it with NewAgent + Start; it serves membership RPCs on
+// its listener and probes peers every ProbeEvery.
+type Agent struct {
+	cfg AgentConfig
+
+	mu          sync.Mutex
+	tbl         *table
+	suspectAt   map[string]time.Time
+	lastContact time.Time
+	rng         *xrand.Rand
+	order       []string // current probe permutation, consumed from the front
+	everPeered  bool     // a peer has ever been in the table or Peers set
+
+	ln       net.Listener
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewAgent builds an agent; Start runs it.
+func NewAgent(cfg AgentConfig) *Agent {
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 200 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.ProbeEvery
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 10 * cfg.ProbeEvery
+	}
+	if cfg.IndirectK <= 0 {
+		cfg.IndirectK = 2
+	}
+	if cfg.Dial == nil {
+		timeout := cfg.ProbeTimeout
+		cfg.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	a := &Agent{
+		cfg: cfg,
+		tbl: newTable(Member{
+			ID:          cfg.ID,
+			ClusterAddr: cfg.ClusterAddr,
+			IngestAddr:  cfg.IngestAddr,
+			Status:      StatusAlive,
+			Inc:         1,
+		}),
+		suspectAt:   make(map[string]time.Time),
+		lastContact: time.Now(),
+		rng:         xrand.New(xhash.Mix64(cfg.Seed ^ hashString(cfg.ID))),
+		everPeered:  len(cfg.Peers) > 0,
+		stop:        make(chan struct{}),
+	}
+	return a
+}
+
+// Start serves membership RPCs on ln and begins probing. The agent owns
+// ln from here; Stop closes it.
+func (a *Agent) Start(ln net.Listener) {
+	a.ln = ln
+	a.wg.Add(2)
+	go func() { defer a.wg.Done(); a.serve(ln) }()
+	go func() { defer a.wg.Done(); a.probeLoop() }()
+}
+
+// Stop halts probing and serving and waits for both to exit.
+func (a *Agent) Stop() {
+	a.stopOnce.Do(func() {
+		close(a.stop)
+		if a.ln != nil {
+			a.ln.Close()
+		}
+	})
+	a.wg.Wait()
+}
+
+// Members snapshots the membership view, ascending by ID.
+func (a *Agent) Members() []Member {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tbl.members()
+}
+
+// Version returns the view's change counter — cheap to poll; a ring
+// only needs recomputing when it moves.
+func (a *Agent) Version() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tbl.version
+}
+
+// Isolated reports self-suspicion: peers exist (configured or ever
+// seen) but nothing — no successful probe in either direction — has
+// been heard from any of them for SuspectAfter. A node that cannot
+// reach its cluster must advertise degraded rather than serve a view it
+// cannot corroborate.
+func (a *Agent) Isolated() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.everPeered {
+		return false
+	}
+	return time.Since(a.lastContact) > a.cfg.SuspectAfter
+}
+
+// noteContact records a successful exchange with any peer.
+func (a *Agent) noteContact() {
+	a.mu.Lock()
+	a.lastContact = time.Now()
+	a.mu.Unlock()
+}
+
+// serve accepts one-shot RPC connections.
+func (a *Agent) serve(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			defer conn.Close()
+			m, err := readMsg(conn, a.cfg.ProbeTimeout)
+			if err != nil {
+				return
+			}
+			reply := a.handle(m)
+			if reply != nil {
+				writeMsg(conn, reply, a.cfg.ProbeTimeout)
+			}
+		}()
+	}
+}
+
+// handle processes one request. Every request's piggybacked membership
+// table is merged first (that IS the gossip), and every reply carries
+// this agent's table back.
+func (a *Agent) handle(m *wireMsg) *wireMsg {
+	changed := a.mergeWire(m.Members)
+	switch m.Type {
+	case msgPing:
+		a.noteContact()
+		reply := a.newMsg(msgAck)
+		reply.OK = true
+		a.notifyIfChanged(changed)
+		return reply
+	case msgPingReq:
+		// Probe the target on the requester's behalf. The RPC runs
+		// without the agent lock; only the address lookup takes it.
+		a.mu.Lock()
+		var addr string
+		if row, ok := a.tbl.rows[m.Target]; ok {
+			addr = row.ClusterAddr
+		}
+		a.mu.Unlock()
+		reply := a.newMsg(msgAck)
+		if addr != "" {
+			if ack := a.pingRPC(addr); ack != nil {
+				reply.OK = true
+			}
+		}
+		a.notifyIfChanged(changed)
+		return reply
+	case msgMembers:
+		reply := a.newMsg(msgMembers)
+		reply.OK = true
+		a.notifyIfChanged(changed)
+		return reply
+	case msgRanges:
+		reply := a.newMsg(msgRanges)
+		if a.cfg.Ranges != nil {
+			if ranges, ok := a.cfg.Ranges(); ok {
+				reply.Ranges = ranges
+				reply.OK = true
+			}
+		}
+		a.notifyIfChanged(changed)
+		return reply
+	default:
+		return nil
+	}
+}
+
+// newMsg builds a reply/request carrying the current table.
+func (a *Agent) newMsg(typ string) *wireMsg {
+	a.mu.Lock()
+	members := a.tbl.members()
+	a.mu.Unlock()
+	wm := make([]wireMember, len(members))
+	for i, m := range members {
+		wm[i] = wireMember{ID: m.ID, Cluster: m.ClusterAddr, Ingest: m.IngestAddr, Status: uint8(m.Status), Inc: m.Inc}
+	}
+	return &wireMsg{V: wireVersion, Type: typ, From: a.cfg.ID, Members: wm}
+}
+
+// mergeWire folds a received table into the view, reporting change.
+// Suspicion timers follow the merge: a row newly suspect starts its
+// clock, a row back alive (refuted) clears it.
+func (a *Agent) mergeWire(rows []wireMember) bool {
+	if len(rows) == 0 {
+		return false
+	}
+	now := time.Now()
+	a.mu.Lock()
+	changed := false
+	for _, r := range rows {
+		m := Member{ID: r.ID, ClusterAddr: r.Cluster, IngestAddr: r.Ingest, Status: Status(r.Status), Inc: r.Inc}
+		if a.tbl.merge(m) {
+			changed = true
+		}
+		if m.ID == a.cfg.ID {
+			continue
+		}
+		a.everPeered = true
+		if row, ok := a.tbl.rows[m.ID]; ok {
+			switch row.Status {
+			case StatusSuspect:
+				if _, have := a.suspectAt[m.ID]; !have {
+					a.suspectAt[m.ID] = now
+				}
+			default:
+				delete(a.suspectAt, m.ID)
+			}
+		}
+	}
+	a.mu.Unlock()
+	return changed
+}
+
+func (a *Agent) notifyIfChanged(changed bool) {
+	if changed && a.cfg.OnUpdate != nil {
+		a.cfg.OnUpdate(a.Version())
+	}
+}
+
+// probeLoop is the failure-detector round driver.
+func (a *Agent) probeLoop() {
+	ticker := time.NewTicker(a.cfg.ProbeEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-ticker.C:
+			a.expireSuspects()
+			a.probeOnce()
+		}
+	}
+}
+
+// probeOnce runs one round: direct ping the next target in the seeded
+// permutation; on failure, indirect ping-req through up to IndirectK
+// helpers; if nothing answers, suspect the target at its current
+// incarnation. With no live peer in the table, the round probes the
+// configured seed addresses instead (the join path).
+func (a *Agent) probeOnce() {
+	id, addr, inc, ok := a.nextTarget()
+	if !ok {
+		a.joinSeeds()
+		return
+	}
+	if ack := a.pingRPC(addr); ack != nil {
+		a.noteContact()
+		return
+	}
+	for _, helper := range a.pickHelpers(id) {
+		if reply := a.rpc(helper, &wireMsg{Type: msgPingReq, Target: id}); reply != nil {
+			a.noteContact()
+			if reply.OK {
+				return
+			}
+		}
+	}
+	changed := false
+	now := time.Now()
+	a.mu.Lock()
+	if a.tbl.escalate(id, StatusSuspect, inc) {
+		a.suspectAt[id] = now
+		changed = true
+	}
+	a.mu.Unlock()
+	a.notifyIfChanged(changed)
+}
+
+// nextTarget pops the next probe target from the seeded permutation of
+// non-self, non-dead members, reshuffling when exhausted.
+func (a *Agent) nextTarget() (id, addr string, inc uint64, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for {
+		// Drop permutation entries that died or vanished since shuffle.
+		for len(a.order) > 0 {
+			row, have := a.tbl.rows[a.order[0]]
+			if have && row.Status != StatusDead && row.ClusterAddr != "" {
+				id, addr, inc = row.ID, row.ClusterAddr, row.Inc
+				a.order = a.order[1:]
+				return id, addr, inc, true
+			}
+			a.order = a.order[1:]
+		}
+		eligible := make([]string, 0, len(a.tbl.rows))
+		for rid, row := range a.tbl.rows {
+			if rid != a.cfg.ID && row.Status != StatusDead && row.ClusterAddr != "" {
+				eligible = append(eligible, rid)
+			}
+		}
+		if len(eligible) == 0 {
+			return "", "", 0, false
+		}
+		sort.Strings(eligible)
+		a.rng.Shuffle(len(eligible), func(i, j int) {
+			eligible[i], eligible[j] = eligible[j], eligible[i]
+		})
+		a.order = eligible
+	}
+}
+
+// pickHelpers chooses up to IndirectK live peers (excluding the target)
+// to relay an indirect probe, by seeded choice.
+func (a *Agent) pickHelpers(target string) []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cand := make([]string, 0, len(a.tbl.rows))
+	for id, row := range a.tbl.rows {
+		if id != a.cfg.ID && id != target && row.Status == StatusAlive && row.ClusterAddr != "" {
+			cand = append(cand, row.ClusterAddr)
+		}
+	}
+	sort.Strings(cand)
+	a.rng.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+	if len(cand) > a.cfg.IndirectK {
+		cand = cand[:a.cfg.IndirectK]
+	}
+	return cand
+}
+
+// joinSeeds pings each configured seed address — the bootstrap path,
+// and the way a fully isolated node finds its way back.
+func (a *Agent) joinSeeds() {
+	for _, addr := range a.cfg.Peers {
+		if addr == a.cfg.ClusterAddr {
+			continue
+		}
+		if ack := a.pingRPC(addr); ack != nil {
+			a.noteContact()
+		}
+	}
+}
+
+// expireSuspects promotes suspects whose refutation window lapsed to
+// dead. Dead rows stay in the table and keep gossiping — agreement on
+// who is dead is what keeps every ring computation aligned.
+func (a *Agent) expireSuspects() {
+	now := time.Now()
+	changed := false
+	a.mu.Lock()
+	for id, since := range a.suspectAt {
+		row, ok := a.tbl.rows[id]
+		if !ok || row.Status != StatusSuspect {
+			delete(a.suspectAt, id)
+			continue
+		}
+		if now.Sub(since) >= a.cfg.SuspectAfter {
+			if a.tbl.escalate(id, StatusDead, row.Inc) {
+				changed = true
+			}
+			delete(a.suspectAt, id)
+		}
+	}
+	a.mu.Unlock()
+	a.notifyIfChanged(changed)
+}
+
+// pingRPC sends a direct ping; nil means no (usable) answer.
+func (a *Agent) pingRPC(addr string) *wireMsg {
+	return a.rpc(addr, &wireMsg{Type: msgPing})
+}
+
+// rpc fills in version/from/table, performs the exchange, and merges
+// the reply's table.
+func (a *Agent) rpc(addr string, req *wireMsg) *wireMsg {
+	full := a.newMsg(req.Type)
+	full.Target = req.Target
+	reply, err := call(a.cfg.Dial, addr, full, a.cfg.ProbeTimeout)
+	if err != nil {
+		return nil
+	}
+	a.notifyIfChanged(a.mergeWire(reply.Members))
+	return reply
+}

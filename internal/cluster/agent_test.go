@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/unroller/unroller/internal/chaosnet"
+)
+
+// Fast failure-detector timings for tests: suspicion expires in 300ms,
+// so a convergence wait of a few seconds has ample slack without the
+// suite crawling.
+const (
+	testProbeEvery   = 25 * time.Millisecond
+	testProbeTimeout = 100 * time.Millisecond
+	testSuspectAfter = 300 * time.Millisecond
+)
+
+// startAgents launches n agents wired through one chaosnet partition
+// gate. Agent i is named fmt.Sprintf("n%d", i+1); every agent seeds off
+// agent 0's address.
+func startAgents(t *testing.T, gate *chaosnet.Net, n int) []*Agent {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+	}
+	agents := make([]*Agent, n)
+	for i := range agents {
+		id := fmt.Sprintf("n%d", i+1)
+		var peers []string
+		if i != 0 {
+			peers = []string{lns[0].Addr().String()}
+		} else if n > 1 {
+			peers = []string{lns[1].Addr().String()}
+		}
+		agents[i] = NewAgent(AgentConfig{
+			ID:           id,
+			ClusterAddr:  lns[i].Addr().String(),
+			IngestAddr:   "ingest-" + id, // advertised only; not dialed here
+			Peers:        peers,
+			ProbeEvery:   testProbeEvery,
+			ProbeTimeout: testProbeTimeout,
+			SuspectAfter: testSuspectAfter,
+			Seed:         42,
+			Dial:         DialFunc(gate.Dialer(id, nil)),
+		})
+		agents[i].Start(lns[i])
+		t.Cleanup(agents[i].Stop)
+	}
+	return agents
+}
+
+// waitForViews polls until every agent's view satisfies check, failing
+// the test at the deadline with each agent's current table.
+func waitForViews(t *testing.T, agents []*Agent, within time.Duration, desc string, check func(view []Member) bool) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		allOK := true
+		for _, a := range agents {
+			if !check(a.Members()) {
+				allOK = false
+				break
+			}
+		}
+		if allOK {
+			return
+		}
+		if time.Now().After(deadline) {
+			for _, a := range agents {
+				t.Logf("agent %s view: %+v", a.cfg.ID, a.Members())
+			}
+			t.Fatalf("views did not reach %q within %v", desc, within)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func allAlive(n int) func(view []Member) bool {
+	return func(view []Member) bool {
+		if len(view) != n {
+			return false
+		}
+		for _, m := range view {
+			if m.Status != StatusAlive {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func statusOf(view []Member, id string) (Status, bool) {
+	for _, m := range view {
+		if m.ID == id {
+			return m.Status, true
+		}
+	}
+	return 0, false
+}
+
+func TestAgentsConvergeFromSeeds(t *testing.T) {
+	agents := startAgents(t, chaosnet.NewNet(), 3)
+	waitForViews(t, agents, 5*time.Second, "all alive", allAlive(3))
+}
+
+// An asymmetric partition — n1 can no longer reach n2, but n2 still
+// reaches n1, and both still reach n3 — must NOT kill anyone: n1's
+// failed direct probes fall back to indirect ping-reqs through n3,
+// which still completes the round trip. Both sides of the break hold
+// the same all-alive view throughout a window longer than the suspect
+// timeout. This is the regime a naive ping-only detector misreads as a
+// dead peer.
+func TestAsymmetricPartitionConverges(t *testing.T) {
+	gate := chaosnet.NewNet()
+	agents := startAgents(t, gate, 3)
+	waitForViews(t, agents, 5*time.Second, "all alive", allAlive(3))
+
+	gate.Block("n1", agents[1].cfg.ClusterAddr)
+	defer gate.Heal("n1", agents[1].cfg.ClusterAddr)
+
+	// Hold the break for several suspect windows; nobody may go dead,
+	// and by the end every view must agree all-alive again (a transient
+	// suspicion is allowed, but it must refute well inside the window).
+	hold := 4 * testSuspectAfter
+	end := time.Now().Add(hold)
+	for time.Now().Before(end) {
+		for _, a := range agents {
+			for _, m := range a.Members() {
+				if m.Status == StatusDead {
+					t.Fatalf("agent %s declared %s dead during an asymmetric partition", a.cfg.ID, m.ID)
+				}
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	waitForViews(t, agents, 2*testSuspectAfter, "all alive on both sides", allAlive(3))
+
+	gate.Heal("n1", agents[1].cfg.ClusterAddr)
+	waitForViews(t, agents, 5*time.Second, "all alive after heal", allAlive(3))
+}
+
+// A full isolation of one node must converge both ways: the majority
+// declares it dead within the suspect timeout, and the isolated node —
+// hearing from nobody — reports Isolated (the suspect-of-self signal
+// /healthz surfaces as degraded). Healing brings it back: the death
+// rumour reaches it, it refutes with a fresher incarnation, and every
+// view returns to all-alive.
+func TestFullPartitionKillsAndRejoins(t *testing.T) {
+	gate := chaosnet.NewNet()
+	agents := startAgents(t, gate, 3)
+	waitForViews(t, agents, 5*time.Second, "all alive", allAlive(3))
+
+	// Cut n1 off in both directions from both peers.
+	addr1 := agents[0].cfg.ClusterAddr
+	for _, other := range []int{1, 2} {
+		gate.Block("n1", agents[other].cfg.ClusterAddr)
+		gate.Block(agents[other].cfg.ID, addr1)
+	}
+
+	majority := []*Agent{agents[1], agents[2]}
+	waitForViews(t, majority, 5*time.Second, "n1 dead at the majority", func(view []Member) bool {
+		st, ok := statusOf(view, "n1")
+		return ok && st == StatusDead
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for !agents[0].Isolated() {
+		if time.Now().After(deadline) {
+			t.Fatal("isolated node never noticed its own isolation")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	for _, other := range []int{1, 2} {
+		gate.Heal("n1", agents[other].cfg.ClusterAddr)
+		gate.Heal(agents[other].cfg.ID, addr1)
+	}
+	waitForViews(t, agents, 10*time.Second, "all alive after rejoin", allAlive(3))
+	if agents[0].Isolated() {
+		t.Fatal("rejoined node still reports isolation")
+	}
+}
+
+// Membership merge conflict rules, exercised directly on the table.
+func TestTableMergeRules(t *testing.T) {
+	tbl := newTable(Member{ID: "self", Status: StatusAlive, Inc: 1})
+
+	// New row adopts; equal-incarnation stronger status wins; weaker loses.
+	tbl.merge(Member{ID: "x", Status: StatusAlive, Inc: 3})
+	if tbl.merge(Member{ID: "x", Status: StatusAlive, Inc: 3}) {
+		t.Fatal("identical claim reported as a change")
+	}
+	if !tbl.merge(Member{ID: "x", Status: StatusSuspect, Inc: 3}) || tbl.rows["x"].Status != StatusSuspect {
+		t.Fatal("equal-inc stronger status must win")
+	}
+	if tbl.merge(Member{ID: "x", Status: StatusAlive, Inc: 3}) {
+		t.Fatal("equal-inc weaker status must lose")
+	}
+	// Higher incarnation outranks anything.
+	if !tbl.merge(Member{ID: "x", Status: StatusAlive, Inc: 4}) || tbl.rows["x"].Status != StatusAlive {
+		t.Fatal("higher incarnation must win")
+	}
+	// A non-alive claim about self refutes: fresher incarnation, alive.
+	if !tbl.merge(Member{ID: "self", Status: StatusDead, Inc: 7}) {
+		t.Fatal("self death rumour must trigger a refutation")
+	}
+	if row := tbl.rows["self"]; row.Status != StatusAlive || row.Inc != 8 {
+		t.Fatalf("refutation row = %+v, want alive at inc 8", row)
+	}
+	// escalate is bound to the incarnation the verdict was formed at.
+	if tbl.escalate("x", StatusSuspect, 3) {
+		t.Fatal("stale-incarnation escalation must be ignored")
+	}
+	if !tbl.escalate("x", StatusSuspect, 4) || tbl.rows["x"].Status != StatusSuspect {
+		t.Fatal("current-incarnation escalation must apply")
+	}
+}

@@ -1,0 +1,397 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/unroller/unroller/internal/collectorsvc"
+	"github.com/unroller/unroller/internal/dataplane"
+	"github.com/unroller/unroller/internal/xhash"
+)
+
+// ClientConfig tunes the cluster-routing report sender. Zero values
+// select the defaults noted per field.
+type ClientConfig struct {
+	// Seeds are cluster addresses of any subset of the nodes — where
+	// membership is resolved from. At least one must answer within
+	// ResolveTimeout at NewClient.
+	Seeds []string
+	// ID is the base client identity; each partition sender derives its
+	// own wire ID from it, so the per-(client, partition) sequence
+	// spaces stay disjoint and survive owner changes. 0 derives an
+	// instance-unique base from the wall clock and Seed.
+	ID uint64
+	// Partitions and VNodes are the ring geometry; they must match the
+	// nodes'. <= 0 selects the Default* values.
+	Partitions int
+	VNodes     int
+	// Seed must match the cluster's for ring agreement; it also seeds
+	// each sender's reconnect jitter (mixed with the sender's wire ID,
+	// so the fleet spreads its redials).
+	Seed uint64
+	// RefreshEvery is the membership poll interval — the reaction time
+	// to a reshard, alongside the push a dying connection gives the
+	// affected senders. <= 0 selects 200ms.
+	RefreshEvery time.Duration
+	// RPCTimeout bounds each membership RPC. <= 0 selects 1s.
+	RPCTimeout time.Duration
+	// ResolveTimeout bounds the synchronous first resolve in NewClient.
+	// <= 0 selects 5s.
+	ResolveTimeout time.Duration
+
+	// Per-sender knobs, passed through to each partition's
+	// collectorsvc.Client (zero values select that package's defaults).
+	Buffer, Batch, Window  int
+	MinBackoff, MaxBackoff time.Duration
+	FlushTimeout           time.Duration
+	HeartbeatEvery         time.Duration
+	StaleTimeout           time.Duration
+	WriteTimeout           time.Duration
+
+	// DialIngest overrides the data-plane dialer, DialCluster the
+	// membership-plane dialer (chaosnet injects here); nil selects
+	// timeout-bounded TCP dials.
+	DialIngest  func(addr string) (net.Conn, error)
+	DialCluster DialFunc
+}
+
+// ClientStats sums the accounting across every partition sender, plus
+// the routing layer's own counters. Once Close returns, the
+// exactly-once identity holds cluster-wide:
+// Enqueued = Acked + Dropped.
+type ClientStats struct {
+	collectorsvc.ClientStats
+	// Resolves counts successful membership refreshes; Rebinds counts
+	// partition senders retargeted to a new owner.
+	Resolves uint64 `json:"resolves"`
+	Rebinds  uint64 `json:"rebinds"`
+}
+
+// Client routes loop reports to the collectord cluster: a flow hashes
+// to a partition, the seeded ring maps the partition to its owning
+// node, and a per-partition collectorsvc.Client delivers with
+// exactly-once accounting. A background loop re-resolves membership;
+// when a partition's owner changes, its sender drains in-flight frames
+// to the old owner (when still reachable), cuts over, and replays
+// anything unacknowledged to the new one. Safe for concurrent use.
+type Client struct {
+	cfg     ClientConfig
+	baseID  uint64
+	senders []*collectorsvc.Client // one per partition, fixed at NewClient
+
+	mu       sync.Mutex
+	tbl      *table
+	lastVer  uint64
+	targets  []string // current ingest addr per partition
+	resolves uint64
+	rebinds  uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewClient resolves the membership view from the seeds (synchronously,
+// bounded by ResolveTimeout), builds one sender per partition aimed at
+// that partition's owner, and starts the refresh loop.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if len(cfg.Seeds) == 0 {
+		return nil, fmt.Errorf("cluster: client requires at least one seed address")
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = DefaultPartitions
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = DefaultVNodes
+	}
+	if cfg.RefreshEvery <= 0 {
+		cfg.RefreshEvery = 200 * time.Millisecond
+	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = time.Second
+	}
+	if cfg.ResolveTimeout <= 0 {
+		cfg.ResolveTimeout = 5 * time.Second
+	}
+	if cfg.DialCluster == nil {
+		timeout := cfg.RPCTimeout
+		cfg.DialCluster = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	if cfg.ID == 0 {
+		// Instance-unique, exactly like collectorsvc's derivation: the
+		// wire sequence spaces are keyed by the derived per-partition
+		// IDs, so two identically configured clients must not collide.
+		cfg.ID = xhash.Mix64(uint64(time.Now().UnixNano()) ^ xhash.Mix64(cfg.Seed))
+	}
+	c := &Client{
+		cfg:    cfg,
+		baseID: cfg.ID,
+		// The table's self slot is unused — a client observes
+		// membership, it is not a member.
+		tbl:     &table{rows: make(map[string]*Member)},
+		targets: make([]string, cfg.Partitions),
+		stop:    make(chan struct{}),
+	}
+	if err := c.resolveBlocking(); err != nil {
+		return nil, err
+	}
+	ring := NewRing(cfg.Seed, cfg.VNodes, cfg.Partitions, ringNodes(c.tbl.members()))
+	c.senders = make([]*collectorsvc.Client, cfg.Partitions)
+	for p := 0; p < cfg.Partitions; p++ {
+		addr := c.ingestAddrOf(ring.Owner(p))
+		if addr == "" {
+			return nil, fmt.Errorf("cluster: partition %d has no resolvable owner", p)
+		}
+		c.targets[p] = addr
+		sender, err := collectorsvc.NewClient(collectorsvc.ClientConfig{
+			Addr:           addr,
+			ID:             partitionID(c.baseID, p),
+			Buffer:         cfg.Buffer,
+			Batch:          cfg.Batch,
+			Window:         cfg.Window,
+			MinBackoff:     cfg.MinBackoff,
+			MaxBackoff:     cfg.MaxBackoff,
+			FlushTimeout:   cfg.FlushTimeout,
+			HeartbeatEvery: cfg.HeartbeatEvery,
+			StaleTimeout:   cfg.StaleTimeout,
+			WriteTimeout:   cfg.WriteTimeout,
+			Seed:           cfg.Seed,
+			Dial:           c.dialIngest(),
+		})
+		if err != nil {
+			for _, s := range c.senders[:p] {
+				s.Close()
+			}
+			return nil, err
+		}
+		c.senders[p] = sender
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.refreshLoop()
+	}()
+	return c, nil
+}
+
+// partitionID derives partition p's wire identity from the base ID.
+// The mix keeps the per-partition sequence spaces disjoint while a
+// fixed base keeps them stable across owner changes — the property the
+// cross-node dedup handoff keys on.
+func partitionID(base uint64, p int) uint64 {
+	return xhash.Mix64(base ^ uint64(p+1)*golden)
+}
+
+func (c *Client) dialIngest() func(addr string) (net.Conn, error) {
+	if c.cfg.DialIngest != nil {
+		return c.cfg.DialIngest
+	}
+	return func(addr string) (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, 5*time.Second)
+	}
+}
+
+// Send routes one loop report to its partition's sender. Never blocks
+// on the network.
+func (c *Client) Send(ev dataplane.LoopEvent, hop int) {
+	p := PartitionOf(ev.Flow, c.cfg.Partitions)
+	c.senders[p].Send(ev, hop)
+}
+
+// Tick delivers one epoch-boundary tick per current owner node (via
+// the lowest partition each owns), so every node's controllers advance
+// once per epoch regardless of how many partitions it holds. Ownership
+// can move between ticks; a node may then see an epoch twice or not at
+// all — ticks are an aging heartbeat, and the dedup windows tolerate
+// that slack.
+func (c *Client) Tick() {
+	c.mu.Lock()
+	ticked := make(map[string]bool)
+	for p := 0; p < c.cfg.Partitions; p++ {
+		addr := c.targets[p]
+		if ticked[addr] {
+			continue
+		}
+		ticked[addr] = true
+		c.senders[p].Tick()
+	}
+	c.mu.Unlock()
+}
+
+// Pending sums the events not yet acknowledged across all senders.
+func (c *Client) Pending() int {
+	total := 0
+	for _, s := range c.senders {
+		total += s.Pending()
+	}
+	return total
+}
+
+// Stats sums the per-sender accounting and adds the routing counters.
+func (c *Client) Stats() ClientStats {
+	var out ClientStats
+	for _, s := range c.senders {
+		st := s.Stats()
+		out.Redirects += st.Redirects
+		out.Enqueued += st.Enqueued
+		out.Acked += st.Acked
+		out.Dropped += st.Dropped
+		out.Retransmits += st.Retransmits
+		out.Connects += st.Connects
+		out.DialFailures += st.DialFailures
+	}
+	c.mu.Lock()
+	out.Resolves = c.resolves
+	out.Rebinds = c.rebinds
+	c.mu.Unlock()
+	return out
+}
+
+// Close drains every sender (bounded by their FlushTimeout) and stops
+// the refresh loop. The loop keeps running during the drain so a
+// reshard mid-close still retargets senders flushing to a dead owner.
+func (c *Client) Close() error {
+	var wg sync.WaitGroup
+	for _, s := range c.senders {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Close()
+		}()
+	}
+	wg.Wait()
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+	return nil
+}
+
+// resolveBlocking performs the synchronous first resolve: sweep the
+// seeds until one answers, bounded by ResolveTimeout.
+func (c *Client) resolveBlocking() error {
+	deadline := time.Now().Add(c.cfg.ResolveTimeout)
+	for {
+		if c.refreshOnce() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: no seed answered within %v", c.cfg.ResolveTimeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// refreshLoop re-resolves membership every RefreshEvery and retargets
+// senders when the ring moved.
+func (c *Client) refreshLoop() {
+	ticker := time.NewTicker(c.cfg.RefreshEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			if c.refreshOnce() {
+				c.rebind()
+			}
+		}
+	}
+}
+
+// refreshOnce polls candidates (configured seeds plus live member
+// addresses) and merges the first answer's table. Any live node's
+// table is complete — gossip is full-state — so one answer per round
+// suffices.
+func (c *Client) refreshOnce() bool {
+	for _, addr := range c.resolveCandidates() {
+		req := &wireMsg{V: wireVersion, Type: msgMembers, From: "client"}
+		reply, err := call(c.cfg.DialCluster, addr, req, c.cfg.RPCTimeout)
+		if err != nil || reply.Type != msgMembers {
+			continue
+		}
+		c.mu.Lock()
+		for _, r := range reply.Members {
+			c.tbl.merge(Member{ID: r.ID, ClusterAddr: r.Cluster, IngestAddr: r.Ingest, Status: Status(r.Status), Inc: r.Inc})
+		}
+		c.resolves++
+		c.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// resolveCandidates lists membership poll targets: live member rows
+// first (freshest view), then any configured seeds not already listed.
+func (c *Client) resolveCandidates() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := make(map[string]bool)
+	out := make([]string, 0, len(c.tbl.rows)+len(c.cfg.Seeds))
+	for _, m := range c.tbl.members() {
+		if m.Status != StatusDead && m.ClusterAddr != "" && !seen[m.ClusterAddr] {
+			seen[m.ClusterAddr] = true
+			out = append(out, m.ClusterAddr)
+		}
+	}
+	for _, s := range c.cfg.Seeds {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ingestAddrOf resolves a node ID to its advertised ingest address
+// (caller holds no lock; the table is read under c.mu).
+func (c *Client) ingestAddrOf(id string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if row, ok := c.tbl.rows[id]; ok {
+		return row.IngestAddr
+	}
+	return ""
+}
+
+// rebind recomputes the ring when the view changed and redirects every
+// sender whose partition's owner moved. The sender drains its
+// in-flight frames to the old owner first when it still answers, or
+// replays them to the new one when it does not — either way each frame
+// is acknowledged exactly once somewhere, and the recovery handoff
+// discounts any journaled-but-replayed overlap.
+func (c *Client) rebind() {
+	c.mu.Lock()
+	if c.tbl.version == c.lastVer {
+		c.mu.Unlock()
+		return
+	}
+	c.lastVer = c.tbl.version
+	ring := NewRing(c.cfg.Seed, c.cfg.VNodes, c.cfg.Partitions, ringNodes(c.tbl.members()))
+	type move struct {
+		p    int
+		addr string
+	}
+	var moves []move
+	for p := 0; p < c.cfg.Partitions; p++ {
+		addr := ""
+		if row, ok := c.tbl.rows[ring.Owner(p)]; ok {
+			addr = row.IngestAddr
+		}
+		if addr == "" || addr == c.targets[p] {
+			continue
+		}
+		c.targets[p] = addr
+		c.rebinds++
+		moves = append(moves, move{p, addr})
+	}
+	c.mu.Unlock()
+	// Redirect outside c.mu: it takes each sender's own lock and pokes
+	// its run loop.
+	for _, m := range moves {
+		c.senders[m.p].Redirect(m.addr)
+	}
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import "sort"
+
+// Status is a member's failure-detector state. The order matters: at
+// equal incarnation numbers the numerically larger status wins a merge
+// (Dead > Suspect > Alive), per the SWIM conflict rules.
+type Status uint8
+
+const (
+	StatusAlive Status = iota
+	StatusSuspect
+	StatusDead
+)
+
+// String renders the status for /statsz and logs.
+func (s Status) String() string {
+	switch s {
+	case StatusAlive:
+		return "alive"
+	case StatusSuspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// Member is one row of the membership view.
+type Member struct {
+	ID          string `json:"id"`
+	ClusterAddr string `json:"cluster"`
+	IngestAddr  string `json:"ingest"`
+	Status      Status `json:"status"`
+	// Inc is the incarnation number: only the member itself raises it
+	// (to refute a suspicion), and a higher incarnation outranks any
+	// claim at a lower one.
+	Inc uint64 `json:"inc"`
+}
+
+// table is the local membership view plus its change counter. It is not
+// self-locking: the owning Agent serializes all access under its mutex.
+type table struct {
+	self    string
+	rows    map[string]*Member
+	version uint64
+}
+
+func newTable(self Member) *table {
+	row := self
+	return &table{
+		self:    self.ID,
+		rows:    map[string]*Member{self.ID: &row},
+		version: 1,
+	}
+}
+
+// merge folds one remote assertion in, returning whether the view
+// changed. Conflict rules (SWIM §4.2): a higher incarnation always
+// wins; at equal incarnations the stronger claim wins. A non-alive
+// claim about this node itself is refuted on the spot: the local row
+// jumps to a fresher incarnation and re-asserts Alive, which outranks
+// the rumour everywhere the next gossip reaches.
+func (t *table) merge(m Member) bool {
+	if m.ID == "" {
+		return false
+	}
+	if m.ID == t.self {
+		cur := t.rows[t.self]
+		if m.Status != StatusAlive && m.Inc >= cur.Inc {
+			cur.Inc = m.Inc + 1
+			cur.Status = StatusAlive
+			t.version++
+			return true
+		}
+		return false
+	}
+	cur, ok := t.rows[m.ID]
+	if !ok {
+		row := m
+		t.rows[m.ID] = &row
+		t.version++
+		return true
+	}
+	if m.Inc < cur.Inc || (m.Inc == cur.Inc && m.Status <= cur.Status) {
+		// Not fresher; still adopt addresses we were missing (a row can
+		// be learned status-first from a third party's suspicion).
+		changed := false
+		if cur.ClusterAddr == "" && m.ClusterAddr != "" {
+			cur.ClusterAddr = m.ClusterAddr
+			changed = true
+		}
+		if cur.IngestAddr == "" && m.IngestAddr != "" {
+			cur.IngestAddr = m.IngestAddr
+			changed = true
+		}
+		if changed {
+			t.version++
+		}
+		return changed
+	}
+	cur.Status, cur.Inc = m.Status, m.Inc
+	if m.ClusterAddr != "" {
+		cur.ClusterAddr = m.ClusterAddr
+	}
+	if m.IngestAddr != "" {
+		cur.IngestAddr = m.IngestAddr
+	}
+	t.version++
+	return true
+}
+
+// escalate applies a local failure-detector verdict about id — suspect
+// or dead — bound to the incarnation the verdict was formed against. If
+// the row has since moved to a newer incarnation (the member refuted)
+// or already carries an equal-or-stronger status, the verdict is stale
+// and ignored.
+func (t *table) escalate(id string, status Status, inc uint64) bool {
+	cur, ok := t.rows[id]
+	if !ok || id == t.self || cur.Inc != inc || cur.Status >= status {
+		return false
+	}
+	cur.Status = status
+	t.version++
+	return true
+}
+
+// members snapshots the view, ascending by ID.
+func (t *table) members() []Member {
+	out := make([]Member, 0, len(t.rows))
+	for _, row := range t.rows {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}

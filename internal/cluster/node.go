@@ -1,0 +1,402 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/unroller/unroller/internal/collectorsvc"
+)
+
+// NodeConfig assembles one collectord cluster node: a collectorsvc
+// ingest server, a membership agent, and (when the server is journaled)
+// the recovery handoff that reconciles a restart against the peers that
+// took over its partitions. Zero values select the defaults noted per
+// field.
+type NodeConfig struct {
+	// ID is the node's stable identity (survives restarts). Required.
+	ID string
+	// ClusterListen and IngestListen are listen addresses; "" selects
+	// "127.0.0.1:0" (tests) — production passes explicit host:ports. The
+	// bound addresses are what gossip advertises.
+	ClusterListen string
+	IngestListen  string
+	// Peers seeds the membership join: the cluster addresses of any
+	// subset of the other nodes.
+	Peers []string
+	// Partitions and VNodes are the ring geometry; they must match
+	// across every node and client. <= 0 selects the Default* values.
+	Partitions int
+	VNodes     int
+	// Seed drives the ring layout and the probe schedule. It must match
+	// across the cluster for ring agreement.
+	Seed uint64
+	// Server configures the ingest service. When Server.Journal is set
+	// the node starts through staged recovery: replay to the
+	// reconciliation point, ask live peers which sequence ranges they
+	// already ingested, commit with the overlap discarded (counted in
+	// CrossDupes), then rotate the journal so the reconciled cut is the
+	// new recovery baseline.
+	Server collectorsvc.ServerConfig
+	// ProbeEvery / ProbeTimeout / SuspectAfter tune the failure
+	// detector (see AgentConfig).
+	ProbeEvery   time.Duration
+	ProbeTimeout time.Duration
+	SuspectAfter time.Duration
+	// RecoverySync bounds how long a journaled start waits for every
+	// known live peer to answer the ranges handoff before committing
+	// with whatever answered. <= 0 selects 5s.
+	RecoverySync time.Duration
+	// Dial overrides the cluster-plane dialer (chaosnet partition gates
+	// inject here). The ingest plane dials are made by clients, not the
+	// node.
+	Dial DialFunc
+}
+
+// Node is one running cluster member.
+type Node struct {
+	cfg   NodeConfig
+	srv   *collectorsvc.Server
+	agent *Agent
+
+	clusterLn net.Listener
+	ingestLn  net.Listener
+
+	mu          sync.Mutex
+	ring        *Ring
+	ringVersion uint64
+	ringBuilt   bool
+
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// StartNode binds the node's listeners, recovers the ingest server
+// (reconciling against live peers when journaled), joins the
+// membership layer, and begins serving ingest. The returned node is
+// ready: /healthz answers "ready" unless the journal failed or the
+// membership layer has the node isolated.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("cluster: node requires an ID")
+	}
+	if cfg.ClusterListen == "" {
+		cfg.ClusterListen = "127.0.0.1:0"
+	}
+	if cfg.IngestListen == "" {
+		cfg.IngestListen = "127.0.0.1:0"
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = DefaultPartitions
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = DefaultVNodes
+	}
+	if cfg.RecoverySync <= 0 {
+		cfg.RecoverySync = 5 * time.Second
+	}
+	clusterLn, err := net.Listen("tcp", cfg.ClusterListen)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", cfg.ClusterListen, err)
+	}
+	// Bind ingest before recovery: clients that already resolved this
+	// node queue in the accept backlog instead of bouncing while the
+	// journal replays.
+	ingestLn, err := net.Listen("tcp", cfg.IngestListen)
+	if err != nil {
+		clusterLn.Close()
+		return nil, fmt.Errorf("cluster: listen %s: %w", cfg.IngestListen, err)
+	}
+
+	n := &Node{cfg: cfg, clusterLn: clusterLn, ingestLn: ingestLn}
+
+	var staged *collectorsvc.StagedRecovery
+	if cfg.Server.Journal != nil {
+		staged, err = collectorsvc.NewStagedRecoveredServer(cfg.Server)
+		if err != nil {
+			clusterLn.Close()
+			ingestLn.Close()
+			return nil, err
+		}
+		n.srv = staged.Server()
+	} else {
+		n.srv = collectorsvc.NewServer(cfg.Server)
+	}
+	srv := n.srv
+
+	n.agent = NewAgent(AgentConfig{
+		ID:           cfg.ID,
+		ClusterAddr:  clusterLn.Addr().String(),
+		IngestAddr:   ingestLn.Addr().String(),
+		Peers:        cfg.Peers,
+		ProbeEvery:   cfg.ProbeEvery,
+		ProbeTimeout: cfg.ProbeTimeout,
+		SuspectAfter: cfg.SuspectAfter,
+		Seed:         cfg.Seed,
+		Dial:         cfg.Dial,
+		// A node mid-recovery answers the handoff unusable: its own
+		// spans are incomplete, and letting two simultaneously
+		// recovering nodes discount against each other could drop a
+		// record both hold. The cluster's failure model is single
+		// rejoin at a time; a second one just commits without discount.
+		Ranges: func() ([]collectorsvc.ClientRange, bool) {
+			if srv.Recovering() {
+				return nil, false
+			}
+			return srv.ClientRanges(), true
+		},
+	})
+	n.agent.Start(clusterLn)
+
+	if staged != nil {
+		if err := n.reconcile(staged); err != nil {
+			n.agent.Stop()
+			ingestLn.Close()
+			return nil, err
+		}
+	}
+
+	// Overlay the membership verdict on the health surface: a node that
+	// cannot corroborate its view (suspect-of-self by isolation) must
+	// answer degraded, because the partitions it thinks it owns may
+	// already have moved.
+	agent := n.agent
+	srv.SetHealthOverlay(func(h collectorsvc.Health) collectorsvc.Health {
+		if h == collectorsvc.HealthReady && agent.Isolated() {
+			return collectorsvc.HealthDegraded
+		}
+		return h
+	})
+
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		srv.Serve(ingestLn)
+	}()
+	return n, nil
+}
+
+// reconcile runs the recovery handoff: collect accounted ranges from
+// every live peer (bounded by RecoverySync), commit the staged records
+// with the peer-covered overlap discarded, and rotate the journal so
+// the reconciled cut is the new baseline.
+func (n *Node) reconcile(staged *collectorsvc.StagedRecovery) error {
+	var covered map[uint64][]collectorsvc.SeqSpan
+	if staged.Staged() > 0 {
+		// An empty window (fresh journal, or a clean shutdown that
+		// rotated at the end) has nothing to discount — skip the peer
+		// poll so a simultaneous cold start of every node doesn't have
+		// them all waiting RecoverySync on each other's recovery.
+		covered = n.collectPeerRanges()
+	}
+	var discard func(clientID, seq uint64) bool
+	if len(covered) > 0 {
+		discard = func(clientID, seq uint64) bool {
+			return spanCovers(covered[clientID], seq)
+		}
+	}
+	srv, _, err := staged.Commit(discard)
+	if err != nil {
+		return err
+	}
+	srv.ForceRotate()
+	return nil
+}
+
+// collectPeerRanges polls every known live peer's accounted sequence
+// spans until all have answered or the RecoverySync deadline lapses.
+// Peers the membership table marks dead are excluded; an answer that
+// arrives is final (ranges only grow, and anything a peer accounts
+// after answering has a sequence number beyond the staged window).
+func (n *Node) collectPeerRanges() map[uint64][]collectorsvc.SeqSpan {
+	deadline := time.Now().Add(n.cfg.RecoverySync)
+	answered := make(map[string]bool)
+	covered := make(map[uint64][]collectorsvc.SeqSpan)
+	for {
+		pending := 0
+		for _, addr := range n.handoffCandidates() {
+			if answered[addr] {
+				continue
+			}
+			reply := n.agent.rpc(addr, &wireMsg{Type: msgRanges})
+			if reply == nil || !reply.OK {
+				pending++
+				continue
+			}
+			answered[addr] = true
+			for _, cr := range reply.Ranges {
+				covered[cr.ID] = mergeSpans(covered[cr.ID], cr.Spans)
+			}
+		}
+		if pending == 0 || time.Now().After(deadline) {
+			return covered
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// handoffCandidates lists the cluster addresses worth asking for
+// ranges: the configured seeds plus every live member row, minus this
+// node and minus anyone the table already declared dead.
+func (n *Node) handoffCandidates() []string {
+	set := make(map[string]bool)
+	self := n.clusterLn.Addr().String()
+	for _, p := range n.cfg.Peers {
+		if p != self {
+			set[p] = true
+		}
+	}
+	for _, m := range n.agent.Members() {
+		if m.ID == n.cfg.ID || m.ClusterAddr == "" {
+			continue
+		}
+		if m.Status == StatusDead {
+			delete(set, m.ClusterAddr)
+			continue
+		}
+		set[m.ClusterAddr] = true
+	}
+	out := make([]string, 0, len(set))
+	for addr := range set {
+		out = append(out, addr)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// ClusterAddr returns the bound membership/handoff address.
+func (n *Node) ClusterAddr() string { return n.clusterLn.Addr().String() }
+
+// IngestAddr returns the bound report-ingest address.
+func (n *Node) IngestAddr() string { return n.ingestLn.Addr().String() }
+
+// Server exposes the underlying ingest server (stats, health).
+func (n *Node) Server() *collectorsvc.Server { return n.srv }
+
+// Agent exposes the membership agent (view, version, isolation).
+func (n *Node) Agent() *Agent { return n.agent }
+
+// Ring returns the current partition assignment, recomputed only when
+// the membership view has changed since the last call.
+func (n *Node) Ring() *Ring {
+	v := n.agent.Version()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.ringBuilt || n.ringVersion != v {
+		n.ring = NewRing(n.cfg.Seed, n.cfg.VNodes, n.cfg.Partitions, ringNodes(n.agent.Members()))
+		n.ringVersion = v
+		n.ringBuilt = true
+	}
+	return n.ring
+}
+
+// Stop leaves the cluster and drains the ingest server. The caller
+// closes the journal (it opened it).
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		n.agent.Stop()
+		n.ingestLn.Close()
+		n.srv.Shutdown()
+	})
+	n.wg.Wait()
+}
+
+// ClusterInfo is the cluster stanza a node adds to /statsz.
+type ClusterInfo struct {
+	ID          string   `json:"id"`
+	ClusterAddr string   `json:"cluster_addr"`
+	IngestAddr  string   `json:"ingest_addr"`
+	Version     uint64   `json:"version"`
+	Isolated    bool     `json:"isolated"`
+	Partitions  int      `json:"partitions"`
+	Owned       int      `json:"owned_partitions"`
+	Members     []Member `json:"members"`
+}
+
+// Info assembles the cluster stanza.
+func (n *Node) Info() ClusterInfo {
+	ring := n.Ring()
+	return ClusterInfo{
+		ID:          n.cfg.ID,
+		ClusterAddr: n.ClusterAddr(),
+		IngestAddr:  n.IngestAddr(),
+		Version:     n.agent.Version(),
+		Isolated:    n.agent.Isolated(),
+		Partitions:  ring.Partitions(),
+		Owned:       ring.Counts()[n.cfg.ID],
+		Members:     n.agent.Members(),
+	}
+}
+
+// nodeStats is the JSON /statsz shape: the single-node snapshot plus
+// the cluster stanza.
+type nodeStats struct {
+	collectorsvc.AdminStats
+	Cluster ClusterInfo `json:"cluster"`
+}
+
+// AdminHandler returns the node's admin mux: /healthz (three-state,
+// membership-aware via the health overlay) and /statsz (the
+// collectorsvc snapshot plus a cluster stanza, text and JSON).
+func (n *Node) AdminHandler() http.Handler {
+	inner := n.srv.AdminHandler()
+	mux := http.NewServeMux()
+	mux.Handle("/healthz", inner)
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		snap := nodeStats{AdminStats: n.srv.AdminSnapshot(), Cluster: n.Info()}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, snap.AdminStats.RenderText())
+		ci := snap.Cluster
+		fmt.Fprintf(w, "cluster: id=%s version=%d isolated=%v partitions=%d owned=%d\n",
+			ci.ID, ci.Version, ci.Isolated, ci.Partitions, ci.Owned)
+		for _, m := range ci.Members {
+			fmt.Fprintf(w, "member %s: status=%s inc=%d cluster=%s ingest=%s\n",
+				m.ID, m.Status, m.Inc, m.ClusterAddr, m.IngestAddr)
+		}
+	})
+	return mux
+}
+
+// mergeSpans folds b into a, returning a normalized (sorted,
+// non-overlapping, non-adjacent) span list.
+func mergeSpans(a, b []collectorsvc.SeqSpan) []collectorsvc.SeqSpan {
+	all := make([]collectorsvc.SeqSpan, 0, len(a)+len(b))
+	all = append(all, a...)
+	all = append(all, b...)
+	if len(all) < 2 {
+		return all
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].First < all[j].First })
+	out := all[:1]
+	for _, s := range all[1:] {
+		last := &out[len(out)-1]
+		if s.First <= last.Last+1 {
+			if s.Last > last.Last {
+				last.Last = s.Last
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// spanCovers reports whether seq falls inside any span.
+func spanCovers(spans []collectorsvc.SeqSpan, seq uint64) bool {
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].Last >= seq })
+	return i < len(spans) && spans[i].First <= seq
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/unroller/unroller/internal/collectorsvc"
+)
+
+// The ring is a pure function of (seed, member set, geometry): two
+// parties that agree on those inputs must compute identical ownership
+// with no coordination — the property client routing and node-side
+// handoff both stand on.
+func TestRingDeterministic(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	a := NewRing(42, 16, 32, nodes)
+	b := NewRing(42, 16, 32, []string{"n3", "n1", "n2"}) // order must not matter
+	for p := 0; p < 32; p++ {
+		if a.Owner(p) != b.Owner(p) {
+			t.Fatalf("partition %d: owner %q vs %q for permuted input", p, a.Owner(p), b.Owner(p))
+		}
+	}
+	c := NewRing(43, 16, 32, nodes)
+	same := true
+	for p := 0; p < 32; p++ {
+		if a.Owner(p) != c.Owner(p) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("changing the seed left every assignment identical")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	r := NewRing(7, DefaultVNodes, DefaultPartitions, nodes)
+	counts := r.Counts()
+	total := 0
+	for _, id := range nodes {
+		n := counts[id]
+		total += n
+		if n == 0 {
+			t.Fatalf("node %s owns nothing: %v", id, counts)
+		}
+	}
+	if total != DefaultPartitions {
+		t.Fatalf("owned %d partitions, want %d: %v", total, DefaultPartitions, counts)
+	}
+}
+
+// Removing one node must only move the partitions it owned — every
+// partition owned by a surviving node keeps its owner. This is the
+// consistent-hashing property that bounds how much resharding a node
+// kill causes.
+func TestRingStabilityUnderMemberLoss(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	before := NewRing(42, 16, 64, nodes)
+	after := NewRing(42, 16, 64, []string{"n1", "n3"})
+	moved := 0
+	for p := 0; p < 64; p++ {
+		was, is := before.Owner(p), after.Owner(p)
+		if was == "n2" {
+			if is == "n2" {
+				t.Fatalf("partition %d still owned by removed node", p)
+			}
+			moved++
+			continue
+		}
+		if was != is {
+			t.Fatalf("partition %d moved %s→%s though %s survived", p, was, is, was)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed node owned nothing; test proves nothing")
+	}
+}
+
+func TestPartitionOfSpreads(t *testing.T) {
+	const parts = 16
+	var hit [parts]int
+	for f := uint32(0); f < 4096; f++ {
+		p := PartitionOf(f, parts)
+		if p < 0 || p >= parts {
+			t.Fatalf("flow %d: partition %d out of range", f, p)
+		}
+		hit[p]++
+	}
+	for p, n := range hit {
+		if n == 0 {
+			t.Fatalf("partition %d never hit over 4096 flows", p)
+		}
+	}
+}
+
+func TestRingNodesExcludesOnlyDead(t *testing.T) {
+	members := []Member{
+		{ID: "a", Status: StatusAlive},
+		{ID: "b", Status: StatusSuspect},
+		{ID: "c", Status: StatusDead},
+	}
+	got := ringNodes(members)
+	want := []string{"a", "b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ringNodes = %v, want %v (suspects carry partitions, dead do not)", got, want)
+	}
+}
+
+func TestMergeSpans(t *testing.T) {
+	a := []collectorsvc.SeqSpan{{First: 1, Last: 5}, {First: 10, Last: 12}}
+	b := []collectorsvc.SeqSpan{{First: 6, Last: 9}, {First: 20, Last: 20}}
+	got := mergeSpans(a, b)
+	want := []collectorsvc.SeqSpan{{First: 1, Last: 12}, {First: 20, Last: 20}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mergeSpans = %v, want %v", got, want)
+	}
+	for _, tc := range []struct {
+		seq  uint64
+		want bool
+	}{{0, false}, {1, true}, {12, true}, {13, false}, {20, true}, {21, false}} {
+		if spanCovers(got, tc.seq) != tc.want {
+			t.Fatalf("spanCovers(%d) = %v, want %v", tc.seq, !tc.want, tc.want)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package cluster joins N collectords into one logical collector: a
+// seeded SWIM-style membership layer (ping / indirect ping-req /
+// suspect / dead with incarnation refutation) over chaosnet-injectable
+// connections, a seeded consistent-hash ring assigning flow partitions
+// to nodes, a cluster client that re-resolves partition owners on
+// membership change and replays unacknowledged reports to the new
+// owner, and a journal-recovery handoff that discounts cross-node
+// replay overlap — so the exactly-once accounting identity
+// (sent = ingested + dropped) holds cluster-wide, not per node.
+// DESIGN §13 documents the protocol and its invariants.
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"github.com/unroller/unroller/internal/collectorsvc"
+)
+
+// DialFunc matches the dial hooks chaosnet and collectorsvc expose.
+type DialFunc func(addr string) (net.Conn, error)
+
+// Membership and handoff wire protocol: length-prefixed JSON, one
+// request and one reply per connection. Control-plane rates are tiny (a
+// handful of messages per probe interval per node), so the codec
+// favours inspectability over bytes; the data-plane ingest path keeps
+// collectorsvc's binary frame protocol.
+const (
+	msgPing    = "ping"     // direct probe; reply is an ack
+	msgAck     = "ack"      // probe answer
+	msgPingReq = "ping-req" // indirect probe: "ping Target for me"
+	msgMembers = "members"  // membership snapshot request (clients join here)
+	msgRanges  = "ranges"   // recovery handoff: accounted client ranges
+)
+
+const (
+	wireVersion = 1
+	// maxWireMsg bounds a message body. Membership tables are O(nodes)
+	// and range tables O(clients × ownership stints); 1 MiB is orders of
+	// magnitude above both while still refusing absurd frames.
+	maxWireMsg = 1 << 20
+)
+
+// wireMember is one membership table row in flight.
+type wireMember struct {
+	ID      string `json:"id"`
+	Cluster string `json:"cluster"`
+	Ingest  string `json:"ingest"`
+	Status  uint8  `json:"status"`
+	Inc     uint64 `json:"inc"`
+}
+
+// wireMsg is every message's shape; Type selects which fields matter.
+// Every message carries the sender's full membership table — the
+// full-state gossip that disseminates joins, suspicions, refutations,
+// and deaths as a side effect of the probe traffic.
+type wireMsg struct {
+	V       int          `json:"v"`
+	Type    string       `json:"type"`
+	From    string       `json:"from"`
+	Target  string       `json:"target,omitempty"` // ping-req: the node ID to probe
+	Members []wireMember `json:"members,omitempty"`
+	// Ranges answers a msgRanges request: the responder's accounted
+	// sequence spans per client. OK reports whether the responder's
+	// answer is usable (a probe succeeded, a ranges responder is not
+	// itself mid-recovery).
+	Ranges []collectorsvc.ClientRange `json:"ranges,omitempty"`
+	OK     bool                       `json:"ok,omitempty"`
+}
+
+// writeMsg sends one length-prefixed message, deadline-armed.
+func writeMsg(conn net.Conn, m *wireMsg, timeout time.Duration) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("cluster: encode %s: %w", m.Type, err)
+	}
+	if len(body) > maxWireMsg {
+		return fmt.Errorf("cluster: %s message of %d bytes exceeds cap %d", m.Type, len(body), maxWireMsg)
+	}
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(len(body)))
+	copy(buf[4:], body)
+	conn.SetWriteDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(buf); err != nil {
+		return fmt.Errorf("cluster: write %s: %w", m.Type, err)
+	}
+	return nil
+}
+
+// readMsg reads one length-prefixed message, deadline-armed per read.
+func readMsg(conn net.Conn, timeout time.Duration) (*wireMsg, error) {
+	var hdr [4]byte
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, fmt.Errorf("cluster: read header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxWireMsg {
+		return nil, fmt.Errorf("cluster: message length %d out of range", n)
+	}
+	body := make([]byte, n)
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	if _, err := io.ReadFull(conn, body); err != nil {
+		return nil, fmt.Errorf("cluster: read body: %w", err)
+	}
+	var m wireMsg
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("cluster: decode message: %w", err)
+	}
+	if m.V != wireVersion {
+		return nil, fmt.Errorf("cluster: unknown wire version %d", m.V)
+	}
+	return &m, nil
+}
+
+// call is the one-shot RPC every cluster exchange uses: dial, send req,
+// read one reply, close. timeout bounds each stage independently.
+func call(dial DialFunc, addr string, req *wireMsg, timeout time.Duration) (*wireMsg, error) {
+	conn, err := dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := writeMsg(conn, req, timeout); err != nil {
+		return nil, err
+	}
+	return readMsg(conn, timeout)
+}

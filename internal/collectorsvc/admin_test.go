@@ -159,31 +159,49 @@ func TestAdminStatsJournaledServer(t *testing.T) {
 	}
 }
 
-// TestAdminHealthz: /healthz tracks Healthy() — 200 while the journal
-// is intact, 503 once durability is gone (or the server is shut down).
+// TestAdminHealthz: /healthz renders the three-state body — 200 "ready"
+// while the journal is intact, 503 "degraded" once durability is gone
+// (or the server is shut down), 503 "recovering" while a staged
+// recovery has yet to commit, and an installed overlay can escalate.
 func TestAdminHealthz(t *testing.T) {
 	j, err := OpenJournal(JournalConfig{Dir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { j.Close() })
-	srv, _, err := NewRecoveredServer(ServerConfig{Shards: 1, Journal: j})
+	st, err := NewStagedRecoveredServer(ServerConfig{Shards: 1, Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	st.Server().AdminHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "recovering") {
+		t.Fatalf("staged server: status %d body %q, want 503 recovering", rec.Code, rec.Body.String())
+	}
+	srv, _, err := st.Commit(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(srv.Shutdown)
-	rec := httptest.NewRecorder()
+	rec = httptest.NewRecorder()
 	srv.AdminHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
-	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ready") {
 		t.Fatalf("healthy server: status %d body %q", rec.Code, rec.Body.String())
 	}
+	srv.SetHealthOverlay(func(h Health) Health { return HealthDegraded })
+	rec = httptest.NewRecorder()
+	srv.AdminHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "degraded") {
+		t.Fatalf("overlay-degraded server: status %d body %q", rec.Code, rec.Body.String())
+	}
+	srv.SetHealthOverlay(nil)
 	j.mu.Lock()
 	j.failed = true
 	j.mu.Unlock()
 	rec = httptest.NewRecorder()
 	srv.AdminHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
-	if rec.Code != http.StatusServiceUnavailable {
-		t.Fatalf("failed journal: status %d, want 503", rec.Code)
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "degraded") {
+		t.Fatalf("failed journal: status %d body %q, want 503 degraded", rec.Code, rec.Body.String())
 	}
 }
 

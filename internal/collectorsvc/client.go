@@ -61,6 +61,10 @@ type ClientConfig struct {
 	// DefaultClientWriteTimeout.
 	WriteTimeout time.Duration
 	// Seed seeds the backoff jitter (and the derived ID when ID is 0).
+	// The jitter stream is derived from Seed mixed with the client ID,
+	// so a fleet of clients sharing one configured seed still spreads
+	// its reconnects instead of redialing a freshly promoted owner in
+	// lockstep.
 	Seed uint64
 	// Dial overrides the dialer (tests inject failing or proxied
 	// connections); nil uses a 5s-timeout TCP dial.
@@ -86,6 +90,9 @@ const (
 // over was either acknowledged by the server or counted as dropped
 // (buffer overflow or unflushed at close) — never silently lost.
 type ClientStats struct {
+	// Redirects counts Redirect calls that actually retargeted the
+	// sender (cluster failover and resharding cutovers).
+	Redirects uint64 `json:"redirects"`
 	// Enqueued counts events accepted by Send (plus ticks by Tick).
 	Enqueued uint64 `json:"enqueued"`
 	// Acked counts frames the server acknowledged as accounted.
@@ -117,17 +124,20 @@ type clientItem struct {
 type Client struct {
 	cfg ClientConfig
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	unsent   []clientItem // bounded ring semantics via head index
-	inflight []clientItem // sent, awaiting ack; FIFO by seq
-	nextSeq  uint64
-	stats    ClientStats
-	rng      *xrand.Rand
-	closing  bool // Close called: drain, then stop
-	aborted  bool // drain deadline hit: count pending as dropped, stop
-	broken   bool // current connection died (reader noticed first)
-	hbDue    bool // heartbeat timer fired; stream owes a keep-alive
+	mu          sync.Mutex
+	cond        *sync.Cond
+	unsent      []clientItem // bounded ring semantics via head index
+	inflight    []clientItem // sent, awaiting ack; FIFO by seq
+	nextSeq     uint64
+	stats       ClientStats
+	rng         *xrand.Rand
+	addr        string // current dial target (cfg.Addr until redirected)
+	pendingAddr string // Redirect target awaiting cutover
+	cutover     bool   // drain in-flight, then adopt pendingAddr
+	closing     bool   // Close called: drain, then stop
+	aborted     bool   // drain deadline hit: count pending as dropped, stop
+	broken      bool   // current connection died (reader noticed first)
+	hbDue       bool   // heartbeat timer fired; stream owes a keep-alive
 
 	wake chan struct{} // poked by Close/abort to interrupt backoff sleeps
 	done chan struct{} // run goroutine exited
@@ -183,7 +193,8 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	c := &Client{
 		cfg:  cfg,
-		rng:  xrand.New(cfg.Seed),
+		addr: cfg.Addr,
+		rng:  xrand.New(xhash.Mix64(cfg.Seed ^ xhash.Mix64(cfg.ID))),
 		wake: make(chan struct{}, 1),
 		done: make(chan struct{}),
 	}
@@ -273,6 +284,37 @@ func (c *Client) Close() error {
 	return nil
 }
 
+// Redirect retargets the sender at addr — the failover surface the
+// cluster client drives when a flow partition's owner moves. With a
+// live connection the move is a drain cutover: no new frames go out,
+// the in-flight window drains at the old owner (every frame acked there
+// exactly once), and only then does the stream reopen at addr — a
+// planned reshard moves ownership without duplicating a single report.
+// If the connection is down or dies mid-drain (the owner crashed), the
+// sender adopts addr immediately and retransmits the unacknowledged
+// window there; the journal-recovery handoff discounts whatever the
+// dead owner had already committed. Redirecting back to the current
+// address cancels a pending cutover.
+func (c *Client) Redirect(addr string) {
+	c.mu.Lock()
+	switch {
+	case c.cutover && addr == c.pendingAddr, !c.cutover && addr == c.addr:
+		c.mu.Unlock()
+		return
+	case c.cutover && addr == c.addr:
+		c.cutover = false
+		c.pendingAddr = ""
+		c.mu.Unlock()
+		return
+	}
+	c.pendingAddr = addr
+	c.cutover = true
+	c.stats.Redirects++
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	c.poke()
+}
+
 // poke nudges the run loop out of a backoff sleep (non-blocking; the
 // buffered slot coalesces pokes).
 func (c *Client) poke() {
@@ -299,7 +341,20 @@ func (c *Client) run() {
 		if c.finished() {
 			return
 		}
-		conn, err := c.cfg.Dial(c.cfg.Addr)
+		c.mu.Lock()
+		if c.cutover {
+			// No live connection at the top of the loop, so a pending
+			// cutover is adopted here: drained streams, crash moves (the
+			// conn died mid-drain), and idle moves all land on the new
+			// owner for the next dial. Backoff restarts: the new target
+			// is presumed healthy.
+			c.addr, c.pendingAddr = c.pendingAddr, ""
+			c.cutover = false
+			attempt = 0
+		}
+		addr := c.addr
+		c.mu.Unlock()
+		conn, err := c.cfg.Dial(addr)
 		if err != nil {
 			c.mu.Lock()
 			c.stats.DialFailures++
@@ -333,12 +388,14 @@ func (c *Client) sleep(d time.Duration) bool {
 			return c.isAborted()
 		case <-c.wake:
 			c.mu.Lock()
-			aborted, closing := c.aborted, c.closing
+			aborted, redial := c.aborted, c.closing || c.cutover
 			c.mu.Unlock()
 			if aborted {
 				return true
 			}
-			if closing {
+			// Close drains and Redirect retargets; either way the next
+			// dial should happen now, not when this backoff expires.
+			if redial {
 				return false
 			}
 		}
@@ -444,12 +501,19 @@ func (c *Client) stream(conn net.Conn) {
 				c.mu.Unlock()
 				return
 			}
+			if c.cutover && len(c.inflight) == 0 {
+				// Drain cutover complete: every sent frame is acked at
+				// this owner, so the stream can move with zero overlap.
+				// The run loop's top adopts the pending address.
+				c.mu.Unlock()
+				return
+			}
 			if c.hbDue {
 				c.hbDue = false
 				heartbeat = true
 				break
 			}
-			if len(c.unsent) > 0 && len(c.inflight) < c.cfg.Window {
+			if len(c.unsent) > 0 && len(c.inflight) < c.cfg.Window && !c.cutover {
 				break
 			}
 			if c.closing && len(c.unsent) == 0 && len(c.inflight) == 0 {

@@ -1,0 +1,211 @@
+package collectorsvc
+
+import (
+	"testing"
+	"time"
+
+	"github.com/unroller/unroller/internal/dataplane"
+	"github.com/unroller/unroller/internal/detect"
+)
+
+// The tests in this file pin the collectorsvc primitives the cluster
+// layer is built on: live Redirect with drain-then-cutover, span-based
+// sequence accounting, and the staged recovery commit with a
+// cross-node discard predicate.
+
+func supportEvent(flow uint32) dataplane.LoopEvent {
+	return dataplane.LoopEvent{Report: detect.Report{Reporter: 3, Hops: 2}, Flow: flow}
+}
+
+func waitAcked(t *testing.T, c *Client, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Stats().Acked < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("acked %d of %d before deadline", c.Stats().Acked, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// A live Redirect must drain the in-flight window to the old server
+// before adopting the new address: every frame is acknowledged by
+// exactly one server and nothing is re-sent to the new one, so the
+// cutover cannot double-ingest.
+func TestClientRedirectDrainsThenCutsOver(t *testing.T) {
+	a := NewServer(ServerConfig{Shards: 1})
+	addrA, err := a.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Shutdown()
+	b := NewServer(ServerConfig{Shards: 1})
+	addrB, err := b.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Shutdown()
+
+	c, err := NewClient(ClientConfig{Addr: addrA.String(), ID: 11, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const half = 200
+	for i := 0; i < half; i++ {
+		c.Send(supportEvent(uint32(i)), 2)
+	}
+	c.Redirect(addrB.String())
+	for i := half; i < 2*half; i++ {
+		c.Send(supportEvent(uint32(i)), 2)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Enqueued != st.Acked+st.Dropped || st.Dropped != 0 {
+		t.Fatalf("identity broken across redirect: %+v", st)
+	}
+	if st.Redirects != 1 {
+		t.Fatalf("Redirects = %d, want 1", st.Redirects)
+	}
+	a.Shutdown()
+	b.Shutdown()
+	ingA, ingB := a.Stats().Ingested, b.Stats().Ingested
+	if ingB == 0 {
+		t.Fatal("nothing reached the redirect target")
+	}
+	if ingA+ingB != 2*half {
+		t.Fatalf("ingested %d+%d across cutover, want %d total with no double-ingest", ingA, ingB, 2*half)
+	}
+	if d := a.Stats().Dupes + b.Stats().Dupes; d != 0 {
+		t.Fatalf("cutover produced %d transport dupes", d)
+	}
+}
+
+// Redirecting back to the original address while a cutover is pending
+// must cancel it, and redirecting to the current address must be a
+// no-op — neither may count a retarget.
+func TestClientRedirectNoopAndCancel(t *testing.T) {
+	a := NewServer(ServerConfig{Shards: 1})
+	addrA, err := a.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Shutdown()
+	c, err := NewClient(ClientConfig{Addr: addrA.String(), ID: 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Redirect(addrA.String()) // no-op: already the target
+	if got := c.Stats().Redirects; got != 0 {
+		t.Fatalf("no-op redirect counted: %d", got)
+	}
+	c.Redirect("127.0.0.1:1")  // pending cutover
+	c.Redirect(addrA.String()) // cancelled before adoption
+	c.Send(supportEvent(1), 2)
+	waitAcked(t, c, 1)
+	if got := c.Stats().Redirects; got != 1 {
+		t.Fatalf("Redirects = %d, want 1 (the cancelled retarget)", got)
+	}
+}
+
+// Span accounting must absorb out-of-order arrivals (concurrent CAS
+// winners reach noteSpan in any order) and round-trip through
+// snapshot/restore.
+func TestRecoverySpanTracking(t *testing.T) {
+	cs := &clientSeq{}
+	for _, seq := range []uint64{5, 1, 2, 9, 4, 3, 9} {
+		cs.noteSpan(seq)
+	}
+	spans := cs.snapshotSpans()
+	want := []SeqSpan{{First: 1, Last: 5}, {First: 9, Last: 9}}
+	if len(spans) != len(want) || spans[0] != want[0] || spans[1] != want[1] {
+		t.Fatalf("spans = %v, want %v", spans, want)
+	}
+	var back clientSeq
+	back.restoreSpans(spans)
+	back.noteSpan(6)
+	got := back.snapshotSpans()
+	if len(got) != 2 || got[0] != (SeqSpan{First: 1, Last: 6}) || got[1] != want[1] {
+		t.Fatalf("restored spans = %v, want [{1 6} {9 9}]", got)
+	}
+}
+
+// Staged recovery with a discard predicate is the cluster handoff in
+// miniature: the discarded prefix is counted in CrossDupes, never
+// ingested, and never claimed by this server's own ClientRanges —
+// while the committed suffix is accounted exactly once.
+func TestRecoveryStagedCommitDiscard(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ServerConfig{Shards: 2, Journal: j})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(ClientConfig{Addr: addr.String(), ID: 77, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 20
+	for i := 0; i < total; i++ {
+		c.Send(supportEvent(uint32(i)), 2)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitDone := c.Stats()
+	if waitDone.Acked != total {
+		t.Fatalf("feed acked %d of %d", waitDone.Acked, total)
+	}
+	srv.Shutdown()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(JournalConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	staged, err := NewStagedRecoveredServer(ServerConfig{Shards: 2, Journal: j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staged.Staged() != total {
+		t.Fatalf("staged %d records, want %d", staged.Staged(), total)
+	}
+	if h := staged.Server().Health(); h != HealthRecovering {
+		t.Fatalf("health mid-stage = %v, want recovering", h)
+	}
+	// A peer claims the first half of the sequence space.
+	srv2, rec, err := staged.Commit(func(clientID, seq uint64) bool {
+		return seq <= total/2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Shutdown()
+	if rec.CrossDupes != total/2 {
+		t.Fatalf("recovery cross_dupes = %d, want %d", rec.CrossDupes, total/2)
+	}
+	st := srv2.Stats()
+	if st.Ingested != total/2 || st.CrossDupes != total/2 {
+		t.Fatalf("ingested=%d cross_dupes=%d, want %d/%d", st.Ingested, st.CrossDupes, total/2, total/2)
+	}
+	ranges := srv2.ClientRanges()
+	if len(ranges) != 1 || ranges[0].ID != 77 {
+		t.Fatalf("client ranges = %+v, want one entry for client 77", ranges)
+	}
+	spans := ranges[0].Spans
+	if len(spans) != 1 || spans[0].First != total/2+1 || spans[0].Last != total {
+		t.Fatalf("spans = %v: a discarded prefix must never be claimed", spans)
+	}
+	if h := srv2.Health(); h != HealthReady {
+		t.Fatalf("health after commit = %v, want ready", h)
+	}
+}

@@ -133,8 +133,11 @@ const (
 // journalRecHeader is [len u32][crc u32].
 const journalRecHeader = 8
 
-// snapshotVersion versions the snapshot payload layout.
-const snapshotVersion = 1
+// snapshotVersion versions the snapshot payload layout. v2 widened the
+// client table from a single high-water mark per client to the full
+// accounted span list (plus the CrossDupes baseline) — the state the
+// cluster recovery handoff serves to rejoining peers.
+const snapshotVersion = 2
 
 // ErrJournalCorrupt marks a tear or CRC failure outside the final
 // segment's tail — corruption at rest, which recovery refuses to paper
@@ -630,6 +633,7 @@ func appendJournalTick(dst []byte, clientID, seq uint64) []byte {
 type journalSnapshot struct {
 	// Server counter baselines, in ServerStats order.
 	Conns, Frames, BadFrames, Dupes uint64
+	CrossDupes                      uint64
 	Ingested, Ticks                 uint64
 	QueueDropped, FlowEvictions     uint64
 	// Aggregate controller baseline. Buffered is always folded into
@@ -637,15 +641,17 @@ type journalSnapshot struct {
 	// snapshot accounts those events as evicted-by-recovery).
 	Delivered, Accepted, Deduped         uint64
 	Quarantined, Evicted, Aged, CtrlTick uint64
-	// Client exactly-once high-water marks, ascending by ID.
+	// Client exactly-once state, ascending by ID: the full accounted
+	// span list per client (the high-water mark is the last span's
+	// Last).
 	Clients []clientSeqEntry
 	// Per-flow dedup windows, ascending by flow.
 	Flows []flowWindowEntry
 }
 
 type clientSeqEntry struct {
-	ID  uint64
-	Seq uint64
+	ID    uint64
+	Spans []SeqSpan
 }
 
 type flowWindowEntry struct {
@@ -665,7 +671,8 @@ func emptySnapshot() *journalSnapshot { return &journalSnapshot{} }
 func encodeSnapshot(dst []byte, s *journalSnapshot) []byte {
 	dst = append(dst, jrecSnapshot, snapshotVersion)
 	for _, v := range []uint64{
-		s.Conns, s.Frames, s.BadFrames, s.Dupes, s.Ingested, s.Ticks,
+		s.Conns, s.Frames, s.BadFrames, s.Dupes, s.CrossDupes,
+		s.Ingested, s.Ticks,
 		s.QueueDropped, s.FlowEvictions,
 		s.Delivered, s.Accepted, s.Deduped, s.Quarantined, s.Evicted,
 		s.Aged, s.CtrlTick,
@@ -675,7 +682,11 @@ func encodeSnapshot(dst []byte, s *journalSnapshot) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s.Clients)))
 	for _, c := range s.Clients {
 		dst = binary.BigEndian.AppendUint64(dst, c.ID)
-		dst = binary.BigEndian.AppendUint64(dst, c.Seq)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(c.Spans)))
+		for _, sp := range c.Spans {
+			dst = binary.BigEndian.AppendUint64(dst, sp.First)
+			dst = binary.BigEndian.AppendUint64(dst, sp.Last)
+		}
 	}
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s.Flows)))
 	for _, f := range s.Flows {
@@ -749,13 +760,14 @@ func decodeSnapshot(body []byte) (*journalSnapshot, error) {
 		return nil, fmt.Errorf("%w: unknown snapshot version", errBadJournalRecord)
 	}
 	body = body[1:]
-	const counters = 15
+	const counters = 16
 	if len(body) < counters*8+8 {
 		return nil, fmt.Errorf("%w: snapshot of %d bytes too short", errBadJournalRecord, len(body))
 	}
 	s := &journalSnapshot{}
 	for i, dst := range []*uint64{
-		&s.Conns, &s.Frames, &s.BadFrames, &s.Dupes, &s.Ingested, &s.Ticks,
+		&s.Conns, &s.Frames, &s.BadFrames, &s.Dupes, &s.CrossDupes,
+		&s.Ingested, &s.Ticks,
 		&s.QueueDropped, &s.FlowEvictions,
 		&s.Delivered, &s.Accepted, &s.Deduped, &s.Quarantined, &s.Evicted,
 		&s.Aged, &s.CtrlTick,
@@ -765,17 +777,29 @@ func decodeSnapshot(body []byte) (*journalSnapshot, error) {
 	body = body[counters*8:]
 	nClients := int(binary.BigEndian.Uint32(body))
 	body = body[4:]
-	if nClients < 0 || len(body) < nClients*16 {
-		return nil, fmt.Errorf("%w: snapshot client table overruns payload", errBadJournalRecord)
-	}
 	if nClients > 0 {
-		s.Clients = make([]clientSeqEntry, nClients)
-		for i := range s.Clients {
-			s.Clients[i].ID = binary.BigEndian.Uint64(body[16*i:])
-			s.Clients[i].Seq = binary.BigEndian.Uint64(body[16*i+8:])
+		s.Clients = make([]clientSeqEntry, 0, min(nClients, 1<<16))
+		for i := 0; i < nClients; i++ {
+			if len(body) < 12 {
+				return nil, fmt.Errorf("%w: snapshot client table overruns payload", errBadJournalRecord)
+			}
+			ce := clientSeqEntry{ID: binary.BigEndian.Uint64(body)}
+			nSpans := int(binary.BigEndian.Uint32(body[8:]))
+			body = body[12:]
+			if len(body) < nSpans*16 {
+				return nil, fmt.Errorf("%w: snapshot span list overruns payload", errBadJournalRecord)
+			}
+			if nSpans > 0 {
+				ce.Spans = make([]SeqSpan, nSpans)
+				for k := range ce.Spans {
+					ce.Spans[k].First = binary.BigEndian.Uint64(body[16*k:])
+					ce.Spans[k].Last = binary.BigEndian.Uint64(body[16*k+8:])
+				}
+			}
+			body = body[nSpans*16:]
+			s.Clients = append(s.Clients, ce)
 		}
 	}
-	body = body[nClients*16:]
 	if len(body) < 4 {
 		return nil, fmt.Errorf("%w: snapshot flow table missing", errBadJournalRecord)
 	}

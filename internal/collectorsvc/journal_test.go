@@ -241,7 +241,10 @@ func TestJournalSnapshotRoundTrip(t *testing.T) {
 		Ingested: 90, Ticks: 8, QueueDropped: 4, FlowEvictions: 5,
 		Delivered: 86, Accepted: 60, Deduped: 20, Quarantined: 6,
 		Evicted: 7, Aged: 1, CtrlTick: 42,
-		Clients: []clientSeqEntry{{ID: 1, Seq: 50}, {ID: 9, Seq: 40}},
+		Clients: []clientSeqEntry{
+			{ID: 1, Spans: []SeqSpan{{First: 1, Last: 30}, {First: 44, Last: 50}}},
+			{ID: 9, Spans: []SeqSpan{{First: 1, Last: 40}}},
+		},
 		Flows: []flowWindowEntry{
 			{Flow: 0xDEAD, Entries: []windowEntry{{Reporter: 4, Hop: 2}, {Reporter: 5, Hop: 3}}},
 			{Flow: 0xBEEF},
@@ -260,8 +263,12 @@ func TestJournalSnapshotRoundTrip(t *testing.T) {
 	if !bytes.Equal(round, payload) {
 		t.Fatal("snapshot encode/decode is not a fixed point")
 	}
-	if got.Ingested != 90 || got.CtrlTick != 42 || len(got.Clients) != 2 || got.Clients[1].Seq != 40 {
+	if got.Ingested != 90 || got.CtrlTick != 42 || len(got.Clients) != 2 {
 		t.Errorf("snapshot decoded as %+v", got)
+	}
+	if len(got.Clients[0].Spans) != 2 || got.Clients[0].Spans[1] != (SeqSpan{First: 44, Last: 50}) ||
+		len(got.Clients[1].Spans) != 1 || got.Clients[1].Spans[0].Last != 40 {
+		t.Errorf("client spans decoded as %+v", got.Clients)
 	}
 	if len(got.Flows) != 2 || len(got.Flows[0].Entries) != 2 || got.Flows[0].Entries[1].Hop != 3 {
 		t.Errorf("flow windows decoded as %+v", got.Flows)

@@ -11,6 +11,7 @@ package collectorsvc
 // may run a different -shards value than the one that crashed.
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -117,9 +118,10 @@ func (s *Server) captureSnapshotLocked() *journalSnapshot {
 	snap.Aged = s.ctrlBase.Aged + agg.Aged
 	snap.CtrlTick = s.ctrlBase.Tick + agg.Tick
 
+	snap.CrossDupes = s.crossDupes.Load()
 	snap.Clients = make([]clientSeqEntry, 0, len(s.clients))
 	for id, cs := range s.clients {
-		snap.Clients = append(snap.Clients, clientSeqEntry{ID: id, Seq: cs.last.Load()})
+		snap.Clients = append(snap.Clients, clientSeqEntry{ID: id, Spans: cs.snapshotSpans()})
 	}
 	sort.Slice(snap.Clients, func(a, b int) bool { return snap.Clients[a].ID < snap.Clients[b].ID })
 
@@ -140,43 +142,114 @@ func (s *Server) captureSnapshotLocked() *journalSnapshot {
 	return snap
 }
 
-// recoverFromJournal replays the journal into a freshly built server.
-// Runs before startWorkers, so everything here is single-threaded:
-// records apply in journal order regardless of the shard count, which
-// is what makes recovery deterministic and worker-count invariant.
-func (s *Server) recoverFromJournal() error {
-	j := s.journal
-	err := j.Replay(func(rec *journalRecord) error {
+// stagedRecord is one post-snapshot journal record parked between
+// replay and commit.
+type stagedRecord struct {
+	clientID uint64
+	seq      uint64
+	ev       dataplane.LoopEvent
+	hop      int
+	tick     bool
+}
+
+// StagedRecovery is a journal replay paused at the reconciliation
+// point: the latest snapshot's cut is applied to the server, every
+// record journaled after it is staged in order, and nothing has reached
+// a controller or advanced a sequence mark yet. The cluster recovery
+// path asks its live peers which sequence ranges they already ingested
+// (Server.ClientRanges over the membership port) and then Commits with
+// a discard predicate covering that overlap — the cross-node dedup that
+// keeps the cluster-wide exactly-once identity exact after a failover
+// replayed this node's committed-but-unacked frames to a takeover
+// owner. The dedup window is everything journaled since the last
+// snapshot: records a rotation has folded into the snapshot's counters
+// can no longer be discarded record-by-record (see DESIGN §13 for the
+// sizing rule this implies).
+type StagedRecovery struct {
+	srv    *Server
+	staged []stagedRecord
+}
+
+// NewStagedRecoveredServer builds a server, applies the journal's
+// snapshot cut, and stages the post-snapshot records for Commit.
+// cfg.Journal must be set.
+func NewStagedRecoveredServer(cfg ServerConfig) (*StagedRecovery, error) {
+	if cfg.Journal == nil {
+		return nil, errors.New("collectorsvc: staged recovery requires a journal")
+	}
+	s := buildServer(cfg)
+	s.recovering = true
+	st := &StagedRecovery{srv: s}
+	err := cfg.Journal.Replay(func(rec *journalRecord) error {
 		switch rec.kind {
 		case jrecSnapshot:
 			s.applySnapshot(rec.snap)
+			// The snapshot's cut supersedes everything staged before it.
+			st.staged = st.staged[:0]
 		case jrecReport:
-			cs := s.clientState(rec.clientID)
-			if !cs.account(rec.seq) {
-				// Records are only appended for newly accounted frames,
-				// so a replayed duplicate means the journal and the
-				// snapshot disagree — refuse rather than double-count.
-				return fmt.Errorf("%w: replayed report seq %d for client %d at or below high-water mark", ErrJournalCorrupt, rec.seq, rec.clientID)
-			}
-			s.ingested.Add(1)
-			ev := recordToEvent(rec.ev)
-			s.shardFor(ev.Flow).deliver(ev, rec.hop)
+			st.staged = append(st.staged, stagedRecord{
+				clientID: rec.clientID, seq: rec.seq,
+				ev: recordToEvent(rec.ev), hop: rec.hop,
+			})
 		case jrecTick:
-			cs := s.clientState(rec.clientID)
-			if !cs.account(rec.seq) {
-				return fmt.Errorf("%w: replayed tick seq %d for client %d at or below high-water mark", ErrJournalCorrupt, rec.seq, rec.clientID)
-			}
-			s.ticks.Add(1)
-			for _, sh := range s.shards {
-				sh.ctrl.Tick()
-			}
+			st.staged = append(st.staged, stagedRecord{clientID: rec.clientID, seq: rec.seq, tick: true})
 		}
 		return nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	jst := j.Stats()
+	return st, nil
+}
+
+// Server exposes the recovering server's admin/health surface (it
+// reports HealthRecovering until Commit). Do not serve ingest on it
+// before Commit returns.
+func (st *StagedRecovery) Server() *Server { return st.srv }
+
+// Staged returns the number of records parked for Commit — the size of
+// this recovery's cross-node dedup window.
+func (st *StagedRecovery) Staged() int { return len(st.staged) }
+
+// Commit finishes the recovery. Every staged record either commits —
+// accounted, counted, and delivered single-threaded in journal order
+// through the same per-flow dedup path as live ingest — or, when
+// discard reports a peer already ingested it, is dropped and counted in
+// CrossDupes. A discarded record's sequence number deliberately stays
+// un-accounted (neither the high-water mark nor the span list moves),
+// so this node's own ClientRanges never claim frames a peer ingested;
+// that is safe because a failover overlap is always a contiguous
+// per-client suffix of the journal tail, and the client's next
+// sequence numbers are beyond it. discard may be nil (no peers — the
+// single-node path commits everything). Workers start and the server
+// leaves the recovering health state before returning.
+func (st *StagedRecovery) Commit(discard func(clientID, seq uint64) bool) (*Server, RecoveryStats, error) {
+	s := st.srv
+	for i := range st.staged {
+		rec := &st.staged[i]
+		if discard != nil && discard(rec.clientID, rec.seq) {
+			s.crossDupes.Add(1)
+			continue
+		}
+		cs := s.clientState(rec.clientID)
+		if !cs.account(rec.seq) {
+			// Records are only appended for newly accounted frames, so a
+			// replayed duplicate means the journal and the snapshot
+			// disagree — refuse rather than double-count.
+			return nil, RecoveryStats{}, fmt.Errorf("%w: replayed seq %d for client %d at or below high-water mark", ErrJournalCorrupt, rec.seq, rec.clientID)
+		}
+		if rec.tick {
+			s.ticks.Add(1)
+			for _, sh := range s.shards {
+				sh.ctrl.Tick()
+			}
+			continue
+		}
+		s.ingested.Add(1)
+		s.shardFor(rec.ev.Flow).deliver(rec.ev, rec.hop)
+	}
+	st.staged = nil
+	jst := s.journal.Stats()
 	s.recoveryReport = RecoveryStats{
 		Records:        jst.RecoveredRecords,
 		Snapshots:      jst.RecoveredSnapshots,
@@ -184,11 +257,53 @@ func (s *Server) recoverFromJournal() error {
 		Clients:        len(s.clients),
 		Ingested:       s.ingested.Load(),
 		Ticks:          s.ticks.Load(),
+		CrossDupes:     s.crossDupes.Load(),
 	}
 	for _, sh := range s.shards {
 		s.recoveryReport.Flows += len(sh.flows)
 	}
-	return nil
+	s.mu.Lock()
+	s.recovering = false
+	s.mu.Unlock()
+	s.startWorkers()
+	return s, s.recoveryReport, nil
+}
+
+// ClientRanges snapshots every known client's accounted sequence spans,
+// ascending by client ID (clients with nothing accounted are skipped).
+// This is what a node serves to a rejoining peer's recovery handoff.
+func (s *Server) ClientRanges() []ClientRange {
+	s.mu.Lock()
+	clients := make(map[uint64]*clientSeq, len(s.clients))
+	for id, cs := range s.clients {
+		clients[id] = cs
+	}
+	s.mu.Unlock()
+	out := make([]ClientRange, 0, len(clients))
+	for id, cs := range clients {
+		spans := cs.snapshotSpans()
+		if len(spans) == 0 {
+			continue
+		}
+		out = append(out, ClientRange{ID: id, Spans: spans})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// ForceRotate rotates the journal segment with a fresh snapshot now.
+// The cluster recovery path calls it right after a staged Commit so the
+// reconciled cut — with the discounted overlap excluded — becomes the
+// new segment-head snapshot: a second crash re-recovers from that
+// snapshot instead of re-staging (and re-judging) the same records.
+func (s *Server) ForceRotate() {
+	j := s.journal
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s.rotateWithSnapshotLocked(j)
 }
 
 // applySnapshot resets the server to a snapshot's cut. Each snapshot in
@@ -214,10 +329,11 @@ func (s *Server) applySnapshot(snap *journalSnapshot) {
 		Aged:        snap.Aged,
 		Tick:        snap.CtrlTick,
 	}
+	s.crossDupes.Store(snap.CrossDupes)
 	s.clients = make(map[uint64]*clientSeq, len(snap.Clients))
 	for _, c := range snap.Clients {
 		cs := &clientSeq{}
-		cs.last.Store(c.Seq)
+		cs.restoreSpans(c.Spans)
 		s.clients[c.ID] = cs
 	}
 	for _, sh := range s.shards {

@@ -111,6 +111,11 @@ type ServerStats struct {
 	// Ticks counts unique tick frames applied.
 	Ingested uint64 `json:"ingested"`
 	Ticks    uint64 `json:"ticks"`
+	// CrossDupes counts journal records discarded during a staged
+	// recovery because a cluster peer's accounted ranges showed another
+	// node had already ingested them — the cross-node analogue of Dupes.
+	// It only moves on the recovery path, never during live ingest.
+	CrossDupes uint64 `json:"cross_dupes"`
 	// QueueDropped counts events evicted from full shard queues,
 	// FlowEvictions the dedup-map clears. Overload shedding prefers
 	// evicting queued ticks over loop reports; SheddedTicks counts the
@@ -131,17 +136,20 @@ type Server struct {
 
 	shards []*shard
 
-	mu      sync.Mutex
-	ln      net.Listener
-	conns   map[net.Conn]struct{}
-	clients map[uint64]*clientSeq
-	closed  bool
+	mu            sync.Mutex
+	ln            net.Listener
+	conns         map[net.Conn]struct{}
+	clients       map[uint64]*clientSeq
+	closed        bool
+	recovering    bool // staged recovery not yet committed
+	healthOverlay func(Health) Health
 
 	connWG  sync.WaitGroup
 	shardWG sync.WaitGroup
 
 	conns64       atomic.Uint64
 	connsRejected atomic.Uint64
+	crossDupes    atomic.Uint64
 	frames        atomic.Uint64
 	badFrames     atomic.Uint64
 	dupes         atomic.Uint64
@@ -175,18 +183,45 @@ type RecoveryStats struct {
 	// Ingested and Ticks are the recovered cumulative totals.
 	Ingested uint64 `json:"ingested"`
 	Ticks    uint64 `json:"ticks"`
+	// CrossDupes counts staged records discarded at Commit because a
+	// cluster peer's accounted ranges already covered them.
+	CrossDupes uint64 `json:"cross_dupes"`
 }
 
-// clientSeq is the per-client exactly-once high-water mark. It survives
-// reconnects (keyed by the hello's client id) and is atomic because a
-// killed connection's reader can linger briefly while the replacement
-// connection is already streaming.
+// SeqSpan is one contiguous run of accounted sequence numbers,
+// inclusive on both ends.
+type SeqSpan struct {
+	First uint64 `json:"first"`
+	Last  uint64 `json:"last"`
+}
+
+// ClientRange is one client identity's accounted sequence ranges — what
+// this node's exactly-once state actually covers, span by span. The
+// cluster recovery handoff exchanges these so a rejoining node can
+// discount journal records a live peer already ingested.
+type ClientRange struct {
+	ID    uint64    `json:"id"`
+	Spans []SeqSpan `json:"spans"`
+}
+
+// clientSeq is the per-client exactly-once state. The high-water mark
+// survives reconnects (keyed by the hello's client id) and is atomic
+// because a killed connection's reader can linger briefly while the
+// replacement connection is already streaming. Alongside it, spans
+// records exactly which sequence numbers were accounted: a live stream
+// is consecutive, so the list stays at one span per ownership stint and
+// only fragments when a stream resumes past a gap — frames the client
+// streamed to another cluster node in between, precisely the ranges a
+// recovery handoff must not claim as this node's.
 type clientSeq struct {
 	last atomic.Uint64
+
+	mu    sync.Mutex
+	spans []SeqSpan
 }
 
 // account returns whether seq is new for this client, advancing the
-// high-water mark when it is.
+// high-water mark (and the span list) when it is.
 func (cs *clientSeq) account(seq uint64) bool {
 	for {
 		cur := cs.last.Load()
@@ -194,9 +229,64 @@ func (cs *clientSeq) account(seq uint64) bool {
 			return false
 		}
 		if cs.last.CompareAndSwap(cur, seq) {
+			cs.noteSpan(seq)
 			return true
 		}
 	}
+}
+
+// noteSpan folds one accounted sequence number into the sorted,
+// non-adjacent span list. Concurrent winners of the account CAS can
+// arrive here out of order, so the fold is a general sorted insert with
+// neighbour merging rather than a tail append.
+func (cs *clientSeq) noteSpan(seq uint64) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	spans := cs.spans
+	// Walk from the tail: seq is almost always the new maximum.
+	i := len(spans)
+	for i > 0 && spans[i-1].First > seq {
+		i--
+	}
+	if i > 0 && seq <= spans[i-1].Last {
+		return // already covered
+	}
+	left := i > 0 && spans[i-1].Last+1 == seq
+	right := i < len(spans) && spans[i].First == seq+1
+	switch {
+	case left && right:
+		spans[i-1].Last = spans[i].Last
+		cs.spans = append(spans[:i], spans[i+1:]...)
+	case left:
+		spans[i-1].Last = seq
+	case right:
+		spans[i].First = seq
+	default:
+		cs.spans = append(spans, SeqSpan{})
+		copy(cs.spans[i+1:], cs.spans[i:])
+		cs.spans[i] = SeqSpan{First: seq, Last: seq}
+	}
+}
+
+// snapshotSpans copies the span list for a ranges reply or a journal
+// snapshot.
+func (cs *clientSeq) snapshotSpans() []SeqSpan {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return append([]SeqSpan(nil), cs.spans...)
+}
+
+// restoreSpans installs a recovered span list wholesale (replay is
+// single-threaded; no concurrent accounts exist yet).
+func (cs *clientSeq) restoreSpans(spans []SeqSpan) {
+	cs.mu.Lock()
+	cs.spans = append(cs.spans[:0], spans...)
+	if n := len(cs.spans); n > 0 {
+		cs.last.Store(cs.spans[n-1].Last)
+	} else {
+		cs.last.Store(0)
+	}
+	cs.mu.Unlock()
 }
 
 // shardItem is one queued unit of work: a report (with its dedup hop),
@@ -422,17 +512,15 @@ func NewServer(cfg ServerConfig) *Server {
 // before any worker or connection exists, so recovery is deterministic
 // and worker-count invariant: records apply single-threaded, in journal
 // order, through the same per-flow dedup path as live delivery. It
-// returns what was restored; cfg.Journal must be set.
+// returns what was restored; cfg.Journal must be set. It is the
+// single-node form of NewStagedRecoveredServer: stage, then commit with
+// no cross-node discard.
 func NewRecoveredServer(cfg ServerConfig) (*Server, RecoveryStats, error) {
-	if cfg.Journal == nil {
-		return nil, RecoveryStats{}, errors.New("collectorsvc: NewRecoveredServer requires a journal")
-	}
-	s := buildServer(cfg)
-	if err := s.recoverFromJournal(); err != nil {
+	st, err := NewStagedRecoveredServer(cfg)
+	if err != nil {
 		return nil, RecoveryStats{}, err
 	}
-	s.startWorkers()
-	return s, s.recoveryReport, nil
+	return st.Commit(nil)
 }
 
 func buildServer(cfg ServerConfig) *Server {
@@ -904,6 +992,7 @@ func (s *Server) Stats() ServerStats {
 	st.Frames = s.frames.Load()
 	st.BadFrames = s.badFrames.Load()
 	st.Dupes = s.dupes.Load()
+	st.CrossDupes = s.crossDupes.Load()
 	st.Ingested = s.ingested.Load()
 	st.Ticks = s.ticks.Load()
 	s.mu.Lock()
@@ -939,17 +1028,82 @@ func (s *Server) QueueStats() []ShardQueueStats {
 	return out
 }
 
-// Healthy is the /healthz readiness predicate: the server is accepting
-// and, when journaled, durability is intact (no append or sync has
-// failed).
-func (s *Server) Healthy() bool {
-	s.mu.Lock()
-	closed := s.closed
-	s.mu.Unlock()
-	if closed {
-		return false
+// Health is the three-state /healthz readiness value.
+type Health int
+
+const (
+	// HealthReady: accepting, and (when journaled) durability intact.
+	HealthReady Health = iota
+	// HealthRecovering: a staged journal replay has not yet committed —
+	// the cluster handoff (peer range reconciliation) is still running
+	// and nothing has reached a controller.
+	HealthRecovering
+	// HealthDegraded: shut down, durability lost (a journal append or
+	// sync failed), or the installed overlay reports the node impaired
+	// (the cluster node folds membership suspect-of-self in here).
+	HealthDegraded
+)
+
+// String renders the /healthz body for each state.
+func (h Health) String() string {
+	switch h {
+	case HealthReady:
+		return "ready"
+	case HealthRecovering:
+		return "recovering"
+	default:
+		return "degraded"
 	}
-	return s.journal == nil || !s.journal.Failed()
+}
+
+// SetHealthOverlay installs fn over the server's own health value; the
+// cluster node uses it to fold membership state (self-suspicion while
+// isolated) into /healthz. fn must be safe for concurrent use and
+// should only escalate (ready → degraded), never mask a degraded or
+// recovering server.
+func (s *Server) SetHealthOverlay(fn func(Health) Health) {
+	s.mu.Lock()
+	s.healthOverlay = fn
+	s.mu.Unlock()
+}
+
+// Health returns the three-state readiness: recovering until a staged
+// recovery commits, degraded once closed or durability is lost, ready
+// otherwise — filtered through the overlay when one is installed.
+// Degraded outranks recovering: a node that lost its journal mid-replay
+// must not advertise the transient state.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	closed, recovering, overlay := s.closed, s.recovering, s.healthOverlay
+	s.mu.Unlock()
+	h := HealthReady
+	if recovering {
+		h = HealthRecovering
+	}
+	if closed || (s.journal != nil && s.journal.Failed()) {
+		h = HealthDegraded
+	}
+	if overlay != nil {
+		h = overlay(h)
+	}
+	return h
+}
+
+// Healthy is the binary readiness predicate: Health is HealthReady.
+func (s *Server) Healthy() bool {
+	return s.Health() == HealthReady
+}
+
+// Recovering reports whether a staged recovery has yet to commit. The
+// cluster handoff checks this (not Health, which an overlay may have
+// escalated) before serving its accounted ranges to a rejoining peer:
+// a node that has not committed must answer "not ready" so two
+// simultaneous recoveries never discount against each other's staged,
+// uncommitted state.
+func (s *Server) Recovering() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovering
 }
 
 // Journal returns the attached journal (nil when ingest is not

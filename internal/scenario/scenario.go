@@ -34,10 +34,11 @@ import (
 type builder func(seed uint64) (*dataplane.Network, *dataplane.FaultPlan, []dataplane.ChurnEpoch, error)
 
 var scenarios = map[string]builder{
-	"microloop":  microloop,
-	"linkflap":   linkflap,
-	"restart":    restart,
-	"corruption": corruption,
+	"microloop":   microloop,
+	"linkflap":    linkflap,
+	"restart":     restart,
+	"corruption":  corruption,
+	"clusterkill": clusterkill,
 }
 
 // Names returns the available scenario names, sorted.
@@ -316,6 +317,59 @@ func linkflap(seed uint64) (*dataplane.Network, *dataplane.FaultPlan, []dataplan
 	var epochs []dataplane.ChurnEpoch
 	for e := 0; e <= 3*flaps; e++ {
 		epochs = append(epochs, dataplane.ChurnEpoch{Flows: flowsTo(g, dst, e, 1)})
+	}
+	return net, plan, epochs, nil
+}
+
+// clusterkill: the data-plane face of a collector-node kill mid-churn
+// (the regime the collectord cluster e2e drives end to end). A stale
+// detour closes the {2, 7} two-switch micro-loop while, one epoch
+// later, a shortest-path parent of the destination is killed outright —
+// its FIB wipes and every flow routed through it dies as no-route. The
+// loop heals first, then the killed switch is restored from its
+// pre-kill checkpoint, and the final epochs are clean. The two faults
+// overlap, so the controller ingests loop reports while a chunk of the
+// report-bearing traffic is blackholed — detection keeps working
+// through the kill.
+func clusterkill(seed uint64) (*dataplane.Network, *dataplane.FaultPlan, []dataplane.ChurnEpoch, error) {
+	g, err := topology.Torus(5, 5)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	net, err := newNet(g, seed, dataplane.ControllerConfig{
+		MaxEvents: 512, DedupWindow: 6, MaxAgeTicks: 4,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	const dst = 12 // torus centre
+	if err := net.InstallShortestPaths(dst); err != nil {
+		return nil, nil, nil, err
+	}
+	// As in linkflap: node 7 is a shortest-path parent of 12 and node
+	// 2's path runs through 7, so pointing 7 back at 2 closes the loop.
+	dstID := net.Assign.ID(dst)
+	to12, err := net.PortTo(7, 12)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	to2, err := net.PortTo(7, 2)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Node 17 is 12's southern neighbour — another shortest-path parent,
+	// carrying its own share of dst-bound traffic.
+	const killed = 17
+	checkpoint := routesOf(net, killed)
+
+	plan := &dataplane.FaultPlan{}
+	plan.RoutesAt(1, []dataplane.RouteUpdate{{Node: 7, Dst: dstID, Port: to2}})
+	plan.RestartAt(2, killed)
+	plan.RoutesAt(3, []dataplane.RouteUpdate{{Node: 7, Dst: dstID, Port: to12}})
+	plan.RoutesAt(4, checkpoint)
+	var epochs []dataplane.ChurnEpoch
+	for e := 0; e <= 6; e++ {
+		epochs = append(epochs, dataplane.ChurnEpoch{Flows: flowsTo(g, dst, e, 2)})
 	}
 	return net, plan, epochs, nil
 }
